@@ -1,0 +1,81 @@
+//! End-to-end regeneration of every table and figure, under Criterion.
+//!
+//! Each benchmark first prints the paper-vs-measured report once (so
+//! `cargo bench` output doubles as the reproduction record), then times the
+//! full scenario execution — wall-clock cost of simulating the experiment,
+//! which is the harness's own performance story.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use idea_workload::experiments::{ablate, fig10, fig2, fig7, fig8, fig9, table2, table3};
+
+const SEED: u64 = 7;
+
+fn bench_fig7(c: &mut Criterion) {
+    for (anchors, label) in [(fig7::FIG7A, "fig7a_hint95"), (fig7::FIG7B, "fig7b_hint85")] {
+        let result = fig7::run(anchors.hint, SEED);
+        println!("\n===== {label} =====\n{}", fig7::report(&anchors, &result));
+        println!("shape holds: {}\n", fig7::shape_holds(&anchors, &result, 0.10));
+        c.bench_function(label, |b| b.iter(|| black_box(fig7::run(anchors.hint, SEED))));
+    }
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let result = fig8::run(SEED);
+    println!("\n===== fig8 =====\n{}", fig8::report(&result));
+    println!("shape holds: {}\n", fig8::shape_holds(&result, 0.08));
+    c.bench_function("fig8_hint_reset", |b| b.iter(|| black_box(fig8::run(SEED))));
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let result = table2::run(SEED);
+    println!("\n===== table2 =====\n{}", table2::report(&result));
+    println!("shape holds: {}\n", table2::shape_holds(&result));
+    c.bench_function("table2_phase_breakdown", |b| b.iter(|| black_box(table2::run(SEED))));
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let points = fig9::run(10, SEED);
+    println!("\n===== fig9 =====\n{}", fig9::report(&points));
+    println!("shape holds: {}\n", fig9::shape_holds(&points, 0.45));
+    c.bench_function("fig9_scalability", |b| b.iter(|| black_box(fig9::run(6, SEED))));
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let result = table3::run(SEED);
+    println!("\n===== table3 =====\n{}", table3::report(&result));
+    println!("shape holds: {}\n", table3::shape_holds(&result));
+    c.bench_function("table3_overhead", |b| b.iter(|| black_box(table3::run(SEED))));
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let result = fig10::run(SEED);
+    println!("\n===== fig10 =====\n{}", fig10::report(&result));
+    println!("shape holds: {}\n", fig10::shape_holds(&result));
+    c.bench_function("fig10_automatic", |b| b.iter(|| black_box(fig10::run(SEED))));
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let cfg = fig2::TradeoffConfig { seed: SEED, ..Default::default() };
+    let rows = fig2::run(&cfg);
+    println!("\n===== fig2 =====\n{}", fig2::report(&rows));
+    println!("shape holds: {}\n", fig2::shape_holds(&rows));
+    c.bench_function("fig2_tradeoff", |b| b.iter(|| black_box(fig2::run(&cfg))));
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let coverage = ablate::run_coverage(40);
+    println!("\n===== ablation A1 =====\n{}", ablate::report_coverage(&coverage));
+    let parallel = ablate::run_parallel(8, SEED);
+    println!("\n===== ablation A3 =====\n{}", ablate::report_parallel(&parallel));
+    let bounds = ablate::run_bounds();
+    println!("\n===== ablation A4 =====\n{}", ablate::report_bounds(&bounds));
+    c.bench_function("ablate_coverage", |b| b.iter(|| black_box(ablate::run_coverage(40))));
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig7, bench_fig8, bench_table2, bench_fig9, bench_table3,
+              bench_fig10, bench_fig2, bench_ablations
+}
+criterion_main!(figures);

@@ -1,0 +1,152 @@
+//! Criterion micro-benchmarks of IDEA's building blocks.
+//!
+//! These time the computational cost of the pieces the paper's delays are
+//! made of (vector comparison, triple computation, Formula-1
+//! quantification, gossip/RanSub rounds, store operations) — the
+//! end-to-end table/figure scenarios live in `figures.rs`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use idea_core::{MaxBounds, Quantifier, Weights};
+use idea_detect::round::DetectRound;
+use idea_overlay::gossip::{simulate_spread, GossipConfig};
+use idea_overlay::ransub::{RansubConfig, RansubTree};
+use idea_store::Replica;
+use idea_types::{NodeId, ObjectId, SimTime, Update, WriterId};
+use idea_vv::{ExtendedVersionVector, VersionVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn evv_with(writers: u32, updates_each: u64) -> ExtendedVersionVector {
+    let mut v = ExtendedVersionVector::new();
+    for w in 0..writers {
+        for s in 1..=updates_each {
+            v.record(WriterId(w), s, SimTime::from_secs(s), 1);
+        }
+    }
+    v
+}
+
+fn bench_version_vectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("version-vector");
+    for writers in [4u32, 16, 64] {
+        let a = VersionVector::from_pairs((0..writers).map(|w| (WriterId(w), w as u64 + 1)));
+        let b = VersionVector::from_pairs((0..writers).map(|w| (WriterId(w), w as u64 + 2)));
+        group.bench_with_input(BenchmarkId::new("compare", writers), &writers, |bench, _| {
+            bench.iter(|| black_box(a.compare(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("merge", writers), &writers, |bench, _| {
+            bench.iter(|| black_box(a.merged(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_triple(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extended-vv");
+    for updates in [10u64, 50, 200] {
+        let a = evv_with(4, updates);
+        let b = evv_with(4, updates + 3);
+        group.bench_with_input(
+            BenchmarkId::new("triple_against", updates * 4),
+            &updates,
+            |bench, _| bench.iter(|| black_box(a.triple_against(&b))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_quantify(c: &mut Criterion) {
+    let q = Quantifier::new(Weights::EQUAL, MaxBounds::PAPER_EXAMPLE);
+    let a = evv_with(4, 40);
+    let b = evv_with(4, 43);
+    let triple = a.triple_against(&b);
+    c.bench_function("formula1_quantify", |bench| {
+        bench.iter(|| black_box(q.level(black_box(&triple))))
+    });
+}
+
+fn bench_detect_round(c: &mut Criterion) {
+    let mine = evv_with(4, 40);
+    let peers = [NodeId(1), NodeId(2), NodeId(3)];
+    c.bench_function("detect_round_complete", |bench| {
+        bench.iter(|| {
+            let mut round = DetectRound::start(NodeId(0), 1, &peers, SimTime::ZERO);
+            for p in peers {
+                round.on_reply(p, evv_with(4, 41));
+            }
+            black_box(round.complete(&mine, SimTime::from_secs(1)))
+        })
+    });
+}
+
+fn bench_gossip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip-spread");
+    for n in [40usize, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            let mut rng = StdRng::seed_from_u64(7);
+            bench.iter(|| {
+                black_box(simulate_spread(
+                    n,
+                    NodeId(0),
+                    GossipConfig { fanout: 3, ttl: 5 },
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ransub(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ransub-round");
+    for n in [40usize, 160] {
+        let tree = RansubTree::new(n, RansubConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            let mut rng = StdRng::seed_from_u64(7);
+            bench.iter(|| black_box(tree.round(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    c.bench_function("replica_apply_100", |bench| {
+        bench.iter(|| {
+            let mut r = Replica::new(ObjectId(1));
+            for s in 1..=100u64 {
+                let u = Update::opaque(ObjectId(1), WriterId(0), s, SimTime::from_secs(s), 1);
+                r.apply(u).expect("in order");
+            }
+            black_box(r.len())
+        })
+    });
+    // The resolution hot path: reconcile a diverged replica to a reference.
+    let mut reference = Replica::new(ObjectId(1));
+    for s in 1..=100u64 {
+        reference
+            .apply(Update::opaque(ObjectId(1), WriterId(1), s, SimTime::from_secs(s), 1))
+            .expect("in order");
+    }
+    c.bench_function("replica_reconcile_100", |bench| {
+        bench.iter(|| {
+            let mut r = Replica::new(ObjectId(1));
+            for s in 1..=20u64 {
+                r.apply(Update::opaque(ObjectId(1), WriterId(0), s, SimTime::from_secs(s), 1))
+                    .expect("in order");
+            }
+            black_box(r.reconcile_to(reference.log()))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_version_vectors,
+    bench_triple,
+    bench_quantify,
+    bench_detect_round,
+    bench_gossip,
+    bench_ransub,
+    bench_store,
+);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Ablation A4: the §5.2 under/oversell frequency-bounds learning.
+
+use idea_workload::experiments::ablate;
+
+fn main() {
+    let trace = ablate::run_bounds();
+    println!("{}", ablate::report_bounds(&trace));
+}

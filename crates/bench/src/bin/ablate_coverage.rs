@@ -1,0 +1,8 @@
+//! Ablation A1: top-layer coverage vs activity skew.
+
+use idea_workload::experiments::ablate;
+
+fn main() {
+    let rows = ablate::run_coverage(40);
+    println!("{}", ablate::report_coverage(&rows));
+}

@@ -1,0 +1,8 @@
+//! Ablation A3: sequential vs parallel phase 2 (§6.2's optimisation).
+
+use idea_workload::experiments::ablate;
+
+fn main() {
+    let rows = ablate::run_parallel(10, idea_bench::seed_from_args());
+    println!("{}", ablate::report_parallel(&rows));
+}

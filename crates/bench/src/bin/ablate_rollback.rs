@@ -1,0 +1,8 @@
+//! Ablation A2: sweep TTL vs rollback detection of a bottom-layer writer.
+
+use idea_workload::experiments::ablate;
+
+fn main() {
+    let rows = ablate::run_rollback(idea_bench::seed_from_args());
+    println!("{}", ablate::report_rollback(&rows));
+}

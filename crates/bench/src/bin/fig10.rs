@@ -1,0 +1,9 @@
+//! Regenerates Figure 10: the automatic system at 20 s vs 40 s periods.
+
+use idea_workload::experiments::fig10;
+
+fn main() {
+    let result = fig10::run(idea_bench::seed_from_args());
+    println!("{}", fig10::report(&result));
+    println!("shape holds (20 s period dominates): {}", fig10::shape_holds(&result));
+}

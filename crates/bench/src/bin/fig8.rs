@@ -1,0 +1,9 @@
+//! Regenerates Figure 8: 200 s hint-based run with a 95 % → 90 % reset.
+
+use idea_workload::experiments::fig8;
+
+fn main() {
+    let result = fig8::run(idea_bench::seed_from_args());
+    println!("{}", fig8::report(&result));
+    println!("shape holds (floors track the hints): {}", fig8::shape_holds(&result, 0.08));
+}

@@ -1,0 +1,364 @@
+//! Clock models for the IDEA reproduction.
+//!
+//! Staleness — one member of the paper's `<numerical error, order error,
+//! staleness>` triple — is computed from timestamps issued by *different*
+//! nodes, so the paper assumes "the gap among time clocks of participating
+//! nodes in the system is within seconds" (§4.4.1), achieved either by a
+//! globally synchronizing clock algorithm or by NTP.
+//!
+//! This crate provides that substrate:
+//!
+//! * [`PerfectClock`] — the idealised case (all timestamps are true time);
+//! * [`SkewedClock`] — a per-node clock with a constant offset plus linear
+//!   drift (parts-per-million), the standard oscillator model;
+//! * [`NtpDiscipline`] — a periodic synchronisation loop that estimates the
+//!   offset against a time server through a jittery network (the classic NTP
+//!   half-RTT error) and slews the clock, keeping the residual skew bounded;
+//! * [`ClockFleet`] — one clock per node, with helpers the experiment harness
+//!   uses to issue timestamps and audit the worst-case gap.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use idea_types::{NodeId, SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Read a node-local clock given the true (engine) time.
+pub trait Clock {
+    /// The node-local reading at true time `true_now`.
+    fn read(&self, true_now: SimTime) -> SimTime;
+
+    /// Signed offset `local - true` in microseconds at `true_now`.
+    fn offset_micros(&self, true_now: SimTime) -> i64 {
+        let local = self.read(true_now);
+        local.as_micros() as i64 - true_now.as_micros() as i64
+    }
+}
+
+/// A clock that always reads true time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfectClock;
+
+impl Clock for PerfectClock {
+    #[inline]
+    fn read(&self, true_now: SimTime) -> SimTime {
+        true_now
+    }
+}
+
+/// A clock with constant offset plus linear drift.
+///
+/// The local reading at true time `t` is
+/// `t + offset + drift_ppm · 1e-6 · (t - epoch)`, where `epoch` is the last
+/// instant the offset was (re)anchored — either construction or the last
+/// [`SkewedClock::slew`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SkewedClock {
+    /// Offset (local − true) in microseconds at `epoch`.
+    offset_us: f64,
+    /// Drift rate in parts per million of elapsed true time.
+    drift_ppm: f64,
+    /// True time at which `offset_us` was anchored.
+    epoch: SimTime,
+}
+
+impl SkewedClock {
+    /// Builds a clock with the given initial offset (µs) and drift (ppm).
+    pub fn new(offset_us: f64, drift_ppm: f64) -> Self {
+        SkewedClock { offset_us, drift_ppm, epoch: SimTime::ZERO }
+    }
+
+    /// The signed offset (µs) the clock will exhibit at true time `t`.
+    pub fn offset_at(&self, t: SimTime) -> f64 {
+        let elapsed = t.saturating_since(self.epoch).as_micros() as f64;
+        self.offset_us + self.drift_ppm * 1e-6 * elapsed
+    }
+
+    /// Applies a correction of `-correction_us` to the offset, re-anchoring
+    /// the drift epoch at `now`. Positive `correction_us` means the clock was
+    /// measured to be ahead and is slewed back.
+    pub fn slew(&mut self, now: SimTime, correction_us: f64) {
+        self.offset_us = self.offset_at(now) - correction_us;
+        self.epoch = now;
+    }
+
+    /// The drift rate in ppm.
+    pub fn drift_ppm(&self) -> f64 {
+        self.drift_ppm
+    }
+}
+
+impl Clock for SkewedClock {
+    fn read(&self, true_now: SimTime) -> SimTime {
+        let local = true_now.as_micros() as f64 + self.offset_at(true_now);
+        SimTime(local.max(0.0).round() as u64)
+    }
+}
+
+/// Configuration for the NTP-like discipline loop.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NtpConfig {
+    /// How often each node polls the time server.
+    pub poll_interval: SimDuration,
+    /// One-way network jitter bound to the server (µs). The classic NTP
+    /// offset estimate errs by up to half the *asymmetry* of the path, which
+    /// we model as ±`jitter_us / 2`.
+    pub jitter_us: f64,
+}
+
+impl Default for NtpConfig {
+    fn default() -> Self {
+        // Poll every 16 s with ±20 ms jitter: residual skew stays well inside
+        // the paper's "within seconds" assumption.
+        NtpConfig { poll_interval: SimDuration::from_secs(16), jitter_us: 20_000.0 }
+    }
+}
+
+/// Periodic NTP-like synchronisation of a [`SkewedClock`] against true time.
+#[derive(Debug, Clone)]
+pub struct NtpDiscipline {
+    config: NtpConfig,
+    next_poll: SimTime,
+    polls: u64,
+}
+
+impl NtpDiscipline {
+    /// Builds a discipline loop starting its first poll at `first_poll`.
+    pub fn new(config: NtpConfig, first_poll: SimTime) -> Self {
+        NtpDiscipline { config, next_poll: first_poll, polls: 0 }
+    }
+
+    /// Number of completed polls.
+    pub fn polls(&self) -> u64 {
+        self.polls
+    }
+
+    /// Advances the loop to `now`, disciplining the clock at every elapsed
+    /// poll instant. `rng` supplies the per-poll measurement error.
+    pub fn advance<R: Rng>(&mut self, clock: &mut SkewedClock, now: SimTime, rng: &mut R) {
+        while self.next_poll <= now {
+            let at = self.next_poll;
+            // NTP measures offset with an error bounded by the path
+            // asymmetry; sample it uniformly.
+            let half = self.config.jitter_us / 2.0;
+            let err = if half > 0.0 { rng.gen_range(-half..=half) } else { 0.0 };
+            let measured = clock.offset_at(at) + err;
+            clock.slew(at, measured);
+            self.polls += 1;
+            self.next_poll = at + self.config.poll_interval;
+        }
+    }
+
+    /// Worst-case residual offset (µs) immediately *before* a poll: the last
+    /// measurement error plus drift accumulated over one poll interval.
+    pub fn residual_bound_us(&self, drift_ppm: f64) -> f64 {
+        self.config.jitter_us / 2.0
+            + drift_ppm.abs() * 1e-6 * self.config.poll_interval.as_micros() as f64
+    }
+}
+
+/// One [`SkewedClock`] per node plus an optional discipline loop.
+#[derive(Debug, Clone)]
+pub struct ClockFleet {
+    clocks: Vec<SkewedClock>,
+    discipline: Vec<NtpDiscipline>,
+    enabled: bool,
+}
+
+impl ClockFleet {
+    /// A fleet of perfectly synchronised clocks (offset 0, drift 0).
+    pub fn perfect(n: usize) -> Self {
+        ClockFleet {
+            clocks: vec![SkewedClock::new(0.0, 0.0); n],
+            discipline: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// A fleet with offsets drawn uniformly from ±`max_offset_us` and drifts
+    /// from ±`max_drift_ppm`, NTP-disciplined with `ntp`.
+    pub fn synced<R: Rng>(
+        n: usize,
+        max_offset_us: f64,
+        max_drift_ppm: f64,
+        ntp: NtpConfig,
+        rng: &mut R,
+    ) -> Self {
+        let mut clocks = Vec::with_capacity(n);
+        let mut discipline = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = if max_offset_us > 0.0 {
+                rng.gen_range(-max_offset_us..=max_offset_us)
+            } else {
+                0.0
+            };
+            let drift = if max_drift_ppm > 0.0 {
+                rng.gen_range(-max_drift_ppm..=max_drift_ppm)
+            } else {
+                0.0
+            };
+            clocks.push(SkewedClock::new(off, drift));
+            // Stagger first polls so the fleet doesn't sync in lock-step.
+            let first = SimTime::from_micros(
+                (i as u64 % 16) * ntp.poll_interval.as_micros() / 16,
+            );
+            discipline.push(NtpDiscipline::new(ntp, first));
+        }
+        ClockFleet { clocks, discipline, enabled: true }
+    }
+
+    /// Number of clocks in the fleet.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// True when the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+
+    /// Reads node `node`'s clock at true time `now`, running any due
+    /// discipline polls first.
+    pub fn read<R: Rng>(&mut self, node: NodeId, now: SimTime, rng: &mut R) -> SimTime {
+        let i = node.index();
+        if self.enabled {
+            self.discipline[i].advance(&mut self.clocks[i], now, rng);
+        }
+        self.clocks[i].read(now)
+    }
+
+    /// Largest |local − true| across the fleet at `now` (µs), without
+    /// advancing discipline (an audit, not a read).
+    pub fn max_abs_offset_us(&self, now: SimTime) -> f64 {
+        self.clocks
+            .iter()
+            .map(|c| c.offset_at(now).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_clock_reads_true_time() {
+        let c = PerfectClock;
+        let t = SimTime::from_secs(42);
+        assert_eq!(c.read(t), t);
+        assert_eq!(c.offset_micros(t), 0);
+    }
+
+    #[test]
+    fn skewed_clock_applies_offset() {
+        let c = SkewedClock::new(5_000.0, 0.0);
+        assert_eq!(c.read(SimTime::from_secs(1)), SimTime(1_005_000));
+        assert_eq!(c.offset_micros(SimTime::from_secs(1)), 5_000);
+    }
+
+    #[test]
+    fn skewed_clock_drifts_linearly() {
+        // 100 ppm => 100 µs per second.
+        let c = SkewedClock::new(0.0, 100.0);
+        assert_eq!(c.read(SimTime::from_secs(10)), SimTime(10_001_000));
+        assert!((c.offset_at(SimTime::from_secs(10)) - 1_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_offset_saturates_at_zero() {
+        let c = SkewedClock::new(-5_000_000.0, 0.0);
+        assert_eq!(c.read(SimTime::from_secs(1)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn slew_reanchors_drift_epoch() {
+        let mut c = SkewedClock::new(1_000.0, 50.0);
+        let t = SimTime::from_secs(20);
+        let off = c.offset_at(t);
+        c.slew(t, off); // perfect correction
+        assert!(c.offset_at(t).abs() < 1e-9);
+        // Drift resumes from the new epoch.
+        let later = t + SimDuration::from_secs(10);
+        assert!((c.offset_at(later) - 50.0 * 1e-6 * 10_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ntp_keeps_offset_bounded() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = NtpConfig::default();
+        let mut clock = SkewedClock::new(500_000.0, 200.0); // 0.5 s off, bad drift
+        let mut ntp = NtpDiscipline::new(cfg, SimTime::ZERO);
+        ntp.advance(&mut clock, SimTime::from_secs(600), &mut rng);
+        assert!(ntp.polls() > 30);
+        let bound = ntp.residual_bound_us(200.0);
+        let residual = clock.offset_at(SimTime::from_secs(600)).abs();
+        assert!(
+            residual <= bound + 1.0,
+            "residual {residual}µs exceeds bound {bound}µs"
+        );
+        // And comfortably within the paper's "within seconds" assumption.
+        assert!(residual < 1_000_000.0);
+    }
+
+    #[test]
+    fn fleet_perfect_has_zero_gap() {
+        let fleet = ClockFleet::perfect(8);
+        assert_eq!(fleet.len(), 8);
+        assert!(!fleet.is_empty());
+        assert_eq!(fleet.max_abs_offset_us(SimTime::from_secs(100)), 0.0);
+    }
+
+    #[test]
+    fn fleet_synced_converges_under_paper_bound() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut fleet =
+            ClockFleet::synced(40, 2_000_000.0, 100.0, NtpConfig::default(), &mut rng);
+        // Touch every clock far into the run so discipline catches up.
+        let now = SimTime::from_secs(300);
+        for i in 0..fleet.len() {
+            let _ = fleet.read(NodeId(i as u32), now, &mut rng);
+        }
+        let worst = fleet.max_abs_offset_us(now);
+        // Paper §4.4.1: gap "within seconds ... small enough to neglect".
+        assert!(worst < 1_000_000.0, "worst residual {worst}µs");
+    }
+
+    #[test]
+    fn fleet_read_monotone_between_polls() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut fleet = ClockFleet::synced(2, 1_000.0, 10.0, NtpConfig::default(), &mut rng);
+        let a = fleet.read(NodeId(0), SimTime::from_secs(1), &mut rng);
+        let b = fleet.read(NodeId(0), SimTime::from_secs(2), &mut rng);
+        assert!(b > a);
+    }
+
+    proptest! {
+        #[test]
+        fn skew_model_is_affine(off in -1e6f64..1e6, drift in -500f64..500.0,
+                                t1 in 0u64..100_000_000, dt in 1u64..100_000_000) {
+            let c = SkewedClock::new(off, drift);
+            let o1 = c.offset_at(SimTime(t1));
+            let o2 = c.offset_at(SimTime(t1 + dt));
+            let expected_slope = drift * 1e-6 * dt as f64;
+            prop_assert!((o2 - o1 - expected_slope).abs() < 1e-6);
+        }
+
+        #[test]
+        fn discipline_residual_within_bound(seed in 0u64..64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cfg = NtpConfig { poll_interval: SimDuration::from_secs(8), jitter_us: 10_000.0 };
+            let mut clock = SkewedClock::new(
+                rand::Rng::gen_range(&mut rng, -1e6..1e6),
+                rand::Rng::gen_range(&mut rng, -100.0..100.0));
+            let drift = clock.drift_ppm();
+            let mut ntp = NtpDiscipline::new(cfg, SimTime::ZERO);
+            ntp.advance(&mut clock, SimTime::from_secs(400), &mut rng);
+            let bound = ntp.residual_bound_us(drift);
+            prop_assert!(clock.offset_at(SimTime::from_secs(400)).abs() <= bound + 1.0);
+        }
+    }
+}

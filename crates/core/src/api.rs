@@ -1,0 +1,170 @@
+//! The developer API of Table 1 (§4.7).
+//!
+//! IDEA exposes two interfaces (Figure 6): one to application *developers* —
+//! this module — and one to *end users* (satisfaction feedback, resolution
+//! demands), which lives on [`crate::protocol::IdeaNode`] directly
+//! (`user_dissatisfied`, `demand_active_resolution`).
+//!
+//! | Paper function | Method here |
+//! |---|---|
+//! | `set_consistency_metric(a, b, c)` | [`DeveloperApi::set_consistency_metric`] |
+//! | `set_weight(a, b, c)` | [`DeveloperApi::set_weight`] |
+//! | `set_resolution(r)` | [`DeveloperApi::set_resolution`] |
+//! | `set_hint(h)` | [`DeveloperApi::set_hint`] |
+//! | `demand_active_resolution()` | on `IdeaNode` (needs a live [`idea_net::Context`]) |
+//! | `set_background_freq(f)` | [`DeveloperApi::set_background_freq`] |
+
+use crate::protocol::IdeaNode;
+use crate::quantify::{MaxBounds, Weights};
+use crate::resolution::ResolutionPolicy;
+use idea_types::{IdeaError, Result, SimDuration};
+
+/// The Table-1 configuration surface.
+pub trait DeveloperApi {
+    /// Casts the application onto IDEA's consistency metric: defines what
+    /// one unit of numerical/order error means by fixing the saturation
+    /// maxima (`a` = numerical max, `b` = order max, `c` = staleness max).
+    fn set_consistency_metric(&mut self, a: f64, b: f64, c: SimDuration) -> Result<()>;
+
+    /// Sets the Formula-1 weights. A metric is disabled by weight 0 (the
+    /// paper's `weight<0.4, 0, 0.6>` example).
+    fn set_weight(&mut self, a: f64, b: f64, c: f64) -> Result<()>;
+
+    /// Selects the resolution strategy by its integer code
+    /// (1 = invalidate both, 2 = user-ID based, 3 = priority based).
+    fn set_resolution(&mut self, r: u8) -> Result<()>;
+
+    /// Sets the hint level in `[0, 1]`. `0` marks the system as not
+    /// hint-based; `1` means the user tolerates no inconsistency.
+    fn set_hint(&mut self, h: f64) -> Result<()>;
+
+    /// Sets the background-resolution frequency (as a period); `None`
+    /// disables background resolution.
+    fn set_background_freq(&mut self, period: Option<SimDuration>) -> Result<()>;
+}
+
+impl DeveloperApi for IdeaNode {
+    fn set_consistency_metric(&mut self, a: f64, b: f64, c: SimDuration) -> Result<()> {
+        if a <= 0.0 || b <= 0.0 || c.is_zero() {
+            return Err(IdeaError::InvalidParameter(
+                "consistency metric maxima must be positive",
+            ));
+        }
+        self.quantifier_mut().set_bounds(MaxBounds::new(a, b, c));
+        Ok(())
+    }
+
+    fn set_weight(&mut self, a: f64, b: f64, c: f64) -> Result<()> {
+        if a < 0.0 || b < 0.0 || c < 0.0 || a + b + c <= 0.0 {
+            return Err(IdeaError::InvalidParameter(
+                "weights must be non-negative with a positive sum",
+            ));
+        }
+        self.quantifier_mut().set_weights(Weights::new(a, b, c));
+        Ok(())
+    }
+
+    fn set_resolution(&mut self, r: u8) -> Result<()> {
+        match ResolutionPolicy::from_code(r) {
+            Some(p) => {
+                self.set_policy(p);
+                Ok(())
+            }
+            None => Err(IdeaError::InvalidParameter("unknown resolution policy code")),
+        }
+    }
+
+    fn set_hint(&mut self, h: f64) -> Result<()> {
+        if !(0.0..=1.0).contains(&h) {
+            return Err(IdeaError::InvalidParameter("hint must be within [0, 1]"));
+        }
+        self.hint_mut().set_hint(h);
+        Ok(())
+    }
+
+    fn set_background_freq(&mut self, period: Option<SimDuration>) -> Result<()> {
+        if let Some(p) = period {
+            if p.is_zero() {
+                return Err(IdeaError::InvalidParameter(
+                    "background period must be positive",
+                ));
+            }
+        }
+        self.set_background_period(period);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IdeaConfig;
+    use idea_types::{NodeId, ObjectId};
+
+    fn node() -> IdeaNode {
+        IdeaNode::new(NodeId(0), IdeaConfig::default(), &[ObjectId(1)])
+    }
+
+    #[test]
+    fn set_consistency_metric_updates_bounds() {
+        let mut n = node();
+        n.set_consistency_metric(5.0, 6.0, SimDuration::from_secs(7)).unwrap();
+        let b = n.quantifier().bounds();
+        assert_eq!(b.numerical, 5.0);
+        assert_eq!(b.order, 6.0);
+        assert_eq!(b.staleness, SimDuration::from_secs(7));
+    }
+
+    #[test]
+    fn set_consistency_metric_rejects_bad_domain() {
+        let mut n = node();
+        assert!(n.set_consistency_metric(0.0, 1.0, SimDuration::from_secs(1)).is_err());
+        assert!(n.set_consistency_metric(1.0, 1.0, SimDuration::ZERO).is_err());
+    }
+
+    #[test]
+    fn set_weight_normalises() {
+        let mut n = node();
+        n.set_weight(0.4, 0.0, 0.6).unwrap();
+        let w = n.quantifier().weights();
+        assert!((w.numerical - 0.4).abs() < 1e-12);
+        assert_eq!(w.order, 0.0);
+        assert!(n.set_weight(-1.0, 1.0, 1.0).is_err());
+        assert!(n.set_weight(0.0, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn set_resolution_accepts_paper_codes() {
+        let mut n = node();
+        n.set_resolution(1).unwrap();
+        assert_eq!(n.config().policy, ResolutionPolicy::InvalidateBoth);
+        n.set_resolution(2).unwrap();
+        assert_eq!(n.config().policy, ResolutionPolicy::HighestIdWins);
+        n.set_resolution(3).unwrap();
+        assert_eq!(n.config().policy, ResolutionPolicy::PriorityWins);
+        assert!(n.set_resolution(0).is_err());
+        assert!(n.set_resolution(4).is_err());
+    }
+
+    #[test]
+    fn set_hint_domain() {
+        let mut n = node();
+        n.set_hint(0.85).unwrap();
+        assert!((n.hint().floor().value() - 0.85).abs() < 1e-12);
+        n.set_hint(0.0).unwrap(); // not hint-based
+        assert!(!n.hint().enabled());
+        n.set_hint(1.0).unwrap(); // zero tolerance
+        assert!(n.set_hint(1.1).is_err());
+        assert!(n.set_hint(-0.1).is_err());
+    }
+
+    #[test]
+    fn set_background_freq_round_trips() {
+        let mut n = node();
+        n.set_background_freq(Some(SimDuration::from_secs(20))).unwrap();
+        assert_eq!(n.config().background_period, Some(SimDuration::from_secs(20)));
+        n.set_background_freq(None).unwrap();
+        assert_eq!(n.config().background_period, None);
+        assert!(n.set_background_freq(Some(SimDuration::ZERO)).is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! IDEA middleware configuration.
+
+use crate::quantify::{MaxBounds, Weights};
+use crate::resolution::ResolutionPolicy;
+use idea_overlay::{GossipConfig, TopLayerConfig};
+use idea_types::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// When does a *read* trigger the IDEA protocol (§4.2)?
+///
+/// "For read operations, IDEA is triggered when a reader tries to retrieve a
+/// new file … For other reads, IDEA is triggered according to the context:
+/// if the file is locally updated frequently, the read will not trigger
+/// IDEA; if the file hasn't been locally updated for a long time … IDEA can
+/// be triggered."
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadPolicy {
+    /// Trigger detection on the first read of an object this node has never
+    /// examined before ("a new snapshot").
+    pub fresh_read_triggers: bool,
+    /// Trigger detection when the replica's newest local update is older
+    /// than this (the "hasn't been locally updated for a long time" case).
+    pub stale_after: SimDuration,
+}
+
+impl Default for ReadPolicy {
+    fn default() -> Self {
+        ReadPolicy {
+            fresh_read_triggers: true,
+            stale_after: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// Full configuration of one IDEA node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdeaConfig {
+    /// Formula-1 weights (the `set_weight` API).
+    pub weights: Weights,
+    /// Formula-1 saturation bounds (the `set_consistency_metric` API).
+    pub bounds: MaxBounds,
+    /// Conflict resolution policy (the `set_resolution` API).
+    pub policy: ResolutionPolicy,
+    /// Hint level in `[0, 1]`; `0.0` disables hint-based control
+    /// (the `set_hint` API: "by setting this value to 0, the administrator
+    /// indicates that this is not a hint-based system").
+    pub hint: f64,
+    /// How much a user dissatisfaction event raises the learned floor
+    /// (the paper's `Δ`: the new desired level becomes `L1 + Δ`).
+    pub hint_delta: f64,
+    /// Background resolution period (the `set_background_freq` API); `None`
+    /// disables background resolution on this node.
+    pub background_period: Option<SimDuration>,
+    /// Deadline for a detection round before it completes with whoever
+    /// answered (covers WAN RTT plus slack).
+    pub detect_deadline: SimDuration,
+    /// Per-message dispatch cost charged to the initiator when fanning out
+    /// call-for-attention / inform messages. Models the paper's measured
+    /// 0.468 ms phase-1 cost (≈0.156 ms per member at top-layer size 4).
+    pub dispatch_cost: SimDuration,
+    /// Back-off window for contended active resolution: retry after a
+    /// uniform delay in `[backoff_min, backoff_max]` (§4.5.2).
+    pub backoff_min: SimDuration,
+    /// Upper edge of the back-off window.
+    pub backoff_max: SimDuration,
+    /// How long a granted call-for-attention lock is honoured before it is
+    /// considered stale (initiator crashed mid-resolution).
+    pub attention_lease: SimDuration,
+    /// Read-trigger policy (§4.2).
+    pub read_policy: ReadPolicy,
+    /// Top-layer membership parameters (§4.1).
+    pub top_layer: TopLayerConfig,
+    /// Bottom-layer gossip parameters (§4.3).
+    pub gossip: GossipConfig,
+    /// Start a bottom-layer sweep every `n`-th detection round; `None`
+    /// disables sweeping. The paper's evaluation disables rollback (§6),
+    /// so the default is `None`; the rollback ablation turns it on.
+    pub sweep_every: Option<u64>,
+    /// Sweep collection deadline (bounds rollback exposure, §4.4.2).
+    pub sweep_deadline: SimDuration,
+    /// "Sufficiently close" tolerance between top- and bottom-layer levels
+    /// (paper example: 78 % vs 80 % stays silent).
+    pub sweep_epsilon: f64,
+    /// After a confirmed discrepancy, trigger an active resolution.
+    pub rollback_resolve: bool,
+    /// Resolve in phase 2 sequentially (the paper's design) or in parallel
+    /// (the paper's suggested optimisation; exercised by ablation A3).
+    pub parallel_phase2: bool,
+}
+
+impl Default for IdeaConfig {
+    fn default() -> Self {
+        IdeaConfig {
+            weights: Weights::default(),
+            bounds: MaxBounds::default(),
+            policy: ResolutionPolicy::HighestIdWins,
+            hint: 0.0,
+            hint_delta: 0.02,
+            background_period: None,
+            detect_deadline: SimDuration::from_millis(400),
+            dispatch_cost: SimDuration::from_micros(156),
+            backoff_min: SimDuration::from_millis(50),
+            backoff_max: SimDuration::from_millis(400),
+            attention_lease: SimDuration::from_secs(5),
+            read_policy: ReadPolicy::default(),
+            top_layer: TopLayerConfig::default(),
+            gossip: GossipConfig::default(),
+            sweep_every: None,
+            sweep_deadline: SimDuration::from_secs(5),
+            sweep_epsilon: 0.03,
+            rollback_resolve: true,
+            parallel_phase2: false,
+        }
+    }
+}
+
+impl IdeaConfig {
+    /// Preset for the paper's hint-based white-board experiments (§6.1):
+    /// hint-driven active resolution, no background rounds, no sweeps.
+    pub fn whiteboard(hint: f64) -> Self {
+        IdeaConfig {
+            hint,
+            policy: ResolutionPolicy::HighestIdWins,
+            background_period: None,
+            ..Default::default()
+        }
+    }
+
+    /// Preset for the paper's automatic booking experiments (§6.3):
+    /// background resolution at `period`, no hints.
+    pub fn booking(period: SimDuration) -> Self {
+        IdeaConfig {
+            hint: 0.0,
+            policy: ResolutionPolicy::HighestIdWins,
+            background_period: Some(period),
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = IdeaConfig::default();
+        assert_eq!(c.hint, 0.0, "hint-based control disabled by default");
+        assert!(c.background_period.is_none());
+        assert!(c.sweep_every.is_none(), "paper's evaluation runs without rollback");
+        assert!(c.backoff_min <= c.backoff_max);
+    }
+
+    #[test]
+    fn whiteboard_preset_sets_hint() {
+        let c = IdeaConfig::whiteboard(0.95);
+        assert_eq!(c.hint, 0.95);
+        assert!(c.background_period.is_none());
+    }
+
+    #[test]
+    fn booking_preset_sets_period() {
+        let c = IdeaConfig::booking(SimDuration::from_secs(20));
+        assert_eq!(c.background_period, Some(SimDuration::from_secs(20)));
+        assert_eq!(c.hint, 0.0);
+    }
+
+    #[test]
+    fn dispatch_cost_matches_table2_phase1() {
+        // 3 members × 0.156 ms ≈ the paper's 0.468 ms phase-1 delay.
+        let c = IdeaConfig::default();
+        let phase1 = c.dispatch_cost.saturating_mul(3);
+        assert!((phase1.as_millis_f64() - 0.468).abs() < 0.01);
+    }
+}

@@ -1,0 +1,234 @@
+//! Wire messages of the IDEA protocol.
+//!
+//! One enum covers all sub-protocols so a single [`idea_net::Proto`] node
+//! can run them together; [`idea_net::Wire`] classifies each variant for the
+//! per-class accounting Table 3 relies on.
+
+use crate::resolution::ReferenceState;
+use idea_net::{MsgClass, Wire};
+use idea_overlay::gossip::RumorId;
+use idea_types::{ObjectId, Update};
+use idea_vv::{ExtendedVersionVector, VersionVector};
+use serde::{Deserialize, Serialize};
+
+/// All messages exchanged by [`crate::protocol::IdeaNode`]s.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum IdeaMsg {
+    // ---- detection (§4.3) ----
+    /// Initiator → top-layer peer: "here is my vector, send me yours".
+    DetectRequest {
+        /// Round correlation id (initiator-local).
+        round: u64,
+        /// Object being checked.
+        object: ObjectId,
+        /// The initiator's extended version vector.
+        evv: ExtendedVersionVector,
+    },
+    /// Peer → initiator: the peer's vector.
+    DetectReply {
+        /// Echoed round id.
+        round: u64,
+        /// Object being checked.
+        object: ObjectId,
+        /// The peer's extended version vector.
+        evv: ExtendedVersionVector,
+    },
+
+    // ---- active resolution, phase 1 (§4.5.2) ----
+    /// Initiator → members, in parallel: call for attention.
+    CallForAttention {
+        /// Resolution correlation id.
+        rid: u64,
+        /// Object being resolved.
+        object: ObjectId,
+    },
+    /// Member → initiator: positive or negative acknowledgement.
+    Attention {
+        /// Echoed resolution id.
+        rid: u64,
+        /// Object being resolved.
+        object: ObjectId,
+        /// `true` when the member granted attention; `false` when another
+        /// initiator already holds it (the caller must back off).
+        granted: bool,
+    },
+
+    // ---- resolution phase 2 (shared by active and background) ----
+    /// Initiator → one member: send me your version information.
+    CollectRequest {
+        /// Resolution id.
+        rid: u64,
+        /// Object being resolved.
+        object: ObjectId,
+    },
+    /// Member → initiator: the member's vector.
+    CollectReply {
+        /// Echoed resolution id.
+        rid: u64,
+        /// Object being resolved.
+        object: ObjectId,
+        /// The member's extended version vector.
+        evv: ExtendedVersionVector,
+    },
+    /// Initiator → members: the chosen reference consistent state.
+    Inform {
+        /// Resolution id.
+        rid: u64,
+        /// Object being resolved.
+        object: ObjectId,
+        /// Winner + sanctioned counts.
+        reference: ReferenceState,
+    },
+
+    // ---- update transfer ----
+    /// Member → reference holder: ship me what I miss.
+    FetchRequest {
+        /// Object to fetch.
+        object: ObjectId,
+        /// The requester's current counters.
+        have: VersionVector,
+    },
+    /// Reference holder → member: the missing updates (batched).
+    FetchReply {
+        /// Object fetched.
+        object: ObjectId,
+        /// Updates the requester was missing.
+        updates: Vec<Update>,
+    },
+
+    // ---- bottom-layer sweep (§4.4.2) ----
+    /// TTL-bounded gossip rumor probing the bottom layer.
+    SweepRumor {
+        /// Gossip rumor identity (origin + sequence).
+        id: RumorId,
+        /// Remaining hop budget.
+        ttl: u8,
+        /// Object being swept.
+        object: ObjectId,
+        /// The origin's counters; receivers holding more reply directly.
+        counters: VersionVector,
+    },
+    /// Bottom node → sweep origin: "I hold updates you have not seen".
+    SweepDivergence {
+        /// Object swept.
+        object: ObjectId,
+        /// Echo of the sweep's rumor sequence, so the origin can route the
+        /// reply to the right collector.
+        sweep: u64,
+        /// The diverging node's full vector.
+        evv: ExtendedVersionVector,
+    },
+}
+
+impl Wire for IdeaMsg {
+    fn class(&self) -> MsgClass {
+        match self {
+            IdeaMsg::DetectRequest { .. } | IdeaMsg::DetectReply { .. } => MsgClass::Detect,
+            IdeaMsg::CallForAttention { .. }
+            | IdeaMsg::Attention { .. }
+            | IdeaMsg::CollectRequest { .. }
+            | IdeaMsg::CollectReply { .. }
+            | IdeaMsg::Inform { .. }
+            | IdeaMsg::FetchRequest { .. } => MsgClass::ResolutionCtl,
+            IdeaMsg::FetchReply { .. } => MsgClass::Transfer,
+            IdeaMsg::SweepRumor { .. } | IdeaMsg::SweepDivergence { .. } => MsgClass::Gossip,
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match self {
+            IdeaMsg::DetectRequest { evv, .. }
+            | IdeaMsg::DetectReply { evv, .. }
+            | IdeaMsg::CollectReply { evv, .. }
+            | IdeaMsg::SweepDivergence { evv, .. } => 24 + evv_size(evv),
+            IdeaMsg::CallForAttention { .. }
+            | IdeaMsg::Attention { .. }
+            | IdeaMsg::CollectRequest { .. } => 24,
+            IdeaMsg::Inform { reference, .. } => 32 + 12 * reference.counts.writers(),
+            IdeaMsg::FetchRequest { have, .. } => 24 + 12 * have.writers(),
+            IdeaMsg::FetchReply { updates, .. } => {
+                24 + updates.iter().map(|u| u.wire_size()).sum::<usize>()
+            }
+            IdeaMsg::SweepRumor { counters, .. } => 32 + 12 * counters.writers(),
+        }
+    }
+}
+
+/// Approximate serialized size of an extended version vector: per writer a
+/// id+count header plus one timestamp per recorded update.
+fn evv_size(evv: &ExtendedVersionVector) -> usize {
+    let writers = evv.counters().writers();
+    16 + 12 * writers + 8 * evv.total() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idea_types::{SimTime, WriterId};
+
+    fn sample_evv() -> ExtendedVersionVector {
+        let mut v = ExtendedVersionVector::new();
+        v.record(WriterId(0), 1, SimTime::from_secs(1), 5);
+        v.record(WriterId(1), 1, SimTime::from_secs(2), 3);
+        v
+    }
+
+    #[test]
+    fn classes_match_protocol_roles() {
+        let evv = sample_evv();
+        assert_eq!(
+            IdeaMsg::DetectRequest { round: 1, object: ObjectId(0), evv: evv.clone() }.class(),
+            MsgClass::Detect
+        );
+        assert_eq!(
+            IdeaMsg::CallForAttention { rid: 1, object: ObjectId(0) }.class(),
+            MsgClass::ResolutionCtl
+        );
+        assert_eq!(
+            IdeaMsg::FetchReply { object: ObjectId(0), updates: vec![] }.class(),
+            MsgClass::Transfer
+        );
+        assert_eq!(
+            IdeaMsg::SweepDivergence { object: ObjectId(0), sweep: 0, evv }.class(),
+            MsgClass::Gossip
+        );
+    }
+
+    #[test]
+    fn sizes_scale_with_content() {
+        let small = IdeaMsg::DetectRequest {
+            round: 1,
+            object: ObjectId(0),
+            evv: ExtendedVersionVector::new(),
+        };
+        let big = IdeaMsg::DetectRequest { round: 1, object: ObjectId(0), evv: sample_evv() };
+        assert!(big.wire_size() > small.wire_size());
+
+        let empty_fetch = IdeaMsg::FetchReply { object: ObjectId(0), updates: vec![] };
+        let full_fetch = IdeaMsg::FetchReply {
+            object: ObjectId(0),
+            updates: vec![idea_types::Update::opaque(
+                ObjectId(0),
+                WriterId(0),
+                1,
+                SimTime::ZERO,
+                1,
+            )],
+        };
+        assert!(full_fetch.wire_size() > empty_fetch.wire_size());
+    }
+
+    #[test]
+    fn control_messages_stay_small() {
+        // Table 3's bandwidth argument rests on control packets ≤ ~1 KB.
+        let cfa = IdeaMsg::CallForAttention { rid: 1, object: ObjectId(0) };
+        assert!(cfa.wire_size() <= 1024);
+        let rumor = IdeaMsg::SweepRumor {
+            id: RumorId { origin: idea_types::NodeId(0), seq: 0 },
+            ttl: 4,
+            object: ObjectId(0),
+            counters: sample_evv().counters(),
+        };
+        assert!(rumor.wire_size() <= 1024);
+    }
+}

@@ -1,0 +1,1364 @@
+//! The IDEA node: one state machine wiring detection, quantification,
+//! resolution and adaptation together (Figure 3 of the paper).
+//!
+//! Triggers (§4.2): every local **write** starts a top-layer detection
+//! round; **reads** start one per the [`crate::config::ReadPolicy`]; the
+//! adaptive layer starts **active resolution** when the quantified level
+//! falls below the learned floor; a timer starts **background resolution**
+//! periodically; every `sweep_every`-th detection round launches a
+//! TTL-bounded **bottom-layer sweep** whose verdict can demand a rollback.
+//!
+//! ## Conventions
+//!
+//! * Writer homes: writer `w` lives on node `w` (the experiments' layout;
+//!   [`IdeaNode::home`] centralises the mapping).
+//! * Sequence reuse: when resolution invalidates a writer's updates, the
+//!   writer's sequence counter resumes from the last *sanctioned* number, so
+//!   counters stay dense. Stale copies of invalidated updates are
+//!   superseded by identity — the same trade the paper's version-vector
+//!   scheme makes implicitly.
+//! * Correlation ids (`round`, `rid`) are initiator-local; members key
+//!   their state by `(initiator, id)`.
+
+use crate::adapt::{AdaptAction, HintController};
+use crate::config::IdeaConfig;
+use crate::messages::IdeaMsg;
+use crate::quantify::{Quantifier, Weights};
+use crate::resolution::{
+    choose_reference, ReferenceState, ResolutionKind, ResolutionPolicy, ResolutionRecord,
+};
+use idea_detect::bottom::{BottomReport, SweepCollector};
+use idea_detect::round::DetectRound;
+use idea_net::{Context, Proto, TimerId};
+use idea_overlay::gossip::{GossipRouter, Relay, RumorId};
+use idea_overlay::temperature::TwoLayer;
+use idea_store::NodeStore;
+use idea_store::Snapshot;
+use idea_types::{
+    ConsistencyLevel, NodeId, ObjectId, Result, SimTime, Update, UpdatePayload, WriterId,
+};
+use idea_vv::VersionVector;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+// Timer kinds (packed with a 48-bit payload).
+const K_DETECT: u64 = 1;
+const K_BACKGROUND: u64 = 2;
+const K_BACKOFF: u64 = 3;
+const K_SWEEP: u64 = 4;
+
+fn pack(base: u64, low: u64) -> u64 {
+    (base << 48) | (low & 0xffff_ffff_ffff)
+}
+
+fn unpack(kind: u64) -> (u64, u64) {
+    (kind >> 48, kind & 0xffff_ffff_ffff)
+}
+
+/// Resolution state machine of one object at one node.
+#[derive(Debug)]
+enum ResState {
+    Idle,
+    /// Waiting for call-for-attention acknowledgements (§4.5.2 phase 1).
+    Phase1 {
+        rid: u64,
+        awaiting: Vec<NodeId>,
+        started: SimTime,
+        dispatch: idea_types::SimDuration,
+    },
+    /// Collecting version vectors (phase 2), then informing.
+    Phase2 {
+        rid: u64,
+        kind: ResolutionKind,
+        members: Vec<NodeId>,
+        collected: Vec<(NodeId, idea_vv::ExtendedVersionVector)>,
+        next: usize,
+        started: SimTime,
+        phase2_started: SimTime,
+        phase1_dispatch: idea_types::SimDuration,
+        phase1_acked: idea_types::SimDuration,
+    },
+    /// Lost the call-for-attention race; retrying after a random delay.
+    /// The abandoned round id is kept for debugging/log output.
+    BackOff { #[allow(dead_code)] rid: u64 },
+}
+
+/// Per-object protocol state.
+struct ObjState {
+    layer: TwoLayer,
+    gossip: GossipRouter,
+    known_counts: VersionVector,
+    detect: Option<DetectRound>,
+    detect_timer: Option<TimerId>,
+    detect_rounds: u64,
+    level: ConsistencyLevel,
+    res: ResState,
+    sweeps: HashMap<u64, SweepCollector>,
+    /// Attention granted to `(initiator, rid, at)` — the phase-1 lock.
+    attention: Option<(NodeId, u64, SimTime)>,
+    has_read: bool,
+    /// Bootstrap announces sent so far (bounded; see `local_write`).
+    announces: u64,
+}
+
+/// Snapshot of one node's IDEA state for the harness and tests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// The reporting node.
+    pub node: NodeId,
+    /// Its current consistency-level estimate for the object.
+    pub level: ConsistencyLevel,
+    /// The hint floor currently in force (0 when disabled).
+    pub hint_floor: ConsistencyLevel,
+    /// Resolution rounds this node initiated to completion.
+    pub resolutions_initiated: u64,
+    /// Rollback events (bottom-layer discrepancies confirmed).
+    pub rollbacks: u64,
+    /// The node's view of the top-layer membership.
+    pub top_members: Vec<NodeId>,
+    /// Replica metadata value.
+    pub meta: i64,
+    /// Updates applied at the replica.
+    pub updates: usize,
+}
+
+/// The IDEA middleware node.
+pub struct IdeaNode {
+    me: NodeId,
+    cfg: IdeaConfig,
+    quant: Quantifier,
+    store: NodeStore,
+    objs: BTreeMap<ObjectId, ObjState>,
+    hint: HintController,
+    priorities: BTreeMap<NodeId, u8>,
+    next_id: u64,
+    /// round id → object, for detect-deadline timers.
+    round_objects: HashMap<u64, ObjectId>,
+    res_log: Vec<ResolutionRecord>,
+    resolutions: u64,
+    rollbacks: u64,
+}
+
+impl IdeaNode {
+    /// Builds a node hosting `objects`, writing as writer `me.0`.
+    pub fn new(me: NodeId, cfg: IdeaConfig, objects: &[ObjectId]) -> Self {
+        let mut store = NodeStore::new(me, WriterId(me.0));
+        let mut objs = BTreeMap::new();
+        for &o in objects {
+            store.open(o);
+            objs.insert(
+                o,
+                ObjState {
+                    layer: TwoLayer::new(o, cfg.top_layer),
+                    gossip: GossipRouter::new(me, cfg.gossip),
+                    known_counts: VersionVector::new(),
+                    detect: None,
+                    detect_timer: None,
+                    detect_rounds: 0,
+                    level: ConsistencyLevel::PERFECT,
+                    res: ResState::Idle,
+                    sweeps: HashMap::new(),
+                    attention: None,
+                    has_read: false,
+                    announces: 0,
+                },
+            );
+        }
+        let hint = HintController::new(cfg.hint, cfg.hint_delta);
+        IdeaNode {
+            me,
+            quant: Quantifier::new(cfg.weights, cfg.bounds),
+            cfg,
+            store,
+            objs,
+            hint,
+            priorities: BTreeMap::new(),
+            next_id: 0,
+            round_objects: HashMap::new(),
+            res_log: Vec::new(),
+            resolutions: 0,
+            rollbacks: 0,
+        }
+    }
+
+    /// Node identity.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &IdeaConfig {
+        &self.cfg
+    }
+
+    /// The quantifier in force.
+    pub fn quantifier(&self) -> &Quantifier {
+        &self.quant
+    }
+
+    /// Mutable quantifier access (Table-1 setters go through
+    /// [`crate::api::DeveloperApi`]).
+    pub fn quantifier_mut(&mut self) -> &mut Quantifier {
+        &mut self.quant
+    }
+
+    /// The hint controller.
+    pub fn hint(&self) -> &HintController {
+        &self.hint
+    }
+
+    /// Mutable hint-controller access.
+    pub fn hint_mut(&mut self) -> &mut HintController {
+        &mut self.hint
+    }
+
+    /// Sets the resolution policy (the `set_resolution` API).
+    pub fn set_policy(&mut self, policy: ResolutionPolicy) {
+        self.cfg.policy = policy;
+    }
+
+    /// Sets or clears the background-resolution period
+    /// (the `set_background_freq` API). Takes effect at the next timer fire.
+    pub fn set_background_period(&mut self, period: Option<idea_types::SimDuration>) {
+        self.cfg.background_period = period;
+    }
+
+    /// Assigns a priority rank to a node (for
+    /// [`ResolutionPolicy::PriorityWins`]).
+    pub fn set_priority(&mut self, node: NodeId, priority: u8) {
+        self.priorities.insert(node, priority);
+    }
+
+    /// Completed resolution records (Table 2 / Figure 9 raw data).
+    pub fn resolution_log(&self) -> &[ResolutionRecord] {
+        &self.res_log
+    }
+
+    /// The underlying store (read access for the harness).
+    pub fn store(&self) -> &NodeStore {
+        &self.store
+    }
+
+    /// This node's current consistency-level estimate for `object`.
+    pub fn level(&self, object: ObjectId) -> ConsistencyLevel {
+        self.objs.get(&object).map_or(ConsistencyLevel::PERFECT, |s| s.level)
+    }
+
+    /// True while a resolution round involves this node as initiator (or it
+    /// is backing off from one). The booking application treats this as the
+    /// "system is kind of locked" window of §5.2.
+    pub fn is_resolving(&self, object: ObjectId) -> bool {
+        self.objs
+            .get(&object)
+            .map_or(false, |s| !matches!(s.res, ResState::Idle))
+    }
+
+    /// Full report for the harness.
+    pub fn report(&self, object: ObjectId) -> NodeReport {
+        let st = self.objs.get(&object);
+        let replica = self.store.replica(object).ok();
+        NodeReport {
+            node: self.me,
+            level: st.map_or(ConsistencyLevel::PERFECT, |s| s.level),
+            hint_floor: self.hint.floor(),
+            resolutions_initiated: self.resolutions,
+            rollbacks: self.rollbacks,
+            top_members: st.map_or_else(Vec::new, |s| s.layer.top_members().to_vec()),
+            meta: replica.map_or(0, |r| r.meta()),
+            updates: replica.map_or(0, |r| r.len()),
+        }
+    }
+
+    /// Writer `w` lives on node `w` (experiment convention; see module docs).
+    fn home(writer: WriterId) -> NodeId {
+        NodeId(writer.0)
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    // ---------------------------------------------------------------- write
+
+    /// Issues a local write and triggers the protocol (§4.2: "The write
+    /// operation … triggers the IDEA protocol because it … will surely cause
+    /// inconsistency among replicas").
+    pub fn local_write(
+        &mut self,
+        object: ObjectId,
+        meta_delta: i64,
+        payload: UpdatePayload,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) -> Update {
+        let now = ctx.now();
+        let update = self.store.write(object, now, meta_delta, payload);
+        let st = self.objs.get_mut(&object).expect("object opened at construction");
+        st.layer.observe_update(self.me, now);
+        // Bootstrap: a handful of gossip announces per writer lets the
+        // overlay discover hot writers transitively (RanSub's role in §4.1).
+        // Bounded so steady-state traffic is detection-only.
+        let needs_announce = st.announces < 3
+            || !st.layer.is_top(self.me)
+            || st.layer.top_peers(self.me).is_empty();
+        if needs_announce {
+            st.announces += 1;
+            self.announce(object, ctx);
+        }
+        self.start_detect_round(object, ctx);
+        update
+    }
+
+    /// Reads the object, triggering detection per the read policy (§4.2).
+    pub fn read(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) -> Result<Snapshot> {
+        let snapshot = self.store.read(object)?;
+        let policy = self.cfg.read_policy;
+        let st = self.objs.get_mut(&object).expect("object opened at construction");
+        let fresh = !st.has_read;
+        st.has_read = true;
+        let stale = snapshot
+            .latest_update
+            .map(|t| ctx.now().saturating_since(t) > policy.stale_after)
+            .unwrap_or(false);
+        if (fresh && policy.fresh_read_triggers) || stale {
+            self.start_detect_round(object, ctx);
+        }
+        Ok(snapshot)
+    }
+
+    // ------------------------------------------------------------ detection
+
+    fn start_detect_round(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) {
+        let evv = match self.store.replica(object) {
+            Ok(r) => r.version().clone(),
+            Err(_) => return,
+        };
+        let st = self.objs.get_mut(&object).expect("object opened");
+        if st.detect.is_some() {
+            return; // one round in flight per object
+        }
+        let peers = st.layer.top_peers(self.me);
+        if peers.is_empty() {
+            return;
+        }
+        let rid = {
+            self.next_id += 1;
+            self.next_id
+        };
+        let st = self.objs.get_mut(&object).expect("object opened");
+        st.detect = Some(DetectRound::start(self.me, rid, &peers, ctx.now()));
+        st.detect_timer = Some(ctx.set_timer(self.cfg.detect_deadline, pack(K_DETECT, rid)));
+        self.round_objects.insert(rid, object);
+        for p in peers {
+            ctx.send(p, IdeaMsg::DetectRequest { round: rid, object, evv: evv.clone() });
+        }
+    }
+
+    fn on_detect_request(
+        &mut self,
+        from: NodeId,
+        round: u64,
+        object: ObjectId,
+        evv: idea_vv::ExtendedVersionVector,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        self.store.open(object);
+        self.ensure_obj(object);
+        let mine = self.store.replica(object).expect("opened").version().clone();
+        // Reply first, then update local estimates.
+        ctx.send(from, IdeaMsg::DetectReply { round, object, evv: mine.clone() });
+        let now = ctx.now();
+        self.note_counters(object, &evv.counters(), now);
+        // Pairwise refresh: my level against the pair's reference (higher
+        // id wins, §4.4.1). Only ever lowers the estimate — a full round or
+        // a resolution raises it.
+        let st = self.objs.get_mut(&object).expect("ensured");
+        let pair_level = if from > self.me {
+            self.quant.level(&mine.triple_against(&evv))
+        } else {
+            self.quant.level(&evv.triple_against(&mine)).max(st.level)
+        };
+        st.level = st.level.min(pair_level);
+        let level = st.level;
+        if self.hint.on_sample(level) == AdaptAction::Resolve {
+            self.start_active_resolution(object, ctx);
+        }
+    }
+
+    fn on_detect_reply(
+        &mut self,
+        from: NodeId,
+        round: u64,
+        object: ObjectId,
+        evv: idea_vv::ExtendedVersionVector,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        let now = ctx.now();
+        self.note_counters(object, &evv.counters(), now);
+        let st = match self.objs.get_mut(&object) {
+            Some(st) => st,
+            None => return,
+        };
+        let complete = match st.detect.as_mut() {
+            Some(r) if r.round_id == round => r.on_reply(from, evv),
+            _ => return,
+        };
+        if complete {
+            self.finish_detect_round(object, ctx);
+        }
+    }
+
+    fn finish_detect_round(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) {
+        let mine = self.store.replica(object).expect("opened").version().clone();
+        let st = self.objs.get_mut(&object).expect("object state");
+        let Some(round) = st.detect.take() else { return };
+        if let Some(t) = st.detect_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        let report = round.complete(&mine, ctx.now());
+        st.detect_rounds += 1;
+        let rounds = st.detect_rounds;
+        let triple = report
+            .triple_of(self.me)
+            .expect("initiator always appears in its own report");
+        st.level = self.quant.level(&triple);
+        let level = st.level;
+        // Bottom-layer double-check every sweep_every-th round (§4.4.2).
+        if let Some(k) = self.cfg.sweep_every {
+            if k > 0 && rounds % k == 0 {
+                self.start_sweep(object, ctx);
+            }
+        }
+        if self.hint.on_sample(level) == AdaptAction::Resolve {
+            self.start_active_resolution(object, ctx);
+        }
+    }
+
+    /// Learns writer activity from any counters that pass by (detection,
+    /// collection, gossip), feeding the temperature overlay.
+    fn note_counters(&mut self, object: ObjectId, counters: &VersionVector, now: SimTime) {
+        let st = self.objs.get_mut(&object).expect("object state");
+        for (writer, count) in counters.iter() {
+            let known = st.known_counts.get(writer);
+            if count > known {
+                let node = Self::home(writer);
+                for _ in known..count {
+                    st.layer.observe_update(node, now);
+                }
+                st.known_counts.observe(writer, count);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ announce
+
+    /// Gossips every writer count this node knows (own plus learned) so the
+    /// overlay discovers hot writers *transitively* — the role RanSub's
+    /// random subsets play in §4.1.
+    fn announce(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) {
+        let mut counters = self.store.replica(object).expect("opened").version().counters();
+        let everyone: Vec<NodeId> = (0..ctx.node_count() as u32).map(NodeId).collect();
+        let st = self.objs.get_mut(&object).expect("object state");
+        counters.merge(&st.known_counts);
+        let (id, ttl, targets) = st.gossip.originate(&everyone, ctx.rng());
+        for t in targets {
+            ctx.send(t, IdeaMsg::SweepRumor { id, ttl, object, counters: counters.clone() });
+        }
+    }
+
+    // ------------------------------------------------------------- sweeps
+
+    fn start_sweep(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) {
+        let counters = self.store.replica(object).expect("opened").version().counters();
+        let everyone: Vec<NodeId> = (0..ctx.node_count() as u32).map(NodeId).collect();
+        let deadline = ctx.now() + self.cfg.sweep_deadline;
+        let epsilon = self.cfg.sweep_epsilon;
+        let st = self.objs.get_mut(&object).expect("object state");
+        let (id, ttl, targets) = st.gossip.originate(&everyone, ctx.rng());
+        st.sweeps.insert(id.seq, SweepCollector::new(st.level, epsilon, deadline));
+        for t in targets {
+            ctx.send(t, IdeaMsg::SweepRumor { id, ttl, object, counters: counters.clone() });
+        }
+        ctx.set_timer(self.cfg.sweep_deadline, pack(K_SWEEP, id.seq));
+        self.round_objects.insert(id.seq, object);
+    }
+
+    fn on_sweep_rumor(
+        &mut self,
+        id: RumorId,
+        ttl: u8,
+        object: ObjectId,
+        counters: VersionVector,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        self.store.open(object);
+        self.ensure_obj(object);
+        let now = ctx.now();
+        self.note_counters(object, &counters, now);
+        let everyone: Vec<NodeId> = (0..ctx.node_count() as u32).map(NodeId).collect();
+        let st = self.objs.get_mut(&object).expect("ensured");
+        match st.gossip.on_receive(id, ttl, &everyone, ctx.rng()) {
+            Relay::Forward { to, ttl } => {
+                for t in to {
+                    ctx.send(
+                        t,
+                        IdeaMsg::SweepRumor { id, ttl, object, counters: counters.clone() },
+                    );
+                }
+            }
+            Relay::Drop => {}
+        }
+        // Divergence: I hold updates the origin has not seen (§4.4.2 — the
+        // bottom layer "can cause inconsistencies too").
+        let mine = self.store.replica(object).expect("opened").version();
+        if counters.missing_from(&mine.counters()) > 0 {
+            ctx.send(
+                id.origin,
+                IdeaMsg::SweepDivergence { object, sweep: id.seq, evv: mine.clone() },
+            );
+        }
+    }
+
+    fn on_sweep_divergence(
+        &mut self,
+        from: NodeId,
+        object: ObjectId,
+        sweep: u64,
+        evv: idea_vv::ExtendedVersionVector,
+        _ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        let mine = match self.store.replica(object) {
+            Ok(r) => r.version().clone(),
+            Err(_) => return,
+        };
+        let st = match self.objs.get_mut(&object) {
+            Some(st) => st,
+            None => return,
+        };
+        if let Some(collector) = st.sweeps.get_mut(&sweep) {
+            let triple = mine.triple_against(&evv);
+            collector.on_divergence(from, evv, triple);
+        }
+    }
+
+    fn on_sweep_deadline(&mut self, seq: u64, ctx: &mut dyn Context<IdeaMsg>) {
+        let Some(object) = self.round_objects.remove(&seq) else { return };
+        let st = self.objs.get_mut(&object).expect("object state");
+        let Some(collector) = st.sweeps.remove(&seq) else { return };
+        let quant = self.quant;
+        let report = collector.finish(|t| quant.level(t));
+        match report {
+            BottomReport::Confirmed { .. } => {}
+            BottomReport::Discrepancy { bottom_level, worst_node, .. } => {
+                // §4.4.2: alert, correct the level, and (configurably)
+                // resolve — pulling the hidden updates in first.
+                self.rollbacks += 1;
+                let st = self.objs.get_mut(&object).expect("object state");
+                st.level = st.level.min(bottom_level);
+                let have = self.store.replica(object).expect("opened").version().counters();
+                ctx.send(worst_node, IdeaMsg::FetchRequest { object, have });
+                if self.cfg.rollback_resolve {
+                    self.start_active_resolution(object, ctx);
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- resolution
+
+    /// Explicit user demand for resolution (the `demand_active_resolution`
+    /// API and the adaptive layer's trigger).
+    pub fn demand_active_resolution(
+        &mut self,
+        object: ObjectId,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        self.start_active_resolution(object, ctx);
+    }
+
+    /// The user told IDEA the current consistency is unacceptable (§5.1):
+    /// optionally re-weight the metrics, always raise the floor by Δ and
+    /// resolve.
+    pub fn user_dissatisfied(
+        &mut self,
+        object: ObjectId,
+        new_weights: Option<Weights>,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        if let Some(w) = new_weights {
+            self.quant.set_weights(w);
+        }
+        if self.hint.on_user_dissatisfied() == AdaptAction::Resolve {
+            self.start_active_resolution(object, ctx);
+        }
+    }
+
+    fn start_active_resolution(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) {
+        let st = self.objs.get_mut(&object).expect("object state");
+        if !matches!(st.res, ResState::Idle) {
+            return; // already resolving or backing off
+        }
+        let members = st.layer.top_peers(self.me);
+        if members.is_empty() {
+            return;
+        }
+        let rid = self.fresh_id();
+        let st = self.objs.get_mut(&object).expect("object state");
+        let dispatch = self.cfg.dispatch_cost.saturating_mul(members.len() as u64);
+        st.res = ResState::Phase1 {
+            rid,
+            awaiting: members.clone(),
+            started: ctx.now(),
+            dispatch,
+        };
+        self.round_objects.insert(rid, object);
+        for m in members {
+            ctx.send(m, IdeaMsg::CallForAttention { rid, object });
+        }
+    }
+
+    fn on_call_for_attention(
+        &mut self,
+        from: NodeId,
+        rid: u64,
+        object: ObjectId,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        self.store.open(object);
+        self.ensure_obj(object);
+        let lease = self.cfg.attention_lease;
+        let now = ctx.now();
+        let st = self.objs.get_mut(&object).expect("ensured");
+
+        // Am I an initiator myself? Tie-break by id: the larger id proceeds,
+        // the smaller backs off (a deterministic rendering of §4.5.2's
+        // "back-off and retry after a random amount of time").
+        let i_am_initiating = matches!(st.res, ResState::Phase1 { .. });
+        if i_am_initiating && from < self.me {
+            ctx.send(from, IdeaMsg::Attention { rid, object, granted: false });
+            return;
+        }
+        if i_am_initiating && from > self.me {
+            // Yield: abandon my round and retry later.
+            let my_rid = match st.res {
+                ResState::Phase1 { rid, .. } => rid,
+                _ => unreachable!("checked above"),
+            };
+            st.res = ResState::BackOff { rid: my_rid };
+            let delay = self.backoff_delay(ctx);
+            ctx.set_timer(delay, pack(K_BACKOFF, object.0));
+            let st = self.objs.get_mut(&object).expect("ensured");
+            st.attention = Some((from, rid, now));
+            ctx.send(from, IdeaMsg::Attention { rid, object, granted: true });
+            return;
+        }
+
+        // Plain member: grant when the lease is free, expired, already held
+        // by this caller, or held by a *lower-id* initiator — the same
+        // higher-id-wins tie-break as above, so one contender always
+        // assembles a full grant set and the race cannot livelock.
+        let grant = match st.attention {
+            Some((holder, _, at)) => {
+                holder == from || now.saturating_since(at) >= lease || from > holder
+            }
+            None => true,
+        };
+        if grant {
+            st.attention = Some((from, rid, now));
+            ctx.send(from, IdeaMsg::Attention { rid, object, granted: true });
+        } else {
+            ctx.send(from, IdeaMsg::Attention { rid, object, granted: false });
+        }
+    }
+
+    fn backoff_delay(&self, ctx: &mut dyn Context<IdeaMsg>) -> idea_types::SimDuration {
+        let lo = self.cfg.backoff_min.as_micros();
+        let hi = self.cfg.backoff_max.as_micros().max(lo + 1);
+        idea_types::SimDuration::from_micros(ctx.rng().gen_range(lo..hi))
+    }
+
+    fn on_attention(
+        &mut self,
+        from: NodeId,
+        rid: u64,
+        object: ObjectId,
+        granted: bool,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        let st = match self.objs.get_mut(&object) {
+            Some(st) => st,
+            None => return,
+        };
+        let (my_rid, mut awaiting, started, dispatch) = match &st.res {
+            ResState::Phase1 { rid: r, awaiting, started, dispatch } => {
+                (*r, awaiting.clone(), *started, *dispatch)
+            }
+            _ => return,
+        };
+        if my_rid != rid {
+            return;
+        }
+        if !granted {
+            // Contention: back off and retry (§4.5.2).
+            st.res = ResState::BackOff { rid };
+            let delay = self.backoff_delay(ctx);
+            ctx.set_timer(delay, pack(K_BACKOFF, object.0));
+            return;
+        }
+        awaiting.retain(|&n| n != from);
+        if awaiting.is_empty() {
+            // Phase 1 complete: move to phase 2.
+            let now = ctx.now();
+            let members = st.layer.top_peers(self.me);
+            st.res = ResState::Phase2 {
+                rid,
+                kind: ResolutionKind::Active,
+                members: members.clone(),
+                collected: Vec::new(),
+                next: 0,
+                started,
+                phase2_started: now,
+                phase1_dispatch: dispatch,
+                phase1_acked: now.saturating_since(started),
+            };
+            self.send_collects(object, rid, &members, 0, ctx);
+        } else {
+            st.res = ResState::Phase1 { rid, awaiting, started, dispatch };
+        }
+    }
+
+    fn send_collects(
+        &mut self,
+        object: ObjectId,
+        rid: u64,
+        members: &[NodeId],
+        from_index: usize,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        if self.cfg.parallel_phase2 {
+            if from_index == 0 {
+                for &m in members {
+                    ctx.send(m, IdeaMsg::CollectRequest { rid, object });
+                }
+            }
+        } else if let Some(&m) = members.get(from_index) {
+            ctx.send(m, IdeaMsg::CollectRequest { rid, object });
+        }
+    }
+
+    /// Background resolution timer fired: the lowest-id top-layer member
+    /// initiates a collect round directly (no phase 1, §4.5.2).
+    fn on_background_timer(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) {
+        let Some(period) = self.cfg.background_period else { return };
+        ctx.set_timer(period, pack(K_BACKGROUND, object.0));
+        let st = match self.objs.get_mut(&object) {
+            Some(st) => st,
+            None => return,
+        };
+        let members = st.layer.top_members().to_vec();
+        let initiator = members.first().copied();
+        if initiator != Some(self.me) || !matches!(st.res, ResState::Idle) {
+            return;
+        }
+        let peers = st.layer.top_peers(self.me);
+        if peers.is_empty() {
+            return;
+        }
+        let rid = self.fresh_id();
+        let now = ctx.now();
+        let st = self.objs.get_mut(&object).expect("object state");
+        st.res = ResState::Phase2 {
+            rid,
+            kind: ResolutionKind::Background,
+            members: peers.clone(),
+            collected: Vec::new(),
+            next: 0,
+            started: now,
+            phase2_started: now,
+            phase1_dispatch: idea_types::SimDuration::ZERO,
+            phase1_acked: idea_types::SimDuration::ZERO,
+        };
+        self.round_objects.insert(rid, object);
+        self.send_collects(object, rid, &peers, 0, ctx);
+    }
+
+    fn on_collect_request(
+        &mut self,
+        from: NodeId,
+        rid: u64,
+        object: ObjectId,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        self.store.open(object);
+        let evv = self.store.replica(object).expect("opened").version().clone();
+        ctx.send(from, IdeaMsg::CollectReply { rid, object, evv });
+    }
+
+    fn on_collect_reply(
+        &mut self,
+        from: NodeId,
+        rid: u64,
+        object: ObjectId,
+        evv: idea_vv::ExtendedVersionVector,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        let now = ctx.now();
+        self.note_counters(object, &evv.counters(), now);
+        let st = match self.objs.get_mut(&object) {
+            Some(st) => st,
+            None => return,
+        };
+        let parallel = self.cfg.parallel_phase2;
+        match &mut st.res {
+            ResState::Phase2 { rid: r, members, collected, next, .. } if *r == rid => {
+                if collected.iter().any(|(n, _)| *n == from) {
+                    return;
+                }
+                collected.push((from, evv));
+                *next += 1;
+                let done = collected.len() == members.len();
+                let (members, next) = (members.clone(), *next);
+                if done {
+                    self.finish_resolution(object, ctx);
+                } else if !parallel {
+                    self.send_collects(object, rid, &members, next, ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn finish_resolution(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) {
+        let mine = self.store.replica(object).expect("opened").version().clone();
+        let st = self.objs.get_mut(&object).expect("object state");
+        let (rid, kind, members, collected, started, phase2_started, p1d, p1a) =
+            match std::mem::replace(&mut st.res, ResState::Idle) {
+                ResState::Phase2 {
+                    rid,
+                    kind,
+                    members,
+                    collected,
+                    started,
+                    phase2_started,
+                    phase1_dispatch,
+                    phase1_acked,
+                    ..
+                } => (rid, kind, members, collected, started, phase2_started, phase1_dispatch, phase1_acked),
+                other => {
+                    st.res = other;
+                    return;
+                }
+            };
+
+        let mut candidates = collected;
+        candidates.push((self.me, mine));
+        let any_conflict = {
+            let (_, first) = &candidates[0];
+            candidates
+                .iter()
+                .any(|(_, evv)| !matches!(evv.compare(first), idea_vv::VvOrdering::Equal))
+        };
+        let reference = choose_reference(self.cfg.policy, &candidates, &self.priorities);
+
+        // Inform every member (parallel fan-out), then reconcile locally.
+        for &m in &members {
+            ctx.send(m, IdeaMsg::Inform { rid, object, reference: reference.clone() });
+        }
+        let inform_dispatch = self.cfg.dispatch_cost.saturating_mul(members.len() as u64);
+        let now = ctx.now();
+        self.apply_reference(object, &reference, ctx);
+
+        self.res_log.push(ResolutionRecord {
+            rid,
+            kind,
+            members: members.len(),
+            started,
+            phase1_dispatch: p1d,
+            phase1_acked: p1a,
+            phase2: now.saturating_since(phase2_started) + inform_dispatch,
+            resolved_conflict: any_conflict,
+        });
+        self.resolutions += 1;
+        self.round_objects.remove(&rid);
+    }
+
+    /// Brings the local replica to the reference state: drop unsanctioned
+    /// updates, fetch missing ones from the winner.
+    fn apply_reference(
+        &mut self,
+        object: ObjectId,
+        reference: &ReferenceState,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        let my_writer = self.store.writer();
+        let replica = self.store.open(object);
+        let _invalidated = replica.drop_extras(&reference.counts);
+        let have = replica.version().counters();
+        // Local sequencing resumes from the sanctioned count (see module
+        // docs on sequence reuse).
+        let resume = reference.counts.get(my_writer).max(have.get(my_writer));
+        self.store.resume_writes_after(object, resume);
+
+        let need = have.missing_from(&reference.counts);
+        match reference.winner {
+            Some(w) if w != self.me && need > 0 => {
+                ctx.send(w, IdeaMsg::FetchRequest { object, have });
+                // Level settles when the fetch lands.
+            }
+            _ => {
+                let st = self.objs.get_mut(&object).expect("object state");
+                st.level = ConsistencyLevel::PERFECT;
+            }
+        }
+    }
+
+    fn on_inform(
+        &mut self,
+        from: NodeId,
+        rid: u64,
+        object: ObjectId,
+        reference: ReferenceState,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        self.store.open(object);
+        self.ensure_obj(object);
+        let now = ctx.now();
+        self.note_counters(object, &reference.counts, now);
+        let st = self.objs.get_mut(&object).expect("ensured");
+        // Release the attention lease this inform concludes.
+        if let Some((holder, held_rid, _)) = st.attention {
+            if holder == from && held_rid == rid {
+                st.attention = None;
+            }
+        }
+        // A competing initiator in back-off cancels: consistency has just
+        // been restored by someone else (§4.5.2).
+        if matches!(st.res, ResState::BackOff { .. }) {
+            st.res = ResState::Idle;
+        }
+        self.apply_reference(object, &reference, ctx);
+    }
+
+    fn on_fetch_request(
+        &mut self,
+        from: NodeId,
+        object: ObjectId,
+        have: VersionVector,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        let Ok(replica) = self.store.replica(object) else { return };
+        let updates = replica.updates_beyond(&have);
+        ctx.send(from, IdeaMsg::FetchReply { object, updates });
+    }
+
+    fn on_fetch_reply(
+        &mut self,
+        object: ObjectId,
+        updates: Vec<Update>,
+        _ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        self.store.open(object);
+        for u in updates {
+            let _ = self.store.ingest(u);
+        }
+        if let Some(st) = self.objs.get_mut(&object) {
+            st.level = ConsistencyLevel::PERFECT;
+        }
+    }
+
+    fn on_backoff_timer(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) {
+        let st = match self.objs.get_mut(&object) {
+            Some(st) => st,
+            None => return,
+        };
+        if matches!(st.res, ResState::BackOff { .. }) {
+            st.res = ResState::Idle;
+            // Retry only if the level still violates the floor (the other
+            // initiator's resolution may already have fixed it).
+            let level = st.level;
+            if self.hint.on_sample(level) == AdaptAction::Resolve {
+                self.start_active_resolution(object, ctx);
+            }
+        }
+    }
+
+    fn ensure_obj(&mut self, object: ObjectId) {
+        if !self.objs.contains_key(&object) {
+            self.objs.insert(
+                object,
+                ObjState {
+                    layer: TwoLayer::new(object, self.cfg.top_layer),
+                    gossip: GossipRouter::new(self.me, self.cfg.gossip),
+                    known_counts: VersionVector::new(),
+                    detect: None,
+                    detect_timer: None,
+                    detect_rounds: 0,
+                    level: ConsistencyLevel::PERFECT,
+                    res: ResState::Idle,
+                    sweeps: HashMap::new(),
+                    attention: None,
+                    has_read: false,
+                    announces: 0,
+                },
+            );
+        }
+    }
+}
+
+impl Proto for IdeaNode {
+    type Msg = IdeaMsg;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<IdeaMsg>) {
+        if let Some(period) = self.cfg.background_period {
+            for object in self.store.objects() {
+                ctx.set_timer(period, pack(K_BACKGROUND, object.0));
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: IdeaMsg, ctx: &mut dyn Context<IdeaMsg>) {
+        match msg {
+            IdeaMsg::DetectRequest { round, object, evv } => {
+                self.on_detect_request(from, round, object, evv, ctx)
+            }
+            IdeaMsg::DetectReply { round, object, evv } => {
+                self.on_detect_reply(from, round, object, evv, ctx)
+            }
+            IdeaMsg::CallForAttention { rid, object } => {
+                self.on_call_for_attention(from, rid, object, ctx)
+            }
+            IdeaMsg::Attention { rid, object, granted } => {
+                self.on_attention(from, rid, object, granted, ctx)
+            }
+            IdeaMsg::CollectRequest { rid, object } => {
+                self.on_collect_request(from, rid, object, ctx)
+            }
+            IdeaMsg::CollectReply { rid, object, evv } => {
+                self.on_collect_reply(from, rid, object, evv, ctx)
+            }
+            IdeaMsg::Inform { rid, object, reference } => {
+                self.on_inform(from, rid, object, reference, ctx)
+            }
+            IdeaMsg::FetchRequest { object, have } => {
+                self.on_fetch_request(from, object, have, ctx)
+            }
+            IdeaMsg::FetchReply { object, updates } => self.on_fetch_reply(object, updates, ctx),
+            IdeaMsg::SweepRumor { id, ttl, object, counters } => {
+                self.on_sweep_rumor(id, ttl, object, counters, ctx)
+            }
+            IdeaMsg::SweepDivergence { object, sweep, evv } => {
+                self.on_sweep_divergence(from, object, sweep, evv, ctx)
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, kind: u64, ctx: &mut dyn Context<IdeaMsg>) {
+        let (base, low) = unpack(kind);
+        match base {
+            K_DETECT => {
+                if let Some(object) = self.round_objects.remove(&low) {
+                    // Deadline: complete with whoever answered.
+                    let has_round = self
+                        .objs
+                        .get(&object)
+                        .map(|st| st.detect.is_some())
+                        .unwrap_or(false);
+                    if has_round {
+                        self.finish_detect_round(object, ctx);
+                    }
+                }
+            }
+            K_BACKGROUND => self.on_background_timer(ObjectId(low), ctx),
+            K_BACKOFF => self.on_backoff_timer(ObjectId(low), ctx),
+            K_SWEEP => self.on_sweep_deadline(low, ctx),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idea_net::{SimConfig, SimEngine, Topology};
+    use idea_types::SimDuration;
+
+    const OBJ: ObjectId = ObjectId(1);
+
+    fn cluster(n: usize, cfg: IdeaConfig, seed: u64) -> SimEngine<IdeaNode> {
+        let nodes: Vec<IdeaNode> =
+            (0..n).map(|i| IdeaNode::new(NodeId(i as u32), cfg.clone(), &[OBJ])).collect();
+        SimEngine::new(Topology::planetlab(n, seed), SimConfig { seed, ..Default::default() }, nodes)
+    }
+
+    fn write(eng: &mut SimEngine<IdeaNode>, node: u32, delta: i64) {
+        eng.with_node(NodeId(node), |p, ctx| {
+            p.local_write(OBJ, delta, UpdatePayload::Opaque(bytes::Bytes::new()), ctx);
+        });
+    }
+
+    /// Warm up: every writer writes twice so the top layer forms.
+    fn warm_up(eng: &mut SimEngine<IdeaNode>, writers: &[u32]) {
+        for round in 0..2 {
+            for &w in writers {
+                write(eng, w, 1);
+                eng.run_for(SimDuration::from_millis(500));
+            }
+            let _ = round;
+        }
+        eng.run_for(SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn top_layer_forms_after_warm_up() {
+        let mut eng = cluster(8, IdeaConfig::default(), 1);
+        warm_up(&mut eng, &[0, 1, 2, 3]);
+        for w in 0..4u32 {
+            let members = eng.node(NodeId(w)).report(OBJ).top_members;
+            assert_eq!(
+                members,
+                vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+                "writer {w} sees the wrong top layer"
+            );
+        }
+        // A bottom node learned about the writers from announce rumors.
+        let bottom_view = eng.node(NodeId(6)).report(OBJ).top_members;
+        assert!(!bottom_view.is_empty(), "bottom nodes discover hot writers");
+    }
+
+    #[test]
+    fn writes_degrade_consistency_levels() {
+        let mut eng = cluster(8, IdeaConfig::default(), 2);
+        warm_up(&mut eng, &[0, 1, 2, 3]);
+        // Pile on divergent writes without any resolution.
+        for wave in 0..4 {
+            for w in 0..4u32 {
+                write(&mut eng, w, 1);
+            }
+            eng.run_for(SimDuration::from_secs(5));
+            let _ = wave;
+        }
+        let worst = (0..4u32)
+            .map(|w| eng.node(NodeId(w)).level(OBJ))
+            .min()
+            .unwrap();
+        assert!(
+            worst < ConsistencyLevel::new(0.97),
+            "divergence must show up in the level, got {worst}"
+        );
+    }
+
+    #[test]
+    fn demanded_resolution_converges_replicas() {
+        let mut eng = cluster(6, IdeaConfig::default(), 3);
+        warm_up(&mut eng, &[0, 1, 2, 3]);
+        for w in 0..4u32 {
+            write(&mut eng, w, 2);
+        }
+        eng.run_for(SimDuration::from_secs(2));
+        eng.with_node(NodeId(0), |p, ctx| p.demand_active_resolution(OBJ, ctx));
+        eng.run_for(SimDuration::from_secs(5));
+
+        // All top-layer replicas match the reference (highest id = node 3).
+        let reference_meta = eng.node(NodeId(3)).report(OBJ).meta;
+        for w in 0..4u32 {
+            let rep = eng.node(NodeId(w)).report(OBJ);
+            assert_eq!(rep.meta, reference_meta, "node {w} diverges after resolution");
+            assert_eq!(rep.level, ConsistencyLevel::PERFECT, "node {w} level");
+        }
+        let log = eng.node(NodeId(0)).resolution_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].kind, ResolutionKind::Active);
+        assert_eq!(log[0].members, 3);
+        assert!(log[0].resolved_conflict);
+        assert!(log[0].phase1_acked > SimDuration::ZERO);
+        assert!(log[0].phase2 > SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn hint_floor_triggers_automatic_resolution() {
+        let mut cfg = IdeaConfig::whiteboard(0.95);
+        cfg.hint_delta = 0.01;
+        let mut eng = cluster(6, cfg, 4);
+        warm_up(&mut eng, &[0, 1, 2, 3]);
+        // Divergent writes for 30 s; the hint controller must fire at least
+        // one active resolution on its own.
+        for _ in 0..6 {
+            for w in 0..4u32 {
+                write(&mut eng, w, 1);
+            }
+            eng.run_for(SimDuration::from_secs(5));
+        }
+        let total_resolutions: u64 = (0..4u32)
+            .map(|w| eng.node(NodeId(w)).report(OBJ).resolutions_initiated)
+            .sum();
+        assert!(total_resolutions >= 1, "hint-driven resolution never fired");
+        // And levels were pulled back up.
+        let worst = (0..4u32).map(|w| eng.node(NodeId(w)).level(OBJ)).min().unwrap();
+        assert!(worst >= ConsistencyLevel::new(0.85), "worst {worst}");
+    }
+
+    #[test]
+    fn background_resolution_runs_periodically() {
+        let cfg = IdeaConfig::booking(SimDuration::from_secs(20));
+        let mut eng = cluster(6, cfg, 5);
+        warm_up(&mut eng, &[0, 1, 2, 3]);
+        for wave in 0..20 {
+            for w in 0..4u32 {
+                write(&mut eng, w, 1);
+            }
+            eng.run_for(SimDuration::from_secs(5));
+            let _ = wave;
+        }
+        // 100 s of writes with a 20 s period: the lowest-id top member
+        // (node 0) initiated several background rounds.
+        let rep = eng.node(NodeId(0)).report(OBJ);
+        assert!(
+            rep.resolutions_initiated >= 3,
+            "expected several background rounds, got {}",
+            rep.resolutions_initiated
+        );
+        let log = eng.node(NodeId(0)).resolution_log();
+        assert!(log.iter().all(|r| r.kind == ResolutionKind::Background));
+        assert!(log.iter().all(|r| r.phase1_dispatch.is_zero()), "no phase 1 in background");
+        // Nobody else initiated.
+        for w in 1..4u32 {
+            assert_eq!(eng.node(NodeId(w)).report(OBJ).resolutions_initiated, 0);
+        }
+    }
+
+    #[test]
+    fn contended_active_resolution_backs_off() {
+        let mut eng = cluster(6, IdeaConfig::default(), 6);
+        warm_up(&mut eng, &[0, 1, 2, 3]);
+        for w in 0..4u32 {
+            write(&mut eng, w, 1);
+        }
+        eng.run_for(SimDuration::from_secs(2));
+        // Two initiators demand resolution simultaneously.
+        eng.with_node(NodeId(0), |p, ctx| p.demand_active_resolution(OBJ, ctx));
+        eng.with_node(NodeId(2), |p, ctx| p.demand_active_resolution(OBJ, ctx));
+        eng.run_for(SimDuration::from_secs(8));
+        // At least one completed; replicas converged.
+        let completed: u64 = (0..4u32)
+            .map(|w| eng.node(NodeId(w)).report(OBJ).resolutions_initiated)
+            .sum();
+        assert!(completed >= 1);
+        let reference_meta = eng.node(NodeId(3)).report(OBJ).meta;
+        for w in 0..4u32 {
+            assert_eq!(eng.node(NodeId(w)).report(OBJ).meta, reference_meta);
+        }
+    }
+
+    #[test]
+    fn sweep_detects_bottom_layer_writer_and_rolls_back() {
+        let mut cfg = IdeaConfig::default();
+        cfg.sweep_every = Some(1); // sweep after every detection round
+        cfg.sweep_deadline = SimDuration::from_secs(3);
+        cfg.rollback_resolve = false;
+        let mut eng = cluster(10, cfg, 7);
+        warm_up(&mut eng, &[0, 1, 2, 3]);
+        // A bottom-layer node (8) writes once — invisible to the top layer.
+        write(&mut eng, 8, 50);
+        eng.run_for(SimDuration::from_secs(1));
+        // Top-layer writer probes; its sweep should find node 8's update.
+        for _ in 0..4 {
+            write(&mut eng, 0, 1);
+            eng.run_for(SimDuration::from_secs(4));
+        }
+        let rep = eng.node(NodeId(0)).report(OBJ);
+        assert!(rep.rollbacks >= 1, "bottom-layer divergence never confirmed");
+    }
+
+    #[test]
+    fn read_triggers_detection_per_policy() {
+        let mut eng = cluster(6, IdeaConfig::default(), 8);
+        warm_up(&mut eng, &[0, 1, 2, 3]);
+        write(&mut eng, 1, 3);
+        eng.run_for(SimDuration::from_secs(1));
+        // A fresh read on node 2 triggers a detection round; afterwards its
+        // level reflects the divergence.
+        let before = eng.node(NodeId(2)).level(OBJ);
+        eng.with_node(NodeId(2), |p, ctx| {
+            let snap = p.read(OBJ, ctx).expect("replica exists");
+            assert_eq!(snap.object, OBJ);
+        });
+        eng.run_for(SimDuration::from_secs(2));
+        let after = eng.node(NodeId(2)).level(OBJ);
+        assert!(after <= before, "read-triggered round must refresh the level");
+    }
+
+    #[test]
+    fn invalidate_both_policy_truncates_to_common_prefix() {
+        let mut cfg = IdeaConfig::default();
+        cfg.policy = ResolutionPolicy::InvalidateBoth;
+        let mut eng = cluster(6, cfg, 9);
+        warm_up(&mut eng, &[0, 1, 2, 3]);
+        let warm_updates = eng.node(NodeId(3)).report(OBJ).updates;
+        let _ = warm_updates;
+        for w in 0..4u32 {
+            write(&mut eng, w, 7);
+        }
+        eng.run_for(SimDuration::from_secs(1));
+        eng.with_node(NodeId(1), |p, ctx| p.demand_active_resolution(OBJ, ctx));
+        eng.run_for(SimDuration::from_secs(5));
+        // Everyone ends identical (the common prefix), conflicting updates
+        // of ALL writers invalidated.
+        let metas: Vec<i64> = (0..4u32).map(|w| eng.node(NodeId(w)).report(OBJ).meta).collect();
+        assert!(metas.windows(2).all(|m| m[0] == m[1]), "metas diverge: {metas:?}");
+        let counts: Vec<usize> =
+            (0..4u32).map(|w| eng.node(NodeId(w)).report(OBJ).updates).collect();
+        assert!(counts.windows(2).all(|c| c[0] == c[1]));
+    }
+
+    #[test]
+    fn priority_policy_prefers_the_supervisor() {
+        let mut cfg = IdeaConfig::default();
+        cfg.policy = ResolutionPolicy::PriorityWins;
+        let mut eng = cluster(6, cfg, 10);
+        // Node 1 is the supervisor everywhere.
+        for n in 0..6u32 {
+            eng.node_mut(NodeId(n)).set_priority(NodeId(1), 9);
+        }
+        warm_up(&mut eng, &[0, 1, 2, 3]);
+        for w in 0..4u32 {
+            write(&mut eng, w, (w as i64 + 1) * 10);
+        }
+        eng.run_for(SimDuration::from_secs(1));
+        let supervisor_meta = eng.node(NodeId(1)).report(OBJ).meta;
+        eng.with_node(NodeId(0), |p, ctx| p.demand_active_resolution(OBJ, ctx));
+        eng.run_for(SimDuration::from_secs(5));
+        for w in 0..4u32 {
+            assert_eq!(
+                eng.node(NodeId(w)).report(OBJ).meta,
+                supervisor_meta,
+                "node {w} must adopt the supervisor's state"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_phase2_is_faster_than_sequential() {
+        let run = |parallel: bool| -> SimDuration {
+            let mut cfg = IdeaConfig::default();
+            cfg.parallel_phase2 = parallel;
+            let mut eng = cluster(6, cfg, 11);
+            warm_up(&mut eng, &[0, 1, 2, 3]);
+            for w in 0..4u32 {
+                write(&mut eng, w, 1);
+            }
+            eng.run_for(SimDuration::from_secs(1));
+            eng.with_node(NodeId(0), |p, ctx| p.demand_active_resolution(OBJ, ctx));
+            eng.run_for(SimDuration::from_secs(5));
+            let log = eng.node(NodeId(0)).resolution_log();
+            assert!(!log.is_empty());
+            log[0].phase2
+        };
+        let seq = run(false);
+        let par = run(true);
+        assert!(
+            par < seq,
+            "parallel phase 2 ({par}) must beat sequential ({seq}) — §6.2's suggested optimisation"
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Bottom-layer background detection and the rollback decision (§4.4.2).
+//!
+//! After the top layer answers quickly, IDEA "continues to detect
+//! inconsistency in the bottom layer and returns a new value. If the new
+//! value is sufficiently close to the previous one obtained from the top
+//! layer, IDEA keeps silent; otherwise, IDEA alerts the user about the
+//! discrepancy and resolves the inconsistency if the users so demand."
+//!
+//! The sweep rides the TTL-bounded gossip of `idea-overlay`: the initiator
+//! originates a rumor carrying its vector; bottom-layer nodes that find
+//! their replica diverging reply directly to the initiator. The
+//! [`SweepCollector`] aggregates replies until its deadline and renders the
+//! verdict: confirm the top-layer value, or advise rollback.
+
+use idea_types::{ConsistencyLevel, ErrorTriple, NodeId, SimTime};
+use idea_vv::ExtendedVersionVector;
+use serde::{Deserialize, Serialize};
+
+/// Verdict of a completed bottom sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BottomReport {
+    /// Bottom layer agrees with the top-layer value (within epsilon).
+    Confirmed {
+        /// The bottom-layer consistency level.
+        bottom_level: ConsistencyLevel,
+    },
+    /// Bottom layer found a materially worse state: alert the user, and if
+    /// the corrected level is unacceptable, roll back (§4.4.2).
+    Discrepancy {
+        /// The corrected (bottom-layer) consistency level.
+        bottom_level: ConsistencyLevel,
+        /// Worst divergent replica found.
+        worst_node: NodeId,
+        /// That replica's triple against the initiator's reference.
+        worst_triple: ErrorTriple,
+    },
+}
+
+impl BottomReport {
+    /// The corrected consistency level carried by the report.
+    pub fn level(&self) -> ConsistencyLevel {
+        match self {
+            BottomReport::Confirmed { bottom_level } => *bottom_level,
+            BottomReport::Discrepancy { bottom_level, .. } => *bottom_level,
+        }
+    }
+
+    /// True when the sweep contradicted the top layer.
+    pub fn is_discrepancy(&self) -> bool {
+        matches!(self, BottomReport::Discrepancy { .. })
+    }
+}
+
+/// Collects divergence replies from the bottom layer until a deadline.
+#[derive(Debug, Clone)]
+pub struct SweepCollector {
+    /// The top-layer level the sweep is double-checking.
+    top_level: ConsistencyLevel,
+    /// "Sufficiently close" tolerance (paper example: 78 % vs 80 %).
+    epsilon: f64,
+    /// Sweep deadline (TTL bounds hops; the deadline bounds wall time).
+    pub deadline: SimTime,
+    /// Divergent replicas reported so far.
+    replies: Vec<(NodeId, ExtendedVersionVector, ErrorTriple)>,
+}
+
+impl SweepCollector {
+    /// Starts a collection window checking `top_level` with tolerance
+    /// `epsilon`, expiring at `deadline`.
+    pub fn new(top_level: ConsistencyLevel, epsilon: f64, deadline: SimTime) -> Self {
+        SweepCollector { top_level, epsilon, deadline, replies: Vec::new() }
+    }
+
+    /// Records a divergence reply from `node` whose replica triple against
+    /// the initiator's reference is `triple`.
+    pub fn on_divergence(
+        &mut self,
+        node: NodeId,
+        evv: ExtendedVersionVector,
+        triple: ErrorTriple,
+    ) {
+        self.replies.push((node, evv, triple));
+    }
+
+    /// Number of divergence replies collected.
+    pub fn replies(&self) -> usize {
+        self.replies.len()
+    }
+
+    /// Renders the verdict. `quantify` maps a triple to a consistency level
+    /// (Formula 1, supplied by `idea-core` so weights stay configurable).
+    pub fn finish(self, quantify: impl Fn(&ErrorTriple) -> ConsistencyLevel) -> BottomReport {
+        if self.replies.is_empty() {
+            return BottomReport::Confirmed { bottom_level: self.top_level };
+        }
+        // The corrected level is the worst level over divergent replicas,
+        // but never better than what the top layer already reported.
+        let mut bottom_level = self.top_level;
+        let mut worst: Option<(NodeId, ErrorTriple, ConsistencyLevel)> = None;
+        for (node, _, triple) in &self.replies {
+            let level = quantify(triple);
+            bottom_level = bottom_level.min(level);
+            let replace = match &worst {
+                Some((_, _, l)) => level < *l,
+                None => true,
+            };
+            if replace {
+                worst = Some((*node, *triple, level));
+            }
+        }
+        let (worst_node, worst_triple, _) = worst.expect("non-empty replies");
+        if (self.top_level.value() - bottom_level.value()).abs() <= self.epsilon {
+            BottomReport::Confirmed { bottom_level }
+        } else {
+            BottomReport::Discrepancy { bottom_level, worst_node, worst_triple }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idea_types::SimDuration;
+
+    fn lvl(v: f64) -> ConsistencyLevel {
+        ConsistencyLevel::new(v)
+    }
+
+    /// A toy quantifier: each unit of order error costs 10 %.
+    fn quantify(t: &ErrorTriple) -> ConsistencyLevel {
+        ConsistencyLevel::new(1.0 - t.order * 0.1)
+    }
+
+    fn triple(order: f64) -> ErrorTriple {
+        ErrorTriple::new(0.0, order, SimDuration::ZERO)
+    }
+
+    #[test]
+    fn silent_sweep_confirms_top_value() {
+        let c = SweepCollector::new(lvl(0.8), 0.05, SimTime::from_secs(10));
+        let report = c.finish(quantify);
+        assert_eq!(report, BottomReport::Confirmed { bottom_level: lvl(0.8) });
+        assert!(!report.is_discrepancy());
+    }
+
+    #[test]
+    fn close_values_stay_confirmed() {
+        // Paper example: 78 % from the bottom vs 80 % from the top — close
+        // enough, the top result "remains intact".
+        let mut c = SweepCollector::new(lvl(0.80), 0.05, SimTime::from_secs(10));
+        c.on_divergence(NodeId(9), ExtendedVersionVector::new(), triple(2.2));
+        let report = c.finish(quantify);
+        assert!(!report.is_discrepancy());
+        assert!((report.level().value() - 0.78).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_gap_is_a_discrepancy() {
+        let mut c = SweepCollector::new(lvl(0.95), 0.05, SimTime::from_secs(10));
+        c.on_divergence(NodeId(4), ExtendedVersionVector::new(), triple(5.0));
+        let report = c.finish(quantify);
+        assert!(report.is_discrepancy());
+        match report {
+            BottomReport::Discrepancy { bottom_level, worst_node, worst_triple } => {
+                assert_eq!(worst_node, NodeId(4));
+                assert_eq!(worst_triple.order, 5.0);
+                assert!((bottom_level.value() - 0.5).abs() < 1e-9);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn worst_reply_wins() {
+        let mut c = SweepCollector::new(lvl(0.95), 0.01, SimTime::from_secs(10));
+        c.on_divergence(NodeId(1), ExtendedVersionVector::new(), triple(1.0));
+        c.on_divergence(NodeId(2), ExtendedVersionVector::new(), triple(4.0));
+        c.on_divergence(NodeId(3), ExtendedVersionVector::new(), triple(2.0));
+        assert_eq!(c.replies(), 3);
+        match c.finish(quantify) {
+            BottomReport::Discrepancy { worst_node, bottom_level, .. } => {
+                assert_eq!(worst_node, NodeId(2));
+                assert!((bottom_level.value() - 0.6).abs() < 1e-9);
+            }
+            other => panic!("expected discrepancy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bottom_level_never_exceeds_top() {
+        // A divergence reply that quantifies *better* than the top value
+        // must not raise the reported level.
+        let mut c = SweepCollector::new(lvl(0.5), 0.5, SimTime::from_secs(10));
+        c.on_divergence(NodeId(1), ExtendedVersionVector::new(), triple(0.0));
+        let report = c.finish(quantify);
+        assert_eq!(report.level(), lvl(0.5));
+    }
+}

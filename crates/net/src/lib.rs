@@ -1,0 +1,39 @@
+//! Network substrate for the IDEA reproduction.
+//!
+//! The paper evaluated IDEA on PlanetLab (40 nodes spanning the US and
+//! Canada). This crate replaces that testbed with two interchangeable
+//! engines driving the *same* protocol code:
+//!
+//! * [`sim::SimEngine`] — a deterministic discrete-event simulator in virtual
+//!   time. All figures and tables of the paper are regenerated on it; a
+//!   seed fully determines a run.
+//! * [`threaded::ThreadedEngine`] — one OS thread per node, crossbeam
+//!   channels for links, a router thread injecting the same latency model in
+//!   wall-clock time. Used by examples and integration tests to demonstrate
+//!   the protocol under real concurrency.
+//!
+//! Protocol logic implements [`Proto`] and interacts with the world only
+//! through [`Context`] (time, identity, sends, timers, RNG), which is what
+//! makes the two engines interchangeable.
+//!
+//! [`topology::Topology`] captures the WAN shape (per-pair one-way delays);
+//! [`latency::LatencyModel`] adds per-message jitter; [`stats::NetStats`]
+//! counts messages and bytes per protocol class — the quantity Table 3 of
+//! the paper reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod proto;
+pub mod sim;
+pub mod stats;
+pub mod threaded;
+pub mod topology;
+
+pub use latency::{Jitter, LatencyModel};
+pub use proto::{Context, Proto, TimerId, Wire};
+pub use sim::{SimConfig, SimEngine};
+pub use stats::{MsgClass, NetStats, StatsSnapshot};
+pub use threaded::{ThreadedConfig, ThreadedEngine};
+pub use topology::{Region, Topology};

@@ -1,0 +1,579 @@
+//! The deterministic discrete-event engine.
+//!
+//! [`SimEngine`] owns one [`Proto`] state machine per node, a single event
+//! queue ordered by `(virtual time, sequence)`, and a seeded RNG. Identical
+//! seeds and inputs produce bit-identical runs, which is what lets the bench
+//! harness regenerate the paper's figures exactly.
+//!
+//! Failure injection (message loss, link partitions, node pauses) is built
+//! in: the evaluation of §6 runs clean, while the extension tests exercise
+//! the bottom-layer/rollback machinery under faults.
+
+use crate::proto::{Context, Proto, TimerId, Wire};
+use crate::stats::NetStats;
+use crate::topology::Topology;
+use idea_types::{NodeId, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// RNG seed; fully determines a run given identical inputs.
+    pub seed: u64,
+    /// Delivery delay for self-sends (models local queueing).
+    pub local_delay: SimDuration,
+    /// Probability that any remote message is dropped.
+    pub loss_rate: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            local_delay: SimDuration::from_micros(50),
+            loss_rate: 0.0,
+        }
+    }
+}
+
+/// What an event does when it fires.
+#[derive(Debug)]
+enum EvKind<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, id: TimerId, kind: u64 },
+}
+
+/// A scheduled event. Ordering is `(at, seq)` — `seq` breaks ties in
+/// insertion order, which keeps runs deterministic.
+#[derive(Debug)]
+struct Ev<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EvKind<M>,
+}
+
+impl<M> PartialEq for Ev<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Ev<M> {}
+impl<M> PartialOrd for Ev<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Ev<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// Actions a node requested while handling one event.
+enum Action<M> {
+    Send { to: NodeId, msg: M },
+    SetTimer { id: u64, delay: SimDuration, kind: u64 },
+    Cancel(u64),
+}
+
+/// The [`Context`] implementation handed to protocol callbacks.
+struct SimCtx<'a, M> {
+    now: SimTime,
+    me: NodeId,
+    n: usize,
+    actions: Vec<Action<M>>,
+    rng: &'a mut StdRng,
+    next_timer: &'a mut u64,
+}
+
+impl<M> Context<M> for SimCtx<'_, M> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn me(&self) -> NodeId {
+        self.me
+    }
+    fn node_count(&self) -> usize {
+        self.n
+    }
+    fn send(&mut self, to: NodeId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+    fn set_timer(&mut self, delay: SimDuration, kind: u64) -> TimerId {
+        let id = *self.next_timer;
+        *self.next_timer += 1;
+        self.actions.push(Action::SetTimer { id, delay, kind });
+        TimerId(id)
+    }
+    fn cancel_timer(&mut self, timer: TimerId) {
+        self.actions.push(Action::Cancel(timer.0));
+    }
+    fn rng(&mut self) -> &mut dyn RngCore {
+        self.rng
+    }
+}
+
+/// Events buffered while a node is paused.
+enum Buffered<M> {
+    Deliver { from: NodeId, msg: M },
+    Timer { id: TimerId, kind: u64 },
+}
+
+/// The deterministic discrete-event engine.
+pub struct SimEngine<P: Proto> {
+    cfg: SimConfig,
+    topo: Topology,
+    nodes: Vec<Option<P>>,
+    queue: BinaryHeap<Reverse<Ev<P::Msg>>>,
+    now: SimTime,
+    seq: u64,
+    rng: StdRng,
+    stats: NetStats,
+    cancelled: HashSet<u64>,
+    next_timer: u64,
+    paused: Vec<bool>,
+    parked: Vec<Vec<Buffered<P::Msg>>>,
+    blocked: HashSet<(NodeId, NodeId)>,
+}
+
+impl<P: Proto> SimEngine<P> {
+    /// Builds an engine over `topo` with one protocol instance per node and
+    /// runs every node's `on_start`.
+    ///
+    /// # Panics
+    /// Panics if `nodes.len() != topo.len()`.
+    pub fn new(topo: Topology, cfg: SimConfig, nodes: Vec<P>) -> Self {
+        assert_eq!(nodes.len(), topo.len(), "one protocol instance per topology node");
+        let n = nodes.len();
+        let mut eng = SimEngine {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            topo,
+            nodes: nodes.into_iter().map(Some).collect(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            stats: NetStats::new(),
+            cancelled: HashSet::new(),
+            next_timer: 0,
+            paused: vec![false; n],
+            parked: (0..n).map(|_| Vec::new()).collect(),
+            blocked: HashSet::new(),
+        };
+        for i in 0..n {
+            eng.with_node(NodeId(i as u32), |p, ctx| p.on_start(ctx));
+        }
+        eng
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the engine has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The topology the engine runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Immutable access to a node's protocol state.
+    pub fn node(&self, id: NodeId) -> &P {
+        self.nodes[id.index()].as_ref().expect("node present")
+    }
+
+    /// Mutable access to a node's protocol state (harness-side mutation that
+    /// must not send messages; use [`SimEngine::with_node`] otherwise).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut P {
+        self.nodes[id.index()].as_mut().expect("node present")
+    }
+
+    /// Network statistics accumulated so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Injects message loss for all subsequent remote sends.
+    pub fn set_loss_rate(&mut self, p: f64) {
+        self.cfg.loss_rate = p.clamp(0.0, 1.0);
+    }
+
+    /// Blocks the directed link `from → to` (partition injection).
+    pub fn partition(&mut self, from: NodeId, to: NodeId) {
+        self.blocked.insert((from, to));
+    }
+
+    /// Restores the directed link `from → to`.
+    pub fn heal(&mut self, from: NodeId, to: NodeId) {
+        self.blocked.remove(&(from, to));
+    }
+
+    /// Pauses a node: deliveries and timers park until `resume`.
+    pub fn pause(&mut self, node: NodeId) {
+        self.paused[node.index()] = true;
+    }
+
+    /// Resumes a paused node, replaying parked events in arrival order.
+    pub fn resume(&mut self, node: NodeId) {
+        let i = node.index();
+        if !self.paused[i] {
+            return;
+        }
+        self.paused[i] = false;
+        let parked = std::mem::take(&mut self.parked[i]);
+        for ev in parked {
+            match ev {
+                Buffered::Deliver { from, msg } => self.with_node(node, |p, ctx| {
+                    p.on_message(from, msg, ctx);
+                }),
+                Buffered::Timer { id, kind } => self.with_node(node, |p, ctx| {
+                    p.on_timer(id, kind, ctx);
+                }),
+            }
+        }
+    }
+
+    /// Runs `f` against node `id` with a live context — the harness's way of
+    /// injecting external stimuli (a user's write, a demand for resolution).
+    pub fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut P, &mut dyn Context<P::Msg>) -> R,
+    ) -> R {
+        let i = id.index();
+        let mut node = self.nodes[i].take().expect("node present (not re-entrant)");
+        let mut ctx = SimCtx {
+            now: self.now,
+            me: id,
+            n: self.nodes.len(),
+            actions: Vec::new(),
+            rng: &mut self.rng,
+            next_timer: &mut self.next_timer,
+        };
+        let out = f(&mut node, &mut ctx);
+        let actions = ctx.actions;
+        self.nodes[i] = Some(node);
+        self.apply(id, actions);
+        out
+    }
+
+    fn apply(&mut self, me: NodeId, actions: Vec<Action<P::Msg>>) {
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => {
+                    self.stats.record(msg.class(), msg.wire_size() as u64);
+                    if to != me {
+                        if self.blocked.contains(&(me, to)) {
+                            self.stats.record_drop();
+                            continue;
+                        }
+                        if self.cfg.loss_rate > 0.0 && self.rng.gen_bool(self.cfg.loss_rate) {
+                            self.stats.record_drop();
+                            continue;
+                        }
+                    }
+                    let delay = if to == me {
+                        self.cfg.local_delay
+                    } else {
+                        self.topo.sample_delay(me, to, &mut self.rng)
+                    };
+                    let at = self.now + delay;
+                    self.push(at, EvKind::Deliver { from: me, to, msg });
+                }
+                Action::SetTimer { id, delay, kind } => {
+                    let at = self.now + delay;
+                    self.push(at, EvKind::Timer { node: me, id: TimerId(id), kind });
+                }
+                Action::Cancel(id) => {
+                    self.cancelled.insert(id);
+                }
+            }
+        }
+    }
+
+    fn push(&mut self, at: SimTime, kind: EvKind<P::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Ev { at, seq, kind }));
+    }
+
+    /// Processes the next event, if any; returns whether one was processed.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time must not run backwards");
+        self.now = ev.at;
+        match ev.kind {
+            EvKind::Deliver { from, to, msg } => {
+                let i = to.index();
+                if self.paused[i] {
+                    self.parked[i].push(Buffered::Deliver { from, msg });
+                } else {
+                    self.with_node(to, |p, ctx| p.on_message(from, msg, ctx));
+                }
+            }
+            EvKind::Timer { node, id, kind } => {
+                if self.cancelled.remove(&id.0) {
+                    return true;
+                }
+                let i = node.index();
+                if self.paused[i] {
+                    self.parked[i].push(Buffered::Timer { id, kind });
+                } else {
+                    self.with_node(node, |p, ctx| p.on_timer(id, kind, ctx));
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs every event scheduled at or before `t`, then advances to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(ev)) if ev.at <= t => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Runs for `d` of virtual time from now.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Runs until the queue drains or virtual time would pass `limit`.
+    /// Returns the time reached.
+    pub fn run_until_quiescent(&mut self, limit: SimTime) -> SimTime {
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(ev)) if ev.at <= limit => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.now
+    }
+
+    /// Number of events still queued (parked events on paused nodes are not
+    /// included).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MsgClass;
+
+    /// Token-passing protocol: node 0 starts a token that hops to the next
+    /// node `hops` times.
+    #[derive(Debug, Clone)]
+    struct Token {
+        hops: u32,
+    }
+
+    impl Wire for Token {
+        fn class(&self) -> MsgClass {
+            MsgClass::App
+        }
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    struct Ring {
+        received: Vec<SimTime>,
+        start: bool,
+    }
+
+    impl Ring {
+        fn new(start: bool) -> Self {
+            Ring { received: Vec::new(), start }
+        }
+    }
+
+    impl Proto for Ring {
+        type Msg = Token;
+        fn on_start(&mut self, ctx: &mut dyn Context<Token>) {
+            if self.start {
+                ctx.send(NodeId(1), Token { hops: 1 });
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, msg: Token, ctx: &mut dyn Context<Token>) {
+            self.received.push(ctx.now());
+            if (msg.hops as usize) < ctx.node_count() * 3 {
+                let next = NodeId((ctx.me().0 + 1) % ctx.node_count() as u32);
+                ctx.send(next, Token { hops: msg.hops + 1 });
+            }
+        }
+    }
+
+    fn ring_engine(n: usize, seed: u64) -> SimEngine<Ring> {
+        let nodes = (0..n).map(|i| Ring::new(i == 0)).collect();
+        SimEngine::new(Topology::lan(n), SimConfig { seed, ..Default::default() }, nodes)
+    }
+
+    #[test]
+    fn token_circulates_and_time_advances() {
+        let mut eng = ring_engine(4, 1);
+        let end = eng.run_until_quiescent(SimTime::from_secs(10));
+        assert!(end > SimTime::ZERO);
+        let total: usize = (0..4).map(|i| eng.node(NodeId(i)).received.len()).sum();
+        assert_eq!(total, 12); // 3 laps of 4 nodes
+        // LAN latency 0.5 ms/hop: 12 hops ≈ 6 ms.
+        assert_eq!(end, SimTime::from_micros(500 * 12));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut a = ring_engine(5, 99);
+        let mut b = ring_engine(5, 99);
+        a.run_until_quiescent(SimTime::from_secs(10));
+        b.run_until_quiescent(SimTime::from_secs(10));
+        assert_eq!(a.now(), b.now());
+        for i in 0..5 {
+            assert_eq!(a.node(NodeId(i)).received, b.node(NodeId(i)).received);
+        }
+        assert_eq!(
+            a.stats().messages(MsgClass::App),
+            b.stats().messages(MsgClass::App)
+        );
+    }
+
+    #[test]
+    fn stats_count_sends() {
+        let mut eng = ring_engine(4, 1);
+        eng.run_until_quiescent(SimTime::from_secs(10));
+        // on_start sends 1, each of the 12 receptions except the last resends.
+        assert_eq!(eng.stats().messages(MsgClass::App), 12);
+        assert_eq!(eng.stats().payload_bytes(MsgClass::App), 96);
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary() {
+        let mut eng = ring_engine(4, 1);
+        eng.run_until(SimTime::from_micros(1_200));
+        assert_eq!(eng.now(), SimTime::from_micros(1_200));
+        let total: usize = (0..4).map(|i| eng.node(NodeId(i)).received.len()).sum();
+        assert_eq!(total, 2); // hops at 0.5 ms and 1.0 ms delivered
+        assert!(eng.pending_events() > 0);
+    }
+
+    #[test]
+    fn loss_drops_everything_at_rate_one() {
+        let mut eng = ring_engine(4, 1);
+        // The on_start token is already in flight; every send after the rate
+        // change is dropped, so the ring dies after the first delivery.
+        eng.set_loss_rate(1.0);
+        eng.run_until_quiescent(SimTime::from_secs(10));
+        let total: usize = (0..4).map(|i| eng.node(NodeId(i)).received.len()).sum();
+        assert_eq!(total, 1);
+        assert_eq!(eng.stats().dropped(), 1); // node 1's forward
+    }
+
+    #[test]
+    fn partition_blocks_directed_link() {
+        let mut eng = ring_engine(4, 1);
+        eng.partition(NodeId(1), NodeId(2));
+        eng.run_until_quiescent(SimTime::from_secs(10));
+        // Token reaches node 1 then dies on the blocked link.
+        assert_eq!(eng.node(NodeId(1)).received.len(), 1);
+        assert_eq!(eng.node(NodeId(2)).received.len(), 0);
+        assert_eq!(eng.stats().dropped(), 1);
+        // Healing restores traffic for a fresh token.
+        eng.heal(NodeId(1), NodeId(2));
+        eng.with_node(NodeId(0), |_, ctx| ctx.send(NodeId(1), Token { hops: 1 }));
+        eng.run_until_quiescent(SimTime::from_secs(20));
+        assert!(eng.node(NodeId(2)).received.len() > 0);
+    }
+
+    #[test]
+    fn pause_parks_and_resume_replays() {
+        let mut eng = ring_engine(4, 1);
+        eng.pause(NodeId(2));
+        eng.run_until_quiescent(SimTime::from_secs(10));
+        assert_eq!(eng.node(NodeId(2)).received.len(), 0);
+        let before = eng.node(NodeId(3)).received.len();
+        assert_eq!(before, 0, "token stalled at the paused node");
+        eng.resume(NodeId(2));
+        eng.run_until_quiescent(SimTime::from_secs(20));
+        assert!(eng.node(NodeId(2)).received.len() > 0);
+        assert!(eng.node(NodeId(3)).received.len() > 0);
+    }
+
+    /// Timer-based protocol for timer semantics tests.
+    struct Ticker {
+        fired: Vec<(u64, SimTime)>,
+        cancel_second: bool,
+        armed: Vec<TimerId>,
+    }
+
+    impl Proto for Ticker {
+        type Msg = Token;
+        fn on_start(&mut self, ctx: &mut dyn Context<Token>) {
+            let a = ctx.set_timer(SimDuration::from_millis(10), 1);
+            let b = ctx.set_timer(SimDuration::from_millis(20), 2);
+            self.armed = vec![a, b];
+            if self.cancel_second {
+                ctx.cancel_timer(b);
+            }
+        }
+        fn on_message(&mut self, _f: NodeId, _m: Token, _c: &mut dyn Context<Token>) {}
+        fn on_timer(&mut self, _t: TimerId, kind: u64, ctx: &mut dyn Context<Token>) {
+            self.fired.push((kind, ctx.now()));
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let nodes = vec![Ticker { fired: vec![], cancel_second: false, armed: vec![] }];
+        let mut eng = SimEngine::new(Topology::lan(1), SimConfig::default(), nodes);
+        eng.run_until_quiescent(SimTime::from_secs(1));
+        let fired = &eng.node(NodeId(0)).fired;
+        assert_eq!(fired.len(), 2);
+        assert_eq!(fired[0], (1, SimTime::from_millis(10)));
+        assert_eq!(fired[1], (2, SimTime::from_millis(20)));
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let nodes = vec![Ticker { fired: vec![], cancel_second: true, armed: vec![] }];
+        let mut eng = SimEngine::new(Topology::lan(1), SimConfig::default(), nodes);
+        eng.run_until_quiescent(SimTime::from_secs(1));
+        let fired = &eng.node(NodeId(0)).fired;
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one protocol instance per topology node")]
+    fn node_count_mismatch_panics() {
+        let _ = SimEngine::new(
+            Topology::lan(3),
+            SimConfig::default(),
+            vec![Ring::new(false)],
+        );
+    }
+}

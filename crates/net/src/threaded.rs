@@ -1,0 +1,516 @@
+//! The threaded runtime: the same [`Proto`] state machines on real threads.
+//!
+//! One OS thread per node plus a router thread. Links are crossbeam
+//! channels; the router holds every in-flight message in a delay heap and
+//! forwards it when its (scaled) latency elapses, so the threaded engine
+//! exhibits the same WAN behaviour as the simulator — just in wall-clock
+//! time and without determinism.
+//!
+//! `time_scale` maps virtual time to wall time (`wall = virtual × scale`), so
+//! integration tests can replay a 100-second PlanetLab scenario in a second.
+
+use crate::proto::{Context, Proto, TimerId, Wire};
+use crate::stats::{NetStats, StatsSnapshot};
+use crate::topology::Topology;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use idea_types::{NodeId, SimDuration, SimTime};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Threaded-engine configuration.
+#[derive(Debug, Clone)]
+pub struct ThreadedConfig {
+    /// Seed for the router's latency sampling and per-node RNGs.
+    pub seed: u64,
+    /// Wall seconds per virtual second. `0.01` replays a 100 s scenario in
+    /// roughly one wall second.
+    pub time_scale: f64,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig { seed: 0, time_scale: 1.0 }
+    }
+}
+
+enum Envelope<P: Proto> {
+    Net { from: NodeId, msg: P::Msg },
+    Invoke(Box<dyn FnOnce(&mut P, &mut dyn Context<P::Msg>) + Send>),
+    Stop,
+}
+
+enum RouterCmd<M> {
+    Send { from: NodeId, to: NodeId, msg: M },
+    Stop,
+}
+
+/// In-flight message inside the router's delay heap.
+struct InFlight<M> {
+    due: Instant,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+}
+
+impl<M> PartialEq for InFlight<M> {
+    fn eq(&self, o: &Self) -> bool {
+        self.due == o.due && self.seq == o.seq
+    }
+}
+impl<M> Eq for InFlight<M> {}
+impl<M> PartialOrd for InFlight<M> {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl<M> Ord for InFlight<M> {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        self.due.cmp(&o.due).then_with(|| self.seq.cmp(&o.seq))
+    }
+}
+
+/// Node-thread context handed to protocol callbacks.
+struct ThreadCtx<'a, M> {
+    me: NodeId,
+    n: usize,
+    start: Instant,
+    scale: f64,
+    router: &'a Sender<RouterCmd<M>>,
+    timers: &'a mut BinaryHeap<Reverse<(Instant, u64, u64)>>,
+    cancelled: &'a mut HashSet<u64>,
+    next_timer: &'a mut u64,
+    rng: &'a mut StdRng,
+}
+
+impl<M> Context<M> for ThreadCtx<'_, M> {
+    fn now(&self) -> SimTime {
+        let wall = self.start.elapsed().as_micros() as f64;
+        SimTime((wall / self.scale) as u64)
+    }
+    fn me(&self) -> NodeId {
+        self.me
+    }
+    fn node_count(&self) -> usize {
+        self.n
+    }
+    fn send(&mut self, to: NodeId, msg: M) {
+        // A closed router means the engine is stopping; drop silently.
+        let _ = self.router.send(RouterCmd::Send { from: self.me, to, msg });
+    }
+    fn set_timer(&mut self, delay: SimDuration, kind: u64) -> TimerId {
+        let id = *self.next_timer;
+        *self.next_timer += 1;
+        let wall = Duration::from_secs_f64(delay.as_secs_f64() * self.scale);
+        self.timers.push(Reverse((Instant::now() + wall, id, kind)));
+        TimerId(id)
+    }
+    fn cancel_timer(&mut self, timer: TimerId) {
+        self.cancelled.insert(timer.0);
+    }
+    fn rng(&mut self) -> &mut dyn RngCore {
+        self.rng
+    }
+}
+
+/// The threaded engine handle. Dropping without [`ThreadedEngine::stop`]
+/// detaches the threads; call `stop` to join and recover node states.
+pub struct ThreadedEngine<P: Proto + 'static> {
+    node_txs: Vec<Sender<Envelope<P>>>,
+    router_tx: Sender<RouterCmd<P::Msg>>,
+    node_handles: Vec<thread::JoinHandle<P>>,
+    router_handle: Option<thread::JoinHandle<()>>,
+    stats: Arc<Mutex<NetStats>>,
+    start: Instant,
+    scale: f64,
+}
+
+impl<P: Proto + 'static> ThreadedEngine<P> {
+    /// Starts one thread per node plus the router, running `on_start` on
+    /// each node thread.
+    pub fn start(topo: Topology, cfg: ThreadedConfig, nodes: Vec<P>) -> Self {
+        assert_eq!(nodes.len(), topo.len(), "one protocol instance per topology node");
+        assert!(cfg.time_scale > 0.0, "time_scale must be positive");
+        let n = nodes.len();
+        let stats = Arc::new(Mutex::new(NetStats::new()));
+        let start = Instant::now();
+
+        let (router_tx, router_rx) = unbounded::<RouterCmd<P::Msg>>();
+        let mut node_txs = Vec::with_capacity(n);
+        let mut node_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Envelope<P>>();
+            node_txs.push(tx);
+            node_rxs.push(rx);
+        }
+
+        // Router thread: delay heap + latency sampling.
+        let router_handle = {
+            let txs = node_txs.clone();
+            let stats = Arc::clone(&stats);
+            let scale = cfg.time_scale;
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0070_07e5);
+            thread::Builder::new()
+                .name("idea-router".into())
+                .spawn(move || {
+                    router_loop(topo, scale, txs, router_rx, stats, &mut rng);
+                })
+                .expect("spawn router")
+        };
+
+        // Node threads.
+        let mut node_handles = Vec::with_capacity(n);
+        for (i, (mut proto, inbox)) in nodes.into_iter().zip(node_rxs).enumerate() {
+            let router = router_tx.clone();
+            let scale = cfg.time_scale;
+            let seed = cfg.seed.wrapping_add(1 + i as u64);
+            let handle = thread::Builder::new()
+                .name(format!("idea-node-{i}"))
+                .spawn(move || {
+                    node_loop(NodeId(i as u32), n, start, scale, &mut proto, inbox, router, seed);
+                    proto
+                })
+                .expect("spawn node");
+            node_handles.push(handle);
+        }
+
+        ThreadedEngine {
+            node_txs,
+            router_tx,
+            node_handles,
+            router_handle: Some(router_handle),
+            stats,
+            start,
+            scale: cfg.time_scale,
+        }
+    }
+
+    /// Current virtual time as observed by the engine.
+    pub fn now(&self) -> SimTime {
+        SimTime((self.start.elapsed().as_micros() as f64 / self.scale) as u64)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.node_txs.len()
+    }
+
+    /// True when the engine has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.node_txs.is_empty()
+    }
+
+    /// Fire-and-forget action on a node (e.g. inject a write).
+    pub fn invoke(
+        &self,
+        id: NodeId,
+        f: impl FnOnce(&mut P, &mut dyn Context<P::Msg>) + Send + 'static,
+    ) {
+        let _ = self.node_txs[id.index()].send(Envelope::Invoke(Box::new(f)));
+    }
+
+    /// Runs `f` on the node thread and waits for its result.
+    pub fn query<R: Send + 'static>(
+        &self,
+        id: NodeId,
+        f: impl FnOnce(&mut P, &mut dyn Context<P::Msg>) -> R + Send + 'static,
+    ) -> R {
+        let (tx, rx) = bounded(1);
+        self.invoke(id, move |p, ctx| {
+            let _ = tx.send(f(p, ctx));
+        });
+        rx.recv().expect("node thread alive")
+    }
+
+    /// Sleeps for `d` of *virtual* time (scaled to wall time).
+    pub fn sleep_virtual(&self, d: SimDuration) {
+        thread::sleep(Duration::from_secs_f64(d.as_secs_f64() * self.scale));
+    }
+
+    /// Snapshot of network statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.lock().snapshot()
+    }
+
+    /// Stops all threads and returns the final node states in id order.
+    pub fn stop(mut self) -> Vec<P> {
+        for tx in &self.node_txs {
+            let _ = tx.send(Envelope::Stop);
+        }
+        let _ = self.router_tx.send(RouterCmd::Stop);
+        if let Some(h) = self.router_handle.take() {
+            let _ = h.join();
+        }
+        self.node_handles
+            .drain(..)
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn node_loop<P: Proto>(
+    me: NodeId,
+    n: usize,
+    start: Instant,
+    scale: f64,
+    proto: &mut P,
+    inbox: Receiver<Envelope<P>>,
+    router: Sender<RouterCmd<P::Msg>>,
+    seed: u64,
+) {
+    let mut timers: BinaryHeap<Reverse<(Instant, u64, u64)>> = BinaryHeap::new();
+    let mut cancelled: HashSet<u64> = HashSet::new();
+    let mut next_timer: u64 = 0;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    macro_rules! ctx {
+        () => {
+            ThreadCtx {
+                me,
+                n,
+                start,
+                scale,
+                router: &router,
+                timers: &mut timers,
+                cancelled: &mut cancelled,
+                next_timer: &mut next_timer,
+                rng: &mut rng,
+            }
+        };
+    }
+
+    {
+        let mut c = ctx!();
+        proto.on_start(&mut c);
+    }
+
+    loop {
+        // Fire due timers first.
+        loop {
+            let due_now = match timers.peek() {
+                Some(Reverse((due, _, _))) => *due <= Instant::now(),
+                None => false,
+            };
+            if !due_now {
+                break;
+            }
+            let Reverse((_, id, kind)) = timers.pop().expect("peeked");
+            if cancelled.remove(&id) {
+                continue;
+            }
+            let mut c = ctx!();
+            proto.on_timer(TimerId(id), kind, &mut c);
+        }
+
+        let timeout = timers
+            .peek()
+            .map(|Reverse((due, _, _))| due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(25));
+
+        match inbox.recv_timeout(timeout) {
+            Ok(Envelope::Net { from, msg }) => {
+                let mut c = ctx!();
+                proto.on_message(from, msg, &mut c);
+            }
+            Ok(Envelope::Invoke(f)) => {
+                let mut c = ctx!();
+                f(proto, &mut c);
+            }
+            Ok(Envelope::Stop) | Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+}
+
+fn router_loop<P: Proto>(
+    topo: Topology,
+    scale: f64,
+    txs: Vec<Sender<Envelope<P>>>,
+    rx: Receiver<RouterCmd<P::Msg>>,
+    stats: Arc<Mutex<NetStats>>,
+    rng: &mut StdRng,
+) {
+    let mut heap: BinaryHeap<Reverse<InFlight<P::Msg>>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    loop {
+        // Forward everything due.
+        loop {
+            let due_now = match heap.peek() {
+                Some(Reverse(f)) => f.due <= Instant::now(),
+                None => false,
+            };
+            if !due_now {
+                break;
+            }
+            let Reverse(f) = heap.pop().expect("peeked");
+            let _ = txs[f.to.index()].send(Envelope::Net { from: f.from, msg: f.msg });
+        }
+
+        let timeout = heap
+            .peek()
+            .map(|Reverse(f)| f.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(25));
+
+        match rx.recv_timeout(timeout) {
+            Ok(RouterCmd::Send { from, to, msg }) => {
+                stats.lock().record(msg.class(), msg.wire_size() as u64);
+                let virt = if from == to {
+                    SimDuration::from_micros(50)
+                } else {
+                    topo.sample_delay(from, to, rng)
+                };
+                let wall = Duration::from_secs_f64(virt.as_secs_f64() * scale);
+                heap.push(Reverse(InFlight {
+                    due: Instant::now() + wall,
+                    seq,
+                    from,
+                    to,
+                    msg,
+                }));
+                seq += 1;
+            }
+            Ok(RouterCmd::Stop) | Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+    // Flush anything still queued so late messages are not lost on stop.
+    while let Some(Reverse(f)) = heap.pop() {
+        let _ = txs[f.to.index()].send(Envelope::Net { from: f.from, msg: f.msg });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MsgClass;
+
+    #[derive(Debug, Clone)]
+    struct Token {
+        hops: u32,
+    }
+
+    impl Wire for Token {
+        fn class(&self) -> MsgClass {
+            MsgClass::App
+        }
+    }
+
+    struct Ring {
+        received: u32,
+        laps: u32,
+    }
+
+    impl Proto for Ring {
+        type Msg = Token;
+        fn on_message(&mut self, _from: NodeId, msg: Token, ctx: &mut dyn Context<Token>) {
+            self.received += 1;
+            if msg.hops < self.laps * ctx.node_count() as u32 {
+                let next = NodeId((ctx.me().0 + 1) % ctx.node_count() as u32);
+                ctx.send(next, Token { hops: msg.hops + 1 });
+            }
+        }
+    }
+
+    #[test]
+    fn token_ring_runs_on_threads() {
+        let n = 4;
+        let nodes: Vec<Ring> = (0..n).map(|_| Ring { received: 0, laps: 3 }).collect();
+        let eng = ThreadedEngine::start(
+            Topology::lan(n),
+            ThreadedConfig { seed: 1, time_scale: 1.0 },
+            nodes,
+        );
+        eng.invoke(NodeId(0), |_, ctx| ctx.send(NodeId(1), Token { hops: 1 }));
+        // 12 hops at 0.5 ms each — give it ample wall time.
+        thread::sleep(Duration::from_millis(400));
+        let received = eng.query(NodeId(1), |p, _| p.received);
+        assert!(received >= 1);
+        let states = eng.stop();
+        let total: u32 = states.iter().map(|p| p.received).sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn stats_are_shared_and_counted() {
+        let nodes: Vec<Ring> = (0..2).map(|_| Ring { received: 0, laps: 1 }).collect();
+        let eng = ThreadedEngine::start(
+            Topology::lan(2),
+            ThreadedConfig { seed: 2, time_scale: 1.0 },
+            nodes,
+        );
+        eng.invoke(NodeId(0), |_, ctx| ctx.send(NodeId(1), Token { hops: 1 }));
+        thread::sleep(Duration::from_millis(200));
+        let snap = eng.stats();
+        let app = snap
+            .per_class
+            .iter()
+            .find(|(c, _, _)| *c == MsgClass::App)
+            .map(|(_, m, _)| *m)
+            .unwrap_or(0);
+        assert_eq!(app, 2); // initial send + one forward
+        eng.stop();
+    }
+
+    struct Alarm {
+        fired: Vec<u64>,
+    }
+
+    impl Proto for Alarm {
+        type Msg = Token;
+        fn on_start(&mut self, ctx: &mut dyn Context<Token>) {
+            ctx.set_timer(SimDuration::from_millis(5), 7);
+            let t = ctx.set_timer(SimDuration::from_millis(10), 8);
+            ctx.cancel_timer(t);
+        }
+        fn on_message(&mut self, _f: NodeId, _m: Token, _c: &mut dyn Context<Token>) {}
+        fn on_timer(&mut self, _t: TimerId, kind: u64, _c: &mut dyn Context<Token>) {
+            self.fired.push(kind);
+        }
+    }
+
+    #[test]
+    fn timers_fire_and_cancel_on_threads() {
+        let eng = ThreadedEngine::start(
+            Topology::lan(1),
+            ThreadedConfig { seed: 3, time_scale: 1.0 },
+            vec![Alarm { fired: vec![] }],
+        );
+        thread::sleep(Duration::from_millis(120));
+        let states = eng.stop();
+        assert_eq!(states[0].fired, vec![7]);
+    }
+
+    #[test]
+    fn virtual_time_respects_scale() {
+        let eng = ThreadedEngine::start(
+            Topology::lan(1),
+            ThreadedConfig { seed: 4, time_scale: 0.01 },
+            vec![Alarm { fired: vec![] }],
+        );
+        thread::sleep(Duration::from_millis(50));
+        // 50 ms of wall time at scale 0.01 is ~5 s of virtual time.
+        let now = eng.now();
+        assert!(now >= SimTime::from_secs(4), "virtual now {now}");
+        eng.stop();
+    }
+
+    #[test]
+    fn query_round_trips() {
+        let eng = ThreadedEngine::start(
+            Topology::lan(2),
+            ThreadedConfig::default(),
+            vec![Ring { received: 0, laps: 1 }, Ring { received: 0, laps: 1 }],
+        );
+        let me = eng.query(NodeId(1), |_, ctx| ctx.me());
+        assert_eq!(me, NodeId(1));
+        assert_eq!(eng.len(), 2);
+        eng.stop();
+    }
+}

@@ -1,0 +1,281 @@
+//! Lightweight probabilistic broadcast for the bottom layer.
+//!
+//! "In the bottom layer, it uses gossip-based protocol [6] to check in the
+//! background any missed inconsistency by the top-layer" (§4.3), with a TTL
+//! bounding the traversal so detection delay stays bounded (§4.4.2:
+//! "Currently, we use TTL (Time to Live) to control the traversal of the
+//! bottom-layer detection messages").
+//!
+//! [`GossipRouter`] is engine-agnostic: the caller hands it received rumor
+//! ids and it answers with the forwarding decision; the detection protocol
+//! (in `idea-detect`) turns those decisions into actual messages.
+
+use idea_types::NodeId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Gossip configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GossipConfig {
+    /// Number of peers each node forwards a fresh rumor to.
+    pub fanout: usize,
+    /// Initial time-to-live (hop budget) of a rumor.
+    pub ttl: u8,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig { fanout: 3, ttl: 4 }
+    }
+}
+
+/// Unique rumor identity: (origin node, origin-local sequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RumorId {
+    /// Node that started the rumor.
+    pub origin: NodeId,
+    /// Origin-local sequence number.
+    pub seq: u64,
+}
+
+/// Forwarding decision for one received rumor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Relay {
+    /// Forward to these peers with the decremented TTL.
+    Forward {
+        /// Chosen peers.
+        to: Vec<NodeId>,
+        /// TTL to stamp on the forwarded copies.
+        ttl: u8,
+    },
+    /// Already seen or TTL exhausted: drop.
+    Drop,
+}
+
+/// Per-node gossip state: duplicate suppression plus fanout selection.
+#[derive(Debug, Clone)]
+pub struct GossipRouter {
+    cfg: GossipConfig,
+    me: NodeId,
+    seen: HashSet<RumorId>,
+    next_seq: u64,
+}
+
+impl GossipRouter {
+    /// Builds a router for node `me`.
+    pub fn new(me: NodeId, cfg: GossipConfig) -> Self {
+        GossipRouter { cfg, me, seen: HashSet::new(), next_seq: 0 }
+    }
+
+    /// The router's configuration.
+    pub fn config(&self) -> GossipConfig {
+        self.cfg
+    }
+
+    /// Starts a new rumor; returns its id, the initial TTL, and the first
+    /// hop targets chosen from `peers`.
+    pub fn originate<R: Rng + ?Sized>(
+        &mut self,
+        peers: &[NodeId],
+        rng: &mut R,
+    ) -> (RumorId, u8, Vec<NodeId>) {
+        let id = RumorId { origin: self.me, seq: self.next_seq };
+        self.next_seq += 1;
+        self.seen.insert(id);
+        let to = self.pick_peers(peers, rng);
+        (id, self.cfg.ttl, to)
+    }
+
+    /// Processes a received rumor copy and decides whether to relay it.
+    pub fn on_receive<R: Rng + ?Sized>(
+        &mut self,
+        id: RumorId,
+        ttl: u8,
+        peers: &[NodeId],
+        rng: &mut R,
+    ) -> Relay {
+        if !self.seen.insert(id) {
+            return Relay::Drop;
+        }
+        if ttl == 0 {
+            return Relay::Drop;
+        }
+        let to = self.pick_peers(peers, rng);
+        if to.is_empty() {
+            Relay::Drop
+        } else {
+            Relay::Forward { to, ttl: ttl - 1 }
+        }
+    }
+
+    /// True when this node has already processed the rumor.
+    pub fn has_seen(&self, id: RumorId) -> bool {
+        self.seen.contains(&id)
+    }
+
+    /// Number of distinct rumors processed.
+    pub fn seen_count(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Uniformly picks up to `fanout` distinct peers, never `me`.
+    fn pick_peers<R: Rng + ?Sized>(&self, peers: &[NodeId], rng: &mut R) -> Vec<NodeId> {
+        let mut pool: Vec<NodeId> = peers.iter().copied().filter(|&p| p != self.me).collect();
+        let k = self.cfg.fanout.min(pool.len());
+        // Partial Fisher–Yates: the first k slots become the choice.
+        for i in 0..k {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+}
+
+/// Synchronous spread simulation used by tests and the coverage ablation:
+/// starting from `origin`, how many of `n` nodes receive the rumor, and in
+/// how many hops? Message loss is left to the network engines; this models
+/// the pure protocol.
+pub fn simulate_spread<R: Rng + ?Sized>(
+    n: usize,
+    origin: NodeId,
+    cfg: GossipConfig,
+    rng: &mut R,
+) -> (usize, usize, usize) {
+    let peers: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    let mut routers: Vec<GossipRouter> =
+        (0..n as u32).map(|i| GossipRouter::new(NodeId(i), cfg)).collect();
+    let (id, ttl, first) = routers[origin.index()].originate(&peers, rng);
+    let mut frontier: Vec<(NodeId, u8)> = first.into_iter().map(|t| (t, ttl)).collect();
+    let mut messages = frontier.len();
+    let mut hops = 0;
+    while !frontier.is_empty() {
+        hops += 1;
+        let mut next = Vec::new();
+        for (node, ttl) in frontier {
+            match routers[node.index()].on_receive(id, ttl, &peers, rng) {
+                Relay::Forward { to, ttl } => {
+                    messages += to.len();
+                    next.extend(to.into_iter().map(|t| (t, ttl)));
+                }
+                Relay::Drop => {}
+            }
+        }
+        frontier = next;
+    }
+    let covered = routers.iter().filter(|r| r.has_seen(id)).count();
+    (covered, hops, messages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn originate_marks_seen_and_picks_fanout() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let peers: Vec<NodeId> = (0..10u32).map(NodeId).collect();
+        let mut r = GossipRouter::new(NodeId(0), GossipConfig { fanout: 3, ttl: 4 });
+        let (id, ttl, to) = r.originate(&peers, &mut rng);
+        assert_eq!(ttl, 4);
+        assert_eq!(to.len(), 3);
+        assert!(!to.contains(&NodeId(0)), "never forwards to self");
+        assert!(r.has_seen(id));
+        // Distinct targets.
+        let mut t = to.clone();
+        t.sort_unstable();
+        t.dedup();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let peers: Vec<NodeId> = (0..5u32).map(NodeId).collect();
+        let mut r = GossipRouter::new(NodeId(1), GossipConfig::default());
+        let id = RumorId { origin: NodeId(0), seq: 9 };
+        let first = r.on_receive(id, 3, &peers, &mut rng);
+        assert!(matches!(first, Relay::Forward { .. }));
+        let second = r.on_receive(id, 3, &peers, &mut rng);
+        assert_eq!(second, Relay::Drop);
+        assert_eq!(r.seen_count(), 1);
+    }
+
+    #[test]
+    fn ttl_zero_is_terminal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let peers: Vec<NodeId> = (0..5u32).map(NodeId).collect();
+        let mut r = GossipRouter::new(NodeId(1), GossipConfig::default());
+        let id = RumorId { origin: NodeId(0), seq: 1 };
+        assert_eq!(r.on_receive(id, 0, &peers, &mut rng), Relay::Drop);
+        // Still marked seen so a later copy with budget is also dropped.
+        assert_eq!(r.on_receive(id, 5, &peers, &mut rng), Relay::Drop);
+    }
+
+    #[test]
+    fn forwarded_ttl_decrements() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let peers: Vec<NodeId> = (0..6u32).map(NodeId).collect();
+        let mut r = GossipRouter::new(NodeId(2), GossipConfig { fanout: 2, ttl: 8 });
+        match r.on_receive(RumorId { origin: NodeId(0), seq: 0 }, 5, &peers, &mut rng) {
+            Relay::Forward { ttl, to } => {
+                assert_eq!(ttl, 4);
+                assert_eq!(to.len(), 2);
+            }
+            Relay::Drop => panic!("fresh rumor with budget must forward"),
+        }
+    }
+
+    #[test]
+    fn spread_covers_most_nodes_with_modest_ttl() {
+        // lpbcast's pitch: fanout 3, TTL ~log(n) reaches nearly everyone.
+        let mut rng = StdRng::seed_from_u64(7);
+        let (covered, hops, messages) =
+            simulate_spread(64, NodeId(0), GossipConfig { fanout: 3, ttl: 6 }, &mut rng);
+        assert!(covered > 57, "covered only {covered}/64");
+        assert!(hops <= 7);
+        assert!(messages < 64 * 4, "messages {messages} should stay near n·fanout");
+    }
+
+    #[test]
+    fn ttl_bounds_hops() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (_, hops, _) =
+            simulate_spread(128, NodeId(0), GossipConfig { fanout: 2, ttl: 3 }, &mut rng);
+        assert!(hops <= 4, "TTL 3 allows at most 4 delivery waves, got {hops}");
+    }
+
+    #[test]
+    fn tiny_ttl_limits_coverage() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (covered, _, _) =
+            simulate_spread(128, NodeId(0), GossipConfig { fanout: 2, ttl: 1 }, &mut rng);
+        // origin + 2 first-hop + ≤4 second-hop.
+        assert!(covered <= 7, "covered {covered}");
+    }
+
+    proptest! {
+        #[test]
+        fn spread_never_exceeds_population(n in 2usize..80, seed in 0u64..32,
+                                           fanout in 1usize..5, ttl in 0u8..6) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (covered, _, _) =
+                simulate_spread(n, NodeId(0), GossipConfig { fanout, ttl }, &mut rng);
+            prop_assert!(covered <= n);
+            prop_assert!(covered >= 1); // origin always counts
+        }
+
+        #[test]
+        fn message_complexity_is_fanout_bounded(n in 4usize..64, seed in 0u64..16) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cfg = GossipConfig { fanout: 3, ttl: 5 };
+            let (_, _, messages) = simulate_spread(n, NodeId(0), cfg, &mut rng);
+            // Each node forwards a rumor at most once to ≤ fanout peers.
+            prop_assert!(messages <= n * cfg.fanout);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! The replicated object store substrate.
+//!
+//! IDEA "is assumed to work with a general distributed file system that
+//! handles the ordinary read/write operations" (§2); this crate is that
+//! substrate. Each node holds a [`Replica`] per shared object: an ordered
+//! log of applied [`Update`]s, the matching
+//! [`ExtendedVersionVector`], checkpoints for the rollback path of §4.4.2,
+//! and the transfer helpers resolution uses to ship missing updates.
+//!
+//! [`NodeStore`] bundles one node's replicas behind the read/write API the
+//! applications call; IDEA sits on top, consulted on writes and reads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod replica;
+pub mod store;
+
+pub use replica::{ApplyOutcome, Checkpoint, Replica};
+pub use store::{NodeStore, Snapshot};

@@ -1,0 +1,463 @@
+//! One node's replica of one shared object.
+
+use idea_types::{IdeaError, ObjectId, Result, SimTime, Update, UpdateId, WriterId};
+use idea_vv::ExtendedVersionVector;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Result of offering an update to a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyOutcome {
+    /// The update extended the log.
+    Applied,
+    /// The update was buffered: an earlier update of the same writer is
+    /// still missing (network reordering).
+    Buffered,
+    /// The update was already present (duplicate delivery).
+    Duplicate,
+}
+
+/// A restorable point in a replica's history (rollback support, §4.4.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Log length at checkpoint time.
+    log_len: usize,
+    /// Virtual time the checkpoint was taken.
+    pub at: SimTime,
+}
+
+/// A replica: the applied update log plus its extended version vector.
+#[derive(Debug, Clone)]
+pub struct Replica {
+    object: ObjectId,
+    log: Vec<Update>,
+    evv: ExtendedVersionVector,
+    /// Out-of-order arrivals waiting for their per-writer predecessor,
+    /// keyed by (writer, seq).
+    pending: BTreeMap<(WriterId, u64), Update>,
+}
+
+impl Replica {
+    /// An empty replica of `object`.
+    pub fn new(object: ObjectId) -> Self {
+        Replica {
+            object,
+            log: Vec::new(),
+            evv: ExtendedVersionVector::new(),
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// The object this replica holds.
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
+    /// The applied update log, in application order.
+    pub fn log(&self) -> &[Update] {
+        &self.log
+    }
+
+    /// Number of applied updates.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// True when no update has been applied.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// The extended version vector describing this replica.
+    pub fn version(&self) -> &ExtendedVersionVector {
+        &self.evv
+    }
+
+    /// Current critical-metadata value.
+    pub fn meta(&self) -> i64 {
+        self.evv.meta()
+    }
+
+    /// Number of updates buffered waiting for predecessors.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when the update has been applied (not merely buffered).
+    pub fn has(&self, id: UpdateId) -> bool {
+        self.evv.count(id.writer) >= id.seq
+    }
+
+    /// Offers an update. Out-of-order updates (per writer) are buffered and
+    /// drained automatically once the gap closes.
+    ///
+    /// # Errors
+    /// Rejects updates for a different object.
+    pub fn apply(&mut self, update: Update) -> Result<ApplyOutcome> {
+        if update.object != self.object {
+            return Err(IdeaError::UnknownObject(update.object));
+        }
+        let have = self.evv.count(update.writer());
+        if update.seq() <= have {
+            return Ok(ApplyOutcome::Duplicate);
+        }
+        if update.seq() > have + 1 {
+            self.pending.insert((update.writer(), update.seq()), update);
+            return Ok(ApplyOutcome::Buffered);
+        }
+        self.apply_in_order(update);
+        self.drain_pending();
+        Ok(ApplyOutcome::Applied)
+    }
+
+    fn apply_in_order(&mut self, update: Update) {
+        self.evv
+            .record(update.writer(), update.seq(), update.at, update.meta_delta);
+        self.log.push(update);
+    }
+
+    fn drain_pending(&mut self) {
+        loop {
+            let mut next: Option<(WriterId, u64)> = None;
+            for &(w, s) in self.pending.keys() {
+                if self.evv.count(w) + 1 == s {
+                    next = Some((w, s));
+                    break;
+                }
+            }
+            match next {
+                Some(key) => {
+                    let u = self.pending.remove(&key).expect("key just found");
+                    self.apply_in_order(u);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Updates this replica holds that `peer` (described by its vector) is
+    /// missing — the transfer batch resolution ships (§4.5.2: members
+    /// "update their copies by acquiring any missing updates").
+    pub fn updates_missing_at(&self, peer: &ExtendedVersionVector) -> Vec<Update> {
+        self.log
+            .iter()
+            .filter(|u| peer.count(u.writer()) < u.seq())
+            .cloned()
+            .collect()
+    }
+
+    /// Replaces this replica's content with the reference state: applied
+    /// log and vector become exactly the reference's. Extra local updates
+    /// (not sanctioned by the reference) are returned so the caller can
+    /// surface them to the application (e.g. re-issue or discard).
+    pub fn reconcile_to(&mut self, reference_log: &[Update]) -> Vec<Update> {
+        let mut evv = ExtendedVersionVector::new();
+        for u in reference_log {
+            evv.record(u.writer(), u.seq(), u.at, u.meta_delta);
+        }
+        let extras = self
+            .log
+            .iter()
+            .filter(|u| evv.count(u.writer()) < u.seq())
+            .cloned()
+            .collect();
+        self.log = reference_log.to_vec();
+        self.evv = evv;
+        self.pending.clear();
+        extras
+    }
+
+    /// Updates this replica holds beyond the per-writer `counts` — the
+    /// transfer batch for a peer that advertised bare counters.
+    pub fn updates_beyond(&self, counts: &idea_vv::VersionVector) -> Vec<Update> {
+        self.log
+            .iter()
+            .filter(|u| u.seq() > counts.get(u.writer()))
+            .cloned()
+            .collect()
+    }
+
+    /// Drops every applied update beyond the per-writer `counts` — the
+    /// "loser invalidation" step of resolution: after a reference state is
+    /// chosen, updates the reference never sanctioned are rolled back
+    /// (§4.5.1, *invalidate both* and the losing side of *user-ID based*).
+    /// Returns the invalidated updates.
+    pub fn drop_extras(&mut self, counts: &idea_vv::VersionVector) -> Vec<Update> {
+        let (keep, dropped): (Vec<Update>, Vec<Update>) = self
+            .log
+            .drain(..)
+            .partition(|u| u.seq() <= counts.get(u.writer()));
+        let mut evv = ExtendedVersionVector::new();
+        for u in &keep {
+            evv.record(u.writer(), u.seq(), u.at, u.meta_delta);
+        }
+        self.log = keep;
+        self.evv = evv;
+        self.pending.clear();
+        dropped
+    }
+
+    /// Takes a checkpoint that [`Replica::rollback`] can later restore.
+    pub fn checkpoint(&self, at: SimTime) -> Checkpoint {
+        Checkpoint { log_len: self.log.len(), at }
+    }
+
+    /// Rolls back to `cp`, discarding every update applied after it and
+    /// returning the discarded suffix (newest last).
+    ///
+    /// # Errors
+    /// Fails if the checkpoint is ahead of the current log (it belongs to a
+    /// different replica or the log was already reconciled shorter).
+    pub fn rollback(&mut self, cp: &Checkpoint) -> Result<Vec<Update>> {
+        if cp.log_len > self.log.len() {
+            return Err(IdeaError::RollbackBeyondLog);
+        }
+        let dropped: Vec<Update> = self.log.split_off(cp.log_len);
+        let mut evv = ExtendedVersionVector::new();
+        for u in &self.log {
+            evv.record(u.writer(), u.seq(), u.at, u.meta_delta);
+        }
+        self.evv = evv;
+        self.pending.clear();
+        Ok(dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idea_types::UpdatePayload;
+    use proptest::prelude::*;
+
+    const OBJ: ObjectId = ObjectId(7);
+
+    fn upd(writer: u32, seq: u64, at_s: u64, delta: i64) -> Update {
+        Update {
+            object: OBJ,
+            id: UpdateId { writer: WriterId(writer), seq },
+            at: SimTime::from_secs(at_s),
+            meta_delta: delta,
+            payload: UpdatePayload::Opaque(bytes::Bytes::new()),
+        }
+    }
+
+    #[test]
+    fn in_order_apply_extends_log() {
+        let mut r = Replica::new(OBJ);
+        assert_eq!(r.apply(upd(0, 1, 1, 5)).unwrap(), ApplyOutcome::Applied);
+        assert_eq!(r.apply(upd(0, 2, 2, 3)).unwrap(), ApplyOutcome::Applied);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.meta(), 8);
+        assert!(r.has(UpdateId { writer: WriterId(0), seq: 2 }));
+        assert!(!r.has(UpdateId { writer: WriterId(0), seq: 3 }));
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut r = Replica::new(OBJ);
+        r.apply(upd(0, 1, 1, 5)).unwrap();
+        assert_eq!(r.apply(upd(0, 1, 1, 5)).unwrap(), ApplyOutcome::Duplicate);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.meta(), 5);
+    }
+
+    #[test]
+    fn out_of_order_buffers_then_drains() {
+        let mut r = Replica::new(OBJ);
+        assert_eq!(r.apply(upd(0, 3, 3, 1)).unwrap(), ApplyOutcome::Buffered);
+        assert_eq!(r.apply(upd(0, 2, 2, 1)).unwrap(), ApplyOutcome::Buffered);
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.pending_len(), 2);
+        assert_eq!(r.apply(upd(0, 1, 1, 1)).unwrap(), ApplyOutcome::Applied);
+        assert_eq!(r.len(), 3, "gap closed, buffer drained");
+        assert_eq!(r.pending_len(), 0);
+        assert_eq!(r.version().count(WriterId(0)), 3);
+    }
+
+    #[test]
+    fn wrong_object_is_rejected() {
+        let mut r = Replica::new(OBJ);
+        let mut u = upd(0, 1, 1, 1);
+        u.object = ObjectId(99);
+        assert!(matches!(r.apply(u), Err(IdeaError::UnknownObject(_))));
+    }
+
+    #[test]
+    fn transfer_batch_is_exact_gap() {
+        let mut a = Replica::new(OBJ);
+        let mut b = Replica::new(OBJ);
+        for s in 1..=4 {
+            a.apply(upd(0, s, s, 1)).unwrap();
+        }
+        b.apply(upd(0, 1, 1, 1)).unwrap();
+        b.apply(upd(1, 1, 2, 1)).unwrap();
+        let batch = a.updates_missing_at(b.version());
+        assert_eq!(batch.len(), 3);
+        assert!(batch.iter().all(|u| u.writer() == WriterId(0) && u.seq() >= 2));
+        // Applying the batch converges a's updates into b.
+        for u in batch {
+            b.apply(u).unwrap();
+        }
+        assert_eq!(b.version().count(WriterId(0)), 4);
+    }
+
+    #[test]
+    fn reconcile_adopts_reference_and_reports_extras() {
+        let mut reference = Replica::new(OBJ);
+        reference.apply(upd(0, 1, 1, 1)).unwrap();
+        reference.apply(upd(1, 1, 2, 2)).unwrap();
+
+        let mut r = Replica::new(OBJ);
+        r.apply(upd(0, 1, 1, 1)).unwrap();
+        r.apply(upd(2, 1, 3, 7)).unwrap(); // the extra the reference lacks
+
+        let extras = r.reconcile_to(reference.log());
+        assert_eq!(extras.len(), 1);
+        assert_eq!(extras[0].writer(), WriterId(2));
+        assert_eq!(r.log(), reference.log());
+        assert_eq!(r.meta(), reference.meta());
+        assert!(r.version().triple_against(reference.version()).is_zero());
+    }
+
+    #[test]
+    fn drop_extras_truncates_to_sanctioned_counts() {
+        let mut r = Replica::new(OBJ);
+        r.apply(upd(0, 1, 1, 1)).unwrap();
+        r.apply(upd(0, 2, 2, 2)).unwrap();
+        r.apply(upd(1, 1, 3, 4)).unwrap();
+        // Reference sanctions only w0:1 — w0's second update and all of w1
+        // are invalidated.
+        let counts = idea_vv::VersionVector::from_pairs([(WriterId(0), 1)]);
+        let dropped = r.drop_extras(&counts);
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.meta(), 1);
+        assert_eq!(r.version().count(WriterId(0)), 1);
+        assert_eq!(r.version().count(WriterId(1)), 0);
+        // Idempotent once truncated.
+        assert!(r.drop_extras(&counts).is_empty());
+    }
+
+    #[test]
+    fn rollback_restores_prefix() {
+        let mut r = Replica::new(OBJ);
+        r.apply(upd(0, 1, 1, 1)).unwrap();
+        r.apply(upd(0, 2, 2, 10)).unwrap();
+        let cp = r.checkpoint(SimTime::from_secs(2));
+        r.apply(upd(1, 1, 3, 100)).unwrap();
+        r.apply(upd(0, 3, 4, 1000)).unwrap();
+        assert_eq!(r.meta(), 1111);
+
+        let dropped = r.rollback(&cp).unwrap();
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.meta(), 11);
+        assert_eq!(r.version().count(WriterId(1)), 0);
+    }
+
+    #[test]
+    fn rollback_beyond_log_fails() {
+        let mut r = Replica::new(OBJ);
+        r.apply(upd(0, 1, 1, 1)).unwrap();
+        let cp = r.checkpoint(SimTime::from_secs(1));
+        let reference = Replica::new(OBJ);
+        r.reconcile_to(reference.log()); // log now shorter than checkpoint
+        assert_eq!(r.rollback(&cp), Err(IdeaError::RollbackBeyondLog));
+    }
+
+    #[test]
+    fn checkpoint_then_noop_rollback_is_identity() {
+        let mut r = Replica::new(OBJ);
+        r.apply(upd(0, 1, 1, 4)).unwrap();
+        let cp = r.checkpoint(SimTime::from_secs(1));
+        let before_log = r.log().to_vec();
+        let dropped = r.rollback(&cp).unwrap();
+        assert!(dropped.is_empty());
+        assert_eq!(r.log(), &before_log[..]);
+    }
+
+    /// Random per-writer streams delivered in arbitrary interleavings.
+    fn arb_streams() -> impl Strategy<Value = Vec<Update>> {
+        prop::collection::vec((0u32..4, 1u64..60, -4i64..5), 1..40).prop_map(|raw| {
+            let mut next_seq = [1u64; 4];
+            let mut out = Vec::new();
+            for (w, at, delta) in raw {
+                let seq = next_seq[w as usize];
+                next_seq[w as usize] += 1;
+                out.push(upd(w, seq, at, delta));
+            }
+            out
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn any_delivery_order_converges(updates in arb_streams(), seed in 0u64..32) {
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+            let mut in_order = Replica::new(OBJ);
+            for u in &updates {
+                in_order.apply(u.clone()).unwrap();
+            }
+
+            let mut shuffled = updates.clone();
+            shuffled.shuffle(&mut rng);
+            let mut reordered = Replica::new(OBJ);
+            for u in shuffled {
+                reordered.apply(u).unwrap();
+            }
+
+            prop_assert_eq!(reordered.pending_len(), 0);
+            prop_assert_eq!(reordered.meta(), in_order.meta());
+            prop_assert!(reordered
+                .version()
+                .triple_against(in_order.version())
+                .is_zero());
+        }
+
+        #[test]
+        fn anti_entropy_exchange_converges(updates in arb_streams(), split in 0usize..40) {
+            // Partition the stream between two replicas, then exchange
+            // missing batches both ways: they must end identical.
+            let cut = split.min(updates.len());
+            let mut a = Replica::new(OBJ);
+            let mut b = Replica::new(OBJ);
+            for u in &updates[..cut] {
+                a.apply(u.clone()).unwrap();
+            }
+            for u in &updates[cut..] {
+                b.apply(u.clone()).unwrap();
+            }
+            for u in a.updates_missing_at(b.version()) {
+                b.apply(u).unwrap();
+            }
+            for u in b.updates_missing_at(a.version()) {
+                a.apply(u).unwrap();
+            }
+            prop_assert_eq!(a.pending_len(), 0);
+            prop_assert_eq!(b.pending_len(), 0);
+            prop_assert!(a.version().triple_against(b.version()).is_zero());
+            prop_assert_eq!(a.meta(), b.meta());
+        }
+
+        #[test]
+        fn rollback_is_exact_inverse(updates in arb_streams(), cut in 0usize..40) {
+            let mut r = Replica::new(OBJ);
+            let cut = cut.min(updates.len());
+            for u in &updates[..cut] {
+                r.apply(u.clone()).unwrap();
+            }
+            let snapshot_log = r.log().to_vec();
+            let snapshot_meta = r.meta();
+            let cp = r.checkpoint(SimTime::from_secs(999));
+            for u in &updates[cut..] {
+                r.apply(u.clone()).unwrap();
+            }
+            r.rollback(&cp).unwrap();
+            prop_assert_eq!(r.log(), &snapshot_log[..]);
+            prop_assert_eq!(r.meta(), snapshot_meta);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! One node's store: every replica it hosts, behind a read/write API.
+
+use crate::replica::{ApplyOutcome, Replica};
+use idea_types::{
+    IdeaError, NodeId, ObjectId, Result, SimTime, Update, UpdateId, UpdatePayload, WriterId,
+};
+use idea_vv::ExtendedVersionVector;
+use std::collections::BTreeMap;
+
+/// What a read returns: the replica's current value view.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The object read.
+    pub object: ObjectId,
+    /// Number of updates reflected in the snapshot.
+    pub updates: usize,
+    /// Critical metadata value at read time.
+    pub meta: i64,
+    /// The replica's extended version vector at read time.
+    pub version: ExtendedVersionVector,
+    /// Timestamp of the most recent local application (issue time of the
+    /// newest update), if any.
+    pub latest_update: Option<SimTime>,
+}
+
+/// All replicas hosted by one node.
+#[derive(Debug, Clone)]
+pub struct NodeStore {
+    node: NodeId,
+    /// The writer identity used for this node's local writes.
+    writer: WriterId,
+    replicas: BTreeMap<ObjectId, Replica>,
+    /// Next local sequence number per object.
+    next_seq: BTreeMap<ObjectId, u64>,
+}
+
+impl NodeStore {
+    /// A store for `node`, writing as `writer`.
+    pub fn new(node: NodeId, writer: WriterId) -> Self {
+        NodeStore { node, writer, replicas: BTreeMap::new(), next_seq: BTreeMap::new() }
+    }
+
+    /// The owning node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The local writer identity.
+    pub fn writer(&self) -> WriterId {
+        self.writer
+    }
+
+    /// Creates (or returns) the replica of `object`.
+    pub fn open(&mut self, object: ObjectId) -> &mut Replica {
+        self.replicas.entry(object).or_insert_with(|| Replica::new(object))
+    }
+
+    /// Immutable access to a replica.
+    pub fn replica(&self, object: ObjectId) -> Result<&Replica> {
+        self.replicas.get(&object).ok_or(IdeaError::UnknownObject(object))
+    }
+
+    /// Mutable access to a replica.
+    pub fn replica_mut(&mut self, object: ObjectId) -> Result<&mut Replica> {
+        self.replicas.get_mut(&object).ok_or(IdeaError::UnknownObject(object))
+    }
+
+    /// Objects hosted by this node.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        self.replicas.keys().copied().collect()
+    }
+
+    /// Issues a local write: assigns the next sequence number, applies it to
+    /// the local replica and returns the update for dissemination.
+    pub fn write(
+        &mut self,
+        object: ObjectId,
+        at: SimTime,
+        meta_delta: i64,
+        payload: UpdatePayload,
+    ) -> Update {
+        let seq = self.next_seq.entry(object).or_insert(1);
+        let update = Update {
+            object,
+            id: UpdateId { writer: self.writer, seq: *seq },
+            at,
+            meta_delta,
+            payload,
+        };
+        *seq += 1;
+        let replica = self.open(object);
+        let outcome = replica.apply(update.clone()).expect("own write applies");
+        debug_assert_eq!(outcome, ApplyOutcome::Applied, "local writes are in order");
+        update
+    }
+
+    /// Applies a remote update to the local replica.
+    ///
+    /// # Errors
+    /// Fails when no replica of the object exists (`open` it first).
+    pub fn ingest(&mut self, update: Update) -> Result<ApplyOutcome> {
+        let replica = self
+            .replicas
+            .get_mut(&update.object)
+            .ok_or(IdeaError::UnknownObject(update.object))?;
+        replica.apply(update)
+    }
+
+    /// Reads the current snapshot of `object`.
+    ///
+    /// # Errors
+    /// Fails when no replica of the object exists.
+    pub fn read(&self, object: ObjectId) -> Result<Snapshot> {
+        let r = self.replica(object)?;
+        Ok(Snapshot {
+            object,
+            updates: r.len(),
+            meta: r.meta(),
+            version: r.version().clone(),
+            latest_update: r.version().latest_update_time(),
+        })
+    }
+
+    /// Resets the local write sequence to continue after `seq` (used after a
+    /// reconciliation re-sequenced this writer's extra updates).
+    pub fn resume_writes_after(&mut self, object: ObjectId, seq: u64) {
+        self.next_seq.insert(object, seq + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn store(node: u32) -> NodeStore {
+        NodeStore::new(NodeId(node), WriterId(node))
+    }
+
+    fn payload() -> UpdatePayload {
+        UpdatePayload::Opaque(Bytes::new())
+    }
+
+    #[test]
+    fn writes_assign_consecutive_seqs() {
+        let mut s = store(0);
+        s.open(ObjectId(1));
+        let u1 = s.write(ObjectId(1), SimTime::from_secs(1), 5, payload());
+        let u2 = s.write(ObjectId(1), SimTime::from_secs(2), 5, payload());
+        assert_eq!(u1.seq(), 1);
+        assert_eq!(u2.seq(), 2);
+        assert_eq!(u1.writer(), WriterId(0));
+        let snap = s.read(ObjectId(1)).unwrap();
+        assert_eq!(snap.updates, 2);
+        assert_eq!(snap.meta, 10);
+        assert_eq!(snap.latest_update, Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn seqs_are_per_object() {
+        let mut s = store(0);
+        s.open(ObjectId(1));
+        s.open(ObjectId(2));
+        let a = s.write(ObjectId(1), SimTime::from_secs(1), 0, payload());
+        let b = s.write(ObjectId(2), SimTime::from_secs(1), 0, payload());
+        assert_eq!(a.seq(), 1);
+        assert_eq!(b.seq(), 1);
+    }
+
+    #[test]
+    fn ingest_requires_open_replica() {
+        let mut a = store(0);
+        let mut b = store(1);
+        a.open(ObjectId(1));
+        let u = a.write(ObjectId(1), SimTime::from_secs(1), 3, payload());
+        assert!(matches!(b.ingest(u.clone()), Err(IdeaError::UnknownObject(_))));
+        b.open(ObjectId(1));
+        assert_eq!(b.ingest(u).unwrap(), ApplyOutcome::Applied);
+        assert_eq!(b.read(ObjectId(1)).unwrap().meta, 3);
+    }
+
+    #[test]
+    fn read_unknown_object_fails() {
+        let s = store(0);
+        assert!(matches!(s.read(ObjectId(9)), Err(IdeaError::UnknownObject(_))));
+    }
+
+    #[test]
+    fn two_stores_exchange_and_converge() {
+        let mut a = store(0);
+        let mut b = store(1);
+        a.open(ObjectId(1));
+        b.open(ObjectId(1));
+        let ua = a.write(ObjectId(1), SimTime::from_secs(1), 1, payload());
+        let ub = b.write(ObjectId(1), SimTime::from_secs(2), 2, payload());
+        a.ingest(ub).unwrap();
+        b.ingest(ua).unwrap();
+        let sa = a.read(ObjectId(1)).unwrap();
+        let sb = b.read(ObjectId(1)).unwrap();
+        assert_eq!(sa.meta, sb.meta);
+        assert!(sa.version.triple_against(&sb.version).is_zero());
+    }
+
+    #[test]
+    fn resume_writes_after_reconciliation() {
+        let mut s = store(0);
+        s.open(ObjectId(1));
+        let keep = s.write(ObjectId(1), SimTime::from_secs(1), 1, payload());
+        s.write(ObjectId(1), SimTime::from_secs(2), 1, payload());
+        // Reconciliation kept only seq 1 of this writer (the reference never
+        // sanctioned seq 2); local sequencing must continue from 2 again.
+        let extras = s.replica_mut(ObjectId(1)).unwrap().reconcile_to(&[keep]);
+        assert_eq!(extras.len(), 1);
+        s.resume_writes_after(ObjectId(1), 1);
+        let u = s.write(ObjectId(1), SimTime::from_secs(3), 1, payload());
+        assert_eq!(u.seq(), 2);
+        assert_eq!(s.read(ObjectId(1)).unwrap().updates, 2);
+    }
+
+    #[test]
+    fn objects_lists_hosted_replicas() {
+        let mut s = store(0);
+        s.open(ObjectId(3));
+        s.open(ObjectId(1));
+        assert_eq!(s.objects(), vec![ObjectId(1), ObjectId(3)]);
+        assert_eq!(s.node(), NodeId(0));
+        assert_eq!(s.writer(), WriterId(0));
+    }
+}

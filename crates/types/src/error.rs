@@ -1,0 +1,83 @@
+//! Workspace-wide error type.
+
+use crate::ids::{NodeId, ObjectId, WriterId};
+use std::fmt;
+
+/// Errors surfaced by the IDEA middleware and its substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdeaError {
+    /// A node id was not part of the topology/engine.
+    UnknownNode(NodeId),
+    /// An object id had no replica on the queried node.
+    UnknownObject(ObjectId),
+    /// A writer issued an update with a non-consecutive sequence number.
+    NonConsecutiveSeq {
+        /// The offending writer.
+        writer: WriterId,
+        /// Sequence number the store expected next.
+        expected: u64,
+        /// Sequence number that actually arrived.
+        got: u64,
+    },
+    /// A rollback target time preceded the retained log prefix.
+    RollbackBeyondLog,
+    /// An API parameter was outside its documented domain.
+    InvalidParameter(&'static str),
+    /// The requested resolution found no updates to reconcile.
+    NothingToResolve,
+    /// An active resolution lost the call-for-attention race and was
+    /// cancelled after back-off (§4.5.2).
+    ResolutionContended,
+    /// The engine was asked to run past its configured horizon.
+    HorizonExceeded,
+}
+
+impl fmt::Display for IdeaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdeaError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            IdeaError::UnknownObject(o) => write!(f, "no replica of {o} on this node"),
+            IdeaError::NonConsecutiveSeq { writer, expected, got } => write!(
+                f,
+                "writer {writer} skipped sequence numbers (expected {expected}, got {got})"
+            ),
+            IdeaError::RollbackBeyondLog => {
+                write!(f, "rollback target precedes the retained log prefix")
+            }
+            IdeaError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            IdeaError::NothingToResolve => write!(f, "no inconsistency to resolve"),
+            IdeaError::ResolutionContended => {
+                write!(f, "active resolution cancelled: another initiator is running")
+            }
+            IdeaError::HorizonExceeded => write!(f, "simulation horizon exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for IdeaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = IdeaError::NonConsecutiveSeq {
+            writer: WriterId(3),
+            expected: 5,
+            got: 9,
+        };
+        let s = e.to_string();
+        assert!(s.contains("w3"));
+        assert!(s.contains('5'));
+        assert!(s.contains('9'));
+        assert!(IdeaError::UnknownNode(NodeId(1)).to_string().contains("n1"));
+        assert!(IdeaError::UnknownObject(ObjectId(2)).to_string().contains("obj2"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&IdeaError::RollbackBeyondLog);
+    }
+}

@@ -1,0 +1,32 @@
+//! Core identifiers, virtual time, updates and shared value types for the
+//! IDEA reproduction.
+//!
+//! Every other crate in the workspace builds on these definitions. The types
+//! are deliberately small, `Copy` where possible, and deterministic in their
+//! `Ord`/`Hash` behaviour so that simulation runs are reproducible.
+//!
+//! The paper ("IDEA: An Infrastructure for Detection-based Adaptive
+//! Consistency Control in Replicated Services", Lu, Lu & Jiang, HPDC 2007)
+//! works in terms of *nodes* holding *replicas* of shared *objects* (files),
+//! mutated by *writers* (users). [`NodeId`], [`ObjectId`], [`WriterId`] and
+//! [`Update`] mirror that vocabulary directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod ids;
+pub mod level;
+pub mod size;
+pub mod time;
+pub mod update;
+
+pub use error::IdeaError;
+pub use ids::{NodeId, ObjectId, WriterId};
+pub use level::{ConsistencyLevel, ErrorTriple};
+pub use size::MessageSizeModel;
+pub use time::{SimDuration, SimTime};
+pub use update::{Update, UpdateId, UpdatePayload};
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, IdeaError>;

@@ -1,0 +1,315 @@
+//! Classic version vectors (Parker et al., IEEE TSE 1983).
+//!
+//! A version vector "tracks the number of times a file is updated by a
+//! certain user and uses that to detect conflict" (§4.3). Two replicas are
+//! inconsistent iff their vectors differ; two vectors are *comparable* iff
+//! one dominates the other, e.g. `(A:5, B:3)` is not comparable with
+//! `(A:3, B:6)` (§4.5.1).
+
+use idea_types::WriterId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Outcome of comparing two version vectors under the domination order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VvOrdering {
+    /// Identical counters: the replicas are consistent.
+    Equal,
+    /// `self` is dominated: every counter ≤ the other's, at least one <.
+    Less,
+    /// `self` dominates: every counter ≥ the other's, at least one >.
+    Greater,
+    /// Neither dominates: the replicas conflict ("not comparable").
+    Concurrent,
+}
+
+impl VvOrdering {
+    /// True for `Less`, `Greater` or `Equal` (the paper's "comparable").
+    pub fn is_comparable(self) -> bool {
+        !matches!(self, VvOrdering::Concurrent)
+    }
+}
+
+/// A classic version vector: one update counter per writer.
+///
+/// Writers absent from the map implicitly have counter 0, so vectors over
+/// different writer sets compare correctly.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VersionVector {
+    counters: BTreeMap<WriterId, u64>,
+}
+
+impl VersionVector {
+    /// The empty vector (all counters zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a vector from `(writer, count)` pairs; zero counts are elided.
+    pub fn from_pairs<I: IntoIterator<Item = (WriterId, u64)>>(pairs: I) -> Self {
+        let mut vv = VersionVector::new();
+        for (w, c) in pairs {
+            if c > 0 {
+                vv.counters.insert(w, c);
+            }
+        }
+        vv
+    }
+
+    /// The counter for `writer` (zero if absent).
+    #[inline]
+    pub fn get(&self, writer: WriterId) -> u64 {
+        self.counters.get(&writer).copied().unwrap_or(0)
+    }
+
+    /// Increments `writer`'s counter and returns the new value.
+    pub fn increment(&mut self, writer: WriterId) -> u64 {
+        let c = self.counters.entry(writer).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// Sets `writer`'s counter to `max(current, seq)` — used when observing a
+    /// writer's `seq`-th update out of order.
+    pub fn observe(&mut self, writer: WriterId, seq: u64) {
+        if seq == 0 {
+            return;
+        }
+        let c = self.counters.entry(writer).or_insert(0);
+        *c = (*c).max(seq);
+    }
+
+    /// Total updates across all writers.
+    pub fn total(&self) -> u64 {
+        self.counters.values().sum()
+    }
+
+    /// Number of writers with a non-zero counter.
+    pub fn writers(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Iterates `(writer, count)` pairs in writer order.
+    pub fn iter(&self) -> impl Iterator<Item = (WriterId, u64)> + '_ {
+        self.counters.iter().map(|(w, c)| (*w, *c))
+    }
+
+    /// Compares under the domination partial order.
+    pub fn compare(&self, other: &VersionVector) -> VvOrdering {
+        let mut less = false;
+        let mut greater = false;
+        // Union of writer keys; BTreeMap keeps this deterministic.
+        let mut keys: Vec<WriterId> = self.counters.keys().copied().collect();
+        for k in other.counters.keys() {
+            if !self.counters.contains_key(k) {
+                keys.push(*k);
+            }
+        }
+        for k in keys {
+            let a = self.get(k);
+            let b = other.get(k);
+            if a < b {
+                less = true;
+            } else if a > b {
+                greater = true;
+            }
+        }
+        match (less, greater) {
+            (false, false) => VvOrdering::Equal,
+            (true, false) => VvOrdering::Less,
+            (false, true) => VvOrdering::Greater,
+            (true, true) => VvOrdering::Concurrent,
+        }
+    }
+
+    /// True when `self` dominates or equals `other`.
+    pub fn dominates(&self, other: &VersionVector) -> bool {
+        matches!(self.compare(other), VvOrdering::Equal | VvOrdering::Greater)
+    }
+
+    /// Component-wise maximum (the join of the domination lattice).
+    pub fn merge(&mut self, other: &VersionVector) {
+        for (w, c) in &other.counters {
+            let e = self.counters.entry(*w).or_insert(0);
+            *e = (*e).max(*c);
+        }
+    }
+
+    /// Returns the merged copy without mutating `self`.
+    pub fn merged(&self, other: &VersionVector) -> VersionVector {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// Updates `other` has that `self` misses: `Σ max(0, other_w − self_w)`.
+    pub fn missing_from(&self, other: &VersionVector) -> u64 {
+        let mut sum = 0;
+        for (w, c) in &other.counters {
+            sum += c.saturating_sub(self.get(*w));
+        }
+        sum
+    }
+}
+
+impl fmt::Display for VersionVector {
+    /// Paper-style rendering: `(w0:3 w1:5)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, (w, c)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{w}:{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<(WriterId, u64)> for VersionVector {
+    fn from_iter<I: IntoIterator<Item = (WriterId, u64)>>(iter: I) -> Self {
+        VersionVector::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vv(pairs: &[(u32, u64)]) -> VersionVector {
+        VersionVector::from_pairs(pairs.iter().map(|&(w, c)| (WriterId(w), c)))
+    }
+
+    #[test]
+    fn empty_vectors_are_equal() {
+        assert_eq!(VersionVector::new().compare(&VersionVector::new()), VvOrdering::Equal);
+    }
+
+    #[test]
+    fn paper_example_is_concurrent() {
+        // (A:5, B:3) is not comparable with (A:3, B:6) — §4.5.1.
+        let a = vv(&[(0, 5), (1, 3)]);
+        let b = vv(&[(0, 3), (1, 6)]);
+        assert_eq!(a.compare(&b), VvOrdering::Concurrent);
+        assert!(!a.compare(&b).is_comparable());
+    }
+
+    #[test]
+    fn domination_orders() {
+        // (A:3 B:5) is earlier than (A:4 B:7) — §4.3 example.
+        let older = vv(&[(0, 3), (1, 5)]);
+        let newer = vv(&[(0, 4), (1, 7)]);
+        assert_eq!(older.compare(&newer), VvOrdering::Less);
+        assert_eq!(newer.compare(&older), VvOrdering::Greater);
+        assert!(newer.dominates(&older));
+        assert!(!older.dominates(&newer));
+    }
+
+    #[test]
+    fn absent_writers_count_as_zero() {
+        let a = vv(&[(0, 1)]);
+        let b = vv(&[(1, 1)]);
+        assert_eq!(a.compare(&b), VvOrdering::Concurrent);
+        let c = vv(&[]);
+        assert_eq!(c.compare(&a), VvOrdering::Less);
+    }
+
+    #[test]
+    fn increment_and_observe() {
+        let mut v = VersionVector::new();
+        assert_eq!(v.increment(WriterId(0)), 1);
+        assert_eq!(v.increment(WriterId(0)), 2);
+        v.observe(WriterId(1), 5);
+        assert_eq!(v.get(WriterId(1)), 5);
+        v.observe(WriterId(1), 3); // observing an older seq is a no-op
+        assert_eq!(v.get(WriterId(1)), 5);
+        v.observe(WriterId(2), 0); // zero is elided
+        assert_eq!(v.get(WriterId(2)), 0);
+        assert_eq!(v.total(), 7);
+        assert_eq!(v.writers(), 2);
+    }
+
+    #[test]
+    fn merge_takes_component_max() {
+        let mut a = vv(&[(0, 5), (1, 3)]);
+        let b = vv(&[(0, 3), (1, 6), (2, 1)]);
+        a.merge(&b);
+        assert_eq!(a, vv(&[(0, 5), (1, 6), (2, 1)]));
+    }
+
+    #[test]
+    fn missing_from_counts_gap() {
+        let a = vv(&[(0, 2), (1, 1)]);
+        let r = vv(&[(0, 3), (1, 1), (2, 2)]);
+        assert_eq!(a.missing_from(&r), 3); // one from w0, two from w2
+        assert_eq!(r.missing_from(&a), 0);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let v = vv(&[(0, 3), (1, 5)]);
+        assert_eq!(v.to_string(), "(w0:3 w1:5)");
+        assert_eq!(VersionVector::new().to_string(), "()");
+    }
+
+    fn arb_vv() -> impl Strategy<Value = VersionVector> {
+        prop::collection::btree_map(0u32..6, 0u64..8, 0..6)
+            .prop_map(|m| VersionVector::from_pairs(m.into_iter().map(|(w, c)| (WriterId(w), c))))
+    }
+
+    proptest! {
+        #[test]
+        fn compare_is_reflexive(v in arb_vv()) {
+            prop_assert_eq!(v.compare(&v), VvOrdering::Equal);
+        }
+
+        #[test]
+        fn compare_is_antisymmetric(a in arb_vv(), b in arb_vv()) {
+            let ab = a.compare(&b);
+            let ba = b.compare(&a);
+            let expected = match ab {
+                VvOrdering::Equal => VvOrdering::Equal,
+                VvOrdering::Less => VvOrdering::Greater,
+                VvOrdering::Greater => VvOrdering::Less,
+                VvOrdering::Concurrent => VvOrdering::Concurrent,
+            };
+            prop_assert_eq!(ba, expected);
+        }
+
+        #[test]
+        fn merge_is_commutative(a in arb_vv(), b in arb_vv()) {
+            prop_assert_eq!(a.merged(&b), b.merged(&a));
+        }
+
+        #[test]
+        fn merge_is_associative(a in arb_vv(), b in arb_vv(), c in arb_vv()) {
+            prop_assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+        }
+
+        #[test]
+        fn merge_is_idempotent(a in arb_vv()) {
+            prop_assert_eq!(a.merged(&a), a.clone());
+        }
+
+        #[test]
+        fn merge_dominates_both(a in arb_vv(), b in arb_vv()) {
+            let m = a.merged(&b);
+            prop_assert!(m.dominates(&a));
+            prop_assert!(m.dominates(&b));
+        }
+
+        #[test]
+        fn equal_vectors_have_no_missing(a in arb_vv()) {
+            prop_assert_eq!(a.missing_from(&a), 0);
+        }
+
+        #[test]
+        fn missing_from_merge_bound(a in arb_vv(), b in arb_vv()) {
+            let m = a.merged(&b);
+            // a misses from the merge exactly what it misses from b.
+            prop_assert_eq!(a.missing_from(&m), a.missing_from(&b));
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! Extended version vectors (§4.4.1, Figure 5 of the paper).
+//!
+//! IDEA extends the classic vector in three ways:
+//!
+//! 1. each counted update carries its **timestamp**, e.g. `A:2(1, 2)` means
+//!    user A's two updates happened at times 1 and 2;
+//! 2. a **critical metadata** value in square brackets (`[5]`) summarises the
+//!    application effect of the updates (ASCII sum of recent strokes for a
+//!    white board, total sale price for ticket booking);
+//! 3. a `<numerical error, order error, staleness>` **triple** is attached,
+//!    computed against a chosen *reference consistent state*.
+//!
+//! The worked example of Figure 4 is reproduced verbatim in the tests below.
+
+use crate::classic::{VersionVector, VvOrdering};
+use idea_types::{ErrorTriple, SimTime, UpdateId, WriterId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-writer update history: timestamps of updates `1..=count`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+struct WriterHistory {
+    /// `times[i]` is the timestamp of the writer's `(i+1)`-th update.
+    times: Vec<SimTime>,
+}
+
+/// The extended version vector of one replica.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ExtendedVersionVector {
+    histories: BTreeMap<WriterId, WriterHistory>,
+    /// Cumulative critical-metadata value (the `[5]` column of Figure 5).
+    meta: i64,
+}
+
+impl ExtendedVersionVector {
+    /// The empty extended vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the replica applying `writer`'s update with sequence `seq`
+    /// (1-based, must be the next in sequence for that writer), issued at
+    /// `at`, shifting the metadata value by `meta_delta`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `seq` is not consecutive; release builds
+    /// tolerate replays (`seq <= count`) by ignoring them.
+    pub fn record(&mut self, writer: WriterId, seq: u64, at: SimTime, meta_delta: i64) {
+        let h = self.histories.entry(writer).or_default();
+        let count = h.times.len() as u64;
+        if seq <= count {
+            // Replay of an already-recorded update: ignore.
+            return;
+        }
+        debug_assert_eq!(seq, count + 1, "update for {writer} skipped seq {count}+1 -> {seq}");
+        h.times.push(at);
+        self.meta += meta_delta;
+    }
+
+    /// The classic counter view of this vector.
+    pub fn counters(&self) -> VersionVector {
+        VersionVector::from_pairs(
+            self.histories.iter().map(|(w, h)| (*w, h.times.len() as u64)),
+        )
+    }
+
+    /// The counter for a single writer.
+    pub fn count(&self, writer: WriterId) -> u64 {
+        self.histories.get(&writer).map_or(0, |h| h.times.len() as u64)
+    }
+
+    /// Timestamp of `writer`'s `seq`-th update, if recorded.
+    pub fn time_of(&self, writer: WriterId, seq: u64) -> Option<SimTime> {
+        if seq == 0 {
+            return None;
+        }
+        self.histories.get(&writer)?.times.get(seq as usize - 1).copied()
+    }
+
+    /// The critical metadata value.
+    pub fn meta(&self) -> i64 {
+        self.meta
+    }
+
+    /// Total number of recorded updates.
+    pub fn total(&self) -> u64 {
+        self.histories.values().map(|h| h.times.len() as u64).sum()
+    }
+
+    /// Timestamp of the most recent recorded update (`None` when empty).
+    pub fn latest_update_time(&self) -> Option<SimTime> {
+        self.histories
+            .values()
+            .filter_map(|h| h.times.last().copied())
+            .max()
+    }
+
+    /// Compares the counter views under the domination order.
+    pub fn compare(&self, other: &ExtendedVersionVector) -> VvOrdering {
+        self.counters().compare(&other.counters())
+    }
+
+    /// All recorded update identities with their timestamps, sorted
+    /// chronologically (ties broken by update id). This is the event list
+    /// used for the last-consistent-point computation.
+    pub fn events(&self) -> Vec<(SimTime, UpdateId)> {
+        let mut out: Vec<(SimTime, UpdateId)> = Vec::with_capacity(self.total() as usize);
+        for (w, h) in &self.histories {
+            for (i, t) in h.times.iter().enumerate() {
+                out.push((*t, UpdateId { writer: *w, seq: i as u64 + 1 }));
+            }
+        }
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        out
+    }
+
+    /// The instant this replica was last consistent with `reference`: the end
+    /// of the longest common prefix of the two chronological event lists
+    /// (`SimTime::ZERO` when they diverge immediately).
+    pub fn last_consistent_with(&self, reference: &ExtendedVersionVector) -> SimTime {
+        let a = self.events();
+        let b = reference.events();
+        let mut last = SimTime::ZERO;
+        for (ea, eb) in a.iter().zip(b.iter()) {
+            if ea == eb {
+                last = ea.0;
+            } else {
+                break;
+            }
+        }
+        last
+    }
+
+    /// Computes the TACT triple of this replica **against a reference
+    /// consistent state** (§4.4.1):
+    ///
+    /// * numerical error — gap between the metadata values;
+    /// * order error — updates missed plus extra updates held;
+    /// * staleness — most recent update in the reference minus the last
+    ///   point this replica was consistent with it.
+    pub fn triple_against(&self, reference: &ExtendedVersionVector) -> ErrorTriple {
+        let numerical = (reference.meta - self.meta).abs() as f64;
+
+        let mine = self.counters();
+        let theirs = reference.counters();
+        let missed = mine.missing_from(&theirs);
+        let extra = theirs.missing_from(&mine);
+        let order = (missed + extra) as f64;
+
+        let staleness = match reference.latest_update_time() {
+            Some(latest) => {
+                let last_ok = self.last_consistent_with(reference);
+                latest.saturating_since(last_ok)
+            }
+            // An empty reference has no update to be stale against.
+            None => idea_types::SimDuration::ZERO,
+        };
+
+        ErrorTriple::new(numerical, order, staleness)
+    }
+
+    /// Absorbs every update the reference has that this replica misses
+    /// (per-writer suffixes), adjusting the metadata value by
+    /// `meta_of_reference − meta_of_self` so both end identical. Returns the
+    /// number of updates absorbed.
+    ///
+    /// This models the paper's "let the smaller one learn from the larger
+    /// one" resolution when vectors are comparable, and the post-reference
+    /// reconciliation after a resolution round otherwise. Extra updates this
+    /// replica holds that the reference lacks must be handled by the store
+    /// (invalidated or re-sequenced) — the vector itself keeps them only if
+    /// the reference also has them.
+    pub fn adopt(&mut self, reference: &ExtendedVersionVector) -> u64 {
+        let mut absorbed = 0;
+        let mut histories = BTreeMap::new();
+        for (w, h) in &reference.histories {
+            let have = self.count(*w);
+            absorbed += (h.times.len() as u64).saturating_sub(have);
+            histories.insert(*w, h.clone());
+        }
+        self.histories = histories;
+        self.meta = reference.meta;
+        absorbed
+    }
+
+    /// Renders in the paper's Figure-5 style:
+    /// `<A:2(1, 2) B:0> <[5]> <num, order, stale>` (triple omitted — it is
+    /// relative to a reference, not intrinsic).
+    pub fn paper_format(&self) -> String {
+        let mut s = String::from("<");
+        for (i, (w, h)) in self.histories.iter().enumerate() {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(&format!("{w}:{}", h.times.len()));
+            if !h.times.is_empty() {
+                let times: Vec<String> =
+                    h.times.iter().map(|t| format!("{}", t.as_secs_f64())).collect();
+                s.push_str(&format!("({})", times.join(", ")));
+            }
+        }
+        s.push_str(&format!("> <[{}]>", self.meta));
+        s
+    }
+}
+
+impl fmt::Display for ExtendedVersionVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.paper_format())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idea_types::SimDuration;
+    use proptest::prelude::*;
+
+    const A: WriterId = WriterId(0);
+    const B: WriterId = WriterId(1);
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// Builds the Figure-4 worked example:
+    ///
+    /// Replica a: A's updates at times 1 and 2 (meta 5 total).
+    /// Replica b (reference): B's update... the paper's concrete numbers:
+    /// after comparing, replica a has numerical error 3, order error 3
+    /// ("misses one update and has two extra ones"), staleness 2 (last
+    /// consistent at time 1, reference's latest at time 3).
+    fn figure4() -> (ExtendedVersionVector, ExtendedVersionVector) {
+        // Common prefix: B:1 at time 1 (both replicas saw it) — this makes
+        // "the last time point when a is consistent" time 1, as in the paper.
+        let mut a = ExtendedVersionVector::new();
+        let mut b = ExtendedVersionVector::new();
+        a.record(B, 1, t(1), 2);
+        b.record(B, 1, t(1), 2);
+        // Replica a then applies two local updates from A (the "two extra
+        // ones"), shifting its meta by +3.
+        a.record(A, 1, t(2), 1);
+        a.record(A, 2, t(2), 2);
+        // Replica b (the reference, higher node id) applies one more update
+        // from B at time 3 (the one a "misses"), shifting its meta by +6 so
+        // the final metadata gap |b.meta - a.meta| = |8 - 5| = 3.
+        b.record(B, 2, t(3), 6);
+        (a, b)
+    }
+
+    #[test]
+    fn figure4_triple_matches_paper() {
+        let (a, b) = figure4();
+        let triple = a.triple_against(&b);
+        assert_eq!(triple.numerical, 3.0, "numerical error");
+        assert_eq!(triple.order, 3.0, "order error: 1 missed + 2 extra");
+        assert_eq!(triple.staleness, SimDuration::from_secs(2), "staleness: 3 - 1");
+    }
+
+    #[test]
+    fn reference_sees_mirror_order_error() {
+        let (a, b) = figure4();
+        let triple_b = b.triple_against(&a);
+        // Order error is symmetric (missed and extra swap roles).
+        assert_eq!(triple_b.order, 3.0);
+        assert_eq!(triple_b.numerical, 3.0);
+    }
+
+    #[test]
+    fn triple_against_self_is_zero() {
+        let (a, _) = figure4();
+        assert!(a.triple_against(&a).is_zero());
+    }
+
+    #[test]
+    fn record_accumulates_meta_and_counts() {
+        let mut v = ExtendedVersionVector::new();
+        v.record(A, 1, t(1), 10);
+        v.record(A, 2, t(2), -4);
+        assert_eq!(v.meta(), 6);
+        assert_eq!(v.count(A), 2);
+        assert_eq!(v.total(), 2);
+        assert_eq!(v.time_of(A, 1), Some(t(1)));
+        assert_eq!(v.time_of(A, 2), Some(t(2)));
+        assert_eq!(v.time_of(A, 3), None);
+        assert_eq!(v.time_of(A, 0), None);
+        assert_eq!(v.latest_update_time(), Some(t(2)));
+    }
+
+    #[test]
+    fn replayed_updates_are_ignored() {
+        let mut v = ExtendedVersionVector::new();
+        v.record(A, 1, t(1), 10);
+        v.record(A, 1, t(1), 10); // replay
+        assert_eq!(v.meta(), 10);
+        assert_eq!(v.count(A), 1);
+    }
+
+    #[test]
+    fn events_are_chronological() {
+        let (a, _) = figure4();
+        let ev = a.events();
+        assert_eq!(ev.len(), 3);
+        assert!(ev.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(ev[0].1, UpdateId { writer: B, seq: 1 });
+    }
+
+    #[test]
+    fn empty_reference_has_no_staleness() {
+        let (a, _) = figure4();
+        let empty = ExtendedVersionVector::new();
+        let triple = a.triple_against(&empty);
+        assert_eq!(triple.staleness, SimDuration::ZERO);
+        assert_eq!(triple.order, 3.0); // all three of a's updates are "extra"
+    }
+
+    #[test]
+    fn fresh_replica_is_fully_stale() {
+        let (_, b) = figure4();
+        let fresh = ExtendedVersionVector::new();
+        let triple = fresh.triple_against(&b);
+        // Never consistent -> last consistent at time zero.
+        assert_eq!(triple.staleness, SimDuration::from_secs(3));
+        assert_eq!(triple.order, 2.0); // misses both of b's updates
+        assert_eq!(triple.numerical, 8.0);
+    }
+
+    #[test]
+    fn adopt_makes_replicas_identical() {
+        let (mut a, b) = figure4();
+        let absorbed = a.adopt(&b);
+        assert_eq!(absorbed, 1); // B's second update was the only one missed
+        assert_eq!(a.compare(&b), VvOrdering::Equal);
+        assert_eq!(a.meta(), b.meta());
+        assert!(a.triple_against(&b).is_zero());
+    }
+
+    #[test]
+    fn compare_views_match_classic() {
+        let (a, b) = figure4();
+        assert_eq!(a.compare(&b), VvOrdering::Concurrent);
+        assert_eq!(a.counters().compare(&b.counters()), VvOrdering::Concurrent);
+    }
+
+    #[test]
+    fn paper_format_renders() {
+        let mut v = ExtendedVersionVector::new();
+        v.record(A, 1, t(1), 2);
+        v.record(A, 2, t(2), 3);
+        let s = v.paper_format();
+        assert!(s.contains("w0:2(1, 2)"), "got {s}");
+        assert!(s.contains("[5]"), "got {s}");
+        assert_eq!(v.to_string(), s);
+    }
+
+    /// Random interleaved histories for property tests.
+    fn arb_evv() -> impl Strategy<Value = ExtendedVersionVector> {
+        prop::collection::vec((0u32..4, 0u64..50, -5i64..5), 0..24).prop_map(|ops| {
+            let mut v = ExtendedVersionVector::new();
+            for (w, at, delta) in ops {
+                let writer = WriterId(w);
+                let next = v.count(writer) + 1;
+                v.record(writer, next, SimTime::from_secs(at), delta);
+            }
+            v
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn triple_members_are_nonnegative(a in arb_evv(), b in arb_evv()) {
+            let t = a.triple_against(&b);
+            prop_assert!(t.numerical >= 0.0);
+            prop_assert!(t.order >= 0.0);
+        }
+
+        #[test]
+        fn order_error_is_symmetric(a in arb_evv(), b in arb_evv()) {
+            prop_assert_eq!(
+                a.triple_against(&b).order,
+                b.triple_against(&a).order
+            );
+        }
+
+        #[test]
+        fn numerical_error_is_symmetric(a in arb_evv(), b in arb_evv()) {
+            prop_assert_eq!(
+                a.triple_against(&b).numerical,
+                b.triple_against(&a).numerical
+            );
+        }
+
+        #[test]
+        fn zero_triple_iff_equal_counters_and_meta(a in arb_evv(), b in arb_evv()) {
+            let t = a.triple_against(&b);
+            if t.is_zero() {
+                prop_assert_eq!(a.counters().compare(&b.counters()), VvOrdering::Equal);
+                prop_assert_eq!(a.meta(), b.meta());
+            }
+        }
+
+        #[test]
+        fn adopt_always_converges(mut a in arb_evv(), b in arb_evv()) {
+            a.adopt(&b);
+            prop_assert!(a.triple_against(&b).is_zero());
+            prop_assert_eq!(a.compare(&b), VvOrdering::Equal);
+        }
+
+        #[test]
+        fn order_error_equals_counter_gaps(a in arb_evv(), b in arb_evv()) {
+            let t = a.triple_against(&b);
+            let expected = a.counters().missing_from(&b.counters())
+                + b.counters().missing_from(&a.counters());
+            prop_assert_eq!(t.order, expected as f64);
+        }
+
+        #[test]
+        fn staleness_bounded_by_reference_latest(a in arb_evv(), b in arb_evv()) {
+            let t = a.triple_against(&b);
+            match b.latest_update_time() {
+                Some(latest) => prop_assert!(t.staleness <= latest.saturating_since(SimTime::ZERO)),
+                None => prop_assert!(t.staleness.is_zero()),
+            }
+        }
+    }
+}

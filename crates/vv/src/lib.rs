@@ -1,0 +1,20 @@
+//! Version vectors for the IDEA reproduction.
+//!
+//! Inconsistency in IDEA is "detected through exchanging version vectors
+//! among replicas" (§4.3, after Parker et al. 1983). This crate provides:
+//!
+//! * [`VersionVector`] — the classic per-writer counter map with its partial
+//!   order ([`VvOrdering`]) and merge;
+//! * [`ExtendedVersionVector`] — the paper's extension (§4.4.1, Figure 5):
+//!   per-update timestamps, a critical-metadata value, and computation of the
+//!   TACT `<numerical error, order error, staleness>` triple against a chosen
+//!   *reference consistent state*.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classic;
+pub mod extended;
+
+pub use classic::{VersionVector, VvOrdering};
+pub use extended::ExtendedVersionVector;

@@ -1,0 +1,322 @@
+//! Figure 2: the conceptual trade-off, measured.
+//!
+//! The paper positions protocols on a detection-speed/overhead spectrum:
+//! optimistic control detects (and repairs) slowly but cheaply; strong
+//! consistency never lets inconsistency exist but pays per-write WAN
+//! round-trips; IDEA sits between, and TACT holds a *fixed* point of the
+//! spectrum. We run the same four-writer workload under all four protocols
+//! and score every replica against the same [`ConsistencyOracle`].
+
+use crate::oracle::ConsistencyOracle;
+use crate::report::markdown_table;
+use idea_baselines::{OptimisticNode, StrongNode, TactBounds, TactNode};
+use idea_core::{IdeaConfig, IdeaNode, Quantifier};
+use idea_net::{SimConfig, SimEngine, Topology};
+use idea_types::{NodeId, ObjectId, SimDuration, SimTime, UpdatePayload};
+
+const OBJ: ObjectId = ObjectId(1);
+
+/// One protocol's row in the trade-off table.
+#[derive(Debug, Clone)]
+pub struct TradeoffRow {
+    /// Protocol name.
+    pub name: &'static str,
+    /// Mean oracle consistency level over writers and samples.
+    pub mean_level: f64,
+    /// Total messages sent during the run.
+    pub total_messages: u64,
+    /// Mean write-commit latency in ms (zero for local-commit protocols).
+    pub mean_commit_ms: f64,
+}
+
+/// Workload shared by all four runs.
+#[derive(Debug, Clone, Copy)]
+pub struct TradeoffConfig {
+    /// Nodes in the deployment.
+    pub nodes: usize,
+    /// Concurrent writers.
+    pub writers: usize,
+    /// Run length.
+    pub duration: SimDuration,
+    /// Per-writer write period.
+    pub write_period: SimDuration,
+    /// Sampling period for the oracle.
+    pub sample_period: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TradeoffConfig {
+    fn default() -> Self {
+        TradeoffConfig {
+            nodes: 8,
+            writers: 4,
+            duration: SimDuration::from_secs(100),
+            write_period: SimDuration::from_secs(5),
+            sample_period: SimDuration::from_secs(5),
+            seed: 7,
+        }
+    }
+}
+
+/// Drives one protocol engine through the shared workload, scoring with the
+/// oracle. The closures adapt the per-protocol write/state APIs.
+fn drive<P: idea_net::Proto>(
+    cfg: &TradeoffConfig,
+    mut eng: SimEngine<P>,
+    mut write: impl FnMut(&mut SimEngine<P>, u32, SimTime, &mut ConsistencyOracle),
+    evv_of: impl Fn(&SimEngine<P>, u32) -> idea_vv::ExtendedVersionVector,
+) -> (f64, u64, SimEngine<P>) {
+    let mut oracle = ConsistencyOracle::new(Quantifier::default());
+    let end = SimTime::ZERO + cfg.duration;
+    let mut next_write: Vec<SimTime> = (0..cfg.writers)
+        .map(|w| SimTime::ZERO + SimDuration::from_secs(w as u64))
+        .collect();
+    let mut next_sample = SimTime::ZERO + cfg.sample_period;
+    let mut level_sum = 0.0;
+    let mut samples = 0usize;
+    loop {
+        let mut t = next_sample;
+        for &w in &next_write {
+            t = t.min(w);
+        }
+        if t > end {
+            break;
+        }
+        eng.run_until(t);
+        for w in 0..cfg.writers {
+            if next_write[w] == t {
+                write(&mut eng, w as u32, t, &mut oracle);
+                next_write[w] = t + cfg.write_period;
+            }
+        }
+        if next_sample == t {
+            let evvs: Vec<idea_vv::ExtendedVersionVector> =
+                (0..cfg.writers).map(|w| evv_of(&eng, w as u32)).collect();
+            let refs: Vec<&idea_vv::ExtendedVersionVector> = evvs.iter().collect();
+            // Mutual agreement, not vs-union: resolution legitimately
+            // discards conflicting updates (see `ConsistencyOracle`).
+            level_sum += oracle.mutual_mean_level(&refs);
+            samples += 1;
+            next_sample = t + cfg.sample_period;
+        }
+    }
+    eng.run_until(end);
+    let mean = if samples == 0 { 1.0 } else { level_sum / samples as f64 };
+    let msgs = eng.stats().total_messages();
+    (mean, msgs, eng)
+}
+
+fn payload() -> UpdatePayload {
+    UpdatePayload::Opaque(bytes::Bytes::new())
+}
+
+/// Runs the full four-protocol comparison.
+pub fn run(cfg: &TradeoffConfig) -> Vec<TradeoffRow> {
+    let mut rows = Vec::new();
+    let sim_cfg = |seed| SimConfig { seed, ..Default::default() };
+
+    // Optimistic anti-entropy, 10 s period.
+    {
+        let nodes = (0..cfg.nodes)
+            .map(|i| OptimisticNode::new(NodeId(i as u32), OBJ, SimDuration::from_secs(10)))
+            .collect();
+        let eng = SimEngine::new(
+            Topology::planetlab(cfg.nodes, cfg.seed),
+            sim_cfg(cfg.seed),
+            nodes,
+        );
+        let (mean_level, total_messages, _) = drive(
+            cfg,
+            eng,
+            |eng, w, _, oracle| {
+                eng.with_node(NodeId(w), |p, ctx| {
+                    let u = p.local_write(1, payload(), ctx);
+                    oracle.record(&u);
+                });
+            },
+            |eng, w| eng.node(NodeId(w)).store().replica(OBJ).unwrap().version().clone(),
+        );
+        rows.push(TradeoffRow {
+            name: "optimistic (anti-entropy 10 s)",
+            mean_level,
+            total_messages,
+            mean_commit_ms: 0.0,
+        });
+    }
+
+    // TACT with order bound 4 / staleness bound 15 s.
+    {
+        let bounds = TactBounds { order: 4, staleness: SimDuration::from_secs(15) };
+        let nodes = (0..cfg.nodes)
+            .map(|i| TactNode::new(NodeId(i as u32), OBJ, bounds))
+            .collect();
+        let eng = SimEngine::new(
+            Topology::planetlab(cfg.nodes, cfg.seed),
+            sim_cfg(cfg.seed),
+            nodes,
+        );
+        let (mean_level, total_messages, _) = drive(
+            cfg,
+            eng,
+            |eng, w, _, oracle| {
+                eng.with_node(NodeId(w), |p, ctx| {
+                    let u = p.local_write(1, payload(), ctx);
+                    oracle.record(&u);
+                });
+            },
+            |eng, w| eng.node(NodeId(w)).store().replica(OBJ).unwrap().version().clone(),
+        );
+        rows.push(TradeoffRow {
+            name: "TACT (order<=4, stale<=15 s)",
+            mean_level,
+            total_messages,
+            mean_commit_ms: 0.0,
+        });
+    }
+
+    // IDEA, hint 0.90.
+    {
+        let mut idea_cfg = IdeaConfig::whiteboard(0.90);
+        idea_cfg.weights = idea_core::Weights::EQUAL;
+        let nodes = (0..cfg.nodes)
+            .map(|i| IdeaNode::new(NodeId(i as u32), idea_cfg.clone(), &[OBJ]))
+            .collect();
+        let eng = SimEngine::new(
+            Topology::planetlab(cfg.nodes, cfg.seed),
+            sim_cfg(cfg.seed),
+            nodes,
+        );
+        let (mean_level, total_messages, _) = drive(
+            cfg,
+            eng,
+            |eng, w, _, oracle| {
+                eng.with_node(NodeId(w), |p, ctx| {
+                    let u = p.local_write(OBJ, 1, payload(), ctx);
+                    oracle.record(&u);
+                });
+            },
+            |eng, w| eng.node(NodeId(w)).store().replica(OBJ).unwrap().version().clone(),
+        );
+        rows.push(TradeoffRow {
+            name: "IDEA (hint 90 %)",
+            mean_level,
+            total_messages,
+            mean_commit_ms: 0.0,
+        });
+    }
+
+    // Strong write-all replication.
+    {
+        let nodes = (0..cfg.nodes).map(|i| StrongNode::new(NodeId(i as u32), OBJ)).collect();
+        let eng = SimEngine::new(
+            Topology::planetlab(cfg.nodes, cfg.seed),
+            sim_cfg(cfg.seed),
+            nodes,
+        );
+        let (mean_level, total_messages, eng) = drive(
+            cfg,
+            eng,
+            |eng, w, _, oracle| {
+                eng.with_node(NodeId(w), |p, ctx| {
+                    let u = p.local_write(1, payload(), ctx);
+                    oracle.record(&u);
+                });
+            },
+            |eng, w| eng.node(NodeId(w)).store().replica(OBJ).unwrap().version().clone(),
+        );
+        let mut lat_sum = 0.0;
+        let mut lat_n = 0usize;
+        for w in 0..cfg.writers {
+            for d in eng.node(NodeId(w as u32)).commit_latencies() {
+                lat_sum += d.as_millis_f64();
+                lat_n += 1;
+            }
+        }
+        rows.push(TradeoffRow {
+            name: "strong (write-all)",
+            mean_level,
+            total_messages,
+            mean_commit_ms: if lat_n == 0 { 0.0 } else { lat_sum / lat_n as f64 },
+        });
+    }
+
+    rows
+}
+
+/// Renders the trade-off table.
+pub fn report(rows: &[TradeoffRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 2 (measured): consistency guarantee vs overhead, identical workload & oracle\n\n",
+    );
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{:.1} %", r.mean_level * 100.0),
+                r.total_messages.to_string(),
+                format!("{:.1} ms", r.mean_commit_ms),
+            ]
+        })
+        .collect();
+    out.push_str(&markdown_table(
+        &["protocol", "mean oracle consistency", "total msgs", "mean commit latency"],
+        &table_rows,
+    ));
+    out.push_str(
+        "\nPaper's conceptual ordering: optimistic < IDEA < strong on both detection speed\n\
+         (here: achieved consistency) and overhead; TACT holds a fixed intermediate point.\n",
+    );
+    out
+}
+
+/// Shape check: the Figure-2 ordering holds — optimistic is cheapest and
+/// least consistent; strong is most consistent and (with per-write fan-out
+/// plus acks) most expensive; IDEA sits strictly between on consistency.
+pub fn shape_holds(rows: &[TradeoffRow]) -> bool {
+    let find = |n: &str| rows.iter().find(|r| r.name.starts_with(n)).expect("row exists");
+    let optimistic = find("optimistic");
+    let idea = find("IDEA");
+    let strong = find("strong");
+    optimistic.mean_level < idea.mean_level
+        && idea.mean_level < strong.mean_level
+        && optimistic.total_messages < idea.total_messages
+        && strong.mean_commit_ms > 50.0
+        && optimistic.mean_commit_ms == 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Vec<TradeoffRow> {
+        run(&TradeoffConfig {
+            duration: SimDuration::from_secs(60),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn tradeoff_ordering_matches_figure2() {
+        let rows = quick();
+        assert_eq!(rows.len(), 4);
+        assert!(shape_holds(&rows), "{rows:?}");
+    }
+
+    #[test]
+    fn strong_is_perfectly_consistent_between_writes() {
+        let rows = quick();
+        let strong = rows.iter().find(|r| r.name.starts_with("strong")).unwrap();
+        assert!(strong.mean_level > 0.97, "strong level {:.3}", strong.mean_level);
+    }
+
+    #[test]
+    fn report_lists_all_protocols() {
+        let text = report(&quick());
+        for name in ["optimistic", "TACT", "IDEA", "strong"] {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+}

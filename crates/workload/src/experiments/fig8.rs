@@ -1,0 +1,94 @@
+//! Figure 8: the hint-based application over 200 s with a mid-run reset.
+//!
+//! Paper setup (§6.1): same four writers, 200 s run (40 updates per
+//! writer), hint initially 95 %, reset to 90 % after 100 s. "The achieved
+//! lowest consistency level for writers … is about 95 % in the first 100
+//! seconds and 90 % in the second 100 seconds."
+
+use crate::report::{ascii_chart, markdown_table};
+use crate::runner::{run_hint, HintRunConfig, HintRunResult};
+use idea_types::SimDuration;
+
+/// Runs the Figure-8 experiment.
+pub fn run(seed: u64) -> HintRunResult {
+    run_hint(&HintRunConfig {
+        hint: 0.95,
+        duration: SimDuration::from_secs(200),
+        hint_resets: vec![(SimDuration::from_secs(100), 0.90)],
+        seed,
+        ..Default::default()
+    })
+}
+
+/// Minimum worst-writer level in each half of the run.
+pub fn half_minima(result: &HintRunResult) -> (f64, f64) {
+    let first = result
+        .series
+        .iter()
+        .filter(|p| p.t_secs < 100.0)
+        .map(|p| p.worst)
+        .fold(1.0, f64::min);
+    // Skip the reset instant itself: the paper's floor statement applies to
+    // steady state under the new hint.
+    let second = result
+        .series
+        .iter()
+        .filter(|p| p.t_secs >= 105.0)
+        .map(|p| p.worst)
+        .fold(1.0, f64::min);
+    (first, second)
+}
+
+/// Renders the paper-vs-measured report.
+pub fn report(result: &HintRunResult) -> String {
+    let (first, second) = half_minima(result);
+    let user: Vec<(f64, f64)> =
+        result.series.iter().map(|p| (p.t_secs, p.worst * 100.0)).collect();
+    let mut out = String::new();
+    out.push_str("Figure 8: hint-based run, 200 s, hint 95 % reset to 90 % at t = 100 s\n\n");
+    out.push_str(&ascii_chart(&[("view from the user", &user)], 72, 14, 80.0, 100.5));
+    out.push('\n');
+    out.push_str(&markdown_table(
+        &["quantity", "paper", "measured"],
+        &[
+            vec![
+                "min level, first 100 s".into(),
+                "~95 %".into(),
+                format!("{:.1} %", first * 100.0),
+            ],
+            vec![
+                "min level, second 100 s".into(),
+                "~90 %".into(),
+                format!("{:.1} %", second * 100.0),
+            ],
+        ],
+    ));
+    out
+}
+
+/// Shape check: each half's floor tracks its hint within `tolerance`, and
+/// the second half sits below the first.
+pub fn shape_holds(result: &HintRunResult, tolerance: f64) -> bool {
+    let (first, second) = half_minima(result);
+    second < first && first >= 0.95 - tolerance && second >= 0.90 - tolerance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_floors_track_the_hints() {
+        let r = run(7);
+        assert!(shape_holds(&r, 0.08), "minima {:?}", half_minima(&r));
+        assert_eq!(r.series.len(), 41, "200 s at 5 s samples inclusive");
+    }
+
+    #[test]
+    fn report_contains_both_halves() {
+        let r = run(7);
+        let text = report(&r);
+        assert!(text.contains("first 100 s"));
+        assert!(text.contains("second 100 s"));
+    }
+}

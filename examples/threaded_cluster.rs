@@ -1,0 +1,64 @@
+//! The same IDEA protocol on real OS threads: one thread per node, crossbeam
+//! channels as links, WAN latency injected by the router, time compressed
+//! 100×. Demonstrates that the protocol code is engine-agnostic.
+//!
+//! ```bash
+//! cargo run --example threaded_cluster
+//! ```
+
+use idea::prelude::*;
+use std::thread;
+use std::time::Duration;
+
+fn main() {
+    let object = ObjectId(1);
+    let n = 4usize;
+    let nodes: Vec<IdeaNode> =
+        (0..n).map(|i| IdeaNode::new(NodeId(i as u32), IdeaConfig::default(), &[object])).collect();
+
+    // time_scale 0.01: one virtual second takes 10 wall milliseconds.
+    let net = ThreadedEngine::start(
+        Topology::planetlab(n, 3),
+        ThreadedConfig { seed: 3, time_scale: 0.01 },
+        nodes,
+    );
+
+    println!("warming up on {} threads...", n);
+    for _ in 0..3 {
+        for w in 0..n as u32 {
+            net.invoke(NodeId(w), move |p, ctx| {
+                p.local_write(object, 1, UpdatePayload::none(), ctx);
+            });
+            net.sleep_virtual(SimDuration::from_millis(400));
+        }
+    }
+    net.sleep_virtual(SimDuration::from_secs(3));
+
+    let members = net.query(NodeId(0), move |p, _| p.report(object).top_members);
+    println!("top layer: {members:?}");
+
+    // Conflicting writes, then a demanded resolution.
+    for w in 0..n as u32 {
+        net.invoke(NodeId(w), move |p, ctx| {
+            p.local_write(object, 5, UpdatePayload::none(), ctx);
+        });
+    }
+    net.sleep_virtual(SimDuration::from_secs(2));
+    net.invoke(NodeId(0), move |p, ctx| p.demand_active_resolution(object, ctx));
+    net.sleep_virtual(SimDuration::from_secs(6));
+    // Give stragglers a moment of wall time.
+    thread::sleep(Duration::from_millis(200));
+
+    let states = net.stop();
+    println!("\nafter resolution:");
+    for (i, node) in states.iter().enumerate() {
+        let rep = node.report(object);
+        println!("node {i}: meta {} updates {} level {}", rep.meta, rep.updates, rep.level);
+    }
+    let metas: Vec<i64> = states.iter().map(|s| s.report(object).meta).collect();
+    if metas.windows(2).all(|w| w[0] == w[1]) {
+        println!("\nall replicas converged on the threaded runtime ✓");
+    } else {
+        println!("\nreplicas still settling (threaded runs are not deterministic)");
+    }
+}

@@ -1,0 +1,65 @@
+//! A collaborative white-board session (the paper's §3.1/§5.1 scenario):
+//! participants draw, consistency decays, the hint-based controller keeps
+//! it above the floor, and an unhappy user teaches IDEA a higher floor.
+//!
+//! ```bash
+//! cargo run --example whiteboard_session
+//! ```
+
+use idea::prelude::*;
+
+fn main() {
+    let board = ObjectId(1);
+    let participants = 6usize;
+    // Hint 0.92: IDEA resolves whenever a participant's level dips below.
+    let clients: Vec<WhiteboardClient> = (0..participants)
+        .map(|i| WhiteboardClient::new(NodeId(i as u32), board, 0.92))
+        .collect();
+    let mut net = SimEngine::new(
+        Topology::planetlab(participants, 11),
+        SimConfig::default(),
+        clients,
+    );
+
+    // Three participants sketch concurrently for a minute.
+    let phrases = ["alpha", "beta", "gamma"];
+    for round in 0..12u64 {
+        for (i, phrase) in phrases.iter().enumerate() {
+            net.with_node(NodeId(i as u32), |c, ctx| {
+                c.draw(round as u16, i as u16, phrase, ctx);
+            });
+        }
+        net.run_for(SimDuration::from_secs(5));
+        if round % 4 == 3 {
+            let rep = net.node(NodeId(0)).report();
+            println!(
+                "t={:>3}s level {} floor {} resolutions {}",
+                (round + 1) * 5,
+                rep.level,
+                rep.hint_floor,
+                rep.resolutions_initiated
+            );
+        }
+    }
+
+    // Participant 1 is still unhappy about ordering: complain, shifting
+    // weight onto order error AND raising the floor by Δ (§5.1's "do both").
+    println!("\nparticipant 1 complains (re-weight + boost)...");
+    net.with_node(NodeId(1), |c, ctx| {
+        c.complain(Some(Weights::new(0.1, 0.8, 0.1)), ctx);
+    });
+    net.run_for(SimDuration::from_secs(5));
+    let rep = net.node(NodeId(1)).report();
+    println!("new floor at participant 1: {}", rep.hint_floor);
+
+    // The active participants' boards agree on the winning strokes
+    // (bottom-layer nodes only catch up when they read or get swept).
+    net.run_for(SimDuration::from_secs(5));
+    let reference = net.node(NodeId(2)).render();
+    let mine = net.node(NodeId(0)).render();
+    let agree = reference.iter().filter(|(k, v)| mine.get(k) == Some(v)).count();
+    println!(
+        "\nboard agreement between participants 0 and 2: {agree}/{} cells",
+        reference.len().max(1)
+    );
+}

@@ -1,0 +1,76 @@
+//! # IDEA — detection-based adaptive consistency control
+//!
+//! A full Rust reproduction of *"IDEA: An Infrastructure for
+//! Detection-based Adaptive Consistency Control in Replicated Services"*
+//! (Yijun Lu, Ying Lu, Hong Jiang; HPDC 2007 / TR-UNL-CSE-2007-0001).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`types`] — ids, virtual time, updates, consistency levels;
+//! * [`clock`] — skewed/NTP-disciplined clock models;
+//! * [`vv`] — classic and extended version vectors (TACT triples);
+//! * [`net`] — deterministic discrete-event simulator + threaded runtime;
+//! * [`overlay`] — RanSub, temperature top layer, gossip bottom layer;
+//! * [`detect`] — the inconsistency detection framework;
+//! * [`store`] — the replicated object store substrate;
+//! * [`core`] — the IDEA middleware itself (quantification, protocol,
+//!   resolution, adaptive control, the Table-1 API);
+//! * [`baselines`] — optimistic / TACT / strong comparators;
+//! * [`apps`] — the white board and airline-booking applications;
+//! * [`workload`] — experiment runners regenerating every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use idea::prelude::*;
+//!
+//! // Four white-board participants on a simulated WAN.
+//! let board = ObjectId(1);
+//! let clients: Vec<WhiteboardClient> =
+//!     (0..4).map(|i| WhiteboardClient::new(NodeId(i), board, 0.90)).collect();
+//! let mut net = SimEngine::new(Topology::planetlab(4, 7), SimConfig::default(), clients);
+//!
+//! // Draw concurrently, let IDEA detect the divergence...
+//! for w in 0..4u32 {
+//!     net.with_node(NodeId(w), |c, ctx| { c.draw(0, 0, "hi", ctx); });
+//! }
+//! net.run_for(SimDuration::from_secs(2));
+//!
+//! // ...and resolve it on demand.
+//! net.with_node(NodeId(0), |c, ctx| c.demand_resolution(ctx));
+//! net.run_for(SimDuration::from_secs(5));
+//! let winning_cell = net.node(NodeId(0)).render();
+//! assert!(winning_cell.contains_key(&(0, 0)));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use idea_apps as apps;
+pub use idea_baselines as baselines;
+pub use idea_clock as clock;
+pub use idea_core as core;
+pub use idea_detect as detect;
+pub use idea_net as net;
+pub use idea_overlay as overlay;
+pub use idea_store as store;
+pub use idea_types as types;
+pub use idea_vv as vv;
+pub use idea_workload as workload;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use idea_apps::{BookOutcome, BookingServer, Stroke, WhiteboardClient};
+    pub use idea_core::api::DeveloperApi;
+    pub use idea_core::{
+        AutoController, HintController, IdeaConfig, IdeaMsg, IdeaNode, MaxBounds, Quantifier,
+        ResolutionPolicy, Weights,
+    };
+    pub use idea_net::{
+        Context, Proto, SimConfig, SimEngine, ThreadedConfig, ThreadedEngine, Topology,
+    };
+    pub use idea_types::{
+        ConsistencyLevel, ErrorTriple, NodeId, ObjectId, SimDuration, SimTime, Update,
+        UpdatePayload, WriterId,
+    };
+    pub use idea_vv::{ExtendedVersionVector, VersionVector, VvOrdering};
+}

@@ -1,0 +1,128 @@
+//! Property-style integration tests: random workloads against the full
+//! stack, asserting the invariants every IDEA deployment must keep.
+
+use idea::prelude::*;
+use proptest::prelude::*;
+
+const OBJ: ObjectId = ObjectId(1);
+
+fn cluster(n: usize, cfg: IdeaConfig, seed: u64) -> SimEngine<IdeaNode> {
+    let nodes: Vec<IdeaNode> =
+        (0..n).map(|i| IdeaNode::new(NodeId(i as u32), cfg.clone(), &[OBJ])).collect();
+    SimEngine::new(Topology::planetlab(n, seed), SimConfig { seed, ..Default::default() }, nodes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Whatever the write schedule, a demanded resolution converges every
+    /// top-layer replica onto the reference (highest-id) state.
+    #[test]
+    fn resolution_always_converges(
+        seed in 0u64..1_000,
+        schedule in prop::collection::vec((0u32..4, 1i64..10, 0u64..20_000u64), 4..24),
+    ) {
+        let mut eng = cluster(8, IdeaConfig::default(), seed);
+        // Warm-up so the top layer forms.
+        for _ in 0..3 {
+            for w in 0..4u32 {
+                eng.with_node(NodeId(w), |p, ctx| {
+                    p.local_write(OBJ, 1, UpdatePayload::none(), ctx);
+                });
+                eng.run_for(SimDuration::from_millis(400));
+            }
+        }
+        eng.run_for(SimDuration::from_secs(2));
+        // Random conflicting writes at random moments.
+        let mut ordered = schedule;
+        ordered.sort_by_key(|&(_, _, at)| at);
+        for (w, delta, at_ms) in ordered {
+            eng.run_until(SimTime::from_secs(8) + SimDuration::from_millis(at_ms));
+            eng.with_node(NodeId(w), |p, ctx| {
+                p.local_write(OBJ, delta, UpdatePayload::none(), ctx);
+            });
+        }
+        eng.run_for(SimDuration::from_secs(2));
+        eng.with_node(NodeId(1), |p, ctx| p.demand_active_resolution(OBJ, ctx));
+        eng.run_for(SimDuration::from_secs(10));
+
+        let reference = eng.node(NodeId(3)).store().replica(OBJ).unwrap().version().clone();
+        for w in 0..3u32 {
+            let vv = eng.node(NodeId(w)).store().replica(OBJ).unwrap().version().clone();
+            prop_assert_eq!(
+                vv.compare(&reference), VvOrdering::Equal,
+                "node {} diverges after resolution (seed {})", w, seed
+            );
+        }
+    }
+
+    /// Hint floors only move upward under complaints, regardless of the
+    /// interleaving with write traffic.
+    #[test]
+    fn hint_floor_is_monotone_in_vivo(
+        seed in 0u64..1_000,
+        complaints in 1usize..5,
+    ) {
+        let mut eng = cluster(6, IdeaConfig::whiteboard(0.85), seed);
+        let mut last = eng.node(NodeId(0)).hint().floor();
+        for k in 0..complaints {
+            eng.with_node(NodeId(0), |p, ctx| {
+                p.local_write(OBJ, 1, UpdatePayload::none(), ctx);
+            });
+            eng.run_for(SimDuration::from_secs(1));
+            eng.with_node(NodeId(0), |p, ctx| p.user_dissatisfied(OBJ, None, ctx));
+            eng.run_for(SimDuration::from_secs(1));
+            let now = eng.node(NodeId(0)).hint().floor();
+            prop_assert!(now >= last, "floor regressed at complaint {}", k);
+            last = now;
+        }
+    }
+
+    /// Message loss never makes levels read *better* than lossless runs
+    /// forever: after loss stops and a resolution runs, replicas agree.
+    #[test]
+    fn lossy_runs_recover(seed in 0u64..500, loss in 0.05f64..0.3) {
+        let mut eng = cluster(8, IdeaConfig::default(), seed);
+        for _ in 0..3 {
+            for w in 0..4u32 {
+                eng.with_node(NodeId(w), |p, ctx| {
+                    p.local_write(OBJ, 1, UpdatePayload::none(), ctx);
+                });
+                eng.run_for(SimDuration::from_millis(400));
+            }
+        }
+        eng.run_for(SimDuration::from_secs(2));
+        eng.set_loss_rate(loss);
+        for w in 0..4u32 {
+            eng.with_node(NodeId(w), |p, ctx| {
+                p.local_write(OBJ, 2, UpdatePayload::none(), ctx);
+            });
+        }
+        eng.run_for(SimDuration::from_secs(5));
+        eng.set_loss_rate(0.0);
+        eng.with_node(NodeId(0), |p, ctx| p.demand_active_resolution(OBJ, ctx));
+        eng.run_for(SimDuration::from_secs(10));
+        let metas: Vec<i64> =
+            (0..4u32).map(|w| eng.node(NodeId(w)).report(OBJ).meta).collect();
+        prop_assert!(metas.windows(2).all(|m| m[0] == m[1]), "metas {:?}", metas);
+    }
+
+    /// The consistency level is always a valid percentage and the reference
+    /// node (highest id among writers) never reads below its peers' worst.
+    #[test]
+    fn levels_stay_well_formed(seed in 0u64..500, waves in 1usize..5) {
+        let mut eng = cluster(6, IdeaConfig::default(), seed);
+        for _ in 0..waves {
+            for w in 0..4u32 {
+                eng.with_node(NodeId(w), |p, ctx| {
+                    p.local_write(OBJ, 1, UpdatePayload::none(), ctx);
+                });
+            }
+            eng.run_for(SimDuration::from_secs(3));
+            for w in 0..4u32 {
+                let v = eng.node(NodeId(w)).level(OBJ).value();
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}
