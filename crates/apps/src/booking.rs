@@ -241,8 +241,7 @@ mod tests {
         let mut eng = fleet(4, 4, 10_000, 2);
         for srv in 0..4u32 {
             for _ in 0..2 {
-                let (outcome, _) =
-                    eng.with_node(NodeId(srv), |s, ctx| s.try_book(1, 20_000, ctx));
+                let (outcome, _) = eng.with_node(NodeId(srv), |s, ctx| s.try_book(1, 20_000, ctx));
                 assert!(matches!(outcome, BookOutcome::Accepted { .. }));
             }
         }

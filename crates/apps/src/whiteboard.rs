@@ -65,13 +65,7 @@ impl WhiteboardClient {
     }
 
     /// Draws a stroke: issues the update with the ASCII-sum metadata.
-    pub fn draw(
-        &mut self,
-        x: u16,
-        y: u16,
-        text: &str,
-        ctx: &mut dyn Context<IdeaMsg>,
-    ) -> Update {
+    pub fn draw(&mut self, x: u16, y: u16, text: &str, ctx: &mut dyn Context<IdeaMsg>) -> Update {
         let delta = ascii_sum(text);
         self.node.local_write(
             self.board,
@@ -142,8 +136,7 @@ mod tests {
     const BOARD: ObjectId = ObjectId(9);
 
     fn session(n: usize, hint: f64, seed: u64) -> SimEngine<WhiteboardClient> {
-        let nodes =
-            (0..n).map(|i| WhiteboardClient::new(NodeId(i as u32), BOARD, hint)).collect();
+        let nodes = (0..n).map(|i| WhiteboardClient::new(NodeId(i as u32), BOARD, hint)).collect();
         SimEngine::new(
             Topology::planetlab(n, seed),
             SimConfig { seed, ..Default::default() },

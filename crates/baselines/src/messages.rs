@@ -79,8 +79,10 @@ mod tests {
         assert_eq!(push.class(), MsgClass::Transfer);
         let prop = BaselineMsg::Propagate { object: ObjectId(0), update: u };
         assert_eq!(push.wire_size(), prop.wire_size());
-        assert_eq!(BaselineMsg::PropagateAck { object: ObjectId(0), id: prop_id(&prop) }.class(),
-            MsgClass::ResolutionCtl);
+        assert_eq!(
+            BaselineMsg::PropagateAck { object: ObjectId(0), id: prop_id(&prop) }.class(),
+            MsgClass::ResolutionCtl
+        );
     }
 
     fn prop_id(m: &BaselineMsg) -> idea_types::UpdateId {

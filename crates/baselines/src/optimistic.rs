@@ -58,16 +58,17 @@ impl Proto for OptimisticNode {
 
     fn on_start(&mut self, ctx: &mut dyn Context<BaselineMsg>) {
         // Stagger first syncs so the fleet doesn't fire in lock-step.
-        let stagger = SimDuration::from_micros(
-            self.sync_period.as_micros() * (self.me.0 as u64 % 8) / 8,
-        );
+        let stagger =
+            SimDuration::from_micros(self.sync_period.as_micros() * (self.me.0 as u64 % 8) / 8);
         ctx.set_timer(self.sync_period + stagger, K_SYNC);
     }
 
     fn on_message(&mut self, from: NodeId, msg: BaselineMsg, ctx: &mut dyn Context<BaselineMsg>) {
         match msg {
             BaselineMsg::SyncDigest { object, counters } => {
-                let Ok(replica) = self.store.replica(object) else { return };
+                let Ok(replica) = self.store.replica(object) else {
+                    return;
+                };
                 let updates = replica.updates_beyond(&counters);
                 if !updates.is_empty() {
                     ctx.send(from, BaselineMsg::SyncUpdates { object, updates });
@@ -100,12 +101,7 @@ impl Proto for OptimisticNode {
             }
         };
         self.syncs += 1;
-        let counters = self
-            .store
-            .replica(self.object)
-            .expect("opened")
-            .version()
-            .counters();
+        let counters = self.store.replica(self.object).expect("opened").version().counters();
         ctx.send(peer, BaselineMsg::SyncDigest { object: self.object, counters });
     }
 }

@@ -3,7 +3,8 @@
 use idea_workload::experiments::fig2::{self, TradeoffConfig};
 
 fn main() {
-    let rows = fig2::run(&TradeoffConfig { seed: idea_bench::seed_from_args(), ..Default::default() });
+    let rows =
+        fig2::run(&TradeoffConfig { seed: idea_bench::seed_from_args(), ..Default::default() });
     println!("{}", fig2::report(&rows));
     println!("shape holds (optimistic < IDEA < strong): {}", fig2::shape_holds(&rows));
 }

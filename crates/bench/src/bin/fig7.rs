@@ -3,10 +3,7 @@
 use idea_workload::experiments::fig7::{self, FIG7A, FIG7B};
 
 fn main() {
-    let hint: f64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(0.95);
+    let hint: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.95);
     let anchors = if (hint - 0.85).abs() < 0.01 { FIG7B } else { FIG7A };
     let result = fig7::run(anchors.hint, idea_bench::seed_from_args());
     println!("{}", fig7::report(&anchors, &result));

@@ -5,5 +5,8 @@ use idea_workload::experiments::fig9;
 fn main() {
     let points = fig9::run(10, idea_bench::seed_from_args());
     println!("{}", fig9::report(&points));
-    println!("shape holds (linear, tracks formula 2, <1 s at n=10): {}", fig9::shape_holds(&points, 0.45));
+    println!(
+        "shape holds (linear, tracks formula 2, <1 s at n=10): {}",
+        fig9::shape_holds(&points, 0.45)
+    );
 }

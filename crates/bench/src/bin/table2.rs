@@ -5,5 +5,8 @@ use idea_workload::experiments::table2;
 fn main() {
     let result = table2::run(idea_bench::seed_from_args());
     println!("{}", table2::report(&result));
-    println!("shape holds (phase1 << phase2, phase2 in paper band): {}", table2::shape_holds(&result));
+    println!(
+        "shape holds (phase1 << phase2, phase2 in paper band): {}",
+        table2::shape_holds(&result)
+    );
 }

@@ -5,5 +5,8 @@ use idea_workload::experiments::table3;
 fn main() {
     let result = table3::run(idea_bench::seed_from_args());
     println!("{}", table3::report(&result));
-    println!("shape holds (ratio, stable round cost, dial-up argument): {}", table3::shape_holds(&result));
+    println!(
+        "shape holds (ratio, stable round cost, dial-up argument): {}",
+        table3::shape_holds(&result)
+    );
 }

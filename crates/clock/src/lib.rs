@@ -200,9 +200,7 @@ impl ClockFleet {
             };
             clocks.push(SkewedClock::new(off, drift));
             // Stagger first polls so the fleet doesn't sync in lock-step.
-            let first = SimTime::from_micros(
-                (i as u64 % 16) * ntp.poll_interval.as_micros() / 16,
-            );
+            let first = SimTime::from_micros((i as u64 % 16) * ntp.poll_interval.as_micros() / 16);
             discipline.push(NtpDiscipline::new(ntp, first));
         }
         ClockFleet { clocks, discipline, enabled: true }
@@ -231,10 +229,7 @@ impl ClockFleet {
     /// Largest |local − true| across the fleet at `now` (µs), without
     /// advancing discipline (an audit, not a read).
     pub fn max_abs_offset_us(&self, now: SimTime) -> f64 {
-        self.clocks
-            .iter()
-            .map(|c| c.offset_at(now).abs())
-            .fold(0.0, f64::max)
+        self.clocks.iter().map(|c| c.offset_at(now).abs()).fold(0.0, f64::max)
     }
 }
 
@@ -296,10 +291,7 @@ mod tests {
         assert!(ntp.polls() > 30);
         let bound = ntp.residual_bound_us(200.0);
         let residual = clock.offset_at(SimTime::from_secs(600)).abs();
-        assert!(
-            residual <= bound + 1.0,
-            "residual {residual}µs exceeds bound {bound}µs"
-        );
+        assert!(residual <= bound + 1.0, "residual {residual}µs exceeds bound {bound}µs");
         // And comfortably within the paper's "within seconds" assumption.
         assert!(residual < 1_000_000.0);
     }
@@ -315,8 +307,7 @@ mod tests {
     #[test]
     fn fleet_synced_converges_under_paper_bound() {
         let mut rng = StdRng::seed_from_u64(99);
-        let mut fleet =
-            ClockFleet::synced(40, 2_000_000.0, 100.0, NtpConfig::default(), &mut rng);
+        let mut fleet = ClockFleet::synced(40, 2_000_000.0, 100.0, NtpConfig::default(), &mut rng);
         // Touch every clock far into the run so discipline catches up.
         let now = SimTime::from_secs(300);
         for i in 0..fleet.len() {

@@ -46,9 +46,7 @@ pub trait DeveloperApi {
 impl DeveloperApi for IdeaNode {
     fn set_consistency_metric(&mut self, a: f64, b: f64, c: SimDuration) -> Result<()> {
         if a <= 0.0 || b <= 0.0 || c.is_zero() {
-            return Err(IdeaError::InvalidParameter(
-                "consistency metric maxima must be positive",
-            ));
+            return Err(IdeaError::InvalidParameter("consistency metric maxima must be positive"));
         }
         self.quantifier_mut().set_bounds(MaxBounds::new(a, b, c));
         Ok(())
@@ -85,9 +83,7 @@ impl DeveloperApi for IdeaNode {
     fn set_background_freq(&mut self, period: Option<SimDuration>) -> Result<()> {
         if let Some(p) = period {
             if p.is_zero() {
-                return Err(IdeaError::InvalidParameter(
-                    "background period must be positive",
-                ));
+                return Err(IdeaError::InvalidParameter("background period must be positive"));
             }
         }
         self.set_background_period(period);

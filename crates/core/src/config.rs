@@ -25,10 +25,7 @@ pub struct ReadPolicy {
 
 impl Default for ReadPolicy {
     fn default() -> Self {
-        ReadPolicy {
-            fresh_read_triggers: true,
-            stale_after: SimDuration::from_secs(30),
-        }
+        ReadPolicy { fresh_read_triggers: true, stale_after: SimDuration::from_secs(30) }
     }
 }
 

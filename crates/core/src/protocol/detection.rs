@@ -1,0 +1,315 @@
+//! The detection subsystem: top-layer temperature rounds (§4.3/§4.4.1) and
+//! the TTL-bounded bottom-layer gossip sweeps that double-check them
+//! (§4.4.2), both driving the quantified consistency level.
+//!
+//! Owns the in-flight [`DetectRound`] per object, the sweep collectors, and
+//! the timer-id routing for both. Every handler reports a [`Trigger`] so
+//! the composing node can forward adaptive-layer decisions (resolve now) to
+//! the resolution subsystem without this module knowing it exists.
+
+use super::{pack, NodeCore, Trigger, K_DETECT, K_SWEEP};
+use crate::adapt::AdaptAction;
+use crate::messages::IdeaMsg;
+use idea_detect::bottom::{BottomReport, SweepCollector};
+use idea_detect::round::DetectRound;
+use idea_net::{Context, TimerId};
+use idea_overlay::gossip::{Relay, RumorId};
+use idea_types::{NodeId, ObjectId};
+use idea_vv::{ExtendedVersionVector, VersionVector};
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-object detection state.
+#[derive(Default)]
+struct DetectState {
+    /// The one in-flight round this node may have as initiator.
+    round: Option<DetectRound>,
+    /// Deadline timer of the in-flight round.
+    timer: Option<TimerId>,
+    /// Completed rounds (drives the sweep cadence).
+    completed: u64,
+    /// Sweep collectors keyed by rumor sequence.
+    collectors: HashMap<u64, SweepCollector>,
+}
+
+/// The detection subsystem.
+#[derive(Default)]
+pub(crate) struct Detection {
+    states: BTreeMap<ObjectId, DetectState>,
+    /// Detect round id → object, for deadline timers.
+    round_objects: HashMap<u64, ObjectId>,
+    /// Sweep-deadline ticket → (object, rumor seq). Tickets come from the
+    /// node-wide id counter because gossip seqs are only per-object unique.
+    sweep_tickets: HashMap<u64, (ObjectId, u64)>,
+}
+
+impl Detection {
+    fn state(&mut self, object: ObjectId) -> &mut DetectState {
+        self.states.entry(object).or_default()
+    }
+
+    /// Starts a detection round towards the top-layer peers (one in flight
+    /// per object; a no-op for unknown objects or an empty top layer).
+    pub fn start_round(
+        &mut self,
+        core: &mut NodeCore,
+        object: ObjectId,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        let evv = match core.store.replica(object) {
+            Ok(r) => r.version().clone(),
+            Err(_) => return,
+        };
+        if self.state(object).round.is_some() {
+            return; // one round in flight per object
+        }
+        let me = core.me;
+        let peers = core.obj_mut(object).layer.top_peers(me);
+        if peers.is_empty() {
+            return;
+        }
+        let rid = core.fresh_id();
+        let st = self.state(object);
+        st.round = Some(DetectRound::start(me, rid, &peers, ctx.now()));
+        st.timer = Some(ctx.set_timer(core.cfg.detect_deadline, pack(K_DETECT, rid)));
+        self.round_objects.insert(rid, object);
+        for p in peers {
+            ctx.send(p, IdeaMsg::DetectRequest { round: rid, object, evv: evv.clone() });
+        }
+    }
+
+    /// A peer probes us: reply with our vector, then refresh the local
+    /// estimate pairwise (higher id is the pair's reference, §4.4.1 — the
+    /// pairwise path only ever *lowers* the estimate; a full round or a
+    /// resolution raises it).
+    pub fn on_request(
+        &mut self,
+        core: &mut NodeCore,
+        from: NodeId,
+        round: u64,
+        object: ObjectId,
+        evv: ExtendedVersionVector,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) -> Trigger {
+        core.store.open(object);
+        core.ensure_obj(object);
+        let mine = core.store.replica(object).expect("opened").version().clone();
+        // Reply first, then update local estimates.
+        ctx.send(from, IdeaMsg::DetectReply { round, object, evv: mine.clone() });
+        let now = ctx.now();
+        core.note_counters(object, &evv.counters(), now);
+        let me = core.me;
+        let quant = core.quant;
+        let st = core.obj_mut(object);
+        let pair_level = if from > me {
+            quant.level(&mine.triple_against(&evv))
+        } else {
+            quant.level(&evv.triple_against(&mine)).max(st.level)
+        };
+        st.level = st.level.min(pair_level);
+        let level = st.level;
+        if core.hint.on_sample(level) == AdaptAction::Resolve {
+            Trigger::Resolve
+        } else {
+            Trigger::None
+        }
+    }
+
+    /// A probed peer answered; completes the round when everyone has.
+    pub fn on_reply(
+        &mut self,
+        core: &mut NodeCore,
+        from: NodeId,
+        round: u64,
+        object: ObjectId,
+        evv: ExtendedVersionVector,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) -> Trigger {
+        let now = ctx.now();
+        core.note_counters(object, &evv.counters(), now);
+        let Some(st) = self.states.get_mut(&object) else {
+            return Trigger::None;
+        };
+        let complete = match st.round.as_mut() {
+            Some(r) if r.round_id == round => r.on_reply(from, evv),
+            _ => return Trigger::None,
+        };
+        if complete {
+            self.finish_round(core, object, ctx)
+        } else {
+            Trigger::None
+        }
+    }
+
+    /// The round deadline passed: complete with whoever answered. Returns
+    /// the affected object and the adaptive layer's verdict.
+    pub fn on_deadline(
+        &mut self,
+        core: &mut NodeCore,
+        rid: u64,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) -> Option<(ObjectId, Trigger)> {
+        let object = self.round_objects.remove(&rid)?;
+        let has_round = self.states.get(&object).map(|st| st.round.is_some()).unwrap_or(false);
+        if has_round {
+            Some((object, self.finish_round(core, object, ctx)))
+        } else {
+            None
+        }
+    }
+
+    fn finish_round(
+        &mut self,
+        core: &mut NodeCore,
+        object: ObjectId,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) -> Trigger {
+        let mine = core.store.replica(object).expect("opened").version().clone();
+        let st = self.state(object);
+        let Some(round) = st.round.take() else {
+            return Trigger::None;
+        };
+        if let Some(t) = st.timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.round_objects.remove(&round.round_id);
+        let st = self.state(object);
+        let report = round.complete(&mine, ctx.now());
+        st.completed += 1;
+        let rounds = st.completed;
+        let triple = report.triple_of(core.me).expect("initiator always appears in its own report");
+        let level = core.quant.level(&triple);
+        core.obj_mut(object).level = level;
+        // Bottom-layer double-check every sweep_every-th round (§4.4.2).
+        if let Some(k) = core.cfg.sweep_every {
+            if k > 0 && rounds.is_multiple_of(k) {
+                self.start_sweep(core, object, ctx);
+            }
+        }
+        if core.hint.on_sample(level) == AdaptAction::Resolve {
+            Trigger::Resolve
+        } else {
+            Trigger::None
+        }
+    }
+
+    // ------------------------------------------------------------- sweeps
+
+    fn start_sweep(
+        &mut self,
+        core: &mut NodeCore,
+        object: ObjectId,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        let counters = core.store.replica(object).expect("opened").version().counters();
+        let everyone: Vec<NodeId> = (0..ctx.node_count() as u32).map(NodeId).collect();
+        let deadline = ctx.now() + core.cfg.sweep_deadline;
+        let epsilon = core.cfg.sweep_epsilon;
+        let shared = core.obj_mut(object);
+        let level = shared.level;
+        let (id, ttl, targets) = shared.gossip.originate(&everyone, ctx.rng());
+        self.state(object).collectors.insert(id.seq, SweepCollector::new(level, epsilon, deadline));
+        for t in targets {
+            ctx.send(t, IdeaMsg::SweepRumor { id, ttl, object, counters: counters.clone() });
+        }
+        // Deadline timers route through a node-unique ticket: gossip seqs
+        // are allocated per object, so two objects at one node can emit the
+        // same `id.seq` and a seq-keyed map would settle the wrong sweep.
+        let ticket = core.fresh_id();
+        ctx.set_timer(core.cfg.sweep_deadline, pack(K_SWEEP, ticket));
+        self.sweep_tickets.insert(ticket, (object, id.seq));
+    }
+
+    /// A sweep (or bootstrap announce) rumor arrived: relay it per the
+    /// gossip policy, and report divergence straight to the origin when we
+    /// hold updates it has not seen (§4.4.2 — the bottom layer "can cause
+    /// inconsistencies too").
+    pub fn on_sweep_rumor(
+        &mut self,
+        core: &mut NodeCore,
+        id: RumorId,
+        ttl: u8,
+        object: ObjectId,
+        counters: VersionVector,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        core.store.open(object);
+        core.ensure_obj(object);
+        let now = ctx.now();
+        core.note_counters(object, &counters, now);
+        let everyone: Vec<NodeId> = (0..ctx.node_count() as u32).map(NodeId).collect();
+        let shared = core.obj_mut(object);
+        match shared.gossip.on_receive(id, ttl, &everyone, ctx.rng()) {
+            Relay::Forward { to, ttl } => {
+                for t in to {
+                    ctx.send(
+                        t,
+                        IdeaMsg::SweepRumor { id, ttl, object, counters: counters.clone() },
+                    );
+                }
+            }
+            Relay::Drop => {}
+        }
+        let mine = core.store.replica(object).expect("opened").version();
+        if counters.missing_from(&mine.counters()) > 0 {
+            ctx.send(
+                id.origin,
+                IdeaMsg::SweepDivergence { object, sweep: id.seq, evv: mine.clone() },
+            );
+        }
+    }
+
+    /// A bottom node reported divergence against one of our sweeps.
+    pub fn on_sweep_divergence(
+        &mut self,
+        core: &mut NodeCore,
+        from: NodeId,
+        object: ObjectId,
+        sweep: u64,
+        evv: ExtendedVersionVector,
+    ) {
+        let mine = match core.store.replica(object) {
+            Ok(r) => r.version().clone(),
+            Err(_) => return,
+        };
+        let Some(st) = self.states.get_mut(&object) else {
+            return;
+        };
+        if let Some(collector) = st.collectors.get_mut(&sweep) {
+            let triple = mine.triple_against(&evv);
+            collector.on_divergence(from, evv, triple);
+        }
+    }
+
+    /// A sweep deadline fired: settle the collector's verdict. A confirmed
+    /// discrepancy counts a rollback, corrects the level, pulls the hidden
+    /// updates in, and (configurably) demands a resolution. Returns the
+    /// affected object and the adaptive layer's verdict.
+    pub fn on_sweep_deadline(
+        &mut self,
+        core: &mut NodeCore,
+        ticket: u64,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) -> Option<(ObjectId, Trigger)> {
+        let (object, seq) = self.sweep_tickets.remove(&ticket)?;
+        let st = self.states.get_mut(&object)?;
+        let collector = st.collectors.remove(&seq)?;
+        let quant = core.quant;
+        let report = collector.finish(|t| quant.level(t));
+        let trigger = match report {
+            BottomReport::Confirmed { .. } => Trigger::None,
+            BottomReport::Discrepancy { bottom_level, worst_node, .. } => {
+                core.rollbacks += 1;
+                let shared = core.obj_mut(object);
+                shared.level = shared.level.min(bottom_level);
+                let have = core.store.replica(object).expect("opened").version().counters();
+                ctx.send(worst_node, IdeaMsg::FetchRequest { object, have });
+                if core.cfg.rollback_resolve {
+                    Trigger::Resolve
+                } else {
+                    Trigger::None
+                }
+            }
+        };
+        Some((object, trigger))
+    }
+}

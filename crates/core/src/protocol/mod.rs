@@ -1,0 +1,186 @@
+//! The IDEA node: detection, quantification, resolution and adaptation
+//! wired into one protocol (Figure 3 of the paper), decomposed into
+//! layered subsystems.
+//!
+//! Triggers (§4.2): every local **write** starts a top-layer detection
+//! round; **reads** start one per the [`crate::config::ReadPolicy`]; the
+//! adaptive layer starts **active resolution** when the quantified level
+//! falls below the learned floor; a timer starts **background resolution**
+//! periodically; every `sweep_every`-th detection round launches a
+//! TTL-bounded **bottom-layer sweep** whose verdict can demand a rollback.
+//!
+//! ## Module layout
+//!
+//! | module | subsystem | owns |
+//! |---|---|---|
+//! | [`write_path`] | local writes, read policies, snapshot serving, update transfer | per-object read/announce bookkeeping |
+//! | [`detection`] | top-layer temperature rounds + bottom-layer gossip sweeps | in-flight rounds, sweep collectors, timer routing |
+//! | [`resolution`] | active two-phase + background periodic resolution | per-object resolution state machine, attention leases, the resolution log |
+//! | [`node`] | thin [`IdeaNode`] composing the subsystems; implements [`idea_net::Proto`] | the [`NodeCore`] shared by all subsystems |
+//!
+//! Each subsystem is a narrow struct with an explicit handle-message /
+//! handle-timer surface; cross-subsystem effects flow through return values
+//! (e.g. [`Trigger::Resolve`]) that [`node`] routes, so the store can be
+//! sharded, detection batched, or the resolution strategy swapped without
+//! touching the other subsystems.
+//!
+//! ## Conventions
+//!
+//! * Writer homes: writer `w` lives on node `w` (the experiments' layout;
+//!   [`NodeCore::home`] centralises the mapping).
+//! * Sequence reuse: when resolution invalidates a writer's updates, the
+//!   writer's sequence counter resumes from the last *sanctioned* number, so
+//!   counters stay dense. Stale copies of invalidated updates are
+//!   superseded by identity — the same trade the paper's version-vector
+//!   scheme makes implicitly.
+//! * Correlation ids (`round`, `rid`) are initiator-local; members key
+//!   their state by `(initiator, id)`.
+
+mod detection;
+mod node;
+mod reference;
+mod resolution;
+mod write_path;
+
+#[cfg(test)]
+mod tests;
+
+pub use node::{IdeaNode, NodeReport};
+
+use crate::adapt::HintController;
+use crate::config::IdeaConfig;
+use crate::quantify::Quantifier;
+use idea_overlay::gossip::GossipRouter;
+use idea_overlay::temperature::TwoLayer;
+use idea_store::NodeStore;
+use idea_types::{ConsistencyLevel, NodeId, ObjectId, SimTime, WriterId};
+use idea_vv::VersionVector;
+use std::collections::BTreeMap;
+
+// Timer kinds (packed with a 48-bit payload).
+pub(crate) const K_DETECT: u64 = 1;
+pub(crate) const K_BACKGROUND: u64 = 2;
+pub(crate) const K_BACKOFF: u64 = 3;
+pub(crate) const K_SWEEP: u64 = 4;
+
+pub(crate) fn pack(base: u64, low: u64) -> u64 {
+    (base << 48) | (low & 0xffff_ffff_ffff)
+}
+
+pub(crate) fn unpack(kind: u64) -> (u64, u64) {
+    (kind >> 48, kind & 0xffff_ffff_ffff)
+}
+
+/// A follow-up action a subsystem requests from the composing node.
+///
+/// Subsystems never call into each other directly; they report what the
+/// adaptive layer decided and [`node::IdeaNode`] routes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Trigger {
+    /// No follow-up needed.
+    None,
+    /// The adaptive layer demands an active resolution of the object.
+    Resolve,
+}
+
+/// Per-object state shared by every subsystem: the two-layer overlay view,
+/// the gossip router, learned writer activity, and the current level
+/// estimate. Subsystem-private state lives inside each subsystem instead.
+pub(crate) struct ObjShared {
+    /// Top-layer membership driven by update temperature (§4.1).
+    pub layer: TwoLayer,
+    /// TTL-bounded gossip router for announcements and sweeps.
+    pub gossip: GossipRouter,
+    /// Highest per-writer counts this node has seen anywhere.
+    pub known_counts: VersionVector,
+    /// Current consistency-level estimate for the object.
+    pub level: ConsistencyLevel,
+}
+
+/// Node-wide state shared by every subsystem: identity, configuration, the
+/// store, the quantifier, the adaptive controller, and the per-object
+/// [`ObjShared`] map.
+pub(crate) struct NodeCore {
+    pub me: NodeId,
+    pub cfg: IdeaConfig,
+    pub quant: Quantifier,
+    pub store: NodeStore,
+    pub hint: HintController,
+    pub priorities: BTreeMap<NodeId, u8>,
+    pub objs: BTreeMap<ObjectId, ObjShared>,
+    /// Rollback events (bottom-layer discrepancies confirmed).
+    pub rollbacks: u64,
+    next_id: u64,
+}
+
+impl NodeCore {
+    pub fn new(me: NodeId, cfg: IdeaConfig, objects: &[ObjectId]) -> Self {
+        let store = NodeStore::new(me, WriterId(me.0));
+        let hint = HintController::new(cfg.hint, cfg.hint_delta);
+        let mut core = NodeCore {
+            me,
+            quant: Quantifier::new(cfg.weights, cfg.bounds),
+            cfg,
+            store,
+            hint,
+            priorities: BTreeMap::new(),
+            objs: BTreeMap::new(),
+            rollbacks: 0,
+            next_id: 0,
+        };
+        for &o in objects {
+            core.store.open(o);
+            core.ensure_obj(o);
+        }
+        core
+    }
+
+    /// Writer `w` lives on node `w` (experiment convention; see module docs).
+    pub fn home(writer: WriterId) -> NodeId {
+        NodeId(writer.0)
+    }
+
+    /// Allocates the next correlation id (shared across detection rounds and
+    /// resolution rounds, so ids never collide between the two).
+    pub fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Creates the shared state of `object` on first contact.
+    pub fn ensure_obj(&mut self, object: ObjectId) {
+        let (me, top_layer, gossip) = (self.me, self.cfg.top_layer, self.cfg.gossip);
+        self.objs.entry(object).or_insert_with(|| ObjShared {
+            layer: TwoLayer::new(object, top_layer),
+            gossip: GossipRouter::new(me, gossip),
+            known_counts: VersionVector::new(),
+            level: ConsistencyLevel::PERFECT,
+        });
+    }
+
+    /// Shared state of `object`, if this node has touched it.
+    pub fn obj(&self, object: ObjectId) -> Option<&ObjShared> {
+        self.objs.get(&object)
+    }
+
+    /// Shared state of `object`; panics when the object was never opened.
+    pub fn obj_mut(&mut self, object: ObjectId) -> &mut ObjShared {
+        self.objs.get_mut(&object).expect("object state")
+    }
+
+    /// Learns writer activity from any counters that pass by (detection,
+    /// collection, gossip), feeding the temperature overlay.
+    pub fn note_counters(&mut self, object: ObjectId, counters: &VersionVector, now: SimTime) {
+        let st = self.objs.get_mut(&object).expect("object state");
+        for (writer, count) in counters.iter() {
+            let known = st.known_counts.get(writer);
+            if count > known {
+                let node = Self::home(writer);
+                for _ in known..count {
+                    st.layer.observe_update(node, now);
+                }
+                st.known_counts.observe(writer, count);
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! The thin [`IdeaNode`]: composes the write-path, detection and resolution
+//! subsystems over one shared [`NodeCore`], implements [`Proto`], and
+//! routes cross-subsystem triggers (the adaptive layer demanding a
+//! resolution) between them.
+
+use super::detection::Detection;
+use super::resolution::ResolutionDriver;
+use super::write_path::WritePath;
+use super::{unpack, NodeCore, Trigger, K_BACKGROUND, K_BACKOFF, K_DETECT, K_SWEEP};
+use crate::adapt::{AdaptAction, HintController};
+use crate::config::IdeaConfig;
+use crate::messages::IdeaMsg;
+use crate::quantify::{Quantifier, Weights};
+use crate::resolution::{ResolutionPolicy, ResolutionRecord};
+use idea_net::{Context, Proto, TimerId};
+use idea_store::NodeStore;
+use idea_store::Snapshot;
+use idea_types::{ConsistencyLevel, NodeId, ObjectId, Result, Update, UpdatePayload};
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of one node's IDEA state for the harness and tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// The reporting node.
+    pub node: NodeId,
+    /// Its current consistency-level estimate for the object.
+    pub level: ConsistencyLevel,
+    /// The hint floor currently in force (0 when disabled).
+    pub hint_floor: ConsistencyLevel,
+    /// Resolution rounds this node initiated to completion.
+    pub resolutions_initiated: u64,
+    /// Rollback events (bottom-layer discrepancies confirmed).
+    pub rollbacks: u64,
+    /// The node's view of the top-layer membership.
+    pub top_members: Vec<NodeId>,
+    /// Replica metadata value.
+    pub meta: i64,
+    /// Updates applied at the replica.
+    pub updates: usize,
+}
+
+/// The IDEA middleware node.
+pub struct IdeaNode {
+    core: NodeCore,
+    write_path: WritePath,
+    detection: Detection,
+    resolution: ResolutionDriver,
+}
+
+impl IdeaNode {
+    /// Builds a node hosting `objects`, writing as writer `me.0`.
+    pub fn new(me: NodeId, cfg: IdeaConfig, objects: &[ObjectId]) -> Self {
+        IdeaNode {
+            core: NodeCore::new(me, cfg, objects),
+            write_path: WritePath::default(),
+            detection: Detection::default(),
+            resolution: ResolutionDriver::default(),
+        }
+    }
+
+    /// Node identity.
+    pub fn id(&self) -> NodeId {
+        self.core.me
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &IdeaConfig {
+        &self.core.cfg
+    }
+
+    /// The quantifier in force.
+    pub fn quantifier(&self) -> &Quantifier {
+        &self.core.quant
+    }
+
+    /// Mutable quantifier access (Table-1 setters go through
+    /// [`crate::api::DeveloperApi`]).
+    pub fn quantifier_mut(&mut self) -> &mut Quantifier {
+        &mut self.core.quant
+    }
+
+    /// The hint controller.
+    pub fn hint(&self) -> &HintController {
+        &self.core.hint
+    }
+
+    /// Mutable hint-controller access.
+    pub fn hint_mut(&mut self) -> &mut HintController {
+        &mut self.core.hint
+    }
+
+    /// Sets the resolution policy (the `set_resolution` API).
+    pub fn set_policy(&mut self, policy: ResolutionPolicy) {
+        self.core.cfg.policy = policy;
+    }
+
+    /// Sets or clears the background-resolution period
+    /// (the `set_background_freq` API). Takes effect at the next timer fire.
+    pub fn set_background_period(&mut self, period: Option<idea_types::SimDuration>) {
+        self.core.cfg.background_period = period;
+    }
+
+    /// Assigns a priority rank to a node (for
+    /// [`ResolutionPolicy::PriorityWins`]).
+    pub fn set_priority(&mut self, node: NodeId, priority: u8) {
+        self.core.priorities.insert(node, priority);
+    }
+
+    /// Completed resolution records (Table 2 / Figure 9 raw data).
+    pub fn resolution_log(&self) -> &[ResolutionRecord] {
+        self.resolution.log()
+    }
+
+    /// The underlying store (read access for the harness).
+    pub fn store(&self) -> &NodeStore {
+        &self.core.store
+    }
+
+    /// This node's current consistency-level estimate for `object`.
+    pub fn level(&self, object: ObjectId) -> ConsistencyLevel {
+        self.core.obj(object).map_or(ConsistencyLevel::PERFECT, |s| s.level)
+    }
+
+    /// True while a resolution round involves this node as initiator (or it
+    /// is backing off from one). The booking application treats this as the
+    /// "system is kind of locked" window of §5.2.
+    pub fn is_resolving(&self, object: ObjectId) -> bool {
+        self.resolution.is_resolving(object)
+    }
+
+    /// Full report for the harness.
+    pub fn report(&self, object: ObjectId) -> NodeReport {
+        let st = self.core.obj(object);
+        let replica = self.core.store.replica(object).ok();
+        NodeReport {
+            node: self.core.me,
+            level: st.map_or(ConsistencyLevel::PERFECT, |s| s.level),
+            hint_floor: self.core.hint.floor(),
+            resolutions_initiated: self.resolution.completed(),
+            rollbacks: self.core.rollbacks,
+            top_members: st.map_or_else(Vec::new, |s| s.layer.top_members().to_vec()),
+            meta: replica.map_or(0, |r| r.meta()),
+            updates: replica.map_or(0, |r| r.len()),
+        }
+    }
+
+    /// Routes a subsystem trigger to the resolution driver.
+    fn route(&mut self, trigger: Trigger, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) {
+        match trigger {
+            Trigger::None => {}
+            Trigger::Resolve => self.resolution.start_active(&mut self.core, object, ctx),
+        }
+    }
+
+    // ----------------------------------------------------------- triggers
+
+    /// Issues a local write and triggers the protocol (§4.2).
+    pub fn local_write(
+        &mut self,
+        object: ObjectId,
+        meta_delta: i64,
+        payload: UpdatePayload,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) -> Update {
+        let update = self.write_path.local_write(&mut self.core, object, meta_delta, payload, ctx);
+        self.detection.start_round(&mut self.core, object, ctx);
+        update
+    }
+
+    /// Reads the object, triggering detection per the read policy (§4.2).
+    pub fn read(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) -> Result<Snapshot> {
+        let (snapshot, probe) = self.write_path.read(&mut self.core, object, ctx)?;
+        if probe {
+            self.detection.start_round(&mut self.core, object, ctx);
+        }
+        Ok(snapshot)
+    }
+
+    /// Explicit user demand for resolution (the `demand_active_resolution`
+    /// API and the adaptive layer's trigger).
+    pub fn demand_active_resolution(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) {
+        self.resolution.start_active(&mut self.core, object, ctx);
+    }
+
+    /// The user told IDEA the current consistency is unacceptable (§5.1):
+    /// optionally re-weight the metrics, always raise the floor by Δ and
+    /// resolve.
+    pub fn user_dissatisfied(
+        &mut self,
+        object: ObjectId,
+        new_weights: Option<Weights>,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        if let Some(w) = new_weights {
+            self.core.quant.set_weights(w);
+        }
+        if self.core.hint.on_user_dissatisfied() == AdaptAction::Resolve {
+            self.resolution.start_active(&mut self.core, object, ctx);
+        }
+    }
+}
+
+impl Proto for IdeaNode {
+    type Msg = IdeaMsg;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<IdeaMsg>) {
+        if let Some(period) = self.core.cfg.background_period {
+            for object in self.core.store.objects() {
+                ctx.set_timer(period, super::pack(K_BACKGROUND, object.0));
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: IdeaMsg, ctx: &mut dyn Context<IdeaMsg>) {
+        let core = &mut self.core;
+        match msg {
+            IdeaMsg::DetectRequest { round, object, evv } => {
+                let t = self.detection.on_request(core, from, round, object, evv, ctx);
+                self.route(t, object, ctx);
+            }
+            IdeaMsg::DetectReply { round, object, evv } => {
+                let t = self.detection.on_reply(core, from, round, object, evv, ctx);
+                self.route(t, object, ctx);
+            }
+            IdeaMsg::CallForAttention { rid, object } => {
+                self.resolution.on_call_for_attention(core, from, rid, object, ctx)
+            }
+            IdeaMsg::Attention { rid, object, granted } => {
+                self.resolution.on_attention(core, from, rid, object, granted, ctx)
+            }
+            IdeaMsg::CollectRequest { rid, object } => {
+                self.resolution.on_collect_request(core, from, rid, object, ctx)
+            }
+            IdeaMsg::CollectReply { rid, object, evv } => {
+                self.resolution.on_collect_reply(core, from, rid, object, evv, ctx)
+            }
+            IdeaMsg::Inform { rid, object, reference } => {
+                self.resolution.on_inform(core, from, rid, object, reference, ctx)
+            }
+            IdeaMsg::FetchRequest { object, have } => {
+                self.write_path.on_fetch_request(core, from, object, have, ctx)
+            }
+            IdeaMsg::FetchReply { object, updates } => {
+                self.write_path.on_fetch_reply(core, object, updates)
+            }
+            IdeaMsg::SweepRumor { id, ttl, object, counters } => {
+                self.detection.on_sweep_rumor(core, id, ttl, object, counters, ctx)
+            }
+            IdeaMsg::SweepDivergence { object, sweep, evv } => {
+                self.detection.on_sweep_divergence(core, from, object, sweep, evv)
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, kind: u64, ctx: &mut dyn Context<IdeaMsg>) {
+        let (base, low) = unpack(kind);
+        match base {
+            K_DETECT => {
+                if let Some((object, t)) = self.detection.on_deadline(&mut self.core, low, ctx) {
+                    self.route(t, object, ctx);
+                }
+            }
+            K_BACKGROUND => self.resolution.on_background_timer(&mut self.core, ObjectId(low), ctx),
+            K_BACKOFF => self.resolution.on_backoff_timer(&mut self.core, ObjectId(low), ctx),
+            K_SWEEP => {
+                if let Some((object, t)) =
+                    self.detection.on_sweep_deadline(&mut self.core, low, ctx)
+                {
+                    self.route(t, object, ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}

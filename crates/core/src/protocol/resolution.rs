@@ -1,0 +1,424 @@
+//! The resolution driver: active two-phase resolution (call-for-attention,
+//! then collect-and-inform, §4.5.2) and background periodic resolution,
+//! both delegating policy decisions to [`crate::resolution`].
+//!
+//! Owns the per-object resolution state machine, the attention leases
+//! members grant to initiators, and the completed-round log. Talks to the
+//! rest of the node only through [`NodeCore`] (store, overlay view, level,
+//! hint controller) — swapping this driver for another strategy leaves the
+//! write path and detection untouched.
+
+use super::reference::{apply_reference, backoff_delay, send_collects};
+use super::{pack, NodeCore, K_BACKGROUND, K_BACKOFF};
+use crate::adapt::AdaptAction;
+use crate::messages::IdeaMsg;
+use crate::resolution::{choose_reference, ReferenceState, ResolutionKind, ResolutionRecord};
+use idea_net::Context;
+use idea_types::{NodeId, ObjectId, SimTime};
+use std::collections::BTreeMap;
+
+/// Resolution state machine of one object at one node.
+#[derive(Debug, Default)]
+enum ResState {
+    #[default]
+    Idle,
+    /// Waiting for call-for-attention acknowledgements (§4.5.2 phase 1).
+    Phase1 { rid: u64, awaiting: Vec<NodeId>, started: SimTime, dispatch: idea_types::SimDuration },
+    /// Collecting version vectors (phase 2), then informing.
+    Phase2 {
+        rid: u64,
+        kind: ResolutionKind,
+        members: Vec<NodeId>,
+        collected: Vec<(NodeId, idea_vv::ExtendedVersionVector)>,
+        next: usize,
+        started: SimTime,
+        phase2_started: SimTime,
+        phase1_dispatch: idea_types::SimDuration,
+        phase1_acked: idea_types::SimDuration,
+    },
+    /// Lost the call-for-attention race; retrying after a random delay.
+    /// The abandoned round id is kept for debugging/log output.
+    BackOff {
+        #[allow(dead_code)]
+        rid: u64,
+    },
+}
+
+/// Per-object resolution-side state.
+#[derive(Debug, Default)]
+struct ResObj {
+    state: ResState,
+    /// Attention granted to `(initiator, rid, at)` — the phase-1 lock.
+    attention: Option<(NodeId, u64, SimTime)>,
+}
+
+/// The resolution subsystem.
+#[derive(Default)]
+pub(crate) struct ResolutionDriver {
+    states: BTreeMap<ObjectId, ResObj>,
+    /// Completed resolution records (Table 2 / Figure 9 raw data).
+    log: Vec<ResolutionRecord>,
+    /// Resolution rounds this node initiated to completion.
+    completed: u64,
+}
+
+impl ResolutionDriver {
+    fn state(&mut self, object: ObjectId) -> &mut ResObj {
+        self.states.entry(object).or_default()
+    }
+
+    /// Completed resolution records.
+    pub fn log(&self) -> &[ResolutionRecord] {
+        &self.log
+    }
+
+    /// Resolution rounds this node initiated to completion.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// True while a resolution round involves this node as initiator (or it
+    /// is backing off from one).
+    pub fn is_resolving(&self, object: ObjectId) -> bool {
+        self.states.get(&object).is_some_and(|s| !matches!(s.state, ResState::Idle))
+    }
+
+    /// Starts an active two-phase resolution (phase 1: call for attention).
+    pub fn start_active(
+        &mut self,
+        core: &mut NodeCore,
+        object: ObjectId,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        if !matches!(self.state(object).state, ResState::Idle) {
+            return; // already resolving or backing off
+        }
+        let me = core.me;
+        let members = core.obj_mut(object).layer.top_peers(me);
+        if members.is_empty() {
+            return;
+        }
+        let rid = core.fresh_id();
+        let dispatch = core.cfg.dispatch_cost.saturating_mul(members.len() as u64);
+        self.state(object).state =
+            ResState::Phase1 { rid, awaiting: members.clone(), started: ctx.now(), dispatch };
+        for m in members {
+            ctx.send(m, IdeaMsg::CallForAttention { rid, object });
+        }
+    }
+
+    /// Member side of phase 1: grant or refuse attention. Contending
+    /// initiators tie-break by id — the larger id proceeds, the smaller
+    /// backs off (a deterministic rendering of §4.5.2's "back-off and retry
+    /// after a random amount of time").
+    pub fn on_call_for_attention(
+        &mut self,
+        core: &mut NodeCore,
+        from: NodeId,
+        rid: u64,
+        object: ObjectId,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        core.store.open(object);
+        core.ensure_obj(object);
+        let lease = core.cfg.attention_lease;
+        let now = ctx.now();
+        let me = core.me;
+        let st = self.state(object);
+
+        let i_am_initiating = matches!(st.state, ResState::Phase1 { .. });
+        if i_am_initiating && from < me {
+            ctx.send(from, IdeaMsg::Attention { rid, object, granted: false });
+            return;
+        }
+        if i_am_initiating && from > me {
+            // Yield: abandon my round and retry later.
+            let my_rid = match st.state {
+                ResState::Phase1 { rid, .. } => rid,
+                _ => unreachable!("checked above"),
+            };
+            st.state = ResState::BackOff { rid: my_rid };
+            let delay = backoff_delay(core, ctx);
+            ctx.set_timer(delay, pack(K_BACKOFF, object.0));
+            let st = self.state(object);
+            st.attention = Some((from, rid, now));
+            ctx.send(from, IdeaMsg::Attention { rid, object, granted: true });
+            return;
+        }
+
+        // Plain member: grant when the lease is free, expired, already held
+        // by this caller, or held by a *lower-id* initiator — the same
+        // higher-id-wins tie-break as above, so one contender always
+        // assembles a full grant set and the race cannot livelock.
+        let grant = match st.attention {
+            Some((holder, _, at)) => {
+                holder == from || now.saturating_since(at) >= lease || from > holder
+            }
+            None => true,
+        };
+        if grant {
+            st.attention = Some((from, rid, now));
+            ctx.send(from, IdeaMsg::Attention { rid, object, granted: true });
+        } else {
+            ctx.send(from, IdeaMsg::Attention { rid, object, granted: false });
+        }
+    }
+
+    /// Initiator side of phase 1: collect acknowledgements; a refusal sends
+    /// us into back-off, the final grant moves us to phase 2.
+    pub fn on_attention(
+        &mut self,
+        core: &mut NodeCore,
+        from: NodeId,
+        rid: u64,
+        object: ObjectId,
+        granted: bool,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        let Some(st) = self.states.get_mut(&object) else {
+            return;
+        };
+        let (my_rid, mut awaiting, started, dispatch) = match &st.state {
+            ResState::Phase1 { rid: r, awaiting, started, dispatch } => {
+                (*r, awaiting.clone(), *started, *dispatch)
+            }
+            _ => return,
+        };
+        if my_rid != rid {
+            return;
+        }
+        if !granted {
+            // Contention: back off and retry (§4.5.2).
+            st.state = ResState::BackOff { rid };
+            let delay = backoff_delay(core, ctx);
+            ctx.set_timer(delay, pack(K_BACKOFF, object.0));
+            return;
+        }
+        awaiting.retain(|&n| n != from);
+        if awaiting.is_empty() {
+            // Phase 1 complete: move to phase 2.
+            let now = ctx.now();
+            let me = core.me;
+            let members = core.obj_mut(object).layer.top_peers(me);
+            let st = self.state(object);
+            st.state = ResState::Phase2 {
+                rid,
+                kind: ResolutionKind::Active,
+                members: members.clone(),
+                collected: Vec::new(),
+                next: 0,
+                started,
+                phase2_started: now,
+                phase1_dispatch: dispatch,
+                phase1_acked: now.saturating_since(started),
+            };
+            send_collects(core, object, rid, &members, 0, ctx);
+        } else {
+            st.state = ResState::Phase1 { rid, awaiting, started, dispatch };
+        }
+    }
+
+    /// Background resolution timer fired: the lowest-id top-layer member
+    /// initiates a collect round directly (no phase 1, §4.5.2).
+    pub fn on_background_timer(
+        &mut self,
+        core: &mut NodeCore,
+        object: ObjectId,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        let Some(period) = core.cfg.background_period else {
+            return;
+        };
+        ctx.set_timer(period, pack(K_BACKGROUND, object.0));
+        let Some(shared) = core.objs.get_mut(&object) else {
+            return;
+        };
+        let members = shared.layer.top_members().to_vec();
+        let initiator = members.first().copied();
+        if initiator != Some(core.me) || !matches!(self.state(object).state, ResState::Idle) {
+            return;
+        }
+        let me = core.me;
+        let peers = core.obj_mut(object).layer.top_peers(me);
+        if peers.is_empty() {
+            return;
+        }
+        let rid = core.fresh_id();
+        let now = ctx.now();
+        self.state(object).state = ResState::Phase2 {
+            rid,
+            kind: ResolutionKind::Background,
+            members: peers.clone(),
+            collected: Vec::new(),
+            next: 0,
+            started: now,
+            phase2_started: now,
+            phase1_dispatch: idea_types::SimDuration::ZERO,
+            phase1_acked: idea_types::SimDuration::ZERO,
+        };
+        send_collects(core, object, rid, &peers, 0, ctx);
+    }
+
+    /// Member side of phase 2: report our vector.
+    pub fn on_collect_request(
+        &mut self,
+        core: &mut NodeCore,
+        from: NodeId,
+        rid: u64,
+        object: ObjectId,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        core.store.open(object);
+        let evv = core.store.replica(object).expect("opened").version().clone();
+        ctx.send(from, IdeaMsg::CollectReply { rid, object, evv });
+    }
+
+    /// Initiator side of phase 2: gather vectors (sequentially or in
+    /// parallel per the config), then pick and publish the reference.
+    pub fn on_collect_reply(
+        &mut self,
+        core: &mut NodeCore,
+        from: NodeId,
+        rid: u64,
+        object: ObjectId,
+        evv: idea_vv::ExtendedVersionVector,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        let now = ctx.now();
+        core.note_counters(object, &evv.counters(), now);
+        let Some(st) = self.states.get_mut(&object) else {
+            return;
+        };
+        let parallel = core.cfg.parallel_phase2;
+        match &mut st.state {
+            ResState::Phase2 { rid: r, members, collected, next, .. } if *r == rid => {
+                if collected.iter().any(|(n, _)| *n == from) {
+                    return;
+                }
+                collected.push((from, evv));
+                *next += 1;
+                let done = collected.len() == members.len();
+                let (members, next) = (members.clone(), *next);
+                if done {
+                    self.finish(core, object, ctx);
+                } else if !parallel {
+                    send_collects(core, object, rid, &members, next, ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self, core: &mut NodeCore, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) {
+        let mine = core.store.replica(object).expect("opened").version().clone();
+        let st = self.state(object);
+        let (rid, kind, members, collected, started, phase2_started, p1d, p1a) =
+            match std::mem::take(&mut st.state) {
+                ResState::Phase2 {
+                    rid,
+                    kind,
+                    members,
+                    collected,
+                    started,
+                    phase2_started,
+                    phase1_dispatch,
+                    phase1_acked,
+                    ..
+                } => (
+                    rid,
+                    kind,
+                    members,
+                    collected,
+                    started,
+                    phase2_started,
+                    phase1_dispatch,
+                    phase1_acked,
+                ),
+                other => {
+                    st.state = other;
+                    return;
+                }
+            };
+
+        let mut candidates = collected;
+        candidates.push((core.me, mine));
+        let any_conflict = {
+            let (_, first) = &candidates[0];
+            candidates
+                .iter()
+                .any(|(_, evv)| !matches!(evv.compare(first), idea_vv::VvOrdering::Equal))
+        };
+        let reference = choose_reference(core.cfg.policy, &candidates, &core.priorities);
+
+        // Inform every member (parallel fan-out), then reconcile locally.
+        for &m in &members {
+            ctx.send(m, IdeaMsg::Inform { rid, object, reference: reference.clone() });
+        }
+        let inform_dispatch = core.cfg.dispatch_cost.saturating_mul(members.len() as u64);
+        let now = ctx.now();
+        apply_reference(core, object, &reference, ctx);
+
+        self.log.push(ResolutionRecord {
+            rid,
+            kind,
+            members: members.len(),
+            started,
+            phase1_dispatch: p1d,
+            phase1_acked: p1a,
+            phase2: now.saturating_since(phase2_started) + inform_dispatch,
+            resolved_conflict: any_conflict,
+        });
+        self.completed += 1;
+    }
+
+    /// Member side of the inform: release the attention lease, cancel a
+    /// pending back-off (consistency was just restored by someone else,
+    /// §4.5.2), and adopt the reference.
+    pub fn on_inform(
+        &mut self,
+        core: &mut NodeCore,
+        from: NodeId,
+        rid: u64,
+        object: ObjectId,
+        reference: ReferenceState,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        core.store.open(object);
+        core.ensure_obj(object);
+        let now = ctx.now();
+        core.note_counters(object, &reference.counts, now);
+        let st = self.state(object);
+        if let Some((holder, held_rid, _)) = st.attention {
+            if holder == from && held_rid == rid {
+                st.attention = None;
+            }
+        }
+        if matches!(st.state, ResState::BackOff { .. }) {
+            st.state = ResState::Idle;
+        }
+        apply_reference(core, object, &reference, ctx);
+    }
+
+    /// Back-off expired: retry only if the level still violates the floor
+    /// (the other initiator's resolution may already have fixed it).
+    pub fn on_backoff_timer(
+        &mut self,
+        core: &mut NodeCore,
+        object: ObjectId,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        let Some(st) = self.states.get_mut(&object) else {
+            return;
+        };
+        if matches!(st.state, ResState::BackOff { .. }) {
+            st.state = ResState::Idle;
+            let Some(shared) = core.objs.get_mut(&object) else {
+                return;
+            };
+            let level = shared.level;
+            if core.hint.on_sample(level) == AdaptAction::Resolve {
+                self.start_active(core, object, ctx);
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The write path: local writes, read policies, snapshot serving, and the
+//! update-transfer surface (fetch request/reply) that ships missing updates
+//! between replicas.
+//!
+//! This subsystem owns only per-object read/announce bookkeeping; whether a
+//! write or read must *probe* the top layer is reported back to the node,
+//! which forwards it to the detection subsystem — the write path never
+//! touches detection state.
+
+use super::NodeCore;
+use crate::messages::IdeaMsg;
+use idea_net::Context;
+use idea_store::Snapshot;
+use idea_types::{ConsistencyLevel, NodeId, ObjectId, Result, Update, UpdatePayload};
+use idea_vv::VersionVector;
+use std::collections::BTreeMap;
+
+/// Per-object write-path state.
+#[derive(Debug, Default)]
+struct WriteState {
+    /// Whether this node has served a read of the object before.
+    has_read: bool,
+    /// Bootstrap announces sent so far (bounded; see [`WritePath::local_write`]).
+    announces: u64,
+}
+
+/// The write-path subsystem.
+#[derive(Default)]
+pub(crate) struct WritePath {
+    states: BTreeMap<ObjectId, WriteState>,
+}
+
+impl WritePath {
+    fn state(&mut self, object: ObjectId) -> &mut WriteState {
+        self.states.entry(object).or_default()
+    }
+
+    /// Issues a local write (§4.2: "The write operation … triggers the IDEA
+    /// protocol because it … will surely cause inconsistency among
+    /// replicas"). The caller must start a detection round afterwards.
+    pub fn local_write(
+        &mut self,
+        core: &mut NodeCore,
+        object: ObjectId,
+        meta_delta: i64,
+        payload: UpdatePayload,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) -> Update {
+        let now = ctx.now();
+        let update = core.store.write(object, now, meta_delta, payload);
+        let me = core.me;
+        let shared = core.obj_mut(object);
+        shared.layer.observe_update(me, now);
+        // Bootstrap: a handful of gossip announces per writer lets the
+        // overlay discover hot writers transitively (RanSub's role in §4.1).
+        // Bounded so steady-state traffic is detection-only.
+        let announces = self.state(object).announces;
+        let needs_announce =
+            announces < 3 || !shared.layer.is_top(me) || shared.layer.top_peers(me).is_empty();
+        if needs_announce {
+            self.state(object).announces += 1;
+            self.announce(core, object, ctx);
+        }
+        update
+    }
+
+    /// Serves a read from the local replica. Returns the snapshot plus
+    /// whether the read policy demands a detection probe (§4.2).
+    pub fn read(
+        &mut self,
+        core: &mut NodeCore,
+        object: ObjectId,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) -> Result<(Snapshot, bool)> {
+        let snapshot = core.store.read(object)?;
+        let policy = core.cfg.read_policy;
+        let st = self.state(object);
+        let fresh = !st.has_read;
+        st.has_read = true;
+        let stale = snapshot
+            .latest_update
+            .map(|t| ctx.now().saturating_since(t) > policy.stale_after)
+            .unwrap_or(false);
+        let probe = (fresh && policy.fresh_read_triggers) || stale;
+        Ok((snapshot, probe))
+    }
+
+    /// Gossips every writer count this node knows (own plus learned) so the
+    /// overlay discovers hot writers *transitively* — the role RanSub's
+    /// random subsets play in §4.1.
+    fn announce(&mut self, core: &mut NodeCore, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) {
+        let mut counters = core.store.replica(object).expect("opened").version().counters();
+        let everyone: Vec<NodeId> = (0..ctx.node_count() as u32).map(NodeId).collect();
+        let shared = core.obj_mut(object);
+        counters.merge(&shared.known_counts);
+        let (id, ttl, targets) = shared.gossip.originate(&everyone, ctx.rng());
+        for t in targets {
+            ctx.send(t, IdeaMsg::SweepRumor { id, ttl, object, counters: counters.clone() });
+        }
+    }
+
+    /// A peer asked for the updates it is missing: ship them (batched).
+    pub fn on_fetch_request(
+        &self,
+        core: &NodeCore,
+        from: NodeId,
+        object: ObjectId,
+        have: VersionVector,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        let Ok(replica) = core.store.replica(object) else {
+            return;
+        };
+        let updates = replica.updates_beyond(&have);
+        ctx.send(from, IdeaMsg::FetchReply { object, updates });
+    }
+
+    /// Missing updates arrived: ingest them and settle the level.
+    pub fn on_fetch_reply(&mut self, core: &mut NodeCore, object: ObjectId, updates: Vec<Update>) {
+        core.store.open(object);
+        for u in updates {
+            let _ = core.store.ingest(u);
+        }
+        if let Some(st) = core.objs.get_mut(&object) {
+            st.level = ConsistencyLevel::PERFECT;
+        }
+    }
+}

@@ -95,11 +95,8 @@ pub struct MaxBounds {
 impl MaxBounds {
     /// The worked example of §4.4.1: "the maximum error for all three
     /// metrics are 10" (staleness in seconds there).
-    pub const PAPER_EXAMPLE: MaxBounds = MaxBounds {
-        numerical: 10.0,
-        order: 10.0,
-        staleness: SimDuration::from_secs(10),
-    };
+    pub const PAPER_EXAMPLE: MaxBounds =
+        MaxBounds { numerical: 10.0, order: 10.0, staleness: SimDuration::from_secs(10) };
 
     /// Builds bounds, verifying the domain.
     ///
@@ -116,11 +113,7 @@ impl Default for MaxBounds {
     fn default() -> Self {
         // Calibrated for the paper's workload (4 writers, one update per
         // 5 s): levels hover in the 85–100 % band of Figures 7, 8 and 10.
-        MaxBounds {
-            numerical: 40.0,
-            order: 40.0,
-            staleness: SimDuration::from_secs(60),
-        }
+        MaxBounds { numerical: 40.0, order: 40.0, staleness: SimDuration::from_secs(60) }
     }
 }
 
@@ -164,10 +157,8 @@ impl Quantifier {
     pub fn level(&self, t: &ErrorTriple) -> ConsistencyLevel {
         let num = component(t.numerical, self.bounds.numerical);
         let ord = component(t.order, self.bounds.order);
-        let stale = component(
-            t.staleness.as_micros() as f64,
-            self.bounds.staleness.as_micros() as f64,
-        );
+        let stale =
+            component(t.staleness.as_micros() as f64, self.bounds.staleness.as_micros() as f64);
         ConsistencyLevel::new(
             num * self.weights.numerical
                 + ord * self.weights.order
@@ -279,6 +270,48 @@ mod tests {
             order_hurt < stale_hurt,
             "same relative error must hurt more on the heavier metric"
         );
+    }
+
+    #[test]
+    fn collapse_matches_hand_computed_formula() {
+        // weight<0.4, 0.2, 0.4>, maxima <20, 10, 5 s>, triple <5, 4, 2 s>:
+        // level = (20-5)/20·0.4 + (10-4)/10·0.2 + (5-2)/5·0.4
+        //       = 0.75·0.4 + 0.6·0.2 + 0.6·0.4 = 0.66
+        let q = Quantifier::new(
+            Weights::new(0.4, 0.2, 0.4),
+            MaxBounds::new(20.0, 10.0, SimDuration::from_secs(5)),
+        );
+        let level = q.level(&triple(5.0, 4.0, 2));
+        assert!((level.value() - 0.66).abs() < 1e-12, "got {level}");
+    }
+
+    #[test]
+    fn two_zero_weights_reduce_to_single_metric() {
+        // Staleness-only quantifier: numerical and order errors are ignored
+        // entirely, and the level is linear in staleness up to the bound.
+        let q = Quantifier::new(
+            Weights::new(0.0, 0.0, 1.0),
+            MaxBounds::new(1.0, 1.0, SimDuration::from_secs(10)),
+        );
+        assert_eq!(q.level(&triple(1e9, 1e9, 0)), ConsistencyLevel::PERFECT);
+        let half = q.level(&triple(0.0, 0.0, 5));
+        assert!((half.value() - 0.5).abs() < 1e-12, "got {half}");
+        assert_eq!(q.level(&triple(0.0, 0.0, 10)), ConsistencyLevel::WORST);
+    }
+
+    #[test]
+    fn max_bound_edges_saturate_exactly() {
+        let q = Quantifier::new(Weights::EQUAL, MaxBounds::PAPER_EXAMPLE);
+        // Exactly at the bound on one member: that member contributes zero,
+        // the others full weight — level collapses to 2/3.
+        let at_edge = q.level(&triple(10.0, 0.0, 0));
+        assert!((at_edge.value() - 2.0 / 3.0).abs() < 1e-12, "got {at_edge}");
+        // Just below and beyond the bound bracket the edge value.
+        assert!(q.level(&triple(10.0 - 1e-9, 0.0, 0)) > at_edge);
+        assert_eq!(q.level(&triple(10.0 + 1e9, 0.0, 0)), at_edge);
+        // All members at their bound — the floor, regardless of weights.
+        let q2 = Quantifier::new(Weights::new(0.1, 0.7, 0.2), MaxBounds::PAPER_EXAMPLE);
+        assert_eq!(q2.level(&triple(10.0, 10.0, 10)), ConsistencyLevel::WORST);
     }
 
     proptest! {

@@ -82,9 +82,7 @@ pub fn choose_reference(
                     None => these,
                     Some(acc) => acc
                         .into_iter()
-                        .filter_map(|(w, c)| {
-                            these.get(&w).map(|&o| (w, c.min(o)))
-                        })
+                        .filter_map(|(w, c)| these.get(&w).map(|&o| (w, c.min(o))))
                         .collect(),
                 });
             }
@@ -92,10 +90,8 @@ pub fn choose_reference(
             ReferenceState { winner: None, counts }
         }
         ResolutionPolicy::HighestIdWins => {
-            let (node, evv) = candidates
-                .iter()
-                .max_by_key(|(n, _)| *n)
-                .expect("non-empty candidates");
+            let (node, evv) =
+                candidates.iter().max_by_key(|(n, _)| *n).expect("non-empty candidates");
             ReferenceState { winner: Some(*node), counts: evv.counters() }
         }
         ResolutionPolicy::PriorityWins => {
@@ -205,11 +201,7 @@ mod tests {
             (NodeId(7), evv(&[(1, 1, 2, 5)])),
             (NodeId(4), evv(&[(2, 1, 3, 2)])),
         ];
-        let r = choose_reference(
-            ResolutionPolicy::HighestIdWins,
-            &candidates,
-            &BTreeMap::new(),
-        );
+        let r = choose_reference(ResolutionPolicy::HighestIdWins, &candidates, &BTreeMap::new());
         assert_eq!(r.winner, Some(NodeId(7)));
         assert_eq!(r.counts.get(WriterId(1)), 1);
         assert_eq!(r.counts.get(WriterId(0)), 0);
@@ -217,10 +209,7 @@ mod tests {
 
     #[test]
     fn priority_wins_overrides_id() {
-        let candidates = vec![
-            (NodeId(2), evv(&[(0, 1, 1, 1)])),
-            (NodeId(7), evv(&[(1, 1, 2, 5)])),
-        ];
+        let candidates = vec![(NodeId(2), evv(&[(0, 1, 1, 1)])), (NodeId(7), evv(&[(1, 1, 2, 5)]))];
         let mut prio = BTreeMap::new();
         prio.insert(NodeId(2), 10); // the supervisor of §4.5.1
         let r = choose_reference(ResolutionPolicy::PriorityWins, &candidates, &prio);
@@ -236,11 +225,7 @@ mod tests {
             (NodeId(0), evv(&[(0, 1, 1, 1), (0, 2, 2, 1), (1, 1, 3, 1)])),
             (NodeId(1), evv(&[(0, 1, 1, 1), (2, 1, 4, 1)])),
         ];
-        let r = choose_reference(
-            ResolutionPolicy::InvalidateBoth,
-            &candidates,
-            &BTreeMap::new(),
-        );
+        let r = choose_reference(ResolutionPolicy::InvalidateBoth, &candidates, &BTreeMap::new());
         assert_eq!(r.winner, None);
         assert_eq!(r.counts.get(WriterId(0)), 1, "only the shared w0:1 survives");
         assert_eq!(r.counts.get(WriterId(1)), 0);
@@ -250,11 +235,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one replica")]
     fn empty_candidates_panic() {
-        let _ = choose_reference(
-            ResolutionPolicy::HighestIdWins,
-            &[],
-            &BTreeMap::new(),
-        );
+        let _ = choose_reference(ResolutionPolicy::HighestIdWins, &[], &BTreeMap::new());
     }
 
     #[test]

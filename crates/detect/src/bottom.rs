@@ -73,12 +73,7 @@ impl SweepCollector {
 
     /// Records a divergence reply from `node` whose replica triple against
     /// the initiator's reference is `triple`.
-    pub fn on_divergence(
-        &mut self,
-        node: NodeId,
-        evv: ExtendedVersionVector,
-        triple: ErrorTriple,
-    ) {
+    pub fn on_divergence(&mut self, node: NodeId, evv: ExtendedVersionVector, triple: ErrorTriple) {
         self.replies.push((node, evv, triple));
     }
 

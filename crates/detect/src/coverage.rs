@@ -30,12 +30,8 @@ pub fn top_layer_catch_probability(rates: &[f64], top: &[usize]) -> f64 {
     if total <= 0.0 {
         return 1.0;
     }
-    let captured: f64 = top
-        .iter()
-        .filter_map(|&i| rates.get(i))
-        .copied()
-        .filter(|r| *r > 0.0)
-        .sum();
+    let captured: f64 =
+        top.iter().filter_map(|&i| rates.get(i)).copied().filter(|r| *r > 0.0).sum();
     let q = (captured / total).clamp(0.0, 1.0);
     q * q
 }

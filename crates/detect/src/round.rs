@@ -74,9 +74,7 @@ impl DetectReport {
 
     /// The worst (component-wise maximum) triple across all replicas.
     pub fn worst_triple(&self) -> ErrorTriple {
-        self.lines
-            .iter()
-            .fold(ErrorTriple::ZERO, |acc, l| acc.component_max(&l.triple))
+        self.lines.iter().fold(ErrorTriple::ZERO, |acc, l| acc.component_max(&l.triple))
     }
 
     /// Round-trip detection delay.
@@ -148,11 +146,7 @@ impl DetectRound {
                 if conflicted {
                     any = true;
                 }
-                ReplicaLine {
-                    node: *n,
-                    triple: evv.triple_against(ref_evv),
-                    conflicted,
-                }
+                ReplicaLine { node: *n, triple: evv.triple_against(ref_evv), conflicted }
             })
             .collect();
 
@@ -269,6 +263,56 @@ mod tests {
         let l1 = report.triple_of(NodeId(1)).unwrap();
         assert!(worst.numerical >= l0.numerical.max(l1.numerical) - 1e-9);
         assert!(worst.order >= l0.order.max(l1.order) - 1e-9);
+    }
+
+    #[test]
+    fn duplicate_replies_never_complete_a_round_early() {
+        let peers = [NodeId(1), NodeId(2), NodeId(3)];
+        let mut round = DetectRound::start(NodeId(0), 1, &peers, t(0));
+        // One peer answering three times is still one reply.
+        assert!(!round.on_reply(NodeId(1), evv(&[(0, 1, 1, 1)])));
+        assert!(!round.on_reply(NodeId(1), evv(&[(0, 1, 1, 1)])));
+        assert!(!round.on_reply(NodeId(1), evv(&[(1, 1, 2, 9)])));
+        assert_eq!(round.outstanding(), vec![NodeId(2), NodeId(3)]);
+        assert!(!round.on_reply(NodeId(2), evv(&[])));
+        assert!(round.on_reply(NodeId(3), evv(&[])));
+        // The duplicate did not smuggle a second line into the report: one
+        // line per participant (initiator + 3 peers), first answer retained.
+        let report = round.complete(&evv(&[(0, 1, 1, 1)]), t(1));
+        assert_eq!(report.lines.len(), 4);
+        let node1_lines = report.lines.iter().filter(|l| l.node == NodeId(1)).count();
+        assert_eq!(node1_lines, 1, "duplicate reply duplicated a line");
+    }
+
+    #[test]
+    fn missing_replies_leave_participants_out_of_the_report() {
+        // Deadline with one of three peers silent: the report covers the
+        // initiator and the two responders only, and the silent peer is
+        // still listed as outstanding at completion time.
+        let mine = evv(&[(0, 1, 1, 1)]);
+        let mut round = DetectRound::start(NodeId(0), 4, &[NodeId(1), NodeId(2), NodeId(3)], t(0));
+        round.on_reply(NodeId(1), evv(&[(0, 1, 1, 1)]));
+        round.on_reply(NodeId(3), evv(&[(0, 1, 1, 1)]));
+        assert_eq!(round.outstanding(), vec![NodeId(2)]);
+        let report = round.complete(&mine, t(2));
+        assert_eq!(report.lines.len(), 3);
+        assert!(report.triple_of(NodeId(2)).is_none(), "silent peer must not appear");
+        assert!(!report.any_inconsistency, "responders all matched");
+    }
+
+    #[test]
+    fn zero_reply_deadline_reports_initiator_alone() {
+        // Everyone timed out: the report degenerates to the initiator's own
+        // replica as the reference — no inconsistency observable.
+        let mine = evv(&[(0, 1, 1, 5)]);
+        let round = DetectRound::start(NodeId(7), 9, &[NodeId(1), NodeId(2)], t(0));
+        assert_eq!(round.outstanding().len(), 2);
+        let report = round.complete(&mine, t(3));
+        assert_eq!(report.reference, NodeId(7));
+        assert_eq!(report.lines.len(), 1);
+        assert!(!report.any_inconsistency);
+        assert!(report.triple_of(NodeId(7)).unwrap().is_zero());
+        assert_eq!(report.delay(), SimDuration::from_secs(3));
     }
 
     #[test]

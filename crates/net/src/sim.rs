@@ -31,11 +31,7 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig {
-            seed: 0,
-            local_delay: SimDuration::from_micros(50),
-            loss_rate: 0.0,
-        }
+        SimConfig { seed: 0, local_delay: SimDuration::from_micros(50), loss_rate: 0.0 }
     }
 }
 
@@ -442,7 +438,7 @@ mod tests {
         assert!(end > SimTime::ZERO);
         let total: usize = (0..4).map(|i| eng.node(NodeId(i)).received.len()).sum();
         assert_eq!(total, 12); // 3 laps of 4 nodes
-        // LAN latency 0.5 ms/hop: 12 hops ≈ 6 ms.
+                               // LAN latency 0.5 ms/hop: 12 hops ≈ 6 ms.
         assert_eq!(end, SimTime::from_micros(500 * 12));
     }
 
@@ -456,10 +452,7 @@ mod tests {
         for i in 0..5 {
             assert_eq!(a.node(NodeId(i)).received, b.node(NodeId(i)).received);
         }
-        assert_eq!(
-            a.stats().messages(MsgClass::App),
-            b.stats().messages(MsgClass::App)
-        );
+        assert_eq!(a.stats().messages(MsgClass::App), b.stats().messages(MsgClass::App));
     }
 
     #[test]
@@ -506,7 +499,7 @@ mod tests {
         eng.heal(NodeId(1), NodeId(2));
         eng.with_node(NodeId(0), |_, ctx| ctx.send(NodeId(1), Token { hops: 1 }));
         eng.run_until_quiescent(SimTime::from_secs(20));
-        assert!(eng.node(NodeId(2)).received.len() > 0);
+        assert!(!eng.node(NodeId(2)).received.is_empty());
     }
 
     #[test]
@@ -519,8 +512,8 @@ mod tests {
         assert_eq!(before, 0, "token stalled at the paused node");
         eng.resume(NodeId(2));
         eng.run_until_quiescent(SimTime::from_secs(20));
-        assert!(eng.node(NodeId(2)).received.len() > 0);
-        assert!(eng.node(NodeId(3)).received.len() > 0);
+        assert!(!eng.node(NodeId(2)).received.is_empty());
+        assert!(!eng.node(NodeId(3)).received.is_empty());
     }
 
     /// Timer-based protocol for timer semantics tests.
@@ -570,10 +563,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "one protocol instance per topology node")]
     fn node_count_mismatch_panics() {
-        let _ = SimEngine::new(
-            Topology::lan(3),
-            SimConfig::default(),
-            vec![Ring::new(false)],
-        );
+        let _ = SimEngine::new(Topology::lan(3), SimConfig::default(), vec![Ring::new(false)]);
     }
 }

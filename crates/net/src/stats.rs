@@ -144,8 +144,7 @@ impl NetStats {
         let mut out = NetStats::new();
         for i in 0..7 {
             out.messages[i] = self.messages[i].saturating_sub(earlier.messages[i]);
-            out.payload_bytes[i] =
-                self.payload_bytes[i].saturating_sub(earlier.payload_bytes[i]);
+            out.payload_bytes[i] = self.payload_bytes[i].saturating_sub(earlier.payload_bytes[i]);
         }
         out.dropped = self.dropped.saturating_sub(earlier.dropped);
         out

@@ -39,9 +39,12 @@ impl Default for ThreadedConfig {
     }
 }
 
+/// Boxed closure run on a node's own thread (see [`ThreadedEngine::invoke`]).
+type InvokeFn<P> = Box<dyn FnOnce(&mut P, &mut dyn Context<<P as Proto>::Msg>) + Send>;
+
 enum Envelope<P: Proto> {
     Net { from: NodeId, msg: P::Msg },
-    Invoke(Box<dyn FnOnce(&mut P, &mut dyn Context<P::Msg>) + Send>),
+    Invoke(InvokeFn<P>),
     Stop,
 }
 
@@ -247,10 +250,7 @@ impl<P: Proto + 'static> ThreadedEngine<P> {
         if let Some(h) = self.router_handle.take() {
             let _ = h.join();
         }
-        self.node_handles
-            .drain(..)
-            .map(|h| h.join().expect("node thread panicked"))
-            .collect()
+        self.node_handles.drain(..).map(|h| h.join().expect("node thread panicked")).collect()
     }
 }
 
@@ -367,13 +367,7 @@ fn router_loop<P: Proto>(
                     topo.sample_delay(from, to, rng)
                 };
                 let wall = Duration::from_secs_f64(virt.as_secs_f64() * scale);
-                heap.push(Reverse(InFlight {
-                    due: Instant::now() + wall,
-                    seq,
-                    from,
-                    to,
-                    msg,
-                }));
+                heap.push(Reverse(InFlight { due: Instant::now() + wall, seq, from, to, msg }));
                 seq += 1;
             }
             Ok(RouterCmd::Stop) | Err(RecvTimeoutError::Disconnected) => break,

@@ -29,7 +29,8 @@ pub enum Region {
 
 impl Region {
     /// All regions in assignment order.
-    pub const ALL: [Region; 4] = [Region::UsEast, Region::UsWest, Region::UsCentral, Region::Canada];
+    pub const ALL: [Region; 4] =
+        [Region::UsEast, Region::UsWest, Region::UsCentral, Region::Canada];
 
     /// Stable display name.
     pub fn name(self) -> &'static str {
@@ -63,7 +64,7 @@ impl Topology {
         let mut us = vec![0u64; n * n];
         for i in 0..n {
             for j in (i + 1)..n {
-                let one_way_ms = if regions[i] == regions[j] {
+                let one_way_ms: u64 = if regions[i] == regions[j] {
                     rng.gen_range(8..=12)
                 } else {
                     rng.gen_range(40..=55)
@@ -143,10 +144,9 @@ impl Topology {
                 }
             }
         }
-        if cnt == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_micros((sum / cnt) as u64)
+        match sum.checked_div(cnt) {
+            Some(avg) => SimDuration::from_micros(avg as u64),
+            None => SimDuration::ZERO,
         }
     }
 }
@@ -158,8 +158,7 @@ mod tests {
     #[test]
     fn planetlab_first_four_nodes_span_distinct_regions() {
         let t = Topology::planetlab(40, 7);
-        let regions: std::collections::HashSet<_> =
-            (0..4).map(|i| t.region(NodeId(i))).collect();
+        let regions: std::collections::HashSet<_> = (0..4).map(|i| t.region(NodeId(i))).collect();
         assert_eq!(regions.len(), 4, "paper's four writers must be far apart");
     }
 
@@ -210,10 +209,7 @@ mod tests {
     fn lan_topology_is_flat() {
         let t = Topology::lan(4);
         assert_eq!(t.len(), 4);
-        assert_eq!(
-            t.latency().base(NodeId(0), NodeId(3)),
-            SimDuration::from_micros(500)
-        );
+        assert_eq!(t.latency().base(NodeId(0), NodeId(3)), SimDuration::from_micros(500));
         assert_eq!(t.mean_cross_region_rtt(), SimDuration::ZERO); // single region
     }
 

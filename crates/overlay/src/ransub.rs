@@ -186,11 +186,8 @@ impl RansubTree {
             let node = NodeId(i as u32);
             let down = delivered[i].clone().expect("parent set before children");
             for c in self.children(node) {
-                let mut remix = Sample::merge(
-                    &[down.clone(), collected[0].clone()],
-                    self.cfg.sample_size,
-                    rng,
-                );
+                let mut remix =
+                    Sample::merge(&[down.clone(), collected[0].clone()], self.cfg.sample_size, rng);
                 // Both inputs already represent the whole tree; merging them
                 // re-mixes membership but must not double-count population.
                 remix.population = self.n;
@@ -293,10 +290,7 @@ mod tests {
         // Re-mixing biases mildly towards the root's neighbourhood; a 3.5x
         // spread over 400 rounds is comfortably uniform enough for hot-writer
         // discovery (each node still appears hundreds of times).
-        assert!(
-            max / min < 3.5,
-            "sample frequencies too skewed: min {min}, max {max}"
-        );
+        assert!(max / min < 3.5, "sample frequencies too skewed: min {min}, max {max}");
     }
 
     #[test]

@@ -78,10 +78,7 @@ pub struct TwoLayer {
 impl TwoLayer {
     /// Builds an empty two-layer view of `object`.
     pub fn new(object: ObjectId, cfg: TopLayerConfig) -> Self {
-        assert!(
-            cfg.leave_threshold <= cfg.join_threshold,
-            "hysteresis requires leave ≤ join"
-        );
+        assert!(cfg.leave_threshold <= cfg.join_threshold, "hysteresis requires leave ≤ join");
         assert!(cfg.max_size >= 1, "top layer must allow at least one member");
         TwoLayer { object, cfg, scores: BTreeMap::new(), members: Vec::new() }
     }
@@ -108,9 +105,7 @@ impl TwoLayer {
 
     /// Current temperature of `node`.
     pub fn temperature(&self, node: NodeId, now: SimTime) -> f64 {
-        self.scores
-            .get(&node)
-            .map_or(0.0, |s| s.decayed(now, self.cfg.half_life))
+        self.scores.get(&node).map_or(0.0, |s| s.decayed(now, self.cfg.half_life))
     }
 
     /// Recomputes membership at `now` (called by `observe_update`; exposed
@@ -162,10 +157,7 @@ impl TwoLayer {
     /// layer. The bottom layer "covers all the nodes in the network" minus
     /// the hot writers (§4.1).
     pub fn bottom_members(&self, n: usize) -> Vec<NodeId> {
-        (0..n as u32)
-            .map(NodeId)
-            .filter(|node| !self.is_top(*node))
-            .collect()
+        (0..n as u32).map(NodeId).filter(|node| !self.is_top(*node)).collect()
     }
 }
 

@@ -111,8 +111,7 @@ impl Replica {
     }
 
     fn apply_in_order(&mut self, update: Update) {
-        self.evv
-            .record(update.writer(), update.seq(), update.at, update.meta_delta);
+        self.evv.record(update.writer(), update.seq(), update.at, update.meta_delta);
         self.log.push(update);
     }
 
@@ -139,11 +138,7 @@ impl Replica {
     /// missing — the transfer batch resolution ships (§4.5.2: members
     /// "update their copies by acquiring any missing updates").
     pub fn updates_missing_at(&self, peer: &ExtendedVersionVector) -> Vec<Update> {
-        self.log
-            .iter()
-            .filter(|u| peer.count(u.writer()) < u.seq())
-            .cloned()
-            .collect()
+        self.log.iter().filter(|u| peer.count(u.writer()) < u.seq()).cloned().collect()
     }
 
     /// Replaces this replica's content with the reference state: applied
@@ -155,12 +150,7 @@ impl Replica {
         for u in reference_log {
             evv.record(u.writer(), u.seq(), u.at, u.meta_delta);
         }
-        let extras = self
-            .log
-            .iter()
-            .filter(|u| evv.count(u.writer()) < u.seq())
-            .cloned()
-            .collect();
+        let extras = self.log.iter().filter(|u| evv.count(u.writer()) < u.seq()).cloned().collect();
         self.log = reference_log.to_vec();
         self.evv = evv;
         self.pending.clear();
@@ -170,11 +160,7 @@ impl Replica {
     /// Updates this replica holds beyond the per-writer `counts` — the
     /// transfer batch for a peer that advertised bare counters.
     pub fn updates_beyond(&self, counts: &idea_vv::VersionVector) -> Vec<Update> {
-        self.log
-            .iter()
-            .filter(|u| u.seq() > counts.get(u.writer()))
-            .cloned()
-            .collect()
+        self.log.iter().filter(|u| u.seq() > counts.get(u.writer())).cloned().collect()
     }
 
     /// Drops every applied update beyond the per-writer `counts` — the
@@ -183,10 +169,8 @@ impl Replica {
     /// (§4.5.1, *invalidate both* and the losing side of *user-ID based*).
     /// Returns the invalidated updates.
     pub fn drop_extras(&mut self, counts: &idea_vv::VersionVector) -> Vec<Update> {
-        let (keep, dropped): (Vec<Update>, Vec<Update>) = self
-            .log
-            .drain(..)
-            .partition(|u| u.seq() <= counts.get(u.writer()));
+        let (keep, dropped): (Vec<Update>, Vec<Update>) =
+            self.log.drain(..).partition(|u| u.seq() <= counts.get(u.writer()));
         let mut evv = ExtendedVersionVector::new();
         for u in &keep {
             evv.record(u.writer(), u.seq(), u.at, u.meta_delta);

@@ -99,10 +99,8 @@ impl NodeStore {
     /// # Errors
     /// Fails when no replica of the object exists (`open` it first).
     pub fn ingest(&mut self, update: Update) -> Result<ApplyOutcome> {
-        let replica = self
-            .replicas
-            .get_mut(&update.object)
-            .ok_or(IdeaError::UnknownObject(update.object))?;
+        let replica =
+            self.replicas.get_mut(&update.object).ok_or(IdeaError::UnknownObject(update.object))?;
         replica.apply(update)
     }
 

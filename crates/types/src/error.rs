@@ -62,11 +62,7 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = IdeaError::NonConsecutiveSeq {
-            writer: WriterId(3),
-            expected: 5,
-            got: 9,
-        };
+        let e = IdeaError::NonConsecutiveSeq { writer: WriterId(3), expected: 5, got: 9 };
         let s = e.to_string();
         assert!(s.contains("w3"));
         assert!(s.contains('5'));

@@ -31,11 +31,8 @@ pub struct ErrorTriple {
 
 impl ErrorTriple {
     /// The all-zero triple (replica == reference).
-    pub const ZERO: ErrorTriple = ErrorTriple {
-        numerical: 0.0,
-        order: 0.0,
-        staleness: SimDuration::ZERO,
-    };
+    pub const ZERO: ErrorTriple =
+        ErrorTriple { numerical: 0.0, order: 0.0, staleness: SimDuration::ZERO };
 
     /// Builds a triple from raw parts.
     pub fn new(numerical: f64, order: f64, staleness: SimDuration) -> Self {
@@ -183,11 +180,8 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
-            ConsistencyLevel::new(0.5),
-            ConsistencyLevel::new(0.95),
-            ConsistencyLevel::new(0.0),
-        ];
+        let mut v =
+            [ConsistencyLevel::new(0.5), ConsistencyLevel::new(0.95), ConsistencyLevel::new(0.0)];
         v.sort();
         assert_eq!(v[0], ConsistencyLevel::WORST);
         assert_eq!(v[2], ConsistencyLevel::new(0.95));

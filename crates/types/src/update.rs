@@ -59,6 +59,9 @@ pub enum UpdatePayload {
 }
 
 /// Serde adapter so `bytes::Bytes` can ride inside the payload enum.
+// Only referenced from the `#[serde(with)]` attribute, which the offline
+// serde stub's no-op derives never expand — hence the dead-code allowance.
+#[allow(dead_code)]
 mod serde_bytes_compat {
     use bytes::Bytes;
     use serde::{Deserialize, Deserializer, Serializer};

@@ -60,9 +60,7 @@ impl ExtendedVersionVector {
 
     /// The classic counter view of this vector.
     pub fn counters(&self) -> VersionVector {
-        VersionVector::from_pairs(
-            self.histories.iter().map(|(w, h)| (*w, h.times.len() as u64)),
-        )
+        VersionVector::from_pairs(self.histories.iter().map(|(w, h)| (*w, h.times.len() as u64)))
     }
 
     /// The counter for a single writer.
@@ -90,10 +88,7 @@ impl ExtendedVersionVector {
 
     /// Timestamp of the most recent recorded update (`None` when empty).
     pub fn latest_update_time(&self) -> Option<SimTime> {
-        self.histories
-            .values()
-            .filter_map(|h| h.times.last().copied())
-            .max()
+        self.histories.values().filter_map(|h| h.times.last().copied()).max()
     }
 
     /// Compares the counter views under the domination order.

@@ -65,7 +65,9 @@ pub fn report_coverage(rows: &[CoverageRow]) -> String {
         &["zipf exponent", "min top size for 95 %", "P(caught) with top-4"],
         &table,
     ));
-    out.push_str("\nSkewed activity (the regime the paper assumes) needs only a handful of members.\n");
+    out.push_str(
+        "\nSkewed activity (the regime the paper assumes) needs only a handful of members.\n",
+    );
     out
 }
 
@@ -87,14 +89,15 @@ pub fn run_rollback(seed: u64) -> Vec<RollbackRow> {
     [1u8, 2, 4, 6]
         .iter()
         .map(|&ttl| {
-            let mut cfg = IdeaConfig::default();
-            cfg.sweep_every = Some(1);
-            cfg.sweep_deadline = SimDuration::from_secs(3);
-            cfg.rollback_resolve = false;
+            let mut cfg = IdeaConfig {
+                sweep_every: Some(1),
+                sweep_deadline: SimDuration::from_secs(3),
+                rollback_resolve: false,
+                ..Default::default()
+            };
             cfg.gossip.ttl = ttl;
-            let nodes: Vec<IdeaNode> = (0..20)
-                .map(|i| IdeaNode::new(NodeId(i as u32), cfg.clone(), &[OBJ]))
-                .collect();
+            let nodes: Vec<IdeaNode> =
+                (0..20).map(|i| IdeaNode::new(NodeId(i as u32), cfg.clone(), &[OBJ])).collect();
             let mut eng = SimEngine::new(
                 Topology::planetlab(20, seed),
                 SimConfig { seed, ..Default::default() },
@@ -124,8 +127,7 @@ pub fn run_rollback(seed: u64) -> Vec<RollbackRow> {
                 }
                 eng.run_for(SimDuration::from_secs(5));
             }
-            let rollbacks: u64 =
-                (0..4u32).map(|w| eng.node(NodeId(w)).report(OBJ).rollbacks).sum();
+            let rollbacks: u64 = (0..4u32).map(|w| eng.node(NodeId(w)).report(OBJ).rollbacks).sum();
             RollbackRow {
                 ttl,
                 rollbacks,
@@ -141,13 +143,7 @@ pub fn report_rollback(rows: &[RollbackRow]) -> String {
     out.push_str("A2: bottom-layer sweep TTL vs rollback detection (one hidden bottom writer)\n\n");
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![
-                r.ttl.to_string(),
-                r.rollbacks.to_string(),
-                r.gossip_messages.to_string(),
-            ]
-        })
+        .map(|r| vec![r.ttl.to_string(), r.rollbacks.to_string(), r.gossip_messages.to_string()])
         .collect();
     out.push_str(&markdown_table(&["TTL", "rollbacks confirmed", "gossip msgs"], &table));
     out.push_str("\nHigher TTL buys coverage (rollbacks found) at higher gossip cost — §4.4.2's \"trade-off between accuracy and responsiveness\".\n");
@@ -251,11 +247,7 @@ pub fn report_bounds(trace: &BoundsTrace) -> String {
         .steps
         .iter()
         .map(|(i, p, lo, hi)| {
-            vec![
-                i.to_string(),
-                format!("{p:.1} s"),
-                format!("[{lo:.1}, {hi:.1}] s"),
-            ]
+            vec![i.to_string(), format!("{p:.1} s"), format!("[{lo:.1}, {hi:.1}] s")]
         })
         .collect();
     out.push_str(&markdown_table(&["event", "period", "learned window"], &table));
@@ -307,9 +299,7 @@ mod tests {
         // The gap widens with n.
         let first = &rows[0];
         let last = rows.last().unwrap();
-        assert!(
-            last.sequential_ms / last.parallel_ms > first.sequential_ms / first.parallel_ms
-        );
+        assert!(last.sequential_ms / last.parallel_ms > first.sequential_ms / first.parallel_ms);
     }
 
     #[test]

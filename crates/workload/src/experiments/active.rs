@@ -15,8 +15,7 @@ pub fn warmed_cluster(
     parallel_phase2: bool,
 ) -> SimEngine<IdeaNode> {
     assert!(writers >= 2 && writers <= nodes);
-    let mut cfg = IdeaConfig::default();
-    cfg.parallel_phase2 = parallel_phase2;
+    let cfg = IdeaConfig { parallel_phase2, ..Default::default() };
     let protos: Vec<IdeaNode> =
         (0..nodes).map(|i| IdeaNode::new(NodeId(i as u32), cfg.clone(), &[OBJ])).collect();
     let mut eng = SimEngine::new(
@@ -62,10 +61,7 @@ pub fn measure_active_rounds(
         });
         eng.run_for(SimDuration::from_secs(8));
         let log = eng.node(NodeId(initiator as u32)).resolution_log();
-        assert!(
-            log.len() > before,
-            "initiator {initiator} never completed its resolution"
-        );
+        assert!(log.len() > before, "initiator {initiator} never completed its resolution");
         records.push(log[log.len() - 1].clone());
     }
     records

@@ -23,10 +23,7 @@ pub struct Fig10Result {
 pub fn run(seed: u64) -> Fig10Result {
     let base = BookingRunConfig { seed, ..Default::default() };
     Fig10Result {
-        fast: run_booking(&BookingRunConfig {
-            period: SimDuration::from_secs(20),
-            ..base.clone()
-        }),
+        fast: run_booking(&BookingRunConfig { period: SimDuration::from_secs(20), ..base.clone() }),
         slow: run_booking(&BookingRunConfig { period: SimDuration::from_secs(40), ..base }),
     }
 }
@@ -86,10 +83,7 @@ mod tests {
                 period: SimDuration::from_secs(20),
                 ..base.clone()
             }),
-            slow: run_booking(&BookingRunConfig {
-                period: SimDuration::from_secs(40),
-                ..base
-            }),
+            slow: run_booking(&BookingRunConfig { period: SimDuration::from_secs(40), ..base }),
         }
     }
 

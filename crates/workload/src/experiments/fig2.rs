@@ -69,9 +69,8 @@ fn drive<P: idea_net::Proto>(
 ) -> (f64, u64, SimEngine<P>) {
     let mut oracle = ConsistencyOracle::new(Quantifier::default());
     let end = SimTime::ZERO + cfg.duration;
-    let mut next_write: Vec<SimTime> = (0..cfg.writers)
-        .map(|w| SimTime::ZERO + SimDuration::from_secs(w as u64))
-        .collect();
+    let mut next_write: Vec<SimTime> =
+        (0..cfg.writers).map(|w| SimTime::ZERO + SimDuration::from_secs(w as u64)).collect();
     let mut next_sample = SimTime::ZERO + cfg.sample_period;
     let mut level_sum = 0.0;
     let mut samples = 0usize;
@@ -84,10 +83,10 @@ fn drive<P: idea_net::Proto>(
             break;
         }
         eng.run_until(t);
-        for w in 0..cfg.writers {
-            if next_write[w] == t {
+        for (w, next) in next_write.iter_mut().enumerate().take(cfg.writers) {
+            if *next == t {
                 write(&mut eng, w as u32, t, &mut oracle);
-                next_write[w] = t + cfg.write_period;
+                *next = t + cfg.write_period;
             }
         }
         if next_sample == t {
@@ -121,11 +120,8 @@ pub fn run(cfg: &TradeoffConfig) -> Vec<TradeoffRow> {
         let nodes = (0..cfg.nodes)
             .map(|i| OptimisticNode::new(NodeId(i as u32), OBJ, SimDuration::from_secs(10)))
             .collect();
-        let eng = SimEngine::new(
-            Topology::planetlab(cfg.nodes, cfg.seed),
-            sim_cfg(cfg.seed),
-            nodes,
-        );
+        let eng =
+            SimEngine::new(Topology::planetlab(cfg.nodes, cfg.seed), sim_cfg(cfg.seed), nodes);
         let (mean_level, total_messages, _) = drive(
             cfg,
             eng,
@@ -148,14 +144,9 @@ pub fn run(cfg: &TradeoffConfig) -> Vec<TradeoffRow> {
     // TACT with order bound 4 / staleness bound 15 s.
     {
         let bounds = TactBounds { order: 4, staleness: SimDuration::from_secs(15) };
-        let nodes = (0..cfg.nodes)
-            .map(|i| TactNode::new(NodeId(i as u32), OBJ, bounds))
-            .collect();
-        let eng = SimEngine::new(
-            Topology::planetlab(cfg.nodes, cfg.seed),
-            sim_cfg(cfg.seed),
-            nodes,
-        );
+        let nodes = (0..cfg.nodes).map(|i| TactNode::new(NodeId(i as u32), OBJ, bounds)).collect();
+        let eng =
+            SimEngine::new(Topology::planetlab(cfg.nodes, cfg.seed), sim_cfg(cfg.seed), nodes);
         let (mean_level, total_messages, _) = drive(
             cfg,
             eng,
@@ -182,11 +173,8 @@ pub fn run(cfg: &TradeoffConfig) -> Vec<TradeoffRow> {
         let nodes = (0..cfg.nodes)
             .map(|i| IdeaNode::new(NodeId(i as u32), idea_cfg.clone(), &[OBJ]))
             .collect();
-        let eng = SimEngine::new(
-            Topology::planetlab(cfg.nodes, cfg.seed),
-            sim_cfg(cfg.seed),
-            nodes,
-        );
+        let eng =
+            SimEngine::new(Topology::planetlab(cfg.nodes, cfg.seed), sim_cfg(cfg.seed), nodes);
         let (mean_level, total_messages, _) = drive(
             cfg,
             eng,
@@ -209,11 +197,8 @@ pub fn run(cfg: &TradeoffConfig) -> Vec<TradeoffRow> {
     // Strong write-all replication.
     {
         let nodes = (0..cfg.nodes).map(|i| StrongNode::new(NodeId(i as u32), OBJ)).collect();
-        let eng = SimEngine::new(
-            Topology::planetlab(cfg.nodes, cfg.seed),
-            sim_cfg(cfg.seed),
-            nodes,
-        );
+        let eng =
+            SimEngine::new(Topology::planetlab(cfg.nodes, cfg.seed), sim_cfg(cfg.seed), nodes);
         let (mean_level, total_messages, eng) = drive(
             cfg,
             eng,
@@ -292,10 +277,7 @@ mod tests {
     use super::*;
 
     fn quick() -> Vec<TradeoffRow> {
-        run(&TradeoffConfig {
-            duration: SimDuration::from_secs(60),
-            ..Default::default()
-        })
+        run(&TradeoffConfig { duration: SimDuration::from_secs(60), ..Default::default() })
     }
 
     #[test]

@@ -31,8 +31,7 @@ pub fn run(hint: f64, seed: u64) -> HintRunResult {
 
 /// Renders the paper-vs-measured report with the sampled series chart.
 pub fn report(anchors: &Fig7Anchors, result: &HintRunResult) -> String {
-    let user: Vec<(f64, f64)> =
-        result.series.iter().map(|p| (p.t_secs, p.worst * 100.0)).collect();
+    let user: Vec<(f64, f64)> = result.series.iter().map(|p| (p.t_secs, p.worst * 100.0)).collect();
     let avg: Vec<(f64, f64)> =
         result.series.iter().map(|p| (p.t_secs, p.average * 100.0)).collect();
     let mut out = String::new();
@@ -91,12 +90,7 @@ mod tests {
     #[test]
     fn fig7a_shape_holds() {
         let r = run(FIG7A.hint, 7);
-        assert!(
-            shape_holds(&FIG7A, &r, 0.08),
-            "min {} vs hint {}",
-            r.min_worst,
-            FIG7A.hint
-        );
+        assert!(shape_holds(&FIG7A, &r, 0.08), "min {} vs hint {}", r.min_worst, FIG7A.hint);
         // 100 s / 5 s sampling inclusive of t=0.
         assert_eq!(r.series.len(), 21);
     }
@@ -104,12 +98,7 @@ mod tests {
     #[test]
     fn fig7b_shape_holds() {
         let r = run(FIG7B.hint, 7);
-        assert!(
-            shape_holds(&FIG7B, &r, 0.10),
-            "min {} vs hint {}",
-            r.min_worst,
-            FIG7B.hint
-        );
+        assert!(shape_holds(&FIG7B, &r, 0.10), "min {} vs hint {}", r.min_worst, FIG7B.hint);
     }
 
     #[test]

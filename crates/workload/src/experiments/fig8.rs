@@ -22,28 +22,19 @@ pub fn run(seed: u64) -> HintRunResult {
 
 /// Minimum worst-writer level in each half of the run.
 pub fn half_minima(result: &HintRunResult) -> (f64, f64) {
-    let first = result
-        .series
-        .iter()
-        .filter(|p| p.t_secs < 100.0)
-        .map(|p| p.worst)
-        .fold(1.0, f64::min);
+    let first =
+        result.series.iter().filter(|p| p.t_secs < 100.0).map(|p| p.worst).fold(1.0, f64::min);
     // Skip the reset instant itself: the paper's floor statement applies to
     // steady state under the new hint.
-    let second = result
-        .series
-        .iter()
-        .filter(|p| p.t_secs >= 105.0)
-        .map(|p| p.worst)
-        .fold(1.0, f64::min);
+    let second =
+        result.series.iter().filter(|p| p.t_secs >= 105.0).map(|p| p.worst).fold(1.0, f64::min);
     (first, second)
 }
 
 /// Renders the paper-vs-measured report.
 pub fn report(result: &HintRunResult) -> String {
     let (first, second) = half_minima(result);
-    let user: Vec<(f64, f64)> =
-        result.series.iter().map(|p| (p.t_secs, p.worst * 100.0)).collect();
+    let user: Vec<(f64, f64)> = result.series.iter().map(|p| (p.t_secs, p.worst * 100.0)).collect();
     let mut out = String::new();
     out.push_str("Figure 8: hint-based run, 200 s, hint 95 % reset to 90 % at t = 100 s\n\n");
     out.push_str(&ascii_chart(&[("view from the user", &user)], 72, 14, 80.0, 100.5));

@@ -33,10 +33,8 @@ pub fn run(max_n: usize, seed: u64) -> Vec<Fig9Point> {
 
 /// Renders the curve and the comparison table.
 pub fn report(points: &[Fig9Point]) -> String {
-    let measured: Vec<(f64, f64)> =
-        points.iter().map(|p| (p.n as f64, p.measured_ms)).collect();
-    let formula: Vec<(f64, f64)> =
-        points.iter().map(|p| (p.n as f64, p.formula_ms)).collect();
+    let measured: Vec<(f64, f64)> = points.iter().map(|p| (p.n as f64, p.measured_ms)).collect();
+    let formula: Vec<(f64, f64)> = points.iter().map(|p| (p.n as f64, p.formula_ms)).collect();
     let mut out = String::new();
     out.push_str("Figure 9: active-resolution delay vs top-layer size\n\n");
     out.push_str(&ascii_chart(
@@ -58,16 +56,17 @@ pub fn report(points: &[Fig9Point]) -> String {
         })
         .collect();
     out.push_str(&markdown_table(&["top-layer size", "paper (formula 2)", "measured"], &rows));
-    out.push_str("\nPaper claim: even with ten simultaneous writers the cost stays below one second.\n");
+    out.push_str(
+        "\nPaper claim: even with ten simultaneous writers the cost stays below one second.\n",
+    );
     out
 }
 
 /// Shape checks: the curve grows monotonically (within jitter), tracks the
 /// formula within `rel_tol`, and stays under a second at n = 10.
 pub fn shape_holds(points: &[Fig9Point], rel_tol: f64) -> bool {
-    let tracks = points
-        .iter()
-        .all(|p| (p.measured_ms - p.formula_ms).abs() / p.formula_ms < rel_tol);
+    let tracks =
+        points.iter().all(|p| (p.measured_ms - p.formula_ms).abs() / p.formula_ms < rel_tol);
     let under_a_second = points.iter().all(|p| p.n != 10 || p.measured_ms < 1_000.0);
     let grows = points.windows(2).all(|w| w[1].measured_ms > w[0].measured_ms * 0.9);
     tracks && under_a_second && grows

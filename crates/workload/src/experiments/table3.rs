@@ -42,10 +42,7 @@ impl Table3Result {
 pub fn run(seed: u64) -> Table3Result {
     let base = BookingRunConfig { seed, ..Default::default() };
     Table3Result {
-        fast: run_booking(&BookingRunConfig {
-            period: SimDuration::from_secs(20),
-            ..base.clone()
-        }),
+        fast: run_booking(&BookingRunConfig { period: SimDuration::from_secs(20), ..base.clone() }),
         slow: run_booking(&BookingRunConfig { period: SimDuration::from_secs(40), ..base }),
     }
 }
@@ -55,7 +52,13 @@ pub fn report(r: &Table3Result) -> String {
     let mut out = String::new();
     out.push_str("Table 3: background-resolution overhead over 100 s (booking system)\n\n");
     out.push_str(&markdown_table(
-        &["frequency", "paper (# msgs)", "measured (# msgs)", "measured rounds", "measured KB/s @1KB"],
+        &[
+            "frequency",
+            "paper (# msgs)",
+            "measured (# msgs)",
+            "measured rounds",
+            "measured KB/s @1KB",
+        ],
         &[
             vec![
                 "every 20 s".into(),
@@ -74,9 +77,7 @@ pub fn report(r: &Table3Result) -> String {
         ],
     ));
     let ratio = r.fast.resolution_messages as f64 / r.slow.resolution_messages.max(1) as f64;
-    out.push_str(&format!(
-        "\nmessage ratio 20 s : 40 s — paper 1.75, measured {ratio:.2}\n"
-    ));
+    out.push_str(&format!("\nmessage ratio 20 s : 40 s — paper 1.75, measured {ratio:.2}\n"));
     out.push_str(&format!(
         "Formula 5 (mean msgs/round): paper 44 (finer-grained packets), measured {:.1} (batched transfers)\n",
         r.msgs_per_round()
@@ -122,10 +123,7 @@ mod tests {
                 period: SimDuration::from_secs(20),
                 ..base.clone()
             }),
-            slow: run_booking(&BookingRunConfig {
-                period: SimDuration::from_secs(40),
-                ..base
-            }),
+            slow: run_booking(&BookingRunConfig { period: SimDuration::from_secs(40), ..base }),
         }
     }
 

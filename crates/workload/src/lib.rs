@@ -20,6 +20,4 @@ pub mod runner;
 
 pub use oracle::ConsistencyOracle;
 pub use report::{ascii_chart, markdown_table, to_csv};
-pub use runner::{
-    BookingRunConfig, BookingRunResult, HintRunConfig, HintRunResult, SamplePoint,
-};
+pub use runner::{BookingRunConfig, BookingRunResult, HintRunConfig, HintRunResult, SamplePoint};

@@ -26,8 +26,7 @@ impl ConsistencyOracle {
     /// Records an issued update (replays — e.g. reissued sequence numbers
     /// after invalidation — are ignored, keeping the union well-formed).
     pub fn record(&mut self, update: &Update) {
-        self.union
-            .record(update.writer(), update.seq(), update.at, update.meta_delta);
+        self.union.record(update.writer(), update.seq(), update.at, update.meta_delta);
     }
 
     /// Total updates recorded.
@@ -55,11 +54,10 @@ impl ConsistencyOracle {
     /// conflicting updates — mutual agreement is what consistency means in
     /// the paper.
     pub fn mutual_mean_level(&self, replicas_by_id: &[&ExtendedVersionVector]) -> f64 {
-        let Some(reference) = replicas_by_id.last() else { return 1.0 };
-        let sum: f64 = replicas_by_id
-            .iter()
-            .map(|r| self.quant_level(r, reference))
-            .sum();
+        let Some(reference) = replicas_by_id.last() else {
+            return 1.0;
+        };
+        let sum: f64 = replicas_by_id.iter().map(|r| self.quant_level(r, reference)).sum();
         sum / replicas_by_id.len() as f64
     }
 

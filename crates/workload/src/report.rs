@@ -12,17 +12,11 @@ pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-        let padded: Vec<String> = cells
-            .iter()
-            .zip(widths)
-            .map(|(c, w)| format!("{c:<w$}", w = *w))
-            .collect();
+        let padded: Vec<String> =
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}", w = *w)).collect();
         format!("| {} |\n", padded.join(" | "))
     };
-    out.push_str(&fmt_row(
-        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
-        &widths,
-    ));
+    out.push_str(&fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths));
     let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     out.push_str(&fmt_row(&dashes, &widths));
     for row in rows {
@@ -110,10 +104,7 @@ mod tests {
     fn markdown_table_aligns_columns() {
         let t = markdown_table(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["longer-name".into(), "22".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["longer-name".into(), "22".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -76,11 +76,7 @@ impl Default for HintRunConfig {
             // ASCII sum is ~115, so the numerical member saturates only
             // after ~9 unmatched strokes — the same errors-to-maxima ratio
             // as the paper's worked example (gaps of 3 against a max of 10).
-            bounds: MaxBounds::new(
-                1_000.0,
-                40.0,
-                SimDuration::from_secs(60),
-            ),
+            bounds: MaxBounds::new(1_000.0, 40.0, SimDuration::from_secs(60)),
             seed: 7,
             hint_resets: Vec::new(),
         }
@@ -126,9 +122,8 @@ pub fn run_hint(cfg: &HintRunConfig) -> HintRunResult {
 
     let start = SimTime::ZERO + cfg.warmup;
     let end = start + cfg.duration;
-    let mut next_write: Vec<SimTime> = (0..cfg.writers)
-        .map(|w| SimTime::ZERO + SimDuration::from_secs(w as u64))
-        .collect();
+    let mut next_write: Vec<SimTime> =
+        (0..cfg.writers).map(|w| SimTime::ZERO + SimDuration::from_secs(w as u64)).collect();
     let mut next_sample = start;
     let mut next_poll = start;
     let mut window_worst = 1.0f64;
@@ -169,14 +164,14 @@ pub fn run_hint(cfg: &HintRunConfig) -> HintRunResult {
             window_worst = 1.0;
             reset_idx += 1;
         }
-        for w in 0..cfg.writers {
-            if next_write[w] == t {
+        for (w, next) in next_write.iter_mut().enumerate().take(cfg.writers) {
+            if *next == t {
                 eng.with_node(NodeId(w as u32), |c, ctx| {
                     // Equal-ASCII strokes keep the numerical member small,
                     // matching the paper's order/staleness-driven decay.
                     c.draw((w % 16) as u16, 0, "s", ctx);
                 });
-                next_write[w] = t + cfg.write_period;
+                *next = t + cfg.write_period;
             }
         }
         if next_poll == t {
@@ -188,9 +183,8 @@ pub fn run_hint(cfg: &HintRunConfig) -> HintRunResult {
         }
         if next_sample == t {
             if t >= start {
-                let levels: Vec<f64> = (0..cfg.writers)
-                    .map(|w| eng.node(NodeId(w as u32)).level().value())
-                    .collect();
+                let levels: Vec<f64> =
+                    (0..cfg.writers).map(|w| eng.node(NodeId(w as u32)).level().value()).collect();
                 let instant_worst = levels.iter().copied().fold(1.0, f64::min);
                 let average = levels.iter().sum::<f64>() / levels.len() as f64;
                 series.push(SamplePoint {
@@ -234,9 +228,7 @@ pub fn run_hint(cfg: &HintRunConfig) -> HintRunResult {
 }
 
 fn total_resolutions(eng: &SimEngine<WhiteboardClient>, writers: usize) -> u64 {
-    (0..writers)
-        .map(|w| eng.node(NodeId(w as u32)).report().resolutions_initiated)
-        .sum()
+    (0..writers).map(|w| eng.node(NodeId(w as u32)).report().resolutions_initiated).sum()
 }
 
 /// Configuration of an automatic booking run (Table 3 and Figure 10).
@@ -305,9 +297,7 @@ pub struct BookingRunResult {
 pub fn run_booking(cfg: &BookingRunConfig) -> BookingRunResult {
     let object = ObjectId(5);
     let servers: Vec<BookingServer> = (0..cfg.nodes)
-        .map(|i| {
-            BookingServer::new(NodeId(i as u32), object, 501, cfg.capacity, cfg.period)
-        })
+        .map(|i| BookingServer::new(NodeId(i as u32), object, 501, cfg.capacity, cfg.period))
         .collect();
     let mut eng = SimEngine::new(
         Topology::planetlab(cfg.nodes, cfg.seed),
@@ -328,9 +318,8 @@ pub fn run_booking(cfg: &BookingRunConfig) -> BookingRunResult {
 
     let start = SimTime::ZERO + cfg.warmup;
     let end = start + cfg.duration;
-    let mut next_booking: Vec<SimTime> = (0..cfg.servers)
-        .map(|s| SimTime::ZERO + SimDuration::from_secs(s as u64))
-        .collect();
+    let mut next_booking: Vec<SimTime> =
+        (0..cfg.servers).map(|s| SimTime::ZERO + SimDuration::from_secs(s as u64)).collect();
     let mut next_sample = start;
     let mut series = Vec::new();
     let mut window_stats: Option<NetStats> = None;
@@ -349,13 +338,13 @@ pub fn run_booking(cfg: &BookingRunConfig) -> BookingRunResult {
             window_stats = Some(eng.stats().clone());
             pre_rounds = eng.node(NodeId(0)).report().resolutions_initiated;
         }
-        for s in 0..cfg.servers {
-            if next_booking[s] == t {
+        for (s, next) in next_booking.iter_mut().enumerate().take(cfg.servers) {
+            if *next == t {
                 let price = cfg.price_cents;
                 eng.with_node(NodeId(s as u32), |srv, ctx| {
                     let _ = srv.try_book(1, price, ctx);
                 });
-                next_booking[s] = t + cfg.booking_period;
+                *next = t + cfg.booking_period;
             }
         }
         if next_sample == t {
@@ -365,11 +354,7 @@ pub fn run_booking(cfg: &BookingRunConfig) -> BookingRunResult {
                     .collect();
                 let worst = levels.iter().copied().fold(1.0, f64::min);
                 let average = levels.iter().sum::<f64>() / levels.len() as f64;
-                series.push(SamplePoint {
-                    t_secs: (t - start).as_secs_f64(),
-                    worst,
-                    average,
-                });
+                series.push(SamplePoint { t_secs: (t - start).as_secs_f64(), worst, average });
             }
             next_sample = t + cfg.sample_period;
         }
@@ -379,11 +364,7 @@ pub fn run_booking(cfg: &BookingRunConfig) -> BookingRunResult {
     let window = eng.stats().since(window_stats.as_ref().unwrap_or(eng.stats()));
     let resolution_messages = window.resolution_messages();
     let rounds = eng.node(NodeId(0)).report().resolutions_initiated - pre_rounds;
-    let msgs_per_round = if rounds > 0 {
-        resolution_messages as f64 / rounds as f64
-    } else {
-        0.0
-    };
+    let msgs_per_round = if rounds > 0 { resolution_messages as f64 / rounds as f64 } else { 0.0 };
     let bandwidth_bps = MessageSizeModel::PAPER_1KB.bandwidth_bps(
         resolution_messages,
         0,
@@ -394,9 +375,8 @@ pub fn run_booking(cfg: &BookingRunConfig) -> BookingRunResult {
     } else {
         series.iter().map(|p| p.average).sum::<f64>() / series.len() as f64
     };
-    let sold: i64 = (0..cfg.servers)
-        .map(|s| eng.node(NodeId(s as u32)).accepted_seats() as i64)
-        .sum();
+    let sold: i64 =
+        (0..cfg.servers).map(|s| eng.node(NodeId(s as u32)).accepted_seats() as i64).sum();
 
     BookingRunResult {
         series,
@@ -489,14 +469,9 @@ mod tests {
             duration: SimDuration::from_secs(100),
             ..Default::default()
         };
-        let fast = run_booking(&BookingRunConfig {
-            period: SimDuration::from_secs(20),
-            ..base.clone()
-        });
-        let slow = run_booking(&BookingRunConfig {
-            period: SimDuration::from_secs(40),
-            ..base
-        });
+        let fast =
+            run_booking(&BookingRunConfig { period: SimDuration::from_secs(20), ..base.clone() });
+        let slow = run_booking(&BookingRunConfig { period: SimDuration::from_secs(40), ..base });
         assert!(
             fast.mean_level > slow.mean_level,
             "20 s period ({:.3}) must beat 40 s ({:.3}) — Figure 10",

@@ -46,17 +46,13 @@ fn main() {
 
     // The same API drives a live cluster: drop the node into an engine and
     // keep tuning while it runs.
-    let nodes: Vec<IdeaNode> = (0..4)
-        .map(|i| IdeaNode::new(NodeId(i), IdeaConfig::default(), &[object]))
-        .collect();
+    let nodes: Vec<IdeaNode> =
+        (0..4).map(|i| IdeaNode::new(NodeId(i), IdeaConfig::default(), &[object])).collect();
     let mut net = SimEngine::new(Topology::lan(4), SimConfig::default(), nodes);
     net.with_node(NodeId(1), |n, _| {
         n.set_hint(0.95).unwrap();
         n.set_resolution(2).unwrap();
     });
     net.run_for(SimDuration::from_secs(1));
-    println!(
-        "\nlive node 1 hint floor: {}",
-        net.node(NodeId(1)).hint().floor()
-    );
+    println!("\nlive node 1 hint floor: {}", net.node(NodeId(1)).hint().floor());
 }

@@ -25,8 +25,7 @@ fn main() {
             )
         })
         .collect();
-    let mut net =
-        SimEngine::new(Topology::planetlab(servers, 23), SimConfig::default(), fleet);
+    let mut net = SimEngine::new(Topology::planetlab(servers, 23), SimConfig::default(), fleet);
 
     // Customers hit all four servers concurrently.
     let mut accepted = 0u32;
@@ -53,12 +52,19 @@ fn main() {
     net.run_for(SimDuration::from_secs(5));
 
     let sold: u32 = (0..servers as u32).map(|s| net.node(NodeId(s)).accepted_seats()).sum();
-    println!("\ncapacity {capacity}, sold {sold}, accepted here {accepted}, locked rejections {locked}");
+    println!(
+        "\ncapacity {capacity}, sold {sold}, accepted here {accepted}, locked rejections {locked}"
+    );
     if sold > capacity {
-        println!("OVERSOLD by {} — frequency was too low; teaching the controller...", sold - capacity);
+        println!(
+            "OVERSOLD by {} — frequency was too low; teaching the controller...",
+            sold - capacity
+        );
         let new_period = net.with_node(NodeId(0), |s, _| s.report_oversell());
-        println!("controller period now {new_period} (window {:?})",
-            net.node(NodeId(0)).controller().window());
+        println!(
+            "controller period now {new_period} (window {:?})",
+            net.node(NodeId(0)).controller().window()
+        );
     } else {
         println!("no oversell at this frequency");
     }
@@ -69,5 +75,7 @@ fn main() {
     let rounds = net.node(NodeId(0)).report().resolutions_initiated.max(1);
     let c_bits = (msgs as f64 / rounds as f64) * 1024.0 * 8.0;
     let rate = idea::core::resolution::formula4_optimal_rate(1e6, 0.2, c_bits);
-    println!("\nmeasured round cost ≈ {c_bits:.0} bits → Formula-4 optimal rate {rate:.2} rounds/s");
+    println!(
+        "\nmeasured round cost ≈ {c_bits:.0} bits → Formula-4 optimal rate {rate:.2} rounds/s"
+    );
 }

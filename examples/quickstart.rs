@@ -26,10 +26,7 @@ fn main() {
         }
     }
     net.run_for(SimDuration::from_secs(2));
-    println!(
-        "top layer at node 0: {:?}",
-        net.node(NodeId(0)).report(object).top_members
-    );
+    println!("top layer at node 0: {:?}", net.node(NodeId(0)).report(object).top_members);
 
     // Conflicting concurrent writes: every replica diverges.
     for w in 0..4u32 {

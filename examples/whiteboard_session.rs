@@ -12,14 +12,10 @@ fn main() {
     let board = ObjectId(1);
     let participants = 6usize;
     // Hint 0.92: IDEA resolves whenever a participant's level dips below.
-    let clients: Vec<WhiteboardClient> = (0..participants)
-        .map(|i| WhiteboardClient::new(NodeId(i as u32), board, 0.92))
-        .collect();
-    let mut net = SimEngine::new(
-        Topology::planetlab(participants, 11),
-        SimConfig::default(),
-        clients,
-    );
+    let clients: Vec<WhiteboardClient> =
+        (0..participants).map(|i| WhiteboardClient::new(NodeId(i as u32), board, 0.92)).collect();
+    let mut net =
+        SimEngine::new(Topology::planetlab(participants, 11), SimConfig::default(), clients);
 
     // Three participants sketch concurrently for a minute.
     let phrases = ["alpha", "beta", "gamma"];

@@ -37,8 +37,7 @@ fn detect_quantify_resolve_lifecycle() {
         write(&mut eng, w, 3);
     }
     eng.run_for(SimDuration::from_secs(2));
-    let before: Vec<ConsistencyLevel> =
-        (0..4).map(|w| eng.node(NodeId(w)).level(OBJ)).collect();
+    let before: Vec<ConsistencyLevel> = (0..4).map(|w| eng.node(NodeId(w)).level(OBJ)).collect();
     assert!(before.iter().any(|l| *l < ConsistencyLevel::PERFECT));
 
     // Resolution restores agreement end to end.
@@ -133,8 +132,11 @@ fn multiple_objects_have_independent_top_layers() {
     let cfg = IdeaConfig::default();
     let nodes: Vec<IdeaNode> =
         (0..8).map(|i| IdeaNode::new(NodeId(i as u32), cfg.clone(), &[a, b])).collect();
-    let mut eng =
-        SimEngine::new(Topology::planetlab(8, 6), SimConfig { seed: 6, ..Default::default() }, nodes);
+    let mut eng = SimEngine::new(
+        Topology::planetlab(8, 6),
+        SimConfig { seed: 6, ..Default::default() },
+        nodes,
+    );
     // Nodes 0-1 write object a; nodes 4-5 write object b.
     for _ in 0..4 {
         for (node, object) in [(0u32, a), (1, a), (4, b), (5, b)] {
@@ -155,10 +157,12 @@ fn multiple_objects_have_independent_top_layers() {
 
 #[test]
 fn bottom_layer_sweep_rescues_hidden_updates() {
-    let mut cfg = IdeaConfig::default();
-    cfg.sweep_every = Some(1);
-    cfg.sweep_deadline = SimDuration::from_secs(3);
-    cfg.rollback_resolve = true;
+    let cfg = IdeaConfig {
+        sweep_every: Some(1),
+        sweep_deadline: SimDuration::from_secs(3),
+        rollback_resolve: true,
+        ..Default::default()
+    };
     let mut eng = cluster(16, cfg, 7);
     warm(&mut eng, 4);
     // A bottom-layer node writes; nobody in the top layer knows.

@@ -2,7 +2,7 @@
 //! the full bench harness regenerates. These are the repository's
 //! regression net for the reproduction claims in EXPERIMENTS.md.
 
-use idea::workload::experiments::{ablate, fig10, fig2, fig7, fig8, fig9, table2, table3};
+use idea::workload::experiments::{ablate, fig10, fig2, fig8, fig9, table2, table3};
 use idea::workload::runner::{run_booking, BookingRunConfig, HintRunConfig};
 use idea_types::SimDuration;
 
@@ -53,10 +53,7 @@ fn fig9_scales_linearly_under_a_second() {
 fn table3_overhead_ratio_and_bandwidth() {
     let base = BookingRunConfig { nodes: 12, seed: 7, ..Default::default() };
     let r = table3::Table3Result {
-        fast: run_booking(&BookingRunConfig {
-            period: SimDuration::from_secs(20),
-            ..base.clone()
-        }),
+        fast: run_booking(&BookingRunConfig { period: SimDuration::from_secs(20), ..base.clone() }),
         slow: run_booking(&BookingRunConfig { period: SimDuration::from_secs(40), ..base }),
     };
     assert!(table3::shape_holds(&r));
@@ -66,10 +63,7 @@ fn table3_overhead_ratio_and_bandwidth() {
 fn fig10_frequency_consistency_tradeoff() {
     let base = BookingRunConfig { nodes: 12, seed: 7, ..Default::default() };
     let r = fig10::Fig10Result {
-        fast: run_booking(&BookingRunConfig {
-            period: SimDuration::from_secs(20),
-            ..base.clone()
-        }),
+        fast: run_booking(&BookingRunConfig { period: SimDuration::from_secs(20), ..base.clone() }),
         slow: run_booking(&BookingRunConfig { period: SimDuration::from_secs(40), ..base }),
     };
     assert!(fig10::shape_holds(&r));

@@ -1,0 +1,206 @@
+//! Offline stand-in for `criterion`: enough of the API for the workspace's
+//! benches to compile and produce useful wall-clock numbers without
+//! crates.io. No statistics engine — each benchmark is timed over a fixed
+//! sampling loop and reported as mean ns/iter to stdout.
+//!
+//! When a bench target is executed by `cargo test` (libtest passes
+//! `--test`), benchmarks run a single iteration as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimiser from deleting benchmarked code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean cost per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up / calibration run.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        // Pick an iteration count targeting ~100 ms, clamped to the
+        // requested sample budget.
+        let target = Duration::from_millis(100);
+        let n = (target.as_nanos() / once.as_nanos()).clamp(1, self.iters as u128) as u64;
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / n as f64;
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+/// True when libtest invoked this bench binary via `cargo test`.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+impl Criterion {
+    /// Sets the per-benchmark iteration budget.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let iters = if test_mode() { 1 } else { self.sample_size as u64 };
+        let mut b = Bencher { iters, mean_ns: 0.0 };
+        f(&mut b);
+        if b.mean_ns >= 1e6 {
+            println!("bench {id:<40} {:>12.3} ms/iter", b.mean_ns / 1e6);
+        } else {
+            println!("bench {id:<40} {:>12.1} ns/iter", b.mean_ns);
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark of the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark targets, mirroring both criterion forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(9), &9u64, |b, &n| {
+            b.iter(|| black_box(n + n))
+        });
+        group.finish();
+    }
+
+    criterion_group!(plain, sample_bench);
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(5);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn groups_run() {
+        plain();
+        configured();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

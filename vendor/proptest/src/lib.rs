@@ -1,0 +1,433 @@
+//! Offline stand-in for `proptest`: deterministic property testing without
+//! shrinking.
+//!
+//! The workspace's property tests use a small slice of the real crate —
+//! range strategies, tuples, `prop::collection::{vec, btree_map}`,
+//! `prop::num::f64::ANY`, `.prop_map`, the `proptest!` macro (with an
+//! optional `#![proptest_config(..)]` header) and the `prop_assert*`
+//! macros. This crate reimplements exactly that surface:
+//!
+//! * every test function runs `cases` times (default 64) with inputs drawn
+//!   from a generator seeded by the test's module path + name, so failures
+//!   reproduce across runs and machines;
+//! * there is **no shrinking** — a failing case panics with the standard
+//!   assertion message (the deterministic seed makes replaying cheap);
+//! * strategies are generators, not search trees.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for producing values of one type.
+    pub trait Strategy {
+        /// The type of value produced.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, map: f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.base.generate(rng))
+        }
+    }
+
+    /// Strategy producing one fixed value per draw.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    // `impl Strategy` for references so locally-bound strategies can be
+    // reused without moving (mirrors real proptest's `&S` blanket).
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vector of values from `element`, length uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>` with at most `size.end - 1` entries.
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    }
+
+    /// Map of `keys → values`; duplicate keys collapse, matching real
+    /// proptest (the size range is an upper bound, not a guarantee).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { keys, values, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| (self.keys.generate(rng), self.values.generate(rng))).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! `bool` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Either boolean, drawn fairly.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The full-domain `bool` strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric strategies beyond plain ranges.
+
+    pub mod f64 {
+        //! `f64` strategies.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::{Rng, RngCore};
+
+        /// Any `f64`, including zeroes, subnormals, infinities and NaN.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// The full-domain `f64` strategy.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = f64;
+
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                // 1-in-8 draws yield a special value; the rest reinterpret
+                // random bits, which spreads mass across all exponents.
+                if rng.gen_range(0u32..8) == 0 {
+                    const SPECIALS: [f64; 8] = [
+                        0.0,
+                        -0.0,
+                        f64::INFINITY,
+                        f64::NEG_INFINITY,
+                        f64::NAN,
+                        f64::MIN_POSITIVE,
+                        f64::MAX,
+                        f64::MIN,
+                    ];
+                    SPECIALS[rng.gen_range(0usize..SPECIALS.len())]
+                } else {
+                    f64::from_bits(rng.next_u64())
+                }
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Per-test configuration and deterministic seeding.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The generator handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// Subset of real proptest's runner configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases each property runs.
+        pub cases: u32,
+        /// Accepted for compatibility; this runner never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64, max_shrink_iters: 0 }
+        }
+    }
+
+    /// Deterministic generator for one named test: the seed is an FNV-1a
+    /// hash of the fully-qualified test name, so runs are reproducible and
+    /// different tests draw different streams.
+    pub fn rng_for(test_name: &str) -> TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::seed_from_u64(hash)
+    }
+}
+
+pub mod prelude {
+    //! One-import surface mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        //! The `prop::` module-path alias used inside `proptest!` bodies.
+
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+/// Defines property tests. Each function runs `cases` times with fresh
+/// deterministic inputs; an optional `#![proptest_config(expr)]` header
+/// overrides the configuration for the whole block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($pat:pat_param in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__cfg.cases {
+                    let _ = __case;
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(
+                            &($strat), &mut __rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (panics — no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pairs() -> impl Strategy<Value = Vec<(u32, u64)>> {
+        prop::collection::vec((0u32..4, 0u64..50), 0..24)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u64..9, b in -2i64..3, f in 0.5f64..1.5) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-2..3).contains(&b));
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn collections_respect_size(v in arb_pairs(), m in prop::collection::btree_map(0u32..6, 0u64..8, 0..6)) {
+            prop_assert!(v.len() < 24);
+            prop_assert!(m.len() < 6);
+            for (w, c) in v {
+                prop_assert!(w < 4 && c < 50);
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(doubled in (0u32..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert!(doubled < 20);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+        #[test]
+        fn config_header_is_honoured(x in 0u64..1000) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic_per_test() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::rng_for("mod::case");
+        let mut b = crate::test_runner::rng_for("mod::case");
+        let s = 0u64..1_000_000;
+        for _ in 0..32 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+        let mut c = crate::test_runner::rng_for("mod::other");
+        assert_ne!(s.generate(&mut a), s.generate(&mut c));
+    }
+
+    #[test]
+    fn f64_any_produces_specials_and_normals() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::rng_for("f64-any");
+        let draws: Vec<f64> = (0..2000).map(|_| crate::num::f64::ANY.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|v| v.is_nan()));
+        assert!(draws.iter().any(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment cannot reach crates.io, and nothing in the
+//! workspace actually serializes at runtime (there is no `serde_json` /
+//! `bincode` consumer) — the derives exist so wire types stay annotated for
+//! the day a real transport lands. This stub therefore provides:
+//!
+//! * blanket [`Serialize`] / [`Deserialize`] impls (every type qualifies);
+//! * no-op `#[derive(Serialize, Deserialize)]` macros accepting
+//!   `#[serde(...)]` helper attributes;
+//! * just enough of [`Serializer`] / [`Deserializer`] for the hand-written
+//!   adapter impls in the tree to type-check.
+//!
+//! Any attempt to *drive* serialization through these traits fails at
+//! runtime with a clear error rather than silently producing garbage.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error plumbing shared by the serializer and deserializer halves.
+pub trait Error: Sized {
+    /// Builds an error from a display-able message.
+    fn custom<T: core::fmt::Display>(msg: T) -> Self;
+}
+
+/// The error type surfaced when the stub is asked to actually serialize.
+#[derive(Debug)]
+pub struct StubError(pub String);
+
+impl core::fmt::Display for StubError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "serde stub: {}", self.0)
+    }
+}
+
+impl std::error::Error for StubError {}
+
+impl Error for StubError {
+    fn custom<T: core::fmt::Display>(msg: T) -> Self {
+        StubError(msg.to_string())
+    }
+}
+
+/// Minimal serializer surface: only the entry points hand-written adapters
+/// in the workspace call.
+pub trait Serializer: Sized {
+    /// Successful output of the serializer.
+    type Ok;
+    /// Serialization error type.
+    type Error: Error;
+
+    /// Serializes a byte slice.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Minimal deserializer surface (only ever used as a bound).
+pub trait Deserializer<'de>: Sized {
+    /// Deserialization error type.
+    type Error: Error;
+}
+
+/// Marker trait: satisfied by every type so `#[derive(Serialize)]` and
+/// `T: Serialize` bounds compile. Driving it errors out at runtime.
+pub trait Serialize {
+    /// Stub serialization — always fails.
+    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+        Err(S::Error::custom("serialization not supported by the offline serde stub"))
+    }
+}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring [`Serialize`] for the deserialization direction.
+pub trait Deserialize<'de>: Sized {
+    /// Stub deserialization — always fails.
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        Err(D::Error::custom("deserialization not supported by the offline serde stub"))
+    }
+}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Annotated {
+        #[serde(with = "adapter")]
+        field: u64,
+    }
+
+    #[allow(dead_code)]
+    mod adapter {
+        use super::super::{Deserialize, Deserializer, Serializer};
+
+        pub fn serialize<S: Serializer>(v: &u64, s: S) -> Result<S::Ok, S::Error> {
+            s.serialize_bytes(&v.to_le_bytes())
+        }
+
+        pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<u64, D::Error> {
+            u64::deserialize(d)
+        }
+    }
+
+    struct NullSerializer;
+
+    impl Serializer for NullSerializer {
+        type Ok = usize;
+        type Error = StubError;
+
+        fn serialize_bytes(self, v: &[u8]) -> Result<usize, StubError> {
+            Ok(v.len())
+        }
+    }
+
+    #[test]
+    fn derives_and_blanket_impls_compile() {
+        let a = Annotated { field: 7 };
+        // The blanket impl exists but refuses to run.
+        assert!(a.serialize(NullSerializer).is_err());
+        // A hand-written adapter drives the Serializer trait directly.
+        assert_eq!(adapter::serialize(&a.field, NullSerializer).unwrap(), 8);
+    }
+}

@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` stub.
+//!
+//! The workspace's `serde` stand-in implements `Serialize`/`Deserialize` as
+//! blanket traits, so the derives have nothing to generate — they only need
+//! to exist (and accept `#[serde(...)]` helper attributes) so that
+//! `#[derive(Serialize, Deserialize)]` keeps compiling without crates.io.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]`; the blanket impl in `serde` does the rest.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]`; the blanket impl in `serde` does the rest.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
