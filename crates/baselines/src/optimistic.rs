@@ -101,7 +101,8 @@ impl Proto for OptimisticNode {
             }
         };
         self.syncs += 1;
-        let counters = self.store.replica(self.object).expect("opened").version().counters();
+        let counters =
+            self.store.replica(self.object).expect("opened").version().counters().clone();
         ctx.send(peer, BaselineMsg::SyncDigest { object: self.object, counters });
     }
 }

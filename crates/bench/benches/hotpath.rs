@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks of the detection hot path at realistic
+//! history depths.
+//!
+//! Complements `microbench.rs`: these sweep history size (10 / 100 / 1 000
+//! updates) over exactly the operations the wire-compaction work rewrote —
+//! `record`, the cached `counters` view, the merge-walk `triple_against`,
+//! `adopt`, the compact `summary`/`suffix_since` encodes, and classic
+//! `missing_from` — so regressions in the allocation-free paths show up
+//! directly.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use idea_types::{SimTime, WriterId};
+use idea_vv::{ExtendedVersionVector, VersionVector};
+
+/// History sizes swept: total updates spread over four writers.
+const SIZES: [u64; 3] = [10, 100, 1_000];
+
+fn evv_total(total: u64) -> ExtendedVersionVector {
+    let mut v = ExtendedVersionVector::new();
+    for i in 0..total {
+        let w = WriterId((i % 4) as u32);
+        v.record(w, i / 4 + 1, SimTime::from_secs(i + 1), 1);
+    }
+    v
+}
+
+/// A copy of `base` with one extra update per writer (small divergence —
+/// the steady-state shape detection sees).
+fn diverged(base: &ExtendedVersionVector) -> ExtendedVersionVector {
+    let mut v = base.clone();
+    for w in 0..4u32 {
+        let writer = WriterId(w);
+        v.record(writer, v.count(writer) + 1, SimTime::from_secs(10_000 + w as u64), 1);
+    }
+    v
+}
+
+fn bench_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evv-record");
+    for &total in &SIZES {
+        group.bench_with_input(BenchmarkId::from_parameter(total), &total, |b, &total| {
+            b.iter(|| black_box(evv_total(total)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evv-counters");
+    for &total in &SIZES {
+        let v = evv_total(total);
+        group.bench_with_input(BenchmarkId::from_parameter(total), &total, |b, _| {
+            // Cached view: must be O(1) regardless of history depth.
+            b.iter(|| black_box(v.counters().total()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_triple_against(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evv-triple-against");
+    for &total in &SIZES {
+        let a = evv_total(total);
+        let b = diverged(&a);
+        group.bench_with_input(BenchmarkId::from_parameter(total), &total, |bench, _| {
+            bench.iter(|| black_box(a.triple_against(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_adopt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evv-adopt");
+    for &total in &SIZES {
+        let a = evv_total(total);
+        let b = diverged(&a);
+        group.bench_with_input(BenchmarkId::from_parameter(total), &total, |bench, _| {
+            bench.iter(|| {
+                let mut v = a.clone();
+                black_box(v.adopt(&b))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire_forms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evv-wire");
+    for &total in &SIZES {
+        let a = evv_total(total);
+        let b = diverged(&a);
+        group.bench_with_input(BenchmarkId::new("summary", total), &total, |bench, _| {
+            bench.iter(|| black_box(b.summary(8)))
+        });
+        group.bench_with_input(BenchmarkId::new("suffix_since", total), &total, |bench, _| {
+            bench.iter(|| black_box(b.suffix_since(a.counters())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_missing_from(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vv-missing-from");
+    for &total in &SIZES {
+        let a = evv_total(total);
+        let b = diverged(&a);
+        let (ca, cb): (&VersionVector, &VersionVector) = (a.counters(), b.counters());
+        group.bench_with_input(BenchmarkId::from_parameter(total), &total, |bench, _| {
+            bench.iter(|| black_box(ca.missing_from(cb)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    hotpath,
+    bench_record,
+    bench_counters,
+    bench_triple_against,
+    bench_adopt,
+    bench_wire_forms,
+    bench_missing_from
+);
+criterion_main!(hotpath);

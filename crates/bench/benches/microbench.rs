@@ -70,7 +70,7 @@ fn bench_detect_round(c: &mut Criterion) {
     let peers = [NodeId(1), NodeId(2), NodeId(3)];
     c.bench_function("detect_round_complete", |bench| {
         bench.iter(|| {
-            let mut round = DetectRound::start(NodeId(0), 1, &peers, SimTime::ZERO);
+            let mut round = DetectRound::start(NodeId(0), 1, &peers, SimTime::ZERO, mine.clone());
             for p in peers {
                 round.on_reply(p, evv_with(4, 41));
             }

@@ -51,6 +51,17 @@ pub struct IdeaConfig {
     /// Deadline for a detection round before it completes with whoever
     /// answered (covers WAN RTT plus slack).
     pub detect_deadline: SimDuration,
+    /// Detection batching window: probe starts requested within this window
+    /// coalesce into one round per dirty object (one timer, one fan-out per
+    /// peer), dropping steady-state probe traffic from O(writes × peers)
+    /// towards O(peers) per window. `None` starts a round per trigger (the
+    /// paper's behaviour).
+    pub detect_batch_window: Option<SimDuration>,
+    /// How many per-writer timestamps a detection probe's [`idea_vv::VvSummary`]
+    /// carries. The triple a peer computes is exact while per-writer
+    /// divergence fits this tail; beyond it staleness saturates
+    /// conservatively (the level can only drop, never inflate).
+    pub summary_tail: usize,
     /// Per-message dispatch cost charged to the initiator when fanning out
     /// call-for-attention / inform messages. Models the paper's measured
     /// 0.468 ms phase-1 cost (≈0.156 ms per member at top-layer size 4).
@@ -95,6 +106,8 @@ impl Default for IdeaConfig {
             hint_delta: 0.02,
             background_period: None,
             detect_deadline: SimDuration::from_millis(400),
+            detect_batch_window: None,
+            summary_tail: 8,
             dispatch_cost: SimDuration::from_micros(156),
             backoff_min: SimDuration::from_millis(50),
             backoff_max: SimDuration::from_millis(400),
@@ -146,6 +159,8 @@ mod tests {
         assert!(c.background_period.is_none());
         assert!(c.sweep_every.is_none(), "paper's evaluation runs without rollback");
         assert!(c.backoff_min <= c.backoff_max);
+        assert!(c.detect_batch_window.is_none(), "paper probes per trigger by default");
+        assert!(c.summary_tail > 0, "probes must carry some timestamp tail");
     }
 
     #[test]

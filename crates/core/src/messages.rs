@@ -3,12 +3,20 @@
 //! One enum covers all sub-protocols so a single [`idea_net::Proto`] node
 //! can run them together; [`idea_net::Wire`] classifies each variant for the
 //! per-class accounting Table 3 relies on.
+//!
+//! Detection traffic is **compact**: probes carry a [`VvSummary`]
+//! (counters, metadata and a bounded timestamp tail) and answers carry a
+//! [`VvDelta`] (the exact per-writer suffixes beyond the probe's
+//! counters), so detection cost scales with divergence, not with total
+//! update history. Only the resolution collect phase still ships a full
+//! [`ExtendedVersionVector`] — the initiator needs the authoritative state
+//! to choose a reference everyone then adopts.
 
 use crate::resolution::ReferenceState;
 use idea_net::{MsgClass, Wire};
 use idea_overlay::gossip::RumorId;
 use idea_types::{ObjectId, Update};
-use idea_vv::{ExtendedVersionVector, VersionVector};
+use idea_vv::{ExtendedVersionVector, VersionVector, VvDelta, VvSummary};
 use serde::{Deserialize, Serialize};
 
 /// All messages exchanged by [`crate::protocol::IdeaNode`]s.
@@ -21,17 +29,17 @@ pub enum IdeaMsg {
         round: u64,
         /// Object being checked.
         object: ObjectId,
-        /// The initiator's extended version vector.
-        evv: ExtendedVersionVector,
+        /// Compact summary of the initiator's extended version vector.
+        summary: VvSummary,
     },
-    /// Peer → initiator: the peer's vector.
+    /// Peer → initiator: the peer's vector, as a delta against the probe.
     DetectReply {
         /// Echoed round id.
         round: u64,
         /// Object being checked.
         object: ObjectId,
-        /// The peer's extended version vector.
-        evv: ExtendedVersionVector,
+        /// The peer's per-writer suffixes beyond the probe's counters.
+        delta: VvDelta,
     },
 
     // ---- active resolution, phase 1 (§4.5.2) ----
@@ -115,8 +123,8 @@ pub enum IdeaMsg {
         /// Echo of the sweep's rumor sequence, so the origin can route the
         /// reply to the right collector.
         sweep: u64,
-        /// The diverging node's full vector.
-        evv: ExtendedVersionVector,
+        /// The diverging node's suffixes beyond the sweep's counters.
+        delta: VvDelta,
     },
 }
 
@@ -137,10 +145,11 @@ impl Wire for IdeaMsg {
 
     fn wire_size(&self) -> usize {
         match self {
-            IdeaMsg::DetectRequest { evv, .. }
-            | IdeaMsg::DetectReply { evv, .. }
-            | IdeaMsg::CollectReply { evv, .. }
-            | IdeaMsg::SweepDivergence { evv, .. } => 24 + evv_size(evv),
+            IdeaMsg::DetectRequest { summary, .. } => 24 + summary.wire_bytes(),
+            IdeaMsg::DetectReply { delta, .. } | IdeaMsg::SweepDivergence { delta, .. } => {
+                24 + delta.wire_bytes()
+            }
+            IdeaMsg::CollectReply { evv, .. } => 24 + evv_size(evv),
             IdeaMsg::CallForAttention { .. }
             | IdeaMsg::Attention { .. }
             | IdeaMsg::CollectRequest { .. } => 24,
@@ -154,8 +163,9 @@ impl Wire for IdeaMsg {
     }
 }
 
-/// Approximate serialized size of an extended version vector: per writer a
-/// id+count header plus one timestamp per recorded update.
+/// Approximate serialized size of a full extended version vector: per writer
+/// an id+count header plus one timestamp per recorded update. Only the
+/// resolution collect phase still pays this.
 fn evv_size(evv: &ExtendedVersionVector) -> usize {
     let writers = evv.counters().writers();
     16 + 12 * writers + 8 * evv.total() as usize
@@ -177,7 +187,8 @@ mod tests {
     fn classes_match_protocol_roles() {
         let evv = sample_evv();
         assert_eq!(
-            IdeaMsg::DetectRequest { round: 1, object: ObjectId(0), evv: evv.clone() }.class(),
+            IdeaMsg::DetectRequest { round: 1, object: ObjectId(0), summary: evv.summary(8) }
+                .class(),
             MsgClass::Detect
         );
         assert_eq!(
@@ -189,7 +200,12 @@ mod tests {
             MsgClass::Transfer
         );
         assert_eq!(
-            IdeaMsg::SweepDivergence { object: ObjectId(0), sweep: 0, evv }.class(),
+            IdeaMsg::SweepDivergence {
+                object: ObjectId(0),
+                sweep: 0,
+                delta: evv.suffix_since(&VersionVector::new()),
+            }
+            .class(),
             MsgClass::Gossip
         );
     }
@@ -199,9 +215,13 @@ mod tests {
         let small = IdeaMsg::DetectRequest {
             round: 1,
             object: ObjectId(0),
-            evv: ExtendedVersionVector::new(),
+            summary: ExtendedVersionVector::new().summary(8),
         };
-        let big = IdeaMsg::DetectRequest { round: 1, object: ObjectId(0), evv: sample_evv() };
+        let big = IdeaMsg::DetectRequest {
+            round: 1,
+            object: ObjectId(0),
+            summary: sample_evv().summary(8),
+        };
         assert!(big.wire_size() > small.wire_size());
 
         let empty_fetch = IdeaMsg::FetchReply { object: ObjectId(0), updates: vec![] };
@@ -227,8 +247,29 @@ mod tests {
             id: RumorId { origin: idea_types::NodeId(0), seq: 0 },
             ttl: 4,
             object: ObjectId(0),
-            counters: sample_evv().counters(),
+            counters: sample_evv().counters().clone(),
         };
         assert!(rumor.wire_size() <= 1024);
+    }
+
+    /// The acceptance criterion of the wire compaction: detection-class
+    /// messages never grow with total history, only with divergence.
+    #[test]
+    fn detect_messages_are_history_independent() {
+        let mut long = ExtendedVersionVector::new();
+        for s in 1..=500 {
+            long.record(WriterId(0), s, SimTime::from_secs(s), 1);
+        }
+        let probe =
+            IdeaMsg::DetectRequest { round: 1, object: ObjectId(0), summary: long.summary(8) };
+        // A full-history probe would weigh 16 + 12 + 8·500 ≈ 4 KB.
+        assert!(probe.wire_size() < 200, "got {}", probe.wire_size());
+
+        // A peer one update behind gets a one-timestamp delta.
+        let mut have = idea_vv::VersionVector::new();
+        have.observe(WriterId(0), 499);
+        let reply =
+            IdeaMsg::DetectReply { round: 1, object: ObjectId(0), delta: long.suffix_since(&have) };
+        assert!(reply.wire_size() < 96, "got {}", reply.wire_size());
     }
 }

@@ -6,8 +6,19 @@
 //! the timer-id routing for both. Every handler reports a [`Trigger`] so
 //! the composing node can forward adaptive-layer decisions (resolve now) to
 //! the resolution subsystem without this module knowing it exists.
+//!
+//! ## Hot-path economics
+//!
+//! Probes carry a compact [`VvSummary`] and answers a [`VvDelta`]
+//! (suffixes beyond the probe's counters), so detection traffic scales with
+//! divergence, not history; the initiator reconstructs each peer's full
+//! vector from the delta plus the round's baseline snapshot. When
+//! [`crate::config::IdeaConfig::detect_batch_window`] is set, probe starts
+//! requested inside the window coalesce into one round per dirty object —
+//! one timer, one fan-out per peer — turning O(writes × peers) steady-state
+//! probe traffic into O(peers) per window.
 
-use super::{pack, NodeCore, Trigger, K_DETECT, K_SWEEP};
+use super::{pack, NodeCore, Trigger, K_BATCH, K_DETECT, K_SWEEP};
 use crate::adapt::AdaptAction;
 use crate::messages::IdeaMsg;
 use idea_detect::bottom::{BottomReport, SweepCollector};
@@ -15,8 +26,8 @@ use idea_detect::round::DetectRound;
 use idea_net::{Context, TimerId};
 use idea_overlay::gossip::{Relay, RumorId};
 use idea_types::{NodeId, ObjectId};
-use idea_vv::{ExtendedVersionVector, VersionVector};
-use std::collections::{BTreeMap, HashMap};
+use idea_vv::{VersionVector, VvDelta, VvSummary};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Per-object detection state.
 #[derive(Default)]
@@ -40,6 +51,10 @@ pub(crate) struct Detection {
     /// Sweep-deadline ticket → (object, rumor seq). Tickets come from the
     /// node-wide id counter because gossip seqs are only per-object unique.
     sweep_tickets: HashMap<u64, (ObjectId, u64)>,
+    /// Objects whose probe is coalescing in the current batching window.
+    pending_probes: BTreeSet<ObjectId>,
+    /// Whether a batching-window timer is armed.
+    batch_armed: bool,
 }
 
 impl Detection {
@@ -47,64 +62,101 @@ impl Detection {
         self.states.entry(object).or_default()
     }
 
-    /// Starts a detection round towards the top-layer peers (one in flight
-    /// per object; a no-op for unknown objects or an empty top layer).
-    pub fn start_round(
+    /// Requests a detection round for `object`. Without a batching window
+    /// the round starts immediately (the paper's per-trigger probing); with
+    /// one, the object is marked dirty and a single window timer fires one
+    /// round per dirty object.
+    pub fn request_round(
         &mut self,
         core: &mut NodeCore,
         object: ObjectId,
         ctx: &mut dyn Context<IdeaMsg>,
     ) {
+        match core.cfg.detect_batch_window {
+            None => self.begin_round(core, object, ctx),
+            Some(window) => {
+                self.pending_probes.insert(object);
+                if !self.batch_armed {
+                    self.batch_armed = true;
+                    ctx.set_timer(window, pack(K_BATCH, 0));
+                }
+            }
+        }
+    }
+
+    /// The batching window closed: start one round per dirty object.
+    pub fn on_batch_timer(&mut self, core: &mut NodeCore, ctx: &mut dyn Context<IdeaMsg>) {
+        self.batch_armed = false;
+        let pending = std::mem::take(&mut self.pending_probes);
+        for object in pending {
+            self.begin_round(core, object, ctx);
+        }
+    }
+
+    /// Starts a detection round towards the top-layer peers (one in flight
+    /// per object; a no-op for unknown objects or an empty top layer).
+    fn begin_round(
+        &mut self,
+        core: &mut NodeCore,
+        object: ObjectId,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        if self.states.get(&object).is_some_and(|st| st.round.is_some()) {
+            return; // one round in flight per object
+        }
         let evv = match core.store.replica(object) {
             Ok(r) => r.version().clone(),
             Err(_) => return,
         };
-        if self.state(object).round.is_some() {
-            return; // one round in flight per object
-        }
         let me = core.me;
         let peers = core.obj_mut(object).layer.top_peers(me);
         if peers.is_empty() {
             return;
         }
         let rid = core.fresh_id();
+        let summary = evv.summary(core.cfg.summary_tail);
         let st = self.state(object);
-        st.round = Some(DetectRound::start(me, rid, &peers, ctx.now()));
+        st.round = Some(DetectRound::start(me, rid, &peers, ctx.now(), evv));
         st.timer = Some(ctx.set_timer(core.cfg.detect_deadline, pack(K_DETECT, rid)));
         self.round_objects.insert(rid, object);
         for p in peers {
-            ctx.send(p, IdeaMsg::DetectRequest { round: rid, object, evv: evv.clone() });
+            ctx.send(p, IdeaMsg::DetectRequest { round: rid, object, summary: summary.clone() });
         }
     }
 
-    /// A peer probes us: reply with our vector, then refresh the local
-    /// estimate pairwise (higher id is the pair's reference, §4.4.1 — the
-    /// pairwise path only ever *lowers* the estimate; a full round or a
-    /// resolution raises it).
+    /// A peer probes us: reply with our suffixes beyond its counters, then
+    /// refresh the local estimate pairwise (higher id is the pair's
+    /// reference, §4.4.1 — the pairwise path only ever *lowers* the
+    /// estimate; a full round or a resolution raises it).
     pub fn on_request(
         &mut self,
         core: &mut NodeCore,
         from: NodeId,
         round: u64,
         object: ObjectId,
-        evv: ExtendedVersionVector,
+        summary: VvSummary,
         ctx: &mut dyn Context<IdeaMsg>,
     ) -> Trigger {
         core.store.open(object);
         core.ensure_obj(object);
-        let mine = core.store.replica(object).expect("opened").version().clone();
-        // Reply first, then update local estimates.
-        ctx.send(from, IdeaMsg::DetectReply { round, object, evv: mine.clone() });
-        let now = ctx.now();
-        core.note_counters(object, &evv.counters(), now);
         let me = core.me;
         let quant = core.quant;
-        let st = core.obj_mut(object);
-        let pair_level = if from > me {
-            quant.level(&mine.triple_against(&evv))
-        } else {
-            quant.level(&evv.triple_against(&mine)).max(st.level)
+        let (delta, pair) = {
+            let mine = core.store.replica(object).expect("opened").version();
+            let delta = mine.suffix_since(&summary.counters);
+            let pair = if from > me {
+                quant.level(&mine.triple_against_summary(&summary))
+            } else {
+                quant.level(&summary.triple_against(mine))
+            };
+            (delta, pair)
         };
+        // Reply first, then update local estimates.
+        ctx.send(from, IdeaMsg::DetectReply { round, object, delta });
+        let now = ctx.now();
+        core.note_counters(object, &summary.counters, now);
+        let st = core.obj_mut(object);
+        let pair_level = if from > me { pair } else { pair.max(st.level) };
         st.level = st.level.min(pair_level);
         let level = st.level;
         if core.hint.on_sample(level) == AdaptAction::Resolve {
@@ -114,23 +166,28 @@ impl Detection {
         }
     }
 
-    /// A probed peer answered; completes the round when everyone has.
+    /// A probed peer answered; completes the round when everyone has. The
+    /// peer's full vector is rebuilt from its delta over the round's
+    /// baseline — nothing history-sized crossed the wire.
     pub fn on_reply(
         &mut self,
         core: &mut NodeCore,
         from: NodeId,
         round: u64,
         object: ObjectId,
-        evv: ExtendedVersionVector,
+        delta: VvDelta,
         ctx: &mut dyn Context<IdeaMsg>,
     ) -> Trigger {
         let now = ctx.now();
-        core.note_counters(object, &evv.counters(), now);
+        core.note_counters(object, &delta.counters, now);
         let Some(st) = self.states.get_mut(&object) else {
             return Trigger::None;
         };
         let complete = match st.round.as_mut() {
-            Some(r) if r.round_id == round => r.on_reply(from, evv),
+            Some(r) if r.round_id == round => {
+                let evv = r.baseline().reconstruct(&delta);
+                r.on_reply(from, evv)
+            }
             _ => return Trigger::None,
         };
         if complete {
@@ -200,13 +257,16 @@ impl Detection {
         object: ObjectId,
         ctx: &mut dyn Context<IdeaMsg>,
     ) {
-        let counters = core.store.replica(object).expect("opened").version().counters();
-        let everyone: Vec<NodeId> = (0..ctx.node_count() as u32).map(NodeId).collect();
+        let counters = core.store.replica(object).expect("opened").version().counters().clone();
+        core.ensure_everyone(ctx.node_count());
         let deadline = ctx.now() + core.cfg.sweep_deadline;
         let epsilon = core.cfg.sweep_epsilon;
-        let shared = core.obj_mut(object);
+        // Field-disjoint borrows: the cached node list stays shared while
+        // the object state is mutated.
+        let everyone = &core.everyone;
+        let shared = core.objs.get_mut(&object).expect("object state");
         let level = shared.level;
-        let (id, ttl, targets) = shared.gossip.originate(&everyone, ctx.rng());
+        let (id, ttl, targets) = shared.gossip.originate(everyone, ctx.rng());
         self.state(object).collectors.insert(id.seq, SweepCollector::new(level, epsilon, deadline));
         for t in targets {
             ctx.send(t, IdeaMsg::SweepRumor { id, ttl, object, counters: counters.clone() });
@@ -236,9 +296,10 @@ impl Detection {
         core.ensure_obj(object);
         let now = ctx.now();
         core.note_counters(object, &counters, now);
-        let everyone: Vec<NodeId> = (0..ctx.node_count() as u32).map(NodeId).collect();
-        let shared = core.obj_mut(object);
-        match shared.gossip.on_receive(id, ttl, &everyone, ctx.rng()) {
+        core.ensure_everyone(ctx.node_count());
+        let everyone = &core.everyone;
+        let shared = core.objs.get_mut(&object).expect("object state");
+        match shared.gossip.on_receive(id, ttl, everyone, ctx.rng()) {
             Relay::Forward { to, ttl } => {
                 for t in to {
                     ctx.send(
@@ -250,10 +311,14 @@ impl Detection {
             Relay::Drop => {}
         }
         let mine = core.store.replica(object).expect("opened").version();
-        if counters.missing_from(&mine.counters()) > 0 {
+        if counters.missing_from(mine.counters()) > 0 {
             ctx.send(
                 id.origin,
-                IdeaMsg::SweepDivergence { object, sweep: id.seq, evv: mine.clone() },
+                IdeaMsg::SweepDivergence {
+                    object,
+                    sweep: id.seq,
+                    delta: mine.suffix_since(&counters),
+                },
             );
         }
     }
@@ -265,18 +330,21 @@ impl Detection {
         from: NodeId,
         object: ObjectId,
         sweep: u64,
-        evv: ExtendedVersionVector,
+        delta: VvDelta,
     ) {
-        let mine = match core.store.replica(object) {
-            Ok(r) => r.version().clone(),
-            Err(_) => return,
+        let Ok(replica) = core.store.replica(object) else {
+            return;
         };
+        let mine = replica.version();
         let Some(st) = self.states.get_mut(&object) else {
             return;
         };
         if let Some(collector) = st.collectors.get_mut(&sweep) {
-            let triple = mine.triple_against(&evv);
-            collector.on_divergence(from, evv, triple);
+            // Rebuild the diverging replica's vector over our own history
+            // (the delta is relative to the counters our rumor carried).
+            let theirs = mine.reconstruct(&delta);
+            let triple = mine.triple_against(&theirs);
+            collector.on_divergence(from, triple);
         }
     }
 
@@ -301,7 +369,7 @@ impl Detection {
                 core.rollbacks += 1;
                 let shared = core.obj_mut(object);
                 shared.level = shared.level.min(bottom_level);
-                let have = core.store.replica(object).expect("opened").version().counters();
+                let have = core.store.replica(object).expect("opened").version().counters().clone();
                 ctx.send(worst_node, IdeaMsg::FetchRequest { object, have });
                 if core.cfg.rollback_resolve {
                     Trigger::Resolve

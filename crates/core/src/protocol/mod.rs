@@ -62,6 +62,7 @@ pub(crate) const K_DETECT: u64 = 1;
 pub(crate) const K_BACKGROUND: u64 = 2;
 pub(crate) const K_BACKOFF: u64 = 3;
 pub(crate) const K_SWEEP: u64 = 4;
+pub(crate) const K_BATCH: u64 = 5;
 
 pub(crate) fn pack(base: u64, low: u64) -> u64 {
     (base << 48) | (low & 0xffff_ffff_ffff)
@@ -110,6 +111,10 @@ pub(crate) struct NodeCore {
     pub objs: BTreeMap<ObjectId, ObjShared>,
     /// Rollback events (bottom-layer discrepancies confirmed).
     pub rollbacks: u64,
+    /// All node ids in the deployment, cached so gossip fan-out never
+    /// re-allocates the peer list per received rumor (refreshed by
+    /// [`NodeCore::ensure_everyone`] if the deployment size changes).
+    pub everyone: Vec<NodeId>,
     next_id: u64,
 }
 
@@ -126,6 +131,7 @@ impl NodeCore {
             priorities: BTreeMap::new(),
             objs: BTreeMap::new(),
             rollbacks: 0,
+            everyone: Vec::new(),
             next_id: 0,
         };
         for &o in objects {
@@ -145,6 +151,14 @@ impl NodeCore {
     pub fn fresh_id(&mut self) -> u64 {
         self.next_id += 1;
         self.next_id
+    }
+
+    /// Refreshes the cached deployment-wide node list (a no-op once built;
+    /// engines never resize mid-run, but the cache re-derives defensively).
+    pub fn ensure_everyone(&mut self, n: usize) {
+        if self.everyone.len() != n {
+            self.everyone = (0..n as u32).map(NodeId).collect();
+        }
     }
 
     /// Creates the shared state of `object` on first contact.

@@ -6,7 +6,7 @@
 use super::detection::Detection;
 use super::resolution::ResolutionDriver;
 use super::write_path::WritePath;
-use super::{unpack, NodeCore, Trigger, K_BACKGROUND, K_BACKOFF, K_DETECT, K_SWEEP};
+use super::{unpack, NodeCore, Trigger, K_BACKGROUND, K_BACKOFF, K_BATCH, K_DETECT, K_SWEEP};
 use crate::adapt::{AdaptAction, HintController};
 use crate::config::IdeaConfig;
 use crate::messages::IdeaMsg;
@@ -163,7 +163,7 @@ impl IdeaNode {
         ctx: &mut dyn Context<IdeaMsg>,
     ) -> Update {
         let update = self.write_path.local_write(&mut self.core, object, meta_delta, payload, ctx);
-        self.detection.start_round(&mut self.core, object, ctx);
+        self.detection.request_round(&mut self.core, object, ctx);
         update
     }
 
@@ -171,7 +171,7 @@ impl IdeaNode {
     pub fn read(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) -> Result<Snapshot> {
         let (snapshot, probe) = self.write_path.read(&mut self.core, object, ctx)?;
         if probe {
-            self.detection.start_round(&mut self.core, object, ctx);
+            self.detection.request_round(&mut self.core, object, ctx);
         }
         Ok(snapshot)
     }
@@ -214,12 +214,12 @@ impl Proto for IdeaNode {
     fn on_message(&mut self, from: NodeId, msg: IdeaMsg, ctx: &mut dyn Context<IdeaMsg>) {
         let core = &mut self.core;
         match msg {
-            IdeaMsg::DetectRequest { round, object, evv } => {
-                let t = self.detection.on_request(core, from, round, object, evv, ctx);
+            IdeaMsg::DetectRequest { round, object, summary } => {
+                let t = self.detection.on_request(core, from, round, object, summary, ctx);
                 self.route(t, object, ctx);
             }
-            IdeaMsg::DetectReply { round, object, evv } => {
-                let t = self.detection.on_reply(core, from, round, object, evv, ctx);
+            IdeaMsg::DetectReply { round, object, delta } => {
+                let t = self.detection.on_reply(core, from, round, object, delta, ctx);
                 self.route(t, object, ctx);
             }
             IdeaMsg::CallForAttention { rid, object } => {
@@ -246,8 +246,8 @@ impl Proto for IdeaNode {
             IdeaMsg::SweepRumor { id, ttl, object, counters } => {
                 self.detection.on_sweep_rumor(core, id, ttl, object, counters, ctx)
             }
-            IdeaMsg::SweepDivergence { object, sweep, evv } => {
-                self.detection.on_sweep_divergence(core, from, object, sweep, evv)
+            IdeaMsg::SweepDivergence { object, sweep, delta } => {
+                self.detection.on_sweep_divergence(core, from, object, sweep, delta)
             }
         }
     }
@@ -269,6 +269,7 @@ impl Proto for IdeaNode {
                     self.route(t, object, ctx);
                 }
             }
+            K_BATCH => self.detection.on_batch_timer(&mut self.core, ctx),
             _ => {}
         }
     }

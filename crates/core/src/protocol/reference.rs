@@ -41,7 +41,7 @@ pub(super) fn apply_reference(
     let my_writer = core.store.writer();
     let replica = core.store.open(object);
     let _invalidated = replica.drop_extras(&reference.counts);
-    let have = replica.version().counters();
+    let have = replica.version().counters().clone();
     // Local sequencing resumes from the sanctioned count (see module docs
     // on sequence reuse).
     let resume = reference.counts.get(my_writer).max(have.get(my_writer));

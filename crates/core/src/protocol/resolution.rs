@@ -285,7 +285,7 @@ impl ResolutionDriver {
         ctx: &mut dyn Context<IdeaMsg>,
     ) {
         let now = ctx.now();
-        core.note_counters(object, &evv.counters(), now);
+        core.note_counters(object, evv.counters(), now);
         let Some(st) = self.states.get_mut(&object) else {
             return;
         };

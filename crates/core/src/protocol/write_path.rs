@@ -89,11 +89,12 @@ impl WritePath {
     /// overlay discovers hot writers *transitively* — the role RanSub's
     /// random subsets play in §4.1.
     fn announce(&mut self, core: &mut NodeCore, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) {
-        let mut counters = core.store.replica(object).expect("opened").version().counters();
-        let everyone: Vec<NodeId> = (0..ctx.node_count() as u32).map(NodeId).collect();
-        let shared = core.obj_mut(object);
+        let mut counters = core.store.replica(object).expect("opened").version().counters().clone();
+        core.ensure_everyone(ctx.node_count());
+        let everyone = &core.everyone;
+        let shared = core.objs.get_mut(&object).expect("object state");
         counters.merge(&shared.known_counts);
-        let (id, ttl, targets) = shared.gossip.originate(&everyone, ctx.rng());
+        let (id, ttl, targets) = shared.gossip.originate(everyone, ctx.rng());
         for t in targets {
             ctx.send(t, IdeaMsg::SweepRumor { id, ttl, object, counters: counters.clone() });
         }

@@ -92,14 +92,14 @@ pub fn choose_reference(
         ResolutionPolicy::HighestIdWins => {
             let (node, evv) =
                 candidates.iter().max_by_key(|(n, _)| *n).expect("non-empty candidates");
-            ReferenceState { winner: Some(*node), counts: evv.counters() }
+            ReferenceState { winner: Some(*node), counts: evv.counters().clone() }
         }
         ResolutionPolicy::PriorityWins => {
             let (node, evv) = candidates
                 .iter()
                 .max_by_key(|(n, _)| (priorities.get(n).copied().unwrap_or(0), *n))
                 .expect("non-empty candidates");
-            ReferenceState { winner: Some(*node), counts: evv.counters() }
+            ReferenceState { winner: Some(*node), counts: evv.counters().clone() }
         }
     }
 }

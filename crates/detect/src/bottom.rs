@@ -13,7 +13,6 @@
 //! verdict: confirm the top-layer value, or advise rollback.
 
 use idea_types::{ConsistencyLevel, ErrorTriple, NodeId, SimTime};
-use idea_vv::ExtendedVersionVector;
 use serde::{Deserialize, Serialize};
 
 /// Verdict of a completed bottom sweep.
@@ -60,8 +59,9 @@ pub struct SweepCollector {
     epsilon: f64,
     /// Sweep deadline (TTL bounds hops; the deadline bounds wall time).
     pub deadline: SimTime,
-    /// Divergent replicas reported so far.
-    replies: Vec<(NodeId, ExtendedVersionVector, ErrorTriple)>,
+    /// Divergent replicas reported so far (node and its triple against the
+    /// initiator's replica — the full vector is never retained).
+    replies: Vec<(NodeId, ErrorTriple)>,
 }
 
 impl SweepCollector {
@@ -73,8 +73,8 @@ impl SweepCollector {
 
     /// Records a divergence reply from `node` whose replica triple against
     /// the initiator's reference is `triple`.
-    pub fn on_divergence(&mut self, node: NodeId, evv: ExtendedVersionVector, triple: ErrorTriple) {
-        self.replies.push((node, evv, triple));
+    pub fn on_divergence(&mut self, node: NodeId, triple: ErrorTriple) {
+        self.replies.push((node, triple));
     }
 
     /// Number of divergence replies collected.
@@ -92,7 +92,7 @@ impl SweepCollector {
         // but never better than what the top layer already reported.
         let mut bottom_level = self.top_level;
         let mut worst: Option<(NodeId, ErrorTriple, ConsistencyLevel)> = None;
-        for (node, _, triple) in &self.replies {
+        for (node, triple) in &self.replies {
             let level = quantify(triple);
             bottom_level = bottom_level.min(level);
             let replace = match &worst {
@@ -143,7 +143,7 @@ mod tests {
         // Paper example: 78 % from the bottom vs 80 % from the top — close
         // enough, the top result "remains intact".
         let mut c = SweepCollector::new(lvl(0.80), 0.05, SimTime::from_secs(10));
-        c.on_divergence(NodeId(9), ExtendedVersionVector::new(), triple(2.2));
+        c.on_divergence(NodeId(9), triple(2.2));
         let report = c.finish(quantify);
         assert!(!report.is_discrepancy());
         assert!((report.level().value() - 0.78).abs() < 1e-9);
@@ -152,7 +152,7 @@ mod tests {
     #[test]
     fn large_gap_is_a_discrepancy() {
         let mut c = SweepCollector::new(lvl(0.95), 0.05, SimTime::from_secs(10));
-        c.on_divergence(NodeId(4), ExtendedVersionVector::new(), triple(5.0));
+        c.on_divergence(NodeId(4), triple(5.0));
         let report = c.finish(quantify);
         assert!(report.is_discrepancy());
         match report {
@@ -168,9 +168,9 @@ mod tests {
     #[test]
     fn worst_reply_wins() {
         let mut c = SweepCollector::new(lvl(0.95), 0.01, SimTime::from_secs(10));
-        c.on_divergence(NodeId(1), ExtendedVersionVector::new(), triple(1.0));
-        c.on_divergence(NodeId(2), ExtendedVersionVector::new(), triple(4.0));
-        c.on_divergence(NodeId(3), ExtendedVersionVector::new(), triple(2.0));
+        c.on_divergence(NodeId(1), triple(1.0));
+        c.on_divergence(NodeId(2), triple(4.0));
+        c.on_divergence(NodeId(3), triple(2.0));
         assert_eq!(c.replies(), 3);
         match c.finish(quantify) {
             BottomReport::Discrepancy { worst_node, bottom_level, .. } => {
@@ -186,7 +186,7 @@ mod tests {
         // A divergence reply that quantifies *better* than the top value
         // must not raise the reported level.
         let mut c = SweepCollector::new(lvl(0.5), 0.5, SimTime::from_secs(10));
-        c.on_divergence(NodeId(1), ExtendedVersionVector::new(), triple(0.0));
+        c.on_divergence(NodeId(1), triple(0.0));
         let report = c.finish(quantify);
         assert_eq!(report.level(), lvl(0.5));
     }

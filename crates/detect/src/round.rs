@@ -91,20 +91,38 @@ pub struct DetectRound {
     /// Correlation id carried by request/reply messages.
     pub round_id: u64,
     started: SimTime,
+    /// The initiator's vector as probed: peers answer with suffix deltas
+    /// relative to its counters, so this snapshot is what reconstructs
+    /// their full vectors (the replica may advance mid-round).
+    baseline: ExtendedVersionVector,
     expected: Vec<NodeId>,
     replies: Vec<(NodeId, ExtendedVersionVector)>,
 }
 
 impl DetectRound {
-    /// Starts a round from `me` towards `peers` (the top-layer peers).
-    pub fn start(me: NodeId, round_id: u64, peers: &[NodeId], now: SimTime) -> Self {
+    /// Starts a round from `me` towards `peers` (the top-layer peers),
+    /// probing with the replica state `baseline`.
+    pub fn start(
+        me: NodeId,
+        round_id: u64,
+        peers: &[NodeId],
+        now: SimTime,
+        baseline: ExtendedVersionVector,
+    ) -> Self {
         DetectRound {
             me,
             round_id,
             started: now,
+            baseline,
             expected: peers.to_vec(),
             replies: Vec::with_capacity(peers.len()),
         }
+    }
+
+    /// The initiator's vector as sent with the probe — the baseline peer
+    /// deltas are relative to.
+    pub fn baseline(&self) -> &ExtendedVersionVector {
+        &self.baseline
     }
 
     /// Peers whose reply is still outstanding.
@@ -201,7 +219,7 @@ mod tests {
     #[test]
     fn round_tracks_outstanding_replies() {
         let peers = [NodeId(1), NodeId(2), NodeId(3)];
-        let mut round = DetectRound::start(NodeId(0), 7, &peers, t(0));
+        let mut round = DetectRound::start(NodeId(0), 7, &peers, t(0), evv(&[]));
         assert_eq!(round.outstanding().len(), 3);
         assert!(!round.on_reply(NodeId(1), evv(&[])));
         assert!(!round.on_reply(NodeId(1), evv(&[]))); // duplicate ignored
@@ -214,7 +232,8 @@ mod tests {
     #[test]
     fn report_uses_highest_id_as_reference() {
         let mine = evv(&[(0, 1, 1, 1)]);
-        let mut round = DetectRound::start(NodeId(0), 1, &[NodeId(5), NodeId(2)], t(0));
+        let mut round =
+            DetectRound::start(NodeId(0), 1, &[NodeId(5), NodeId(2)], t(0), mine.clone());
         round.on_reply(NodeId(5), evv(&[(1, 1, 2, 4)]));
         round.on_reply(NodeId(2), evv(&[(0, 1, 1, 1)]));
         let report = round.complete(&mine, t(1));
@@ -230,7 +249,8 @@ mod tests {
     #[test]
     fn consistent_round_reports_no_inconsistency() {
         let shared = evv(&[(0, 1, 1, 2), (1, 1, 2, 3)]);
-        let mut round = DetectRound::start(NodeId(3), 1, &[NodeId(1), NodeId(2)], t(0));
+        let mut round =
+            DetectRound::start(NodeId(3), 1, &[NodeId(1), NodeId(2)], t(0), shared.clone());
         round.on_reply(NodeId(1), shared.clone());
         round.on_reply(NodeId(2), shared.clone());
         let report = round.complete(&shared, t(1));
@@ -245,7 +265,8 @@ mod tests {
     fn partial_round_still_reports() {
         // Deadline expiry: complete with only one of two replies.
         let mine = evv(&[(0, 1, 1, 1), (0, 2, 3, 2)]);
-        let mut round = DetectRound::start(NodeId(0), 1, &[NodeId(1), NodeId(2)], t(0));
+        let mut round =
+            DetectRound::start(NodeId(0), 1, &[NodeId(1), NodeId(2)], t(0), mine.clone());
         round.on_reply(NodeId(1), evv(&[(0, 1, 1, 1)]));
         let report = round.complete(&mine, t(2));
         assert_eq!(report.lines.len(), 2); // me + the one replier
@@ -255,7 +276,7 @@ mod tests {
     #[test]
     fn worst_triple_is_component_max() {
         let mine = evv(&[(0, 1, 1, 10)]);
-        let mut round = DetectRound::start(NodeId(9), 1, &[NodeId(1)], t(0));
+        let mut round = DetectRound::start(NodeId(9), 1, &[NodeId(1)], t(0), mine.clone());
         round.on_reply(NodeId(1), evv(&[(1, 1, 5, 2)]));
         let report = round.complete(&mine, t(6));
         let worst = report.worst_triple();
@@ -268,7 +289,7 @@ mod tests {
     #[test]
     fn duplicate_replies_never_complete_a_round_early() {
         let peers = [NodeId(1), NodeId(2), NodeId(3)];
-        let mut round = DetectRound::start(NodeId(0), 1, &peers, t(0));
+        let mut round = DetectRound::start(NodeId(0), 1, &peers, t(0), evv(&[(0, 1, 1, 1)]));
         // One peer answering three times is still one reply.
         assert!(!round.on_reply(NodeId(1), evv(&[(0, 1, 1, 1)])));
         assert!(!round.on_reply(NodeId(1), evv(&[(0, 1, 1, 1)])));
@@ -290,7 +311,13 @@ mod tests {
         // initiator and the two responders only, and the silent peer is
         // still listed as outstanding at completion time.
         let mine = evv(&[(0, 1, 1, 1)]);
-        let mut round = DetectRound::start(NodeId(0), 4, &[NodeId(1), NodeId(2), NodeId(3)], t(0));
+        let mut round = DetectRound::start(
+            NodeId(0),
+            4,
+            &[NodeId(1), NodeId(2), NodeId(3)],
+            t(0),
+            mine.clone(),
+        );
         round.on_reply(NodeId(1), evv(&[(0, 1, 1, 1)]));
         round.on_reply(NodeId(3), evv(&[(0, 1, 1, 1)]));
         assert_eq!(round.outstanding(), vec![NodeId(2)]);
@@ -305,7 +332,7 @@ mod tests {
         // Everyone timed out: the report degenerates to the initiator's own
         // replica as the reference — no inconsistency observable.
         let mine = evv(&[(0, 1, 1, 5)]);
-        let round = DetectRound::start(NodeId(7), 9, &[NodeId(1), NodeId(2)], t(0));
+        let round = DetectRound::start(NodeId(7), 9, &[NodeId(1), NodeId(2)], t(0), mine.clone());
         assert_eq!(round.outstanding().len(), 2);
         let report = round.complete(&mine, t(3));
         assert_eq!(report.reference, NodeId(7));
@@ -327,7 +354,7 @@ mod tests {
         a.record(WriterId(0), 2, t(2), 2);
         b.record(WriterId(1), 2, t(3), 6);
 
-        let mut round = DetectRound::start(NodeId(0), 1, &[NodeId(1)], t(3));
+        let mut round = DetectRound::start(NodeId(0), 1, &[NodeId(1)], t(3), a.clone());
         round.on_reply(NodeId(1), b);
         let report = round.complete(&a, t(4));
         assert_eq!(report.reference, NodeId(1));

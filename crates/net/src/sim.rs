@@ -128,7 +128,13 @@ pub struct SimEngine<P: Proto> {
     seq: u64,
     rng: StdRng,
     stats: NetStats,
+    /// Pending timer ids whose cancellation arrived before they popped.
+    /// Entries are removed when the timer event pops, and cancellations of
+    /// ids that are no longer live (already fired) are ignored, so the set
+    /// is bounded by the number of in-flight timers.
     cancelled: HashSet<u64>,
+    /// Timer ids currently queued and not cancelled.
+    live_timers: HashSet<u64>,
     next_timer: u64,
     paused: Vec<bool>,
     parked: Vec<Vec<Buffered<P::Msg>>>,
@@ -154,6 +160,7 @@ impl<P: Proto> SimEngine<P> {
             seq: 0,
             stats: NetStats::new(),
             cancelled: HashSet::new(),
+            live_timers: HashSet::new(),
             next_timer: 0,
             paused: vec![false; n],
             parked: (0..n).map(|_| Vec::new()).collect(),
@@ -290,10 +297,15 @@ impl<P: Proto> SimEngine<P> {
                 }
                 Action::SetTimer { id, delay, kind } => {
                     let at = self.now + delay;
+                    self.live_timers.insert(id);
                     self.push(at, EvKind::Timer { node: me, id: TimerId(id), kind });
                 }
                 Action::Cancel(id) => {
-                    self.cancelled.insert(id);
+                    // Only live timers need a tombstone; cancelling one
+                    // that already fired must not grow state forever.
+                    if self.live_timers.remove(&id) {
+                        self.cancelled.insert(id);
+                    }
                 }
             }
         }
@@ -325,6 +337,7 @@ impl<P: Proto> SimEngine<P> {
                 if self.cancelled.remove(&id.0) {
                     return true;
                 }
+                self.live_timers.remove(&id.0);
                 let i = node.index();
                 if self.paused[i] {
                     self.parked[i].push(Buffered::Timer { id, kind });
@@ -375,6 +388,12 @@ impl<P: Proto> SimEngine<P> {
     /// included).
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Cancellation tombstones currently held (bounded by in-flight
+    /// timers; exposed so tests can pin that the set cannot leak).
+    pub fn pending_cancellations(&self) -> usize {
+        self.cancelled.len()
     }
 }
 
@@ -558,6 +577,43 @@ mod tests {
         let fired = &eng.node(NodeId(0)).fired;
         assert_eq!(fired.len(), 1);
         assert_eq!(fired[0].0, 1);
+        // The tombstone was consumed when the cancelled event popped.
+        assert_eq!(eng.pending_cancellations(), 0);
+    }
+
+    /// Protocol pattern that used to leak: arm a deadline, have it fire,
+    /// then cancel the (already-fired) handle from inside the handler's
+    /// cleanup. The tombstone set must stay empty, no matter how many times
+    /// the cycle repeats.
+    struct LateCancel {
+        rounds: u32,
+    }
+
+    impl Proto for LateCancel {
+        type Msg = Token;
+        fn on_start(&mut self, ctx: &mut dyn Context<Token>) {
+            let t = ctx.set_timer(SimDuration::from_millis(1), 1);
+            ctx.cancel_timer(TimerId(t.0 + 1_000_000)); // junk id: also a no-op
+            let _ = t;
+        }
+        fn on_message(&mut self, _f: NodeId, _m: Token, _c: &mut dyn Context<Token>) {}
+        fn on_timer(&mut self, timer: TimerId, _kind: u64, ctx: &mut dyn Context<Token>) {
+            // The deadline fired; "cleanup" cancels the stale handle.
+            ctx.cancel_timer(timer);
+            if self.rounds < 100 {
+                self.rounds += 1;
+                ctx.set_timer(SimDuration::from_millis(1), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cancelling_fired_timers_leaves_no_residue() {
+        let nodes = vec![LateCancel { rounds: 0 }];
+        let mut eng = SimEngine::new(Topology::lan(1), SimConfig::default(), nodes);
+        eng.run_until_quiescent(SimTime::from_secs(10));
+        assert_eq!(eng.node(NodeId(0)).rounds, 100);
+        assert_eq!(eng.pending_cancellations(), 0, "cancelled-set must not grow unboundedly");
     }
 
     #[test]

@@ -65,9 +65,9 @@ impl NodeStore {
         self.replicas.get_mut(&object).ok_or(IdeaError::UnknownObject(object))
     }
 
-    /// Objects hosted by this node.
-    pub fn objects(&self) -> Vec<ObjectId> {
-        self.replicas.keys().copied().collect()
+    /// Objects hosted by this node, in id order (no per-call allocation).
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.replicas.keys().copied()
     }
 
     /// Issues a local write: assigns the next sequence number, applies it to
@@ -220,7 +220,7 @@ mod tests {
         let mut s = store(0);
         s.open(ObjectId(3));
         s.open(ObjectId(1));
-        assert_eq!(s.objects(), vec![ObjectId(1), ObjectId(3)]);
+        assert_eq!(s.objects().collect::<Vec<_>>(), vec![ObjectId(1), ObjectId(3)]);
         assert_eq!(s.node(), NodeId(0));
         assert_eq!(s.writer(), WriterId(0));
     }

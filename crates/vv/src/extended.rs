@@ -11,18 +11,26 @@
 //!    computed against a chosen *reference consistent state*.
 //!
 //! The worked example of Figure 4 is reproduced verbatim in the tests below.
+//!
+//! The triple computation is a merge-walk over the per-writer histories —
+//! it never materialises or sorts a combined event list, so a pairwise
+//! comparison allocates nothing and costs one linear pass. The classic
+//! counter view is cached and maintained incrementally by
+//! [`ExtendedVersionVector::record`]/[`ExtendedVersionVector::adopt`], so
+//! [`ExtendedVersionVector::counters`] is a free borrow. Compact wire forms
+//! live in [`crate::wire`].
 
 use crate::classic::{VersionVector, VvOrdering};
 use idea_types::{ErrorTriple, SimTime, UpdateId, WriterId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::fmt;
+use std::fmt::{self, Write as _};
 
 /// Per-writer update history: timestamps of updates `1..=count`.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
-struct WriterHistory {
+pub(crate) struct WriterHistory {
     /// `times[i]` is the timestamp of the writer's `(i+1)`-th update.
-    times: Vec<SimTime>,
+    pub(crate) times: Vec<SimTime>,
 }
 
 /// The extended version vector of one replica.
@@ -31,12 +39,96 @@ pub struct ExtendedVersionVector {
     histories: BTreeMap<WriterId, WriterHistory>,
     /// Cumulative critical-metadata value (the `[5]` column of Figure 5).
     meta: i64,
+    /// Cached classic counter view, maintained incrementally so the hot
+    /// detection path never rebuilds it.
+    counters: VersionVector,
+}
+
+/// The smallest divergent event between two event sets, as a `(time, id)`
+/// pair — everything chronologically before it is the common prefix.
+pub(crate) type Divergence = Option<(SimTime, UpdateId)>;
+
+/// Tracks the minimum divergent entry seen so far.
+#[inline]
+pub(crate) fn note_divergence(d: &mut Divergence, t: SimTime, writer: WriterId, seq: u64) {
+    let e = (t, UpdateId { writer, seq });
+    if d.is_none_or(|cur| e < cur) {
+        *d = Some(e);
+    }
+}
+
+/// Walks the union of two writer maps in writer order, handing `f` the two
+/// (possibly empty) time slices of each writer — the merge-walk primitive
+/// shared by the triple computations.
+fn walk_writer_pairs(
+    a: &BTreeMap<WriterId, WriterHistory>,
+    b: &BTreeMap<WriterId, WriterHistory>,
+    mut f: impl FnMut(WriterId, &[SimTime], &[SimTime]),
+) {
+    let mut ia = a.iter().peekable();
+    let mut ib = b.iter().peekable();
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some((wa, ha)), Some((wb, hb))) => match wa.cmp(wb) {
+                std::cmp::Ordering::Less => {
+                    f(**wa, &ha.times, &[]);
+                    ia.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    f(**wb, &[], &hb.times);
+                    ib.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    f(**wa, &ha.times, &hb.times);
+                    ia.next();
+                    ib.next();
+                }
+            },
+            (Some((wa, ha)), None) => {
+                f(**wa, &ha.times, &[]);
+                ia.next();
+            }
+            (None, Some((wb, hb))) => {
+                f(**wb, &[], &hb.times);
+                ib.next();
+            }
+            (None, None) => break,
+        }
+    }
 }
 
 impl ExtendedVersionVector {
     /// The empty extended vector.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuilds a vector from raw per-writer histories (the wire-form
+    /// reconstruction path).
+    pub(crate) fn from_raw(
+        parts: impl IntoIterator<Item = (WriterId, Vec<SimTime>)>,
+        meta: i64,
+    ) -> Self {
+        let mut histories = BTreeMap::new();
+        let mut counters = VersionVector::new();
+        for (w, times) in parts {
+            if times.is_empty() {
+                continue;
+            }
+            counters.observe(w, times.len() as u64);
+            histories.insert(w, WriterHistory { times });
+        }
+        ExtendedVersionVector { histories, meta, counters }
+    }
+
+    /// Raw per-writer histories (crate-internal: the wire forms read them).
+    pub(crate) fn raw_histories(&self) -> &BTreeMap<WriterId, WriterHistory> {
+        &self.histories
+    }
+
+    /// Timestamps of `writer`'s updates, oldest first (empty when unknown).
+    pub(crate) fn writer_times(&self, writer: WriterId) -> &[SimTime] {
+        self.histories.get(&writer).map_or(&[], |h| &h.times)
     }
 
     /// Records the replica applying `writer`'s update with sequence `seq`
@@ -55,17 +147,18 @@ impl ExtendedVersionVector {
         }
         debug_assert_eq!(seq, count + 1, "update for {writer} skipped seq {count}+1 -> {seq}");
         h.times.push(at);
+        self.counters.observe(writer, count + 1);
         self.meta += meta_delta;
     }
 
-    /// The classic counter view of this vector.
-    pub fn counters(&self) -> VersionVector {
-        VersionVector::from_pairs(self.histories.iter().map(|(w, h)| (*w, h.times.len() as u64)))
+    /// The classic counter view of this vector (cached; a free borrow).
+    pub fn counters(&self) -> &VersionVector {
+        &self.counters
     }
 
     /// The counter for a single writer.
     pub fn count(&self, writer: WriterId) -> u64 {
-        self.histories.get(&writer).map_or(0, |h| h.times.len() as u64)
+        self.counters.get(writer)
     }
 
     /// Timestamp of `writer`'s `seq`-th update, if recorded.
@@ -83,7 +176,7 @@ impl ExtendedVersionVector {
 
     /// Total number of recorded updates.
     pub fn total(&self) -> u64 {
-        self.histories.values().map(|h| h.times.len() as u64).sum()
+        self.counters.total()
     }
 
     /// Timestamp of the most recent recorded update (`None` when empty).
@@ -91,14 +184,21 @@ impl ExtendedVersionVector {
         self.histories.values().filter_map(|h| h.times.last().copied()).max()
     }
 
+    /// Chronologically largest recorded timestamp — equals
+    /// [`ExtendedVersionVector::latest_update_time`] for monotone per-writer
+    /// histories, but robust to out-of-order issue times.
+    pub(crate) fn max_event_time(&self) -> Option<SimTime> {
+        self.histories.values().flat_map(|h| h.times.iter().copied()).max()
+    }
+
     /// Compares the counter views under the domination order.
     pub fn compare(&self, other: &ExtendedVersionVector) -> VvOrdering {
-        self.counters().compare(&other.counters())
+        self.counters.compare(&other.counters)
     }
 
     /// All recorded update identities with their timestamps, sorted
-    /// chronologically (ties broken by update id). This is the event list
-    /// used for the last-consistent-point computation.
+    /// chronologically (ties broken by update id). Retained for tests and
+    /// diagnostics; the triple computation no longer materialises it.
     pub fn events(&self) -> Vec<(SimTime, UpdateId)> {
         let mut out: Vec<(SimTime, UpdateId)> = Vec::with_capacity(self.total() as usize);
         for (w, h) in &self.histories {
@@ -113,17 +213,42 @@ impl ExtendedVersionVector {
     /// The instant this replica was last consistent with `reference`: the end
     /// of the longest common prefix of the two chronological event lists
     /// (`SimTime::ZERO` when they diverge immediately).
+    ///
+    /// Computed as a merge-walk: the prefix ends at the chronologically
+    /// first event held by only one side (or held by both under different
+    /// timestamps), so one linear pass finds that divergence point and a
+    /// second finds the newest common event before it — no sort, no
+    /// intermediate event list.
     pub fn last_consistent_with(&self, reference: &ExtendedVersionVector) -> SimTime {
-        let a = self.events();
-        let b = reference.events();
-        let mut last = SimTime::ZERO;
-        for (ea, eb) in a.iter().zip(b.iter()) {
-            if ea == eb {
-                last = ea.0;
-            } else {
-                break;
+        let mut d: Divergence = None;
+        walk_writer_pairs(&self.histories, &reference.histories, |w, ta, tb| {
+            let m = ta.len().min(tb.len());
+            for s in 0..m {
+                if ta[s] != tb[s] {
+                    note_divergence(&mut d, ta[s], w, s as u64 + 1);
+                    note_divergence(&mut d, tb[s], w, s as u64 + 1);
+                }
             }
-        }
+            for (s, t) in ta.iter().enumerate().skip(m) {
+                note_divergence(&mut d, *t, w, s as u64 + 1);
+            }
+            for (s, t) in tb.iter().enumerate().skip(m) {
+                note_divergence(&mut d, *t, w, s as u64 + 1);
+            }
+        });
+        let Some(d) = d else {
+            // Identical event sets: consistent through the newest event.
+            return self.max_event_time().unwrap_or(SimTime::ZERO);
+        };
+        let mut last = SimTime::ZERO;
+        walk_writer_pairs(&self.histories, &reference.histories, |w, ta, tb| {
+            let m = ta.len().min(tb.len());
+            for s in 0..m {
+                if ta[s] == tb[s] && (ta[s], UpdateId { writer: w, seq: s as u64 + 1 }) < d {
+                    last = last.max(ta[s]);
+                }
+            }
+        });
         last
     }
 
@@ -137,10 +262,8 @@ impl ExtendedVersionVector {
     pub fn triple_against(&self, reference: &ExtendedVersionVector) -> ErrorTriple {
         let numerical = (reference.meta - self.meta).abs() as f64;
 
-        let mine = self.counters();
-        let theirs = reference.counters();
-        let missed = mine.missing_from(&theirs);
-        let extra = theirs.missing_from(&mine);
+        let missed = self.counters.missing_from(&reference.counters);
+        let extra = reference.counters.missing_from(&self.counters);
         let order = (missed + extra) as f64;
 
         let staleness = match reference.latest_update_time() {
@@ -167,14 +290,9 @@ impl ExtendedVersionVector {
     /// (invalidated or re-sequenced) — the vector itself keeps them only if
     /// the reference also has them.
     pub fn adopt(&mut self, reference: &ExtendedVersionVector) -> u64 {
-        let mut absorbed = 0;
-        let mut histories = BTreeMap::new();
-        for (w, h) in &reference.histories {
-            let have = self.count(*w);
-            absorbed += (h.times.len() as u64).saturating_sub(have);
-            histories.insert(*w, h.clone());
-        }
-        self.histories = histories;
+        let absorbed = self.counters.missing_from(&reference.counters);
+        self.histories = reference.histories.clone();
+        self.counters = reference.counters.clone();
         self.meta = reference.meta;
         absorbed
     }
@@ -188,14 +306,19 @@ impl ExtendedVersionVector {
             if i > 0 {
                 s.push(' ');
             }
-            s.push_str(&format!("{w}:{}", h.times.len()));
+            let _ = write!(s, "{w}:{}", h.times.len());
             if !h.times.is_empty() {
-                let times: Vec<String> =
-                    h.times.iter().map(|t| format!("{}", t.as_secs_f64())).collect();
-                s.push_str(&format!("({})", times.join(", ")));
+                s.push('(');
+                for (j, t) in h.times.iter().enumerate() {
+                    if j > 0 {
+                        s.push_str(", ");
+                    }
+                    let _ = write!(s, "{}", t.as_secs_f64());
+                }
+                s.push(')');
             }
         }
-        s.push_str(&format!("> <[{}]>", self.meta));
+        let _ = write!(s, "> <[{}]>", self.meta);
         s
     }
 }
@@ -302,6 +425,17 @@ mod tests {
     }
 
     #[test]
+    fn cached_counters_track_history() {
+        let (a, b) = figure4();
+        let rebuilt =
+            VersionVector::from_pairs(a.events().iter().map(|(_, id)| (id.writer, id.seq)));
+        assert_eq!(a.counters(), &rebuilt);
+        let mut c = a.clone();
+        c.adopt(&b);
+        assert_eq!(c.counters(), b.counters());
+    }
+
+    #[test]
     fn empty_reference_has_no_staleness() {
         let (a, _) = figure4();
         let empty = ExtendedVersionVector::new();
@@ -335,7 +469,7 @@ mod tests {
     fn compare_views_match_classic() {
         let (a, b) = figure4();
         assert_eq!(a.compare(&b), VvOrdering::Concurrent);
-        assert_eq!(a.counters().compare(&b.counters()), VvOrdering::Concurrent);
+        assert_eq!(a.counters().compare(b.counters()), VvOrdering::Concurrent);
     }
 
     #[test]
@@ -347,6 +481,22 @@ mod tests {
         assert!(s.contains("w0:2(1, 2)"), "got {s}");
         assert!(s.contains("[5]"), "got {s}");
         assert_eq!(v.to_string(), s);
+    }
+
+    /// Reference implementation of the last-consistent point: the sorted
+    /// event lists the pre-merge-walk code materialised.
+    fn last_consistent_reference(a: &ExtendedVersionVector, b: &ExtendedVersionVector) -> SimTime {
+        let ea = a.events();
+        let eb = b.events();
+        let mut last = SimTime::ZERO;
+        for (x, y) in ea.iter().zip(eb.iter()) {
+            if x == y {
+                last = x.0;
+            } else {
+                break;
+            }
+        }
+        last
     }
 
     /// Random interleaved histories for property tests.
@@ -390,7 +540,7 @@ mod tests {
         fn zero_triple_iff_equal_counters_and_meta(a in arb_evv(), b in arb_evv()) {
             let t = a.triple_against(&b);
             if t.is_zero() {
-                prop_assert_eq!(a.counters().compare(&b.counters()), VvOrdering::Equal);
+                prop_assert_eq!(a.counters().compare(b.counters()), VvOrdering::Equal);
                 prop_assert_eq!(a.meta(), b.meta());
             }
         }
@@ -405,8 +555,8 @@ mod tests {
         #[test]
         fn order_error_equals_counter_gaps(a in arb_evv(), b in arb_evv()) {
             let t = a.triple_against(&b);
-            let expected = a.counters().missing_from(&b.counters())
-                + b.counters().missing_from(&a.counters());
+            let expected = a.counters().missing_from(b.counters())
+                + b.counters().missing_from(a.counters());
             prop_assert_eq!(t.order, expected as f64);
         }
 
@@ -417,6 +567,16 @@ mod tests {
                 Some(latest) => prop_assert!(t.staleness <= latest.saturating_since(SimTime::ZERO)),
                 None => prop_assert!(t.staleness.is_zero()),
             }
+        }
+
+        /// The allocation-free merge-walk must agree bit-for-bit with the
+        /// sorted-event-list computation it replaced, including on
+        /// non-monotonic per-writer timestamps.
+        #[test]
+        fn merge_walk_matches_sorted_event_lists(a in arb_evv(), b in arb_evv()) {
+            prop_assert_eq!(a.last_consistent_with(&b), last_consistent_reference(&a, &b));
+            prop_assert_eq!(b.last_consistent_with(&a), last_consistent_reference(&b, &a));
+            prop_assert_eq!(a.last_consistent_with(&a), last_consistent_reference(&a, &a));
         }
     }
 }

@@ -8,13 +8,18 @@
 //! * [`ExtendedVersionVector`] — the paper's extension (§4.4.1, Figure 5):
 //!   per-update timestamps, a critical-metadata value, and computation of the
 //!   TACT `<numerical error, order error, staleness>` triple against a chosen
-//!   *reference consistent state*.
+//!   *reference consistent state*;
+//! * [`VvSummary`] / [`VvDelta`] — compact wire forms (counters + metadata +
+//!   bounded/exact per-writer timestamp suffixes) so detection traffic never
+//!   ships full update histories.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod classic;
 pub mod extended;
+pub mod wire;
 
 pub use classic::{VersionVector, VvOrdering};
 pub use extended::ExtendedVersionVector;
+pub use wire::{VvDelta, VvSummary, WriterSuffix};

@@ -1,0 +1,546 @@
+//! Compact wire forms of the extended version vector.
+//!
+//! Detection traffic used to ship the full [`ExtendedVersionVector`] — a
+//! per-writer timestamp *history* whose size grows with the total number of
+//! updates ever applied, not with how far two replicas have diverged. The
+//! TACT observation (Yu & Vahdat) is that conit error bounds need only
+//! compact per-writer counters, and Bayou's anti-entropy ships only the
+//! per-writer suffixes a peer is missing. These two forms apply that here:
+//!
+//! * [`VvSummary`] — counters + metadata + newest-update time + a bounded
+//!   per-writer timestamp **tail**. Self-contained: a receiver that holds
+//!   its own full history can compute the exact TACT triple against the
+//!   summarised replica as long as the divergence per writer fits in the
+//!   tail; beyond the tail the unknown events are conservatively treated as
+//!   maximally stale (the level estimate can only drop, never inflate).
+//! * [`VvDelta`] — counters + metadata + newest-update time + the **exact**
+//!   per-writer suffixes beyond a baseline the receiver advertised
+//!   ([`ExtendedVersionVector::suffix_since`]). A receiver holding the
+//!   baseline history reconstructs the sender's full vector losslessly
+//!   ([`ExtendedVersionVector::reconstruct`]) or converges onto it
+//!   ([`ExtendedVersionVector::apply_delta`], the wire-form `adopt`).
+//!
+//! Both forms cost `O(writers + suffix)` bytes instead of `O(history)`.
+
+use crate::classic::VersionVector;
+use crate::extended::{note_divergence, Divergence, ExtendedVersionVector};
+use idea_types::{ErrorTriple, SimDuration, SimTime, UpdateId, WriterId};
+use serde::{Deserialize, Serialize};
+
+/// Timestamps of one writer's newest updates: the `start_seq`-th update
+/// onwards (1-based, contiguous through the writer's current count).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriterSuffix {
+    /// The writer the suffix belongs to.
+    pub writer: WriterId,
+    /// Sequence number of the first timestamp in `times` (1-based).
+    pub start_seq: u64,
+    /// Issue timestamps of updates `start_seq..start_seq + times.len()`.
+    pub times: Vec<SimTime>,
+}
+
+impl WriterSuffix {
+    /// Approximate serialized size: writer id + start_seq header plus one
+    /// timestamp per carried update.
+    fn wire_bytes(&self) -> usize {
+        12 + 8 * self.times.len()
+    }
+}
+
+/// Compact, self-contained wire form of an extended version vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VvSummary {
+    /// Per-writer update counters (the classic vector).
+    pub counters: VersionVector,
+    /// Critical-metadata value.
+    pub meta: i64,
+    /// Timestamp of the newest recorded update (`None` when empty).
+    pub latest: Option<SimTime>,
+    /// Bounded per-writer timestamp tails (newest updates only), sorted by
+    /// writer.
+    pub tail: Vec<WriterSuffix>,
+}
+
+/// Exact per-writer suffixes beyond a baseline counter vector the receiver
+/// advertised.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VvDelta {
+    /// The sender's full per-writer counters.
+    pub counters: VersionVector,
+    /// The sender's critical-metadata value.
+    pub meta: i64,
+    /// Timestamp of the sender's newest recorded update.
+    pub latest: Option<SimTime>,
+    /// Per-writer timestamps beyond the baseline, sorted by writer.
+    pub suffixes: Vec<WriterSuffix>,
+}
+
+/// Shared wire-size model: meta + latest header, per-writer counter
+/// entries, then the carried suffixes.
+fn form_bytes(counters: &VersionVector, suffixes: &[WriterSuffix]) -> usize {
+    16 + 12 * counters.writers() + suffixes.iter().map(WriterSuffix::wire_bytes).sum::<usize>()
+}
+
+fn suffix_for(suffixes: &[WriterSuffix], writer: WriterId) -> Option<&WriterSuffix> {
+    suffixes.binary_search_by_key(&writer, |s| s.writer).ok().map(|i| &suffixes[i])
+}
+
+impl VvSummary {
+    /// Approximate serialized size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        form_bytes(&self.counters, &self.tail)
+    }
+
+    /// Timestamp the summarised replica recorded for `(writer, seq)`, when
+    /// the tail covers it.
+    fn time_of(&self, writer: WriterId, seq: u64) -> Option<SimTime> {
+        let s = suffix_for(&self.tail, writer)?;
+        if seq < s.start_seq {
+            return None;
+        }
+        s.times.get((seq - s.start_seq) as usize).copied()
+    }
+
+    /// Triple of the summarised replica against `reference` (a full vector)
+    /// — the mirror direction of
+    /// [`ExtendedVersionVector::triple_against_summary`].
+    pub fn triple_against(&self, reference: &ExtendedVersionVector) -> ErrorTriple {
+        let (numerical, order) = scalar_errors(reference, self);
+        let staleness = match reference.latest_update_time() {
+            Some(latest) => latest.saturating_since(reference.last_consistent_with_summary(self)),
+            None => SimDuration::ZERO,
+        };
+        ErrorTriple::new(numerical, order, staleness)
+    }
+}
+
+impl VvDelta {
+    /// Approximate serialized size in bytes.
+    pub fn wire_bytes(&self) -> usize {
+        form_bytes(&self.counters, &self.suffixes)
+    }
+}
+
+/// Numerical and order error between a full vector and a summarised one
+/// (both are symmetric in direction).
+fn scalar_errors(evv: &ExtendedVersionVector, summary: &VvSummary) -> (f64, f64) {
+    let numerical = (summary.meta - evv.meta()).abs() as f64;
+    let order = evv.counters().missing_from(&summary.counters)
+        + summary.counters.missing_from(evv.counters());
+    (numerical, order as f64)
+}
+
+impl ExtendedVersionVector {
+    /// Builds the compact wire summary, carrying at most `tail_len`
+    /// timestamps per writer (the newest ones).
+    pub fn summary(&self, tail_len: usize) -> VvSummary {
+        let mut tail = Vec::new();
+        for (w, h) in self.raw_histories() {
+            if h.times.is_empty() || tail_len == 0 {
+                continue;
+            }
+            let skip = h.times.len().saturating_sub(tail_len);
+            tail.push(WriterSuffix {
+                writer: *w,
+                start_seq: skip as u64 + 1,
+                times: h.times[skip..].to_vec(),
+            });
+        }
+        VvSummary {
+            counters: self.counters().clone(),
+            meta: self.meta(),
+            latest: self.latest_update_time(),
+            tail,
+        }
+    }
+
+    /// The exact per-writer suffixes a peer holding `have` is missing —
+    /// Bayou-style anti-entropy for the vector itself.
+    ///
+    /// Each suffix overlaps the baseline by one **anchor** timestamp (the
+    /// newest update the receiver claims to share). Resolution
+    /// re-sequencing rewrites a contiguous suffix of a writer's updates, so
+    /// if the receiver's copy of any shared update was superseded, its copy
+    /// of the anchor was too — shipping the sender's anchor lets
+    /// [`ExtendedVersionVector::reconstruct`] carry the authoritative
+    /// timestamp and the triple walk detect the divergence, instead of the
+    /// receiver silently vouching its stale copy.
+    pub fn suffix_since(&self, have: &VersionVector) -> VvDelta {
+        let mut suffixes = Vec::new();
+        for (w, h) in self.raw_histories() {
+            let base = (have.get(*w) as usize).min(h.times.len());
+            if base < h.times.len() {
+                let start = base.saturating_sub(1);
+                suffixes.push(WriterSuffix {
+                    writer: *w,
+                    start_seq: start as u64 + 1,
+                    times: h.times[start..].to_vec(),
+                });
+            }
+        }
+        VvDelta {
+            counters: self.counters().clone(),
+            meta: self.meta(),
+            latest: self.latest_update_time(),
+            suffixes,
+        }
+    }
+
+    /// Rebuilds the sender's full vector from a delta whose baseline this
+    /// vector covers: timestamps below each suffix come from the local
+    /// history (identical updates carry identical issue times), the rest
+    /// from the delta. Positions the local history cannot vouch for (it was
+    /// truncated by a reconciliation after the baseline was advertised) are
+    /// filled with [`SimTime::ZERO`], which makes the later triple
+    /// computation conservatively treat them as immediately-divergent.
+    pub fn reconstruct(&self, delta: &VvDelta) -> ExtendedVersionVector {
+        let parts = delta.counters.iter().map(|(w, c)| {
+            let c = c as usize;
+            let local = self.writer_times(w);
+            let sfx = suffix_for(&delta.suffixes, w);
+            let prefix_end = sfx.map_or(c, |s| (s.start_seq - 1) as usize).min(c);
+            let mut times = Vec::with_capacity(c);
+            for s in 0..prefix_end {
+                times.push(local.get(s).copied().unwrap_or(SimTime::ZERO));
+            }
+            if let Some(sfx) = sfx {
+                for t in &sfx.times {
+                    if times.len() < c {
+                        times.push(*t);
+                    }
+                }
+            }
+            // Defensive: a malformed delta (suffix shorter than the counter
+            // claims) must not produce an inconsistent vector.
+            times.resize(c, SimTime::ZERO);
+            (w, times)
+        });
+        ExtendedVersionVector::from_raw(parts, delta.meta)
+    }
+
+    /// Converges this vector onto the delta's sender — the wire-form
+    /// [`ExtendedVersionVector::adopt`]. Returns the updates absorbed.
+    pub fn apply_delta(&mut self, delta: &VvDelta) -> u64 {
+        let absorbed = self.counters().missing_from(&delta.counters);
+        *self = self.reconstruct(delta);
+        absorbed
+    }
+
+    /// The last-consistent point against a summarised replica: the
+    /// merge-walk of [`ExtendedVersionVector::last_consistent_with`] with
+    /// the remote timestamps drawn from the tail. Remote events in the
+    /// common per-writer range but below the tail are assumed to match the
+    /// local copy (same update id ⇒ same issue time); remote events *beyond*
+    /// the local count whose timestamp the tail does not cover are treated
+    /// as divergent at time zero — staleness saturates rather than being
+    /// under-reported.
+    pub fn last_consistent_with_summary(&self, summary: &VvSummary) -> SimTime {
+        let mut d: Divergence = None;
+        let note = note_divergence;
+        for (w, cr) in summary.counters.iter() {
+            let local = self.writer_times(w);
+            let m = local.len().min(cr as usize);
+            // Timestamp mismatches detectable inside the tail's coverage.
+            for (s, t) in local.iter().enumerate().take(m) {
+                if let Some(rt) = summary.time_of(w, s as u64 + 1) {
+                    if rt != *t {
+                        note(&mut d, *t, w, s as u64 + 1);
+                        note(&mut d, rt, w, s as u64 + 1);
+                    }
+                }
+            }
+            // Remote-only suffix: known times from the tail, unknown ones
+            // pinned to time zero (conservative).
+            for seq in (m as u64 + 1)..=cr {
+                let rt = summary.time_of(w, seq).unwrap_or(SimTime::ZERO);
+                note(&mut d, rt, w, seq);
+            }
+        }
+        // Local-only suffixes (writers or updates the summary lacks).
+        for (w, h) in self.raw_histories() {
+            let cr = summary.counters.get(*w) as usize;
+            for (s, t) in h.times.iter().enumerate().skip(cr.min(h.times.len())) {
+                note(&mut d, *t, *w, s as u64 + 1);
+            }
+        }
+        let Some(d) = d else {
+            return self.max_event_time().unwrap_or(SimTime::ZERO);
+        };
+        let mut last = SimTime::ZERO;
+        for (w, cr) in summary.counters.iter() {
+            let local = self.writer_times(w);
+            let m = local.len().min(cr as usize);
+            for (s, t) in local.iter().enumerate().take(m) {
+                let agreed = summary.time_of(w, s as u64 + 1).is_none_or(|rt| rt == *t);
+                if agreed && (*t, UpdateId { writer: w, seq: s as u64 + 1 }) < d {
+                    last = last.max(*t);
+                }
+            }
+        }
+        last
+    }
+
+    /// Triple of `self` against a summarised replica as the reference —
+    /// exact whenever the per-writer divergence fits the summary's tail.
+    pub fn triple_against_summary(&self, reference: &VvSummary) -> ErrorTriple {
+        let (numerical, order) = scalar_errors(self, reference);
+        let staleness = match reference.latest {
+            Some(latest) => latest.saturating_since(self.last_consistent_with_summary(reference)),
+            None => SimDuration::ZERO,
+        };
+        ErrorTriple::new(numerical, order, staleness)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn evv(updates: &[(u32, u64, i64)]) -> ExtendedVersionVector {
+        let mut v = ExtendedVersionVector::new();
+        for &(w, at, delta) in updates {
+            let writer = WriterId(w);
+            let next = v.count(writer) + 1;
+            v.record(writer, next, t(at), delta);
+        }
+        v
+    }
+
+    #[test]
+    fn summary_preserves_scalars() {
+        let a = evv(&[(0, 1, 2), (1, 2, 3), (0, 4, 1)]);
+        let s = a.summary(8);
+        assert_eq!(&s.counters, a.counters());
+        assert_eq!(s.meta, a.meta());
+        assert_eq!(s.latest, a.latest_update_time());
+        assert_eq!(s.tail.len(), 2);
+    }
+
+    #[test]
+    fn summary_tail_is_bounded() {
+        let mut a = ExtendedVersionVector::new();
+        for s in 1..=20 {
+            a.record(WriterId(0), s, t(s), 1);
+        }
+        let s = a.summary(4);
+        assert_eq!(s.tail.len(), 1);
+        assert_eq!(s.tail[0].start_seq, 17);
+        assert_eq!(s.tail[0].times, vec![t(17), t(18), t(19), t(20)]);
+        assert!(s.wire_bytes() < a.summary(100).wire_bytes());
+    }
+
+    #[test]
+    fn covering_summary_triple_is_exact() {
+        let a = evv(&[(0, 1, 2), (0, 2, 1), (1, 3, 5)]);
+        let b = evv(&[(0, 1, 2), (1, 2, 4)]);
+        let s = b.summary(16);
+        assert_eq!(a.triple_against_summary(&s), a.triple_against(&b));
+        assert_eq!(s.triple_against(&a), b.triple_against(&a));
+    }
+
+    #[test]
+    fn truncated_tail_saturates_staleness() {
+        // Remote is 20 updates ahead with a 2-entry tail: the unknown
+        // events pin the divergence point to time zero, so staleness spans
+        // the whole reference history rather than being under-reported.
+        let mut remote = ExtendedVersionVector::new();
+        for s in 1..=20 {
+            remote.record(WriterId(0), s, t(s), 1);
+        }
+        let local = evv(&[(0, 1, 1)]);
+        let exact = local.triple_against(&remote);
+        let compact = local.triple_against_summary(&remote.summary(2));
+        assert_eq!(compact.numerical, exact.numerical);
+        assert_eq!(compact.order, exact.order);
+        assert!(compact.staleness >= exact.staleness);
+    }
+
+    #[test]
+    fn suffix_since_ships_only_the_gap_plus_anchor() {
+        let b = evv(&[(0, 1, 1), (0, 2, 1), (1, 3, 2), (0, 4, 1)]);
+        let have = VersionVector::from_pairs([(WriterId(0), 2)]);
+        let d = b.suffix_since(&have);
+        assert_eq!(d.suffixes.len(), 2);
+        // Writer 0: the missing seq 3 plus the seq-2 anchor the receiver
+        // claims to share.
+        let w0 = &d.suffixes[0];
+        assert_eq!((w0.writer, w0.start_seq), (WriterId(0), 2));
+        assert_eq!(w0.times, vec![t(2), t(4)]);
+        let w1 = &d.suffixes[1];
+        assert_eq!((w1.writer, w1.start_seq), (WriterId(1), 1));
+        assert!(d.wire_bytes() < b.summary(100).wire_bytes());
+    }
+
+    #[test]
+    fn anchor_exposes_re_sequenced_baseline_updates() {
+        // Both replicas share (w0, seq 1). The receiver `a` still holds an
+        // invalidated copy of (w0, seq 2) issued at t=2; after a
+        // resolution, the writer re-issued seq 2 at t=9 and appended seq 3
+        // — the sender `b` holds the re-issued versions. The old
+        // full-vector wire detected the timestamp mismatch at seq 2; the
+        // anchor keeps that detection: the reconstructed vector carries the
+        // sender's authoritative t=9, so the triple walk sees the
+        // divergence at seq 2 instead of vouching a's stale copy.
+        let a = evv(&[(0, 1, 1), (0, 2, 2)]);
+        let mut b = evv(&[(0, 1, 1)]);
+        b.record(WriterId(0), 2, t(9), 1);
+        b.record(WriterId(0), 3, t(10), 1);
+
+        let delta = b.suffix_since(a.counters());
+        let rebuilt = a.reconstruct(&delta);
+        assert_eq!(rebuilt, b, "anchor must carry the sender's re-issued timestamp");
+        assert_eq!(
+            a.last_consistent_with(&rebuilt),
+            t(1),
+            "divergence must anchor at the shared prefix, not the stale copy"
+        );
+    }
+
+    #[test]
+    fn reconstruct_is_lossless_over_a_shared_baseline() {
+        let base = evv(&[(0, 1, 1), (1, 2, 2)]);
+        let mut b = base.clone();
+        b.record(WriterId(0), 2, t(5), 3);
+        b.record(WriterId(2), 1, t(6), 1);
+        let d = b.suffix_since(base.counters());
+        assert_eq!(base.reconstruct(&d), b);
+    }
+
+    #[test]
+    fn reconstruct_drops_unsanctioned_local_extras() {
+        // The sender's counters are authoritative: local updates beyond
+        // them disappear, mirroring `adopt`.
+        let b = evv(&[(0, 1, 1)]);
+        let a = evv(&[(0, 1, 1), (0, 2, 2), (1, 3, 3)]);
+        let d = b.suffix_since(a.counters());
+        let rebuilt = a.reconstruct(&d);
+        assert_eq!(rebuilt, b);
+    }
+
+    #[test]
+    fn malformed_delta_still_produces_consistent_counters() {
+        let a = evv(&[(0, 1, 1)]);
+        let delta = VvDelta {
+            counters: VersionVector::from_pairs([(WriterId(0), 3)]),
+            meta: 9,
+            latest: Some(t(9)),
+            suffixes: vec![], // claims 3 updates, ships no timestamps
+        };
+        let rebuilt = a.reconstruct(&delta);
+        assert_eq!(rebuilt.count(WriterId(0)), 3);
+        assert_eq!(rebuilt.meta(), 9);
+    }
+
+    /// A divergent pair drawn from global per-writer update streams: every
+    /// `(writer, seq)` has one fixed issue timestamp (as real updates do),
+    /// and each replica has applied an arbitrary per-writer prefix of each
+    /// stream — the general shape of divergence under IDEA's per-writer
+    /// FIFO application.
+    fn arb_divergent_pair() -> impl Strategy<Value = (ExtendedVersionVector, ExtendedVersionVector)>
+    {
+        let streams =
+            prop::collection::vec(prop::collection::vec((0u64..50, -5i64..5), 0..12), 4..5);
+        let take_a = prop::collection::vec(0usize..13, 4..5);
+        let take_b = prop::collection::vec(0usize..13, 4..5);
+        (streams, take_a, take_b).prop_map(|(streams, take_a, take_b)| {
+            let mut a = ExtendedVersionVector::new();
+            let mut b = ExtendedVersionVector::new();
+            for (w, stream) in streams.iter().enumerate() {
+                let writer = WriterId(w as u32);
+                for (i, &(at, delta)) in stream.iter().enumerate() {
+                    if i < take_a[w] {
+                        a.record(writer, i as u64 + 1, t(at), delta);
+                    }
+                    if i < take_b[w] {
+                        b.record(writer, i as u64 + 1, t(at), delta);
+                    }
+                }
+            }
+            (a, b)
+        })
+    }
+
+    /// Fully independent histories — same-id updates may carry *different*
+    /// timestamps (the post-invalidation re-sequencing corner).
+    fn arb_evv() -> impl Strategy<Value = ExtendedVersionVector> {
+        prop::collection::vec((0u32..4, 0u64..50, -5i64..5), 0..24).prop_map(|ops| {
+            let mut v = ExtendedVersionVector::new();
+            for (w, at, delta) in ops {
+                let writer = WriterId(w);
+                v.record(writer, v.count(writer) + 1, t(at), delta);
+            }
+            v
+        })
+    }
+
+    proptest! {
+        /// `apply_delta(suffix_since(have))` must be equivalent to adopting
+        /// the full reference: same counters, same metadata, same triples.
+        #[test]
+        fn apply_delta_equals_adopt((a, b) in arb_divergent_pair(), probe in 0u64..4) {
+            let mut via_delta = a.clone();
+            let mut via_adopt = a.clone();
+            let delta = b.suffix_since(a.counters());
+            let absorbed_delta = via_delta.apply_delta(&delta);
+            let absorbed_adopt = via_adopt.adopt(&b);
+            prop_assert_eq!(absorbed_delta, absorbed_adopt);
+            prop_assert_eq!(via_delta.counters(), via_adopt.counters());
+            prop_assert_eq!(via_delta.meta(), via_adopt.meta());
+            prop_assert!(via_delta.triple_against(&b).is_zero());
+            // Triples against an unrelated third replica agree too.
+            let mut third = ExtendedVersionVector::new();
+            third.record(WriterId(probe as u32), 1, t(probe), 1);
+            prop_assert_eq!(
+                via_delta.triple_against(&third),
+                via_adopt.triple_against(&third)
+            );
+        }
+
+        /// Reconstructing a peer from its delta over our own baseline is
+        /// lossless when both grew from a shared prefix.
+        #[test]
+        fn reconstruct_round_trips((a, b) in arb_divergent_pair()) {
+            let delta = b.suffix_since(a.counters());
+            let rebuilt = a.reconstruct(&delta);
+            prop_assert_eq!(&rebuilt, &b);
+            prop_assert!(rebuilt.triple_against(&b).is_zero());
+        }
+
+        /// With a tail long enough to cover every writer's history the
+        /// summary triple is bit-identical to the full computation.
+        #[test]
+        fn covering_summary_matches_full_triple((a, b) in arb_divergent_pair()) {
+            let s = b.summary(64);
+            prop_assert_eq!(a.triple_against_summary(&s), a.triple_against(&b));
+            prop_assert_eq!(s.triple_against(&a), b.triple_against(&a));
+        }
+
+        /// The covering-tail equivalence holds even when same-id updates
+        /// carry mismatched timestamps (re-sequencing divergence): the tail
+        /// exposes the remote timestamps, so the mismatch is detected at
+        /// the same point the full walk detects it.
+        #[test]
+        fn covering_summary_exact_under_mismatches(a in arb_evv(), b in arb_evv()) {
+            let s = b.summary(64);
+            prop_assert_eq!(a.triple_against_summary(&s), a.triple_against(&b));
+            prop_assert_eq!(s.triple_against(&a), b.triple_against(&a));
+        }
+
+        /// A bounded tail never *under*-reports: numerical and order errors
+        /// stay exact, staleness can only saturate upwards.
+        #[test]
+        fn bounded_tail_is_conservative((a, b) in arb_divergent_pair(), tail in 0usize..4) {
+            let s = b.summary(tail);
+            let exact = a.triple_against(&b);
+            let compact = a.triple_against_summary(&s);
+            prop_assert_eq!(compact.numerical, exact.numerical);
+            prop_assert_eq!(compact.order, exact.order);
+            prop_assert!(compact.staleness >= exact.staleness);
+        }
+    }
+}

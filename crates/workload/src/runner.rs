@@ -101,6 +101,9 @@ pub struct HintRunResult {
     pub resolution_messages: u64,
     /// Detection messages in the window.
     pub detect_messages: u64,
+    /// Detection payload bytes in the window (tracks the compact-wire
+    /// economy: divergence-sized summaries/deltas, not full histories).
+    pub detect_bytes: u64,
 }
 
 /// Runs a hint-based white-board experiment (the §6.1 setup).
@@ -224,6 +227,7 @@ pub fn run_hint(cfg: &HintRunConfig) -> HintRunResult {
         records,
         resolution_messages: window.resolution_messages(),
         detect_messages: window.messages(MsgClass::Detect),
+        detect_bytes: window.payload_bytes(MsgClass::Detect),
     }
 }
 
@@ -411,6 +415,9 @@ mod tests {
         assert!(r.min_worst > 0.80, "resolution must hold the floor region");
         assert!(r.detect_messages > 0);
         assert!(r.resolution_messages > 0);
+        // Compact wire forms: a detect message averages well under the
+        // ~1 KB a full-history vector used to cost in long runs.
+        assert!(r.detect_bytes / r.detect_messages < 512, "avg detect payload too large");
     }
 
     #[test]
