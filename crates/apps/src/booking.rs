@@ -102,7 +102,7 @@ impl BookingServer {
     /// Seats sold according to this server's *local replica view* (its own
     /// sales plus every sale it has learned about).
     pub fn known_sold(&self) -> u32 {
-        match self.node.store().replica(self.flight_object) {
+        match self.node.replica(self.flight_object) {
             Ok(replica) => replica
                 .log()
                 .iter()

@@ -79,7 +79,7 @@ impl WhiteboardClient {
     /// log-application order.
     pub fn render(&self) -> BTreeMap<(u16, u16), String> {
         let mut cells = BTreeMap::new();
-        if let Ok(replica) = self.node.store().replica(self.board) {
+        if let Ok(replica) = self.node.replica(self.board) {
             for u in replica.log() {
                 if let UpdatePayload::Stroke { x, y, text } = &u.payload {
                     cells.insert((*x, *y), text.clone());

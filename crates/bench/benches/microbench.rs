@@ -88,7 +88,7 @@ fn bench_gossip(c: &mut Criterion) {
                 black_box(simulate_spread(
                     n,
                     NodeId(0),
-                    GossipConfig { fanout: 3, ttl: 5 },
+                    GossipConfig { fanout: 3, ttl: 5, ..Default::default() },
                     &mut rng,
                 ))
             })

@@ -14,15 +14,21 @@
 //! N=40 scenario under a burst workload with and without the
 //! `detect_batch_window` coalescing, showing the probe-count reduction.
 //!
+//! The `sharded_drain` block measures the same backlogged write blast on
+//! the threaded runtime with 1 vs 4 shard workers per node
+//! (`ShardedEngine`); the recorded `cores` count qualifies the speedup —
+//! on a single-core machine the configurations can only tie.
+//!
 //! Usage: `cargo run -p idea-bench --release --bin perf_hotpath`
-//! (optionally `--seed N`; `--small` runs N=10 only, for CI smoke).
+//! (optionally `--seed N`; `--small` runs the N ∈ {10, 80} scale points
+//! and a reduced drain for CI smoke).
 
 use idea_core::{IdeaConfig, IdeaNode};
-use idea_net::{MsgClass, SimConfig, SimEngine, Topology};
-use idea_types::{NodeId, ObjectId, SimDuration, SimTime, UpdatePayload, WriterId};
+use idea_net::{MsgClass, ShardedEngine, SimConfig, SimEngine, ThreadedConfig, Topology};
+use idea_types::{NodeId, ObjectId, ShardId, SimDuration, SimTime, UpdatePayload, WriterId};
 use idea_vv::ExtendedVersionVector;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Writers driving the detect-round scenario (the paper's top-layer size).
 const WRITERS: usize = 4;
@@ -54,6 +60,8 @@ struct ScenarioStats {
     detect_bytes: u64,
     gossip_msgs: u64,
     gossip_bytes: u64,
+    resolution_msgs: u64,
+    resolution_bytes: u64,
     total_msgs: u64,
     wall_ms: f64,
 }
@@ -61,9 +69,9 @@ struct ScenarioStats {
 impl ScenarioStats {
     fn json(&self) -> String {
         format!(
-            "{{\"n\": {}, \"detect_msgs\": {}, \"detect_bytes\": {}, \"gossip_msgs\": {}, \"gossip_bytes\": {}, \"total_msgs\": {}, \"wall_ms\": {:.1}}}",
+            "{{\"n\": {}, \"detect_msgs\": {}, \"detect_bytes\": {}, \"gossip_msgs\": {}, \"gossip_bytes\": {}, \"resolution_msgs\": {}, \"resolution_bytes\": {}, \"total_msgs\": {}, \"wall_ms\": {:.1}}}",
             self.n, self.detect_msgs, self.detect_bytes, self.gossip_msgs, self.gossip_bytes,
-            self.total_msgs, self.wall_ms
+            self.resolution_msgs, self.resolution_bytes, self.total_msgs, self.wall_ms
         )
     }
 }
@@ -126,7 +134,115 @@ fn detect_round_scenario(
         detect_bytes: s.payload_bytes(MsgClass::Detect),
         gossip_msgs: s.messages(MsgClass::Gossip),
         gossip_bytes: s.payload_bytes(MsgClass::Gossip),
+        resolution_msgs: s.messages(MsgClass::ResolutionCtl) + s.messages(MsgClass::Transfer),
+        resolution_bytes: s.payload_bytes(MsgClass::ResolutionCtl)
+            + s.payload_bytes(MsgClass::Transfer),
         total_msgs: s.total_messages(),
+        wall_ms,
+    }
+}
+
+/// Sharded-vs-unsharded wall clock on the threaded runtime: `writers` hot
+/// nodes of an `n`-node cluster blast `rounds` write waves over `objects`
+/// disjoint objects with no pacing, so the hot nodes' mailboxes backlog and
+/// message processing — not virtual-time sleeping — dominates. The same
+/// workload then drains on `shards` workers per node; with shards > 1 the
+/// backlogged nodes process disjoint objects concurrently.
+///
+/// Returns the stats alongside wall time so the caller can verify both
+/// configurations did equivalent protocol work.
+fn sharded_drain_scenario(n: usize, shards: usize, seed: u64, rounds: usize) -> ScenarioStats {
+    const OBJECTS: u64 = 16;
+    const WRITERS_HOT: u32 = 4;
+    let objects: Vec<ObjectId> = (1..=OBJECTS).map(ObjectId).collect();
+    let mut cfg = IdeaConfig::whiteboard(0.95);
+    cfg.store_shards = shards;
+    let nodes: Vec<IdeaNode> =
+        (0..n).map(|i| IdeaNode::new(NodeId(i as u32), cfg.clone(), &objects)).collect();
+
+    let eng = ShardedEngine::start(
+        Topology::planetlab(n, seed),
+        ThreadedConfig { seed, time_scale: 0.002, shards },
+        nodes,
+    );
+    let writers = WRITERS_HOT.min(n as u32);
+    // Warm-up (untimed): paced write waves so the announce gossip spreads
+    // and every object's top layer forms — the blast below must exercise
+    // the detection/resolution paths, not just bootstrap announces. Larger
+    // clusters need more waves for the announces to reach the writers.
+    let warm_rounds = if n >= 40 { 6 } else { 3 };
+    for _ in 0..warm_rounds {
+        for w in 0..writers {
+            for &obj in &objects {
+                let s = ShardId::of(obj, shards).index();
+                eng.invoke(NodeId(w), s, move |shard, ctx| {
+                    shard.local_write(obj, 1, UpdatePayload::none(), ctx);
+                });
+            }
+            eng.sleep_virtual(SimDuration::from_millis(400));
+        }
+        eng.sleep_virtual(SimDuration::from_secs(1));
+    }
+    eng.sleep_virtual(SimDuration::from_secs(3));
+
+    // Timed phase: unpaced write blast — the hot nodes' mailboxes backlog —
+    // then drain until traffic stops growing.
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for w in 0..writers {
+            for &obj in &objects {
+                let s = ShardId::of(obj, shards).index();
+                eng.invoke(NodeId(w), s, move |shard, ctx| {
+                    shard.local_write(obj, 1, UpdatePayload::none(), ctx);
+                });
+            }
+        }
+        eng.sleep_virtual(SimDuration::from_millis(500));
+    }
+    let mut last = 0u64;
+    let mut stable = 0;
+    let drain_deadline = Instant::now() + Duration::from_secs(60);
+    while stable < 3 {
+        if Instant::now() >= drain_deadline {
+            // Steady traffic (e.g. background resolution) never goes quiet;
+            // report what accumulated instead of hanging the CI smoke.
+            eprintln!("sharded_drain: traffic did not settle within 60 s; reporting as-is");
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        let total = eng.stats().per_class.iter().map(|(_, m, _)| *m).sum::<u64>();
+        if total == last {
+            stable += 1;
+        } else {
+            stable = 0;
+            last = total;
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let snap = eng.stats();
+    let _ = eng.stop();
+
+    let class = |c: MsgClass| {
+        snap.per_class
+            .iter()
+            .find(|(cl, _, _)| *cl == c)
+            .map(|(_, m, b)| (*m, *b))
+            .unwrap_or((0, 0))
+    };
+    let (dm, db) = class(MsgClass::Detect);
+    let (gm, gb) = class(MsgClass::Gossip);
+    let (rm, rb) = class(MsgClass::ResolutionCtl);
+    let (tm, tb) = class(MsgClass::Transfer);
+    let total: u64 = snap.per_class.iter().map(|(_, m, _)| *m).sum();
+    ScenarioStats {
+        n,
+        detect_msgs: dm,
+        detect_bytes: db,
+        gossip_msgs: gm,
+        gossip_bytes: gb,
+        resolution_msgs: rm + tm,
+        resolution_bytes: rb + tb,
+        total_msgs: total,
         wall_ms,
     }
 }
@@ -184,7 +300,10 @@ fn main() {
     let summary_ns = time_ns(|| a.summary(8));
 
     // ---- scenarios --------------------------------------------------------
-    let sizes: &[usize] = if small { &[10] } else { &[10, 40, 80] };
+    // The N=80 scale point runs even in the CI smoke so the per-category
+    // byte split (detect vs gossip vs resolution) of the gossip-fanout
+    // ROADMAP item has a tracked trajectory.
+    let sizes: &[usize] = if small { &[10, 80] } else { &[10, 40, 80] };
     let scenarios: Vec<ScenarioStats> = sizes.iter().map(|&n| measured(n, seed, 1, None)).collect();
 
     // Burst workload at N=40: per-write probing vs a 1 s coalescing window.
@@ -193,6 +312,14 @@ fn main() {
     } else {
         (Some(measured(40, seed, 8, None)), Some(measured(40, seed, 8, Some(1_000))))
     };
+
+    // Sharded-vs-unsharded drain on the threaded runtime (per-node shard
+    // workers; see `sharded_drain_scenario`). The smoke uses a smaller
+    // cluster so CI exercises the parallel path without the thread storm.
+    let (drain_n, drain_rounds) = if small { (24, 3) } else { (80, 6) };
+    let drain_unsharded = sharded_drain_scenario(drain_n, 1, seed, drain_rounds);
+    let drain_sharded = sharded_drain_scenario(drain_n, 4, seed, drain_rounds);
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"seed\": {seed},");
@@ -204,12 +331,15 @@ fn main() {
     let _ = writeln!(json, "    }},");
     let _ = writeln!(json, "    \"scenarios\": [");
     for (i, &(n, dm, db, gm, gb, tm, w)) in BASELINE_SCENARIOS.iter().enumerate() {
+        // Per-class resolution bytes were not recorded pre-compaction.
         let s = ScenarioStats {
             n,
             detect_msgs: dm,
             detect_bytes: db,
             gossip_msgs: gm,
             gossip_bytes: gb,
+            resolution_msgs: 0,
+            resolution_bytes: 0,
             total_msgs: tm,
             wall_ms: w,
         };
@@ -235,6 +365,19 @@ fn main() {
         let _ = writeln!(json, "  \"burst_n40\": {{");
         let _ = writeln!(json, "    \"per_write_probing\": {},", un.json());
         let _ = writeln!(json, "    \"batched_1s_window\": {}", ba.json());
+        let _ = writeln!(json, "  }},");
+    }
+    // Threaded drain: same backlogged workload on 1 vs 4 shard workers per
+    // node. The speedup factor is only meaningful with spare cores — the
+    // recorded `cores` qualifies it.
+    {
+        let speedup = drain_unsharded.wall_ms / drain_sharded.wall_ms.max(1e-9);
+        let _ = writeln!(json, "  \"sharded_drain\": {{");
+        let _ = writeln!(json, "    \"cores\": {cores},");
+        let _ = writeln!(json, "    \"rounds\": {drain_rounds},");
+        let _ = writeln!(json, "    \"shards_1\": {},", drain_unsharded.json());
+        let _ = writeln!(json, "    \"shards_4\": {},", drain_sharded.json());
+        let _ = writeln!(json, "    \"wall_speedup_factor\": {speedup:.2}");
         let _ = writeln!(json, "  }},");
     }
     // Headline comparison at the acceptance point (N=40, paper workload).

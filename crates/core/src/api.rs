@@ -48,7 +48,7 @@ impl DeveloperApi for IdeaNode {
         if a <= 0.0 || b <= 0.0 || c.is_zero() {
             return Err(IdeaError::InvalidParameter("consistency metric maxima must be positive"));
         }
-        self.quantifier_mut().set_bounds(MaxBounds::new(a, b, c));
+        self.set_bounds(MaxBounds::new(a, b, c));
         Ok(())
     }
 
@@ -58,7 +58,7 @@ impl DeveloperApi for IdeaNode {
                 "weights must be non-negative with a positive sum",
             ));
         }
-        self.quantifier_mut().set_weights(Weights::new(a, b, c));
+        self.set_weights(Weights::new(a, b, c));
         Ok(())
     }
 

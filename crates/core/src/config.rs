@@ -94,6 +94,17 @@ pub struct IdeaConfig {
     /// Resolve in phase 2 sequentially (the paper's design) or in parallel
     /// (the paper's suggested optimisation; exercised by ablation A3).
     pub parallel_phase2: bool,
+    /// Store/protocol shards per node: replicas and all per-object protocol
+    /// state are partitioned by `ObjectId` hash into this many independent
+    /// shards. `1` (the default) reproduces the historical single-map
+    /// behaviour; higher values let the threaded engine process disjoint
+    /// objects concurrently (`ShardedEngine`). With per-trigger probing
+    /// (`detect_batch_window = None`) semantics are shard-count-independent
+    /// — pinned bit-for-bit by the shard-equivalence tests. With batching
+    /// enabled the coalescing window is **per shard** (each shard arms its
+    /// own timer over its own dirty objects), so probe *timing* can differ
+    /// across shard counts while convergence is unaffected.
+    pub store_shards: usize,
 }
 
 impl Default for IdeaConfig {
@@ -120,6 +131,7 @@ impl Default for IdeaConfig {
             sweep_epsilon: 0.03,
             rollback_resolve: true,
             parallel_phase2: false,
+            store_shards: 1,
         }
     }
 }
@@ -161,6 +173,7 @@ mod tests {
         assert!(c.backoff_min <= c.backoff_max);
         assert!(c.detect_batch_window.is_none(), "paper probes per trigger by default");
         assert!(c.summary_tail > 0, "probes must carry some timestamp tail");
+        assert_eq!(c.store_shards, 1, "default is the paper's unsharded store");
     }
 
     #[test]

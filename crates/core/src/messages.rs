@@ -128,6 +128,27 @@ pub enum IdeaMsg {
     },
 }
 
+impl IdeaMsg {
+    /// The object this message is about. Every IDEA message is
+    /// object-addressed, which is what lets the engines route it to the
+    /// store shard owning the object.
+    pub fn object(&self) -> ObjectId {
+        match self {
+            IdeaMsg::DetectRequest { object, .. }
+            | IdeaMsg::DetectReply { object, .. }
+            | IdeaMsg::CallForAttention { object, .. }
+            | IdeaMsg::Attention { object, .. }
+            | IdeaMsg::CollectRequest { object, .. }
+            | IdeaMsg::CollectReply { object, .. }
+            | IdeaMsg::Inform { object, .. }
+            | IdeaMsg::FetchRequest { object, .. }
+            | IdeaMsg::FetchReply { object, .. }
+            | IdeaMsg::SweepRumor { object, .. }
+            | IdeaMsg::SweepDivergence { object, .. } => *object,
+        }
+    }
+}
+
 impl Wire for IdeaMsg {
     fn class(&self) -> MsgClass {
         match self {

@@ -27,7 +27,7 @@ use idea_net::{Context, TimerId};
 use idea_overlay::gossip::{Relay, RumorId};
 use idea_types::{NodeId, ObjectId};
 use idea_vv::{VersionVector, VvDelta, VvSummary};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, HashMap};
 
 /// Per-object detection state.
 #[derive(Default)]
@@ -51,9 +51,10 @@ pub(crate) struct Detection {
     /// Sweep-deadline ticket → (object, rumor seq). Tickets come from the
     /// node-wide id counter because gossip seqs are only per-object unique.
     sweep_tickets: HashMap<u64, (ObjectId, u64)>,
-    /// Objects whose probe is coalescing in the current batching window.
-    pending_probes: BTreeSet<ObjectId>,
-    /// Whether a batching-window timer is armed.
+    /// Whether a batching-window timer is armed. The dirty objects the
+    /// window will probe live in the store shard's dirty-set
+    /// ([`idea_store::StoreShard::take_dirty`]): local writes mark it at
+    /// the store layer, read-triggered probes via `mark_dirty`.
     batch_armed: bool,
 }
 
@@ -64,8 +65,8 @@ impl Detection {
 
     /// Requests a detection round for `object`. Without a batching window
     /// the round starts immediately (the paper's per-trigger probing); with
-    /// one, the object is marked dirty and a single window timer fires one
-    /// round per dirty object.
+    /// one, the object is marked dirty in the store shard and a single
+    /// window timer fires one round per dirty object.
     pub fn request_round(
         &mut self,
         core: &mut NodeCore,
@@ -75,10 +76,12 @@ impl Detection {
         match core.cfg.detect_batch_window {
             None => self.begin_round(core, object, ctx),
             Some(window) => {
-                self.pending_probes.insert(object);
+                // Local writes already marked the store dirty; this covers
+                // read-triggered probes (and is idempotent for writes).
+                core.store.mark_dirty(object);
                 if !self.batch_armed {
                     self.batch_armed = true;
-                    ctx.set_timer(window, pack(K_BATCH, 0));
+                    ctx.set_timer(window, pack(K_BATCH, core.shard, 0));
                 }
             }
         }
@@ -87,7 +90,7 @@ impl Detection {
     /// The batching window closed: start one round per dirty object.
     pub fn on_batch_timer(&mut self, core: &mut NodeCore, ctx: &mut dyn Context<IdeaMsg>) {
         self.batch_armed = false;
-        let pending = std::mem::take(&mut self.pending_probes);
+        let pending = core.store.take_dirty();
         for object in pending {
             self.begin_round(core, object, ctx);
         }
@@ -117,7 +120,7 @@ impl Detection {
         let summary = evv.summary(core.cfg.summary_tail);
         let st = self.state(object);
         st.round = Some(DetectRound::start(me, rid, &peers, ctx.now(), evv));
-        st.timer = Some(ctx.set_timer(core.cfg.detect_deadline, pack(K_DETECT, rid)));
+        st.timer = Some(ctx.set_timer(core.cfg.detect_deadline, pack(K_DETECT, core.shard, rid)));
         self.round_objects.insert(rid, object);
         for p in peers {
             ctx.send(p, IdeaMsg::DetectRequest { round: rid, object, summary: summary.clone() });
@@ -159,7 +162,7 @@ impl Detection {
         let pair_level = if from > me { pair } else { pair.max(st.level) };
         st.level = st.level.min(pair_level);
         let level = st.level;
-        if core.hint.on_sample(level) == AdaptAction::Resolve {
+        if core.hint_sample(level) == AdaptAction::Resolve {
             Trigger::Resolve
         } else {
             Trigger::None
@@ -242,7 +245,7 @@ impl Detection {
                 self.start_sweep(core, object, ctx);
             }
         }
-        if core.hint.on_sample(level) == AdaptAction::Resolve {
+        if core.hint_sample(level) == AdaptAction::Resolve {
             Trigger::Resolve
         } else {
             Trigger::None
@@ -275,7 +278,7 @@ impl Detection {
         // are allocated per object, so two objects at one node can emit the
         // same `id.seq` and a seq-keyed map would settle the wrong sweep.
         let ticket = core.fresh_id();
-        ctx.set_timer(core.cfg.sweep_deadline, pack(K_SWEEP, ticket));
+        ctx.set_timer(core.cfg.sweep_deadline, pack(K_SWEEP, core.shard, ticket));
         self.sweep_tickets.insert(ticket, (object, id.seq));
     }
 
@@ -366,7 +369,7 @@ impl Detection {
         let trigger = match report {
             BottomReport::Confirmed { .. } => Trigger::None,
             BottomReport::Discrepancy { bottom_level, worst_node, .. } => {
-                core.rollbacks += 1;
+                core.note_rollback();
                 let shared = core.obj_mut(object);
                 shared.level = shared.level.min(bottom_level);
                 let have = core.store.replica(object).expect("opened").version().counters().clone();

@@ -1,6 +1,6 @@
 //! The IDEA node: detection, quantification, resolution and adaptation
 //! wired into one protocol (Figure 3 of the paper), decomposed into
-//! layered subsystems.
+//! layered subsystems and partitioned into per-object **shards**.
 //!
 //! Triggers (§4.2): every local **write** starts a top-layer detection
 //! round; **reads** start one per the [`crate::config::ReadPolicy`]; the
@@ -16,13 +16,32 @@
 //! | [`write_path`] | local writes, read policies, snapshot serving, update transfer | per-object read/announce bookkeeping |
 //! | [`detection`] | top-layer temperature rounds + bottom-layer gossip sweeps | in-flight rounds, sweep collectors, timer routing |
 //! | [`resolution`] | active two-phase + background periodic resolution | per-object resolution state machine, attention leases, the resolution log |
-//! | [`node`] | thin [`IdeaNode`] composing the subsystems; implements [`idea_net::Proto`] | the [`NodeCore`] shared by all subsystems |
+//! | [`node`] | [`IdeaNode`] composing the shards; implements [`idea_net::Proto`] | the shard vector and the [`SharedCore`] |
+//!
+//! ## Sharding
+//!
+//! Every per-object structure — the replica store, the per-object overlay
+//! view ([`ObjShared`]), and each subsystem's per-object state — lives in
+//! exactly one [`node::ProtocolShard`], selected by
+//! [`idea_types::ShardId::of`] over the object id
+//! ([`crate::config::IdeaConfig::store_shards`] shards per node). A shard's
+//! working state is a [`NodeCore`]; the few genuinely node-wide pieces (the
+//! adaptive hint floor, the correlation-id counter, the rollback count) sit
+//! behind the [`SharedCore`] every shard holds an `Arc` to. The borrow
+//! structure makes the independence explicit: handling a message touches
+//! `&mut NodeCore` of one shard plus the (internally synchronised)
+//! `SharedCore`, never another shard.
+//!
+//! On the deterministic simulator [`IdeaNode`] routes events to shards
+//! in-process, so semantics are engine-independent; the threaded engine can
+//! instead split the shards onto per-node workers
+//! (`idea_net::ShardedEngine`) and process disjoint objects concurrently.
 //!
 //! Each subsystem is a narrow struct with an explicit handle-message /
 //! handle-timer surface; cross-subsystem effects flow through return values
-//! (e.g. [`Trigger::Resolve`]) that [`node`] routes, so the store can be
-//! sharded, detection batched, or the resolution strategy swapped without
-//! touching the other subsystems.
+//! (e.g. [`Trigger::Resolve`]) that the shard routes, so the store can be
+//! re-partitioned, detection batched, or the resolution strategy swapped
+//! without touching the other subsystems.
 //!
 //! ## Conventions
 //!
@@ -35,6 +54,9 @@
 //!   scheme makes implicitly.
 //! * Correlation ids (`round`, `rid`) are initiator-local; members key
 //!   their state by `(initiator, id)`.
+//! * Timer kinds pack `(kind, shard, payload)`, so a fired timer finds its
+//!   shard without a global lookup — and on the threaded engine without
+//!   leaving the worker that armed it.
 
 mod detection;
 mod node;
@@ -45,37 +67,44 @@ mod write_path;
 #[cfg(test)]
 mod tests;
 
-pub use node::{IdeaNode, NodeReport};
+pub use node::{IdeaNode, NodeReport, ProtocolShard};
 
-use crate::adapt::HintController;
+use crate::adapt::{AdaptAction, HintController};
 use crate::config::IdeaConfig;
 use crate::quantify::Quantifier;
 use idea_overlay::gossip::GossipRouter;
 use idea_overlay::temperature::TwoLayer;
-use idea_store::NodeStore;
-use idea_types::{ConsistencyLevel, NodeId, ObjectId, SimTime, WriterId};
+use idea_store::StoreShard;
+use idea_types::{ConsistencyLevel, NodeId, ObjectId, ShardId, SimTime, WriterId};
 use idea_vv::VersionVector;
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-// Timer kinds (packed with a 48-bit payload).
+// Timer kinds (packed as `kind << 56 | shard << 48 | payload`).
 pub(crate) const K_DETECT: u64 = 1;
 pub(crate) const K_BACKGROUND: u64 = 2;
 pub(crate) const K_BACKOFF: u64 = 3;
 pub(crate) const K_SWEEP: u64 = 4;
 pub(crate) const K_BATCH: u64 = 5;
 
-pub(crate) fn pack(base: u64, low: u64) -> u64 {
-    (base << 48) | (low & 0xffff_ffff_ffff)
+/// Most shards a node may be configured with (the timer encoding carries
+/// the shard in one byte).
+pub const MAX_SHARDS: usize = 256;
+
+pub(crate) fn pack(base: u64, shard: ShardId, low: u64) -> u64 {
+    (base << 56) | ((shard.0 as u64) << 48) | (low & 0xffff_ffff_ffff)
 }
 
-pub(crate) fn unpack(kind: u64) -> (u64, u64) {
-    (kind >> 48, kind & 0xffff_ffff_ffff)
+pub(crate) fn unpack(kind: u64) -> (u64, usize, u64) {
+    (kind >> 56, ((kind >> 48) & 0xff) as usize, kind & 0xffff_ffff_ffff)
 }
 
-/// A follow-up action a subsystem requests from the composing node.
+/// A follow-up action a subsystem requests from the composing shard.
 ///
 /// Subsystems never call into each other directly; they report what the
-/// adaptive layer decided and [`node::IdeaNode`] routes it.
+/// adaptive layer decided and [`node::ProtocolShard`] routes it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Trigger {
     /// No follow-up needed.
@@ -84,9 +113,10 @@ pub(crate) enum Trigger {
     Resolve,
 }
 
-/// Per-object state shared by every subsystem: the two-layer overlay view,
-/// the gossip router, learned writer activity, and the current level
-/// estimate. Subsystem-private state lives inside each subsystem instead.
+/// Per-object state shared by every subsystem *of the owning shard*: the
+/// two-layer overlay view, the gossip router, learned writer activity, and
+/// the current level estimate. Subsystem-private state lives inside each
+/// subsystem instead.
 pub(crate) struct ObjShared {
     /// Top-layer membership driven by update temperature (§4.1).
     pub layer: TwoLayer,
@@ -98,41 +128,77 @@ pub(crate) struct ObjShared {
     pub level: ConsistencyLevel,
 }
 
-/// Node-wide state shared by every subsystem: identity, configuration, the
-/// store, the quantifier, the adaptive controller, and the per-object
-/// [`ObjShared`] map.
+/// The genuinely node-wide state, shared by all shards of one node.
+///
+/// Everything here is either atomic or behind a short-critical-section
+/// mutex, so shard workers on different threads can touch it without
+/// ordering constraints; on the single-threaded engines the synchronisation
+/// is uncontended and the behaviour deterministic.
+pub(crate) struct SharedCore {
+    /// The adaptive hint controller: one learned floor per node (§4.6).
+    hint: Mutex<HintController>,
+    /// Correlation-id allocator (detection rounds + resolution rounds share
+    /// it, so ids never collide between the two).
+    next_id: AtomicU64,
+    /// Rollback events (bottom-layer discrepancies confirmed), node-wide.
+    rollbacks: AtomicU64,
+}
+
+impl SharedCore {
+    fn new(hint: HintController) -> Self {
+        SharedCore {
+            hint: Mutex::new(hint),
+            next_id: AtomicU64::new(0),
+            rollbacks: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One shard's working state: identity, configuration, the shard of the
+/// store, the quantifier, and the per-object [`ObjShared`] map — plus the
+/// `Arc` to the node-wide [`SharedCore`].
+///
+/// `cfg`, `quant` and `priorities` are read on every event, so each shard
+/// keeps its own copy; the node-level setters fan updates out to all
+/// shards. Only state that must be observed *across* shards (the hint
+/// floor, id allocation, rollback counting) goes through [`SharedCore`].
 pub(crate) struct NodeCore {
     pub me: NodeId,
+    /// This shard's index within the node.
+    pub shard: ShardId,
     pub cfg: IdeaConfig,
     pub quant: Quantifier,
-    pub store: NodeStore,
-    pub hint: HintController,
+    pub store: StoreShard,
     pub priorities: BTreeMap<NodeId, u8>,
     pub objs: BTreeMap<ObjectId, ObjShared>,
-    /// Rollback events (bottom-layer discrepancies confirmed).
-    pub rollbacks: u64,
     /// All node ids in the deployment, cached so gossip fan-out never
     /// re-allocates the peer list per received rumor (refreshed by
     /// [`NodeCore::ensure_everyone`] if the deployment size changes).
     pub everyone: Vec<NodeId>,
-    next_id: u64,
+    shared: Arc<SharedCore>,
 }
 
 impl NodeCore {
-    pub fn new(me: NodeId, cfg: IdeaConfig, objects: &[ObjectId]) -> Self {
-        let store = NodeStore::new(me, WriterId(me.0));
-        let hint = HintController::new(cfg.hint, cfg.hint_delta);
+    /// Builds the shard's core hosting `objects` (already filtered to this
+    /// shard by the caller).
+    pub fn new(
+        me: NodeId,
+        shard: ShardId,
+        cfg: IdeaConfig,
+        objects: &[ObjectId],
+        shared: Arc<SharedCore>,
+    ) -> Self {
+        let store = StoreShard::new(me, WriterId(me.0));
         let mut core = NodeCore {
             me,
+            shard,
             quant: Quantifier::new(cfg.weights, cfg.bounds),
             cfg,
             store,
-            hint,
             priorities: BTreeMap::new(),
             objs: BTreeMap::new(),
-            rollbacks: 0,
             everyone: Vec::new(),
-            next_id: 0,
+            shared,
         };
         for &o in objects {
             core.store.open(o);
@@ -146,11 +212,40 @@ impl NodeCore {
         NodeId(writer.0)
     }
 
-    /// Allocates the next correlation id (shared across detection rounds and
-    /// resolution rounds, so ids never collide between the two).
+    /// The node-wide shared core this shard participates in.
+    pub fn shared_handle(&self) -> &Arc<SharedCore> {
+        &self.shared
+    }
+
+    /// Allocates the next correlation id (node-wide, shared across shards
+    /// and across detection/resolution so ids never collide).
     pub fn fresh_id(&mut self) -> u64 {
-        self.next_id += 1;
-        self.next_id
+        self.shared.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Feeds a consistency sample to the node-wide hint controller.
+    pub fn hint_sample(&self, level: ConsistencyLevel) -> AdaptAction {
+        self.shared.hint.lock().on_sample(level)
+    }
+
+    /// Reports user dissatisfaction to the node-wide hint controller.
+    pub fn hint_user_dissatisfied(&self) -> AdaptAction {
+        self.shared.hint.lock().on_user_dissatisfied()
+    }
+
+    /// The hint floor currently in force.
+    pub fn hint_floor(&self) -> ConsistencyLevel {
+        self.shared.hint.lock().floor()
+    }
+
+    /// Counts a confirmed bottom-layer discrepancy (node-wide).
+    pub fn note_rollback(&self) {
+        self.shared.rollbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rollback events confirmed by any shard of this node.
+    pub fn rollbacks(&self) -> u64 {
+        self.shared.rollbacks.load(Ordering::Relaxed)
     }
 
     /// Refreshes the cached deployment-wide node list (a no-op once built;
@@ -172,7 +267,7 @@ impl NodeCore {
         });
     }
 
-    /// Shared state of `object`, if this node has touched it.
+    /// Shared state of `object`, if this shard has touched it.
     pub fn obj(&self, object: ObjectId) -> Option<&ObjShared> {
         self.objs.get(&object)
     }

@@ -1,22 +1,28 @@
-//! The thin [`IdeaNode`]: composes the write-path, detection and resolution
-//! subsystems over one shared [`NodeCore`], implements [`Proto`], and
-//! routes cross-subsystem triggers (the adaptive layer demanding a
-//! resolution) between them.
+//! The [`IdeaNode`]: a vector of [`ProtocolShard`]s — each composing the
+//! write-path, detection and resolution subsystems over its own
+//! [`NodeCore`] — routed by `ObjectId` hash, plus the node-wide
+//! [`SharedCore`]. Implements [`Proto`] for the single-threaded engines;
+//! the threaded engine may instead split the shards onto workers via
+//! [`idea_net::ShardedProto`].
 
 use super::detection::Detection;
 use super::resolution::ResolutionDriver;
 use super::write_path::WritePath;
-use super::{unpack, NodeCore, Trigger, K_BACKGROUND, K_BACKOFF, K_BATCH, K_DETECT, K_SWEEP};
+use super::{
+    unpack, NodeCore, SharedCore, Trigger, K_BACKGROUND, K_BACKOFF, K_BATCH, K_DETECT, K_SWEEP,
+    MAX_SHARDS,
+};
 use crate::adapt::{AdaptAction, HintController};
 use crate::config::IdeaConfig;
 use crate::messages::IdeaMsg;
-use crate::quantify::{Quantifier, Weights};
+use crate::quantify::{MaxBounds, Quantifier, Weights};
 use crate::resolution::{ResolutionPolicy, ResolutionRecord};
-use idea_net::{Context, Proto, TimerId};
-use idea_store::NodeStore;
-use idea_store::Snapshot;
-use idea_types::{ConsistencyLevel, NodeId, ObjectId, Result, Update, UpdatePayload};
+use idea_net::{Context, Proto, ShardedProto, TimerId};
+use idea_store::{Replica, Snapshot, SnapshotView, StoreShard};
+use idea_types::{ConsistencyLevel, NodeId, ObjectId, Result, ShardId, Update, UpdatePayload};
 use serde::{Deserialize, Serialize};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
 
 /// Snapshot of one node's IDEA state for the harness and tests.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,109 +45,40 @@ pub struct NodeReport {
     pub updates: usize,
 }
 
-/// The IDEA middleware node.
-pub struct IdeaNode {
+/// One shard of the IDEA middleware: the subsystems plus the shard's
+/// [`NodeCore`]. All per-object protocol state of the objects this shard
+/// owns lives here and nowhere else, which is what lets the threaded
+/// engine's shard workers drive disjoint objects concurrently.
+pub struct ProtocolShard {
     core: NodeCore,
     write_path: WritePath,
     detection: Detection,
     resolution: ResolutionDriver,
 }
 
-impl IdeaNode {
-    /// Builds a node hosting `objects`, writing as writer `me.0`.
-    pub fn new(me: NodeId, cfg: IdeaConfig, objects: &[ObjectId]) -> Self {
-        IdeaNode {
-            core: NodeCore::new(me, cfg, objects),
+impl ProtocolShard {
+    fn new(core: NodeCore) -> Self {
+        ProtocolShard {
+            core,
             write_path: WritePath::default(),
             detection: Detection::default(),
             resolution: ResolutionDriver::default(),
         }
     }
 
-    /// Node identity.
-    pub fn id(&self) -> NodeId {
+    /// The owning node's identity.
+    pub fn node_id(&self) -> NodeId {
         self.core.me
     }
 
-    /// The configuration in force.
-    pub fn config(&self) -> &IdeaConfig {
-        &self.core.cfg
+    /// This shard's index within its node.
+    pub fn shard_id(&self) -> ShardId {
+        self.core.shard
     }
 
-    /// The quantifier in force.
-    pub fn quantifier(&self) -> &Quantifier {
-        &self.core.quant
-    }
-
-    /// Mutable quantifier access (Table-1 setters go through
-    /// [`crate::api::DeveloperApi`]).
-    pub fn quantifier_mut(&mut self) -> &mut Quantifier {
-        &mut self.core.quant
-    }
-
-    /// The hint controller.
-    pub fn hint(&self) -> &HintController {
-        &self.core.hint
-    }
-
-    /// Mutable hint-controller access.
-    pub fn hint_mut(&mut self) -> &mut HintController {
-        &mut self.core.hint
-    }
-
-    /// Sets the resolution policy (the `set_resolution` API).
-    pub fn set_policy(&mut self, policy: ResolutionPolicy) {
-        self.core.cfg.policy = policy;
-    }
-
-    /// Sets or clears the background-resolution period
-    /// (the `set_background_freq` API). Takes effect at the next timer fire.
-    pub fn set_background_period(&mut self, period: Option<idea_types::SimDuration>) {
-        self.core.cfg.background_period = period;
-    }
-
-    /// Assigns a priority rank to a node (for
-    /// [`ResolutionPolicy::PriorityWins`]).
-    pub fn set_priority(&mut self, node: NodeId, priority: u8) {
-        self.core.priorities.insert(node, priority);
-    }
-
-    /// Completed resolution records (Table 2 / Figure 9 raw data).
-    pub fn resolution_log(&self) -> &[ResolutionRecord] {
-        self.resolution.log()
-    }
-
-    /// The underlying store (read access for the harness).
-    pub fn store(&self) -> &NodeStore {
+    /// The shard of the store this shard owns.
+    pub fn store(&self) -> &StoreShard {
         &self.core.store
-    }
-
-    /// This node's current consistency-level estimate for `object`.
-    pub fn level(&self, object: ObjectId) -> ConsistencyLevel {
-        self.core.obj(object).map_or(ConsistencyLevel::PERFECT, |s| s.level)
-    }
-
-    /// True while a resolution round involves this node as initiator (or it
-    /// is backing off from one). The booking application treats this as the
-    /// "system is kind of locked" window of §5.2.
-    pub fn is_resolving(&self, object: ObjectId) -> bool {
-        self.resolution.is_resolving(object)
-    }
-
-    /// Full report for the harness.
-    pub fn report(&self, object: ObjectId) -> NodeReport {
-        let st = self.core.obj(object);
-        let replica = self.core.store.replica(object).ok();
-        NodeReport {
-            node: self.core.me,
-            level: st.map_or(ConsistencyLevel::PERFECT, |s| s.level),
-            hint_floor: self.core.hint.floor(),
-            resolutions_initiated: self.resolution.completed(),
-            rollbacks: self.core.rollbacks,
-            top_members: st.map_or_else(Vec::new, |s| s.layer.top_members().to_vec()),
-            meta: replica.map_or(0, |r| r.meta()),
-            updates: replica.map_or(0, |r| r.len()),
-        }
     }
 
     /// Routes a subsystem trigger to the resolution driver.
@@ -152,66 +89,23 @@ impl IdeaNode {
         }
     }
 
-    // ----------------------------------------------------------- triggers
-
-    /// Issues a local write and triggers the protocol (§4.2).
-    pub fn local_write(
-        &mut self,
-        object: ObjectId,
-        meta_delta: i64,
-        payload: UpdatePayload,
-        ctx: &mut dyn Context<IdeaMsg>,
-    ) -> Update {
-        let update = self.write_path.local_write(&mut self.core, object, meta_delta, payload, ctx);
-        self.detection.request_round(&mut self.core, object, ctx);
-        update
-    }
-
-    /// Reads the object, triggering detection per the read policy (§4.2).
-    pub fn read(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) -> Result<Snapshot> {
-        let (snapshot, probe) = self.write_path.read(&mut self.core, object, ctx)?;
-        if probe {
-            self.detection.request_round(&mut self.core, object, ctx);
-        }
-        Ok(snapshot)
-    }
-
-    /// Explicit user demand for resolution (the `demand_active_resolution`
-    /// API and the adaptive layer's trigger).
-    pub fn demand_active_resolution(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) {
-        self.resolution.start_active(&mut self.core, object, ctx);
-    }
-
-    /// The user told IDEA the current consistency is unacceptable (§5.1):
-    /// optionally re-weight the metrics, always raise the floor by Δ and
-    /// resolve.
-    pub fn user_dissatisfied(
-        &mut self,
-        object: ObjectId,
-        new_weights: Option<Weights>,
-        ctx: &mut dyn Context<IdeaMsg>,
-    ) {
-        if let Some(w) = new_weights {
-            self.core.quant.set_weights(w);
-        }
-        if self.core.hint.on_user_dissatisfied() == AdaptAction::Resolve {
-            self.resolution.start_active(&mut self.core, object, ctx);
-        }
-    }
-}
-
-impl Proto for IdeaNode {
-    type Msg = IdeaMsg;
-
-    fn on_start(&mut self, ctx: &mut dyn Context<IdeaMsg>) {
+    /// Arms this shard's start-of-run timers (background resolution).
+    pub fn on_start(&mut self, ctx: &mut dyn Context<IdeaMsg>) {
         if let Some(period) = self.core.cfg.background_period {
+            let shard = self.core.shard;
             for object in self.core.store.objects() {
-                ctx.set_timer(period, super::pack(K_BACKGROUND, object.0));
+                ctx.set_timer(period, super::pack(K_BACKGROUND, shard, object.0));
             }
         }
     }
 
-    fn on_message(&mut self, from: NodeId, msg: IdeaMsg, ctx: &mut dyn Context<IdeaMsg>) {
+    /// Handles one protocol message addressed to an object of this shard.
+    pub fn on_message(&mut self, from: NodeId, msg: IdeaMsg, ctx: &mut dyn Context<IdeaMsg>) {
+        debug_assert_eq!(
+            ShardId::of(msg.object(), self.core.cfg.store_shards.max(1)),
+            self.core.shard,
+            "message routed to the wrong shard"
+        );
         let core = &mut self.core;
         match msg {
             IdeaMsg::DetectRequest { round, object, summary } => {
@@ -252,8 +146,9 @@ impl Proto for IdeaNode {
         }
     }
 
-    fn on_timer(&mut self, _timer: TimerId, kind: u64, ctx: &mut dyn Context<IdeaMsg>) {
-        let (base, low) = unpack(kind);
+    /// Handles a timer armed by this shard.
+    pub fn on_timer(&mut self, _timer: TimerId, kind: u64, ctx: &mut dyn Context<IdeaMsg>) {
+        let (base, _shard, low) = unpack(kind);
         match base {
             K_DETECT => {
                 if let Some((object, t)) = self.detection.on_deadline(&mut self.core, low, ctx) {
@@ -272,5 +167,361 @@ impl Proto for IdeaNode {
             K_BATCH => self.detection.on_batch_timer(&mut self.core, ctx),
             _ => {}
         }
+    }
+
+    // -------------------------------------------------- external triggers
+
+    /// Issues a local write and triggers the protocol (§4.2). The object
+    /// must belong to this shard.
+    pub fn local_write(
+        &mut self,
+        object: ObjectId,
+        meta_delta: i64,
+        payload: UpdatePayload,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) -> Update {
+        let update = self.write_path.local_write(&mut self.core, object, meta_delta, payload, ctx);
+        self.detection.request_round(&mut self.core, object, ctx);
+        update
+    }
+
+    /// Reads the object, triggering detection per the read policy (§4.2).
+    pub fn read(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) -> Result<Snapshot> {
+        let (snapshot, probe) = self.write_path.read(&mut self.core, object, ctx)?;
+        if probe {
+            self.detection.request_round(&mut self.core, object, ctx);
+        }
+        Ok(snapshot)
+    }
+
+    /// Reads the object's value view without cloning its version vector and
+    /// without triggering detection — the cheap poll for callers that only
+    /// need meta/recency (the consistency level is served by
+    /// [`ProtocolShard::level`], already allocation-free).
+    pub fn peek(&self, object: ObjectId) -> Result<SnapshotView<'_>> {
+        self.core.store.read_view(object)
+    }
+
+    /// Explicit user demand for resolution of an object of this shard.
+    pub fn demand_active_resolution(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) {
+        self.resolution.start_active(&mut self.core, object, ctx);
+    }
+
+    /// User dissatisfaction routed to this shard (§5.1): raise the node-wide
+    /// hint floor by Δ and resolve the object. `new_weights`, when given,
+    /// re-weights *this shard's* quantifier — on the sharded runtime,
+    /// node-wide re-weighting is the composing layer's job
+    /// ([`IdeaNode::user_dissatisfied`] fans it out to every shard).
+    pub fn user_dissatisfied(
+        &mut self,
+        object: ObjectId,
+        new_weights: Option<Weights>,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        if let Some(w) = new_weights {
+            self.core.quant.set_weights(w);
+            self.core.cfg.weights = w;
+        }
+        if self.core.hint_user_dissatisfied() == AdaptAction::Resolve {
+            self.resolution.start_active(&mut self.core, object, ctx);
+        }
+    }
+
+    /// This shard's current consistency-level estimate for `object`.
+    pub fn level(&self, object: ObjectId) -> ConsistencyLevel {
+        self.core.obj(object).map_or(ConsistencyLevel::PERFECT, |s| s.level)
+    }
+
+    /// Report over this shard's view. `resolutions_initiated` counts only
+    /// rounds initiated by *this shard*; [`IdeaNode::report`] aggregates
+    /// across shards.
+    pub fn report(&self, object: ObjectId) -> NodeReport {
+        let st = self.core.obj(object);
+        let replica = self.core.store.replica(object).ok();
+        NodeReport {
+            node: self.core.me,
+            level: st.map_or(ConsistencyLevel::PERFECT, |s| s.level),
+            hint_floor: self.core.hint_floor(),
+            resolutions_initiated: self.resolution.completed(),
+            rollbacks: self.core.rollbacks(),
+            top_members: st.map_or_else(Vec::new, |s| s.layer.top_members().to_vec()),
+            meta: replica.map_or(0, |r| r.meta()),
+            updates: replica.map_or(0, |r| r.len()),
+        }
+    }
+}
+
+/// The IDEA middleware node: per-object shards plus node-wide shared state.
+pub struct IdeaNode {
+    shards: Vec<ProtocolShard>,
+    shared: Arc<SharedCore>,
+}
+
+impl IdeaNode {
+    /// Builds a node hosting `objects`, writing as writer `me.0`, with
+    /// `cfg.store_shards` store/protocol shards.
+    ///
+    /// # Panics
+    /// Panics when `cfg.store_shards` exceeds [`MAX_SHARDS`].
+    pub fn new(me: NodeId, cfg: IdeaConfig, objects: &[ObjectId]) -> Self {
+        let nshards = cfg.store_shards.max(1);
+        assert!(nshards <= MAX_SHARDS, "store_shards must be ≤ {MAX_SHARDS}");
+        let shared = Arc::new(SharedCore::new(HintController::new(cfg.hint, cfg.hint_delta)));
+        let shards = (0..nshards)
+            .map(|s| {
+                let shard = ShardId(s as u32);
+                let mine: Vec<ObjectId> =
+                    objects.iter().copied().filter(|&o| ShardId::of(o, nshards) == shard).collect();
+                ProtocolShard::new(NodeCore::new(
+                    me,
+                    shard,
+                    cfg.clone(),
+                    &mine,
+                    Arc::clone(&shared),
+                ))
+            })
+            .collect();
+        IdeaNode { shards, shared }
+    }
+
+    #[inline]
+    fn shard_idx(&self, object: ObjectId) -> usize {
+        ShardId::of(object, self.shards.len()).index()
+    }
+
+    #[inline]
+    fn shard_for(&mut self, object: ObjectId) -> &mut ProtocolShard {
+        let s = self.shard_idx(object);
+        &mut self.shards[s]
+    }
+
+    /// Node identity.
+    pub fn id(&self) -> NodeId {
+        self.shards[0].core.me
+    }
+
+    /// Number of protocol shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Immutable access to the shards, in index order.
+    pub fn shards(&self) -> &[ProtocolShard] {
+        &self.shards
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &IdeaConfig {
+        &self.shards[0].core.cfg
+    }
+
+    /// The quantifier in force.
+    pub fn quantifier(&self) -> &Quantifier {
+        &self.shards[0].core.quant
+    }
+
+    /// Sets the Formula-1 weights on every shard (Table-1 `set_weight`).
+    pub fn set_weights(&mut self, w: Weights) {
+        for s in &mut self.shards {
+            s.core.quant.set_weights(w);
+            s.core.cfg.weights = w;
+        }
+    }
+
+    /// Sets the Formula-1 saturation bounds on every shard (Table-1
+    /// `set_consistency_metric`).
+    pub fn set_bounds(&mut self, b: MaxBounds) {
+        for s in &mut self.shards {
+            s.core.quant.set_bounds(b);
+            s.core.cfg.bounds = b;
+        }
+    }
+
+    /// The hint controller (node-wide; short lock).
+    pub fn hint(&self) -> impl Deref<Target = HintController> + '_ {
+        self.shared.hint.lock()
+    }
+
+    /// Mutable hint-controller access (node-wide; short lock).
+    pub fn hint_mut(&mut self) -> impl DerefMut<Target = HintController> + '_ {
+        self.shared.hint.lock()
+    }
+
+    /// Sets the resolution policy (the `set_resolution` API).
+    pub fn set_policy(&mut self, policy: ResolutionPolicy) {
+        for s in &mut self.shards {
+            s.core.cfg.policy = policy;
+        }
+    }
+
+    /// Sets or clears the background-resolution period
+    /// (the `set_background_freq` API). Takes effect at the next timer fire.
+    pub fn set_background_period(&mut self, period: Option<idea_types::SimDuration>) {
+        for s in &mut self.shards {
+            s.core.cfg.background_period = period;
+        }
+    }
+
+    /// Assigns a priority rank to a node (for
+    /// [`ResolutionPolicy::PriorityWins`]).
+    pub fn set_priority(&mut self, node: NodeId, priority: u8) {
+        for s in &mut self.shards {
+            s.core.priorities.insert(node, priority);
+        }
+    }
+
+    /// Number of completed resolution records across all shards. Cheap
+    /// (no clone); prefer this over `resolution_log().len()` in loops.
+    pub fn resolution_count(&self) -> usize {
+        self.shards.iter().map(|s| s.resolution.log().len()).sum()
+    }
+
+    /// Completed resolution records across all shards (Table 2 / Figure 9
+    /// raw data), ordered by start time. Clones the records — for a bare
+    /// count use [`IdeaNode::resolution_count`].
+    pub fn resolution_log(&self) -> Vec<ResolutionRecord> {
+        let mut log: Vec<ResolutionRecord> =
+            self.shards.iter().flat_map(|s| s.resolution.log().iter().cloned()).collect();
+        log.sort_by_key(|r| (r.started, r.rid));
+        log
+    }
+
+    /// Immutable access to a hosted replica (routed to the owning shard).
+    ///
+    /// # Errors
+    /// Fails when no replica of the object exists.
+    pub fn replica(&self, object: ObjectId) -> Result<&Replica> {
+        self.shards[self.shard_idx(object)].core.store.replica(object)
+    }
+
+    /// This node's current consistency-level estimate for `object`.
+    pub fn level(&self, object: ObjectId) -> ConsistencyLevel {
+        self.shards[self.shard_idx(object)].level(object)
+    }
+
+    /// True while a resolution round involves this node as initiator (or it
+    /// is backing off from one). The booking application treats this as the
+    /// "system is kind of locked" window of §5.2.
+    pub fn is_resolving(&self, object: ObjectId) -> bool {
+        self.shards[self.shard_idx(object)].resolution.is_resolving(object)
+    }
+
+    /// Full report for the harness: the owning shard's per-object view plus
+    /// the node-wide aggregates (resolutions across shards, rollbacks, hint
+    /// floor).
+    pub fn report(&self, object: ObjectId) -> NodeReport {
+        let mut rep = self.shards[self.shard_idx(object)].report(object);
+        rep.resolutions_initiated = self.shards.iter().map(|s| s.resolution.completed()).sum();
+        rep
+    }
+
+    // ----------------------------------------------------------- triggers
+
+    /// Issues a local write and triggers the protocol (§4.2).
+    pub fn local_write(
+        &mut self,
+        object: ObjectId,
+        meta_delta: i64,
+        payload: UpdatePayload,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) -> Update {
+        self.shard_for(object).local_write(object, meta_delta, payload, ctx)
+    }
+
+    /// Reads the object, triggering detection per the read policy (§4.2).
+    pub fn read(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) -> Result<Snapshot> {
+        self.shard_for(object).read(object, ctx)
+    }
+
+    /// Reads the object's value view without cloning its version vector and
+    /// without triggering detection (see [`ProtocolShard::peek`]).
+    pub fn peek(&self, object: ObjectId) -> Result<SnapshotView<'_>> {
+        self.shards[self.shard_idx(object)].peek(object)
+    }
+
+    /// Explicit user demand for resolution (the `demand_active_resolution`
+    /// API and the adaptive layer's trigger).
+    pub fn demand_active_resolution(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) {
+        self.shard_for(object).demand_active_resolution(object, ctx);
+    }
+
+    /// The user told IDEA the current consistency is unacceptable (§5.1):
+    /// optionally re-weight the metrics, always raise the floor by Δ and
+    /// resolve.
+    pub fn user_dissatisfied(
+        &mut self,
+        object: ObjectId,
+        new_weights: Option<Weights>,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        if let Some(w) = new_weights {
+            self.set_weights(w);
+        }
+        self.shard_for(object).user_dissatisfied(object, None, ctx);
+    }
+}
+
+impl Proto for IdeaNode {
+    type Msg = IdeaMsg;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<IdeaMsg>) {
+        for s in &mut self.shards {
+            s.on_start(ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: IdeaMsg, ctx: &mut dyn Context<IdeaMsg>) {
+        self.shard_for(msg.object()).on_message(from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, kind: u64, ctx: &mut dyn Context<IdeaMsg>) {
+        let (_, shard, _) = unpack(kind);
+        if let Some(s) = self.shards.get_mut(shard) {
+            s.on_timer(timer, kind, ctx);
+        }
+    }
+}
+
+impl ShardedProto for IdeaNode {
+    type Shard = ProtocolShard;
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(msg: &IdeaMsg, shards: usize) -> usize {
+        ShardId::of(msg.object(), shards).index()
+    }
+
+    fn into_shards(self) -> Vec<ProtocolShard> {
+        self.shards
+    }
+
+    fn from_shards(shards: Vec<ProtocolShard>) -> Self {
+        assert!(!shards.is_empty(), "a node needs at least one shard");
+        let shared = Arc::clone(shards[0].core.shared_handle());
+        IdeaNode { shards, shared }
+    }
+
+    fn shard_on_start(shard: &mut ProtocolShard, ctx: &mut dyn Context<IdeaMsg>) {
+        shard.on_start(ctx);
+    }
+
+    fn shard_on_message(
+        shard: &mut ProtocolShard,
+        from: NodeId,
+        msg: IdeaMsg,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        shard.on_message(from, msg, ctx);
+    }
+
+    fn shard_on_timer(
+        shard: &mut ProtocolShard,
+        timer: TimerId,
+        kind: u64,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        shard.on_timer(timer, kind, ctx);
     }
 }

@@ -139,7 +139,7 @@ impl ResolutionDriver {
             };
             st.state = ResState::BackOff { rid: my_rid };
             let delay = backoff_delay(core, ctx);
-            ctx.set_timer(delay, pack(K_BACKOFF, object.0));
+            ctx.set_timer(delay, pack(K_BACKOFF, core.shard, object.0));
             let st = self.state(object);
             st.attention = Some((from, rid, now));
             ctx.send(from, IdeaMsg::Attention { rid, object, granted: true });
@@ -191,7 +191,7 @@ impl ResolutionDriver {
             // Contention: back off and retry (§4.5.2).
             st.state = ResState::BackOff { rid };
             let delay = backoff_delay(core, ctx);
-            ctx.set_timer(delay, pack(K_BACKOFF, object.0));
+            ctx.set_timer(delay, pack(K_BACKOFF, core.shard, object.0));
             return;
         }
         awaiting.retain(|&n| n != from);
@@ -229,7 +229,7 @@ impl ResolutionDriver {
         let Some(period) = core.cfg.background_period else {
             return;
         };
-        ctx.set_timer(period, pack(K_BACKGROUND, object.0));
+        ctx.set_timer(period, pack(K_BACKGROUND, core.shard, object.0));
         let Some(shared) = core.objs.get_mut(&object) else {
             return;
         };
@@ -416,7 +416,7 @@ impl ResolutionDriver {
                 return;
             };
             let level = shared.level;
-            if core.hint.on_sample(level) == AdaptAction::Resolve {
+            if core.hint_sample(level) == AdaptAction::Resolve {
                 self.start_active(core, object, ctx);
             }
         }

@@ -332,7 +332,7 @@ fn sweeps_on_two_objects_do_not_cross_wires() {
     assert!(rep.rollbacks >= 2, "both objects' sweeps must settle, got {}", rep.rollbacks);
     // Both objects' replicas at node 0 learned the hidden updates.
     for obj in [OBJ, OBJ_B] {
-        let vv = eng.node(NodeId(0)).store().replica(obj).expect("open").version().counters();
+        let vv = eng.node(NodeId(0)).replica(obj).expect("open").version().counters();
         let hidden_writer = if obj == OBJ { 8 } else { 9 };
         assert!(
             vv.get(idea_types::WriterId(hidden_writer)) >= 1,

@@ -66,21 +66,28 @@ impl WritePath {
 
     /// Serves a read from the local replica. Returns the snapshot plus
     /// whether the read policy demands a detection probe (§4.2).
+    ///
+    /// The probe decision runs on the borrowing
+    /// [`idea_store::SnapshotView`]; the version vector is cloned exactly
+    /// once, for the owned snapshot handed to the caller. Callers that only
+    /// need the value view should use the protocol layer's `peek` instead
+    /// and never pay the clone.
     pub fn read(
         &mut self,
         core: &mut NodeCore,
         object: ObjectId,
         ctx: &mut dyn Context<IdeaMsg>,
     ) -> Result<(Snapshot, bool)> {
-        let snapshot = core.store.read(object)?;
+        let view = core.store.read_view(object)?;
         let policy = core.cfg.read_policy;
-        let st = self.state(object);
-        let fresh = !st.has_read;
-        st.has_read = true;
-        let stale = snapshot
+        let stale = view
             .latest_update
             .map(|t| ctx.now().saturating_since(t) > policy.stale_after)
             .unwrap_or(false);
+        let snapshot = view.to_owned();
+        let st = self.state(object);
+        let fresh = !st.has_read;
+        st.has_read = true;
         let probe = (fresh && policy.fresh_read_triggers) || stale;
         Ok((snapshot, probe))
     }

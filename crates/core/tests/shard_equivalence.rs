@@ -1,0 +1,118 @@
+//! Shard-routing invariants: for *random* workloads, runs over `S ∈ {1, 2,
+//! 4, 8}` store shards under the same engine seed are indistinguishable —
+//! identical per-object snapshots (meta, update counts, writer counters),
+//! identical consistency levels, and identical detection traffic. Sharding
+//! is an execution-structure choice, never a semantic one.
+
+use idea_core::{IdeaConfig, IdeaNode};
+use idea_net::{MsgClass, SimConfig, SimEngine, Topology};
+use idea_types::{NodeId, ObjectId, SimDuration, UpdatePayload};
+use proptest::prelude::*;
+
+const NODES: usize = 6;
+const OBJECTS: u64 = 6;
+
+/// One externally injected stimulus.
+#[derive(Debug, Clone)]
+struct Op {
+    node: u32,
+    object: u64,
+    delta: i64,
+    /// Virtual time to advance after the op, in milliseconds.
+    gap_ms: u64,
+    /// Read instead of write.
+    read: bool,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0..NODES as u32, 0..OBJECTS, 1..5i64, 50..1500u64, 0..10u8).prop_map(
+        |(node, object, delta, gap_ms, r)| Op { node, object, delta, gap_ms, read: r < 2 },
+    )
+}
+
+/// Per-(node, object) observation: meta, updates, level (ppm), counters.
+type ReplicaObs = (i64, usize, u64, Vec<(u32, u64)>);
+
+/// Everything externally observable about a finished run.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    replicas: Vec<ReplicaObs>,
+    detect_msgs: u64,
+    total_msgs: u64,
+    resolutions: u64,
+}
+
+fn run(ops: &[Op], seed: u64, shards: usize) -> Outcome {
+    let objects: Vec<ObjectId> = (0..OBJECTS).map(ObjectId).collect();
+    let mut cfg = IdeaConfig::whiteboard(0.9);
+    cfg.store_shards = shards;
+    let nodes: Vec<IdeaNode> =
+        (0..NODES).map(|i| IdeaNode::new(NodeId(i as u32), cfg.clone(), &objects)).collect();
+    let mut eng = SimEngine::new(
+        Topology::planetlab(NODES, seed),
+        SimConfig { seed, ..Default::default() },
+        nodes,
+    );
+    for op in ops {
+        let obj = ObjectId(op.object);
+        eng.with_node(NodeId(op.node), |p, ctx| {
+            if op.read {
+                let _ = p.read(obj, ctx);
+            } else {
+                p.local_write(obj, op.delta, UpdatePayload::none(), ctx);
+            }
+        });
+        eng.run_for(SimDuration::from_millis(op.gap_ms));
+    }
+    eng.run_for(SimDuration::from_secs(10));
+
+    let mut replicas = Vec::new();
+    let mut resolutions = 0;
+    for i in 0..NODES as u32 {
+        let node = eng.node(NodeId(i));
+        for &obj in &objects {
+            let (meta, updates, counters) = match node.replica(obj) {
+                Ok(r) => (
+                    r.meta(),
+                    r.len(),
+                    r.version()
+                        .counters()
+                        .iter()
+                        .map(|(w, c)| (w.0, c))
+                        .collect::<Vec<(u32, u64)>>(),
+                ),
+                Err(_) => (0, 0, Vec::new()),
+            };
+            let level = (node.level(obj).value() * 1e6).round() as u64;
+            replicas.push((meta, updates, level, counters));
+        }
+        resolutions += node.report(objects[0]).resolutions_initiated;
+    }
+    Outcome {
+        replicas,
+        detect_msgs: eng.stats().messages(MsgClass::Detect),
+        total_msgs: eng.stats().total_messages(),
+        resolutions,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn any_workload_is_shard_count_invariant(
+        ops in proptest::collection::vec(op_strategy(), 8..40),
+        seed in 0u64..1_000,
+    ) {
+        let reference = run(&ops, seed, 1);
+        // The run must have done *something* or the invariant is vacuous.
+        prop_assert!(reference.total_msgs > 0);
+        for shards in [2usize, 4, 8] {
+            let sharded = run(&ops, seed, shards);
+            prop_assert_eq!(
+                &reference, &sharded,
+                "S={} diverged from the unsharded run", shards
+            );
+        }
+    }
+}

@@ -32,8 +32,8 @@ pub mod threaded;
 pub mod topology;
 
 pub use latency::{Jitter, LatencyModel};
-pub use proto::{Context, Proto, TimerId, Wire};
+pub use proto::{Context, Proto, ShardedProto, TimerId, Wire};
 pub use sim::{SimConfig, SimEngine};
 pub use stats::{MsgClass, NetStats, StatsSnapshot};
-pub use threaded::{ThreadedConfig, ThreadedEngine};
+pub use threaded::{shards_from_env, ShardedEngine, ThreadedConfig, ThreadedEngine};
 pub use topology::{Region, Topology};

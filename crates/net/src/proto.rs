@@ -52,6 +52,57 @@ pub trait Context<M> {
     fn rng(&mut self) -> &mut dyn RngCore;
 }
 
+/// A protocol whose per-object state can be partitioned into independent
+/// shards, so one node's events can be processed by several workers.
+///
+/// The contract: a message's shard is a pure function of the message
+/// ([`ShardedProto::shard_of`], typically an `ObjectId` hash), handling a
+/// message only touches the state of its shard (plus internally
+/// synchronised node-wide state), and a timer armed while handling shard
+/// `s` fires back into shard `s`. Under that contract, delivering each
+/// shard's messages on its own FIFO worker preserves per-object ordering
+/// while disjoint objects proceed in parallel — and routing the same events
+/// through a single instance in shard order (what [`Proto`] on the
+/// composed type does) is semantically equivalent, which is how the
+/// deterministic engine pins the threaded behaviour.
+pub trait ShardedProto: Proto {
+    /// Per-shard state machine (one shard's slice of the node).
+    type Shard: Send + 'static;
+
+    /// Number of shards this instance was built with.
+    fn shard_count(&self) -> usize;
+
+    /// Which shard handles `msg`, among `shards` shards. Must agree with
+    /// the partition used by [`ShardedProto::into_shards`].
+    fn shard_of(msg: &Self::Msg, shards: usize) -> usize;
+
+    /// Decomposes the node into its shards, in shard-index order.
+    fn into_shards(self) -> Vec<Self::Shard>;
+
+    /// Reassembles a node from shards produced by
+    /// [`ShardedProto::into_shards`] (same order).
+    fn from_shards(shards: Vec<Self::Shard>) -> Self;
+
+    /// Called once per shard when the engine starts the node.
+    fn shard_on_start(shard: &mut Self::Shard, ctx: &mut dyn Context<Self::Msg>);
+
+    /// Called for every message delivered to `shard`.
+    fn shard_on_message(
+        shard: &mut Self::Shard,
+        from: NodeId,
+        msg: Self::Msg,
+        ctx: &mut dyn Context<Self::Msg>,
+    );
+
+    /// Called when a timer armed by `shard` fires.
+    fn shard_on_timer(
+        shard: &mut Self::Shard,
+        timer: TimerId,
+        kind: u64,
+        ctx: &mut dyn Context<Self::Msg>,
+    );
+}
+
 /// A protocol state machine.
 ///
 /// Implementations must be `Send` so the threaded engine can own them on

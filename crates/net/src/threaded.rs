@@ -8,8 +8,20 @@
 //!
 //! `time_scale` maps virtual time to wall time (`wall = virtual × scale`), so
 //! integration tests can replay a 100-second PlanetLab scenario in a second.
+//!
+//! ## Sharded mode
+//!
+//! For protocols implementing [`ShardedProto`], [`ShardedEngine`] runs
+//! `ThreadedConfig::shards` workers **per node**, each owning one shard of
+//! the node's state, with a sharded mailbox: every message is routed to the
+//! worker `ShardedProto::shard_of(msg, S)` of its destination node, so
+//! messages about one object always land on the same FIFO worker (per-object
+//! order preserved) while disjoint objects are processed concurrently. The
+//! delay-router is sharded by the same function — shard `s` traffic of all
+//! nodes flows through router `s` — so no single thread serialises the
+//! cluster's forwarding.
 
-use crate::proto::{Context, Proto, TimerId, Wire};
+use crate::proto::{Context, Proto, ShardedProto, TimerId, Wire};
 use crate::stats::{NetStats, StatsSnapshot};
 use crate::topology::Topology;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
@@ -31,12 +43,26 @@ pub struct ThreadedConfig {
     /// Wall seconds per virtual second. `0.01` replays a 100 s scenario in
     /// roughly one wall second.
     pub time_scale: f64,
+    /// Shard workers per node ([`ShardedEngine`] only; the plain
+    /// [`ThreadedEngine`] always runs one worker per node and requires this
+    /// to be ≤ 1). Every node's [`ShardedProto::shard_count`] must equal it.
+    pub shards: usize,
 }
 
 impl Default for ThreadedConfig {
     fn default() -> Self {
-        ThreadedConfig { seed: 0, time_scale: 1.0 }
+        ThreadedConfig { seed: 0, time_scale: 1.0, shards: 1 }
     }
+}
+
+/// Reads the shard count for threaded runs from the `THREADED_SHARDS`
+/// environment variable (the CI matrix knob), defaulting to `default`.
+pub fn shards_from_env(default: usize) -> usize {
+    std::env::var("THREADED_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(default)
 }
 
 /// Boxed closure run on a node's own thread (see [`ThreadedEngine::invoke`]).
@@ -140,6 +166,7 @@ impl<P: Proto + 'static> ThreadedEngine<P> {
     pub fn start(topo: Topology, cfg: ThreadedConfig, nodes: Vec<P>) -> Self {
         assert_eq!(nodes.len(), topo.len(), "one protocol instance per topology node");
         assert!(cfg.time_scale > 0.0, "time_scale must be positive");
+        assert!(cfg.shards <= 1, "shards > 1 needs ShardedEngine (a ShardedProto protocol)");
         let n = nodes.len();
         let stats = Arc::new(Mutex::new(NetStats::new()));
         let start = Instant::now();
@@ -309,10 +336,12 @@ fn node_loop<P: Proto>(
             proto.on_timer(TimerId(id), kind, &mut c);
         }
 
+        // With no timer armed there is nothing to poll for: block until
+        // the next envelope (Stop also arrives on the channel).
         let timeout = timers
             .peek()
             .map(|Reverse((due, _, _))| due.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_millis(25));
+            .unwrap_or(Duration::from_secs(3600));
 
         match inbox.recv_timeout(timeout) {
             Ok(Envelope::Net { from, msg }) => {
@@ -353,10 +382,11 @@ fn router_loop<P: Proto>(
             let _ = txs[f.to.index()].send(Envelope::Net { from: f.from, msg: f.msg });
         }
 
+        // Nothing in flight: block until the next command.
         let timeout = heap
             .peek()
             .map(|Reverse(f)| f.due.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_millis(25));
+            .unwrap_or(Duration::from_secs(3600));
 
         match rx.recv_timeout(timeout) {
             Ok(RouterCmd::Send { from, to, msg }) => {
@@ -377,6 +407,406 @@ fn router_loop<P: Proto>(
     // Flush anything still queued so late messages are not lost on stop.
     while let Some(Reverse(f)) = heap.pop() {
         let _ = txs[f.to.index()].send(Envelope::Net { from: f.from, msg: f.msg });
+    }
+}
+
+// ====================================================================
+// Sharded mode: per-node shard workers over a ShardedProto.
+// ====================================================================
+
+/// Boxed closure run on one shard worker (see [`ShardedEngine::invoke`]).
+type ShardInvokeFn<P> =
+    Box<dyn FnOnce(&mut <P as ShardedProto>::Shard, &mut dyn Context<<P as Proto>::Msg>) + Send>;
+
+enum ShardEnvelope<P: ShardedProto> {
+    Net { from: NodeId, msg: P::Msg },
+    Invoke(ShardInvokeFn<P>),
+    Stop,
+}
+
+/// Context handed to shard workers: identical to the per-node context
+/// except that sends are routed to the shard-matching router.
+struct ShardCtx<'a, M> {
+    me: NodeId,
+    n: usize,
+    shards: usize,
+    start: Instant,
+    scale: f64,
+    route: fn(&M, usize) -> usize,
+    routers: &'a [Sender<RouterCmd<M>>],
+    timers: &'a mut BinaryHeap<Reverse<(Instant, u64, u64)>>,
+    cancelled: &'a mut HashSet<u64>,
+    next_timer: &'a mut u64,
+    rng: &'a mut StdRng,
+}
+
+impl<M> Context<M> for ShardCtx<'_, M> {
+    fn now(&self) -> SimTime {
+        let wall = self.start.elapsed().as_micros() as f64;
+        SimTime((wall / self.scale) as u64)
+    }
+    fn me(&self) -> NodeId {
+        self.me
+    }
+    fn node_count(&self) -> usize {
+        self.n
+    }
+    fn send(&mut self, to: NodeId, msg: M) {
+        let shard = (self.route)(&msg, self.shards);
+        // A closed router means the engine is stopping; drop silently.
+        let _ = self.routers[shard].send(RouterCmd::Send { from: self.me, to, msg });
+    }
+    fn set_timer(&mut self, delay: SimDuration, kind: u64) -> TimerId {
+        let id = *self.next_timer;
+        *self.next_timer += 1;
+        let wall = Duration::from_secs_f64(delay.as_secs_f64() * self.scale);
+        self.timers.push(Reverse((Instant::now() + wall, id, kind)));
+        TimerId(id)
+    }
+    fn cancel_timer(&mut self, timer: TimerId) {
+        self.cancelled.insert(timer.0);
+    }
+    fn rng(&mut self) -> &mut dyn RngCore {
+        self.rng
+    }
+}
+
+/// The sharded threaded engine: `shards` workers per node, each owning one
+/// [`ShardedProto::Shard`], mailboxes and delay-routers partitioned by the
+/// protocol's object hash. See the module docs for the ordering guarantees.
+pub struct ShardedEngine<P: ShardedProto + 'static> {
+    /// Worker mailboxes, indexed `node * shards + shard`.
+    worker_txs: Vec<Sender<ShardEnvelope<P>>>,
+    router_txs: Vec<Sender<RouterCmd<P::Msg>>>,
+    worker_handles: Vec<thread::JoinHandle<P::Shard>>,
+    router_handles: Vec<thread::JoinHandle<()>>,
+    shards: usize,
+    stats: Arc<Mutex<NetStats>>,
+    start: Instant,
+    scale: f64,
+}
+
+impl<P: ShardedProto + 'static> ShardedEngine<P> {
+    /// Starts `cfg.shards` workers per node plus one delay-router per
+    /// shard, running `shard_on_start` on every worker.
+    ///
+    /// # Panics
+    /// Panics when a node's [`ShardedProto::shard_count`] differs from
+    /// `cfg.shards` (the store partition and the mailbox partition must be
+    /// the same function, or per-object ordering breaks).
+    pub fn start(topo: Topology, cfg: ThreadedConfig, nodes: Vec<P>) -> Self {
+        assert_eq!(nodes.len(), topo.len(), "one protocol instance per topology node");
+        assert!(cfg.time_scale > 0.0, "time_scale must be positive");
+        let shards = cfg.shards.max(1);
+        for node in &nodes {
+            assert_eq!(
+                node.shard_count(),
+                shards,
+                "node shard count must match ThreadedConfig::shards"
+            );
+        }
+        let n = nodes.len();
+        let stats = Arc::new(Mutex::new(NetStats::new()));
+        let start = Instant::now();
+
+        let mut router_txs = Vec::with_capacity(shards);
+        let mut router_rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = unbounded::<RouterCmd<P::Msg>>();
+            router_txs.push(tx);
+            router_rxs.push(rx);
+        }
+        let mut worker_txs = Vec::with_capacity(n * shards);
+        let mut worker_rxs = Vec::with_capacity(n * shards);
+        for _ in 0..n * shards {
+            let (tx, rx) = unbounded::<ShardEnvelope<P>>();
+            worker_txs.push(tx);
+            worker_rxs.push(rx);
+        }
+
+        // One delay-router per shard: shard s of every node talks through
+        // router s, which delivers into the `node * shards + s` mailboxes.
+        let mut router_handles = Vec::with_capacity(shards);
+        for (s, rx) in router_rxs.into_iter().enumerate() {
+            let topo = topo.clone();
+            let txs: Vec<Sender<ShardEnvelope<P>>> = worker_txs.clone();
+            let stats = Arc::clone(&stats);
+            let scale = cfg.time_scale;
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0070_07e5 ^ ((s as u64) << 32));
+            let handle = thread::Builder::new()
+                .name(format!("idea-router-{s}"))
+                .spawn(move || {
+                    sharded_router_loop::<P>(topo, scale, shards, s, txs, rx, stats, &mut rng);
+                })
+                .expect("spawn router");
+            router_handles.push(handle);
+        }
+
+        // Shard workers.
+        let mut worker_handles = Vec::with_capacity(n * shards);
+        for (i, node) in nodes.into_iter().enumerate() {
+            let node_shards = node.into_shards();
+            assert_eq!(node_shards.len(), shards, "into_shards must honour shard_count");
+            for (s, mut shard) in node_shards.into_iter().enumerate() {
+                let inbox = worker_rxs.remove(0);
+                let routers = router_txs.clone();
+                let scale = cfg.time_scale;
+                let seed = cfg.seed.wrapping_add(1 + (i * shards + s) as u64);
+                let handle = thread::Builder::new()
+                    .name(format!("idea-node-{i}-s{s}"))
+                    .spawn(move || {
+                        shard_worker_loop::<P>(
+                            NodeId(i as u32),
+                            n,
+                            shards,
+                            start,
+                            scale,
+                            &mut shard,
+                            inbox,
+                            routers,
+                            seed,
+                        );
+                        shard
+                    })
+                    .expect("spawn shard worker");
+                worker_handles.push(handle);
+            }
+        }
+
+        ShardedEngine {
+            worker_txs,
+            router_txs,
+            worker_handles,
+            router_handles,
+            shards,
+            stats,
+            start,
+            scale: cfg.time_scale,
+        }
+    }
+
+    /// Current virtual time as observed by the engine.
+    pub fn now(&self) -> SimTime {
+        SimTime((self.start.elapsed().as_micros() as f64 / self.scale) as u64)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.worker_txs.len() / self.shards
+    }
+
+    /// True when the engine has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.worker_txs.is_empty()
+    }
+
+    /// Shard workers per node.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Fire-and-forget action on one shard worker of a node. The caller
+    /// picks the shard owning the object it is about to touch (the same
+    /// hash the mailbox uses, e.g. `ShardId::of`).
+    pub fn invoke(
+        &self,
+        id: NodeId,
+        shard: usize,
+        f: impl FnOnce(&mut P::Shard, &mut dyn Context<P::Msg>) + Send + 'static,
+    ) {
+        assert!(shard < self.shards, "shard index out of range");
+        let _ = self.worker_txs[id.index() * self.shards + shard]
+            .send(ShardEnvelope::Invoke(Box::new(f)));
+    }
+
+    /// Runs `f` on the shard worker and waits for its result.
+    pub fn query<R: Send + 'static>(
+        &self,
+        id: NodeId,
+        shard: usize,
+        f: impl FnOnce(&mut P::Shard, &mut dyn Context<P::Msg>) -> R + Send + 'static,
+    ) -> R {
+        let (tx, rx) = bounded(1);
+        self.invoke(id, shard, move |p, ctx| {
+            let _ = tx.send(f(p, ctx));
+        });
+        rx.recv().expect("shard worker alive")
+    }
+
+    /// Sleeps for `d` of *virtual* time (scaled to wall time).
+    pub fn sleep_virtual(&self, d: SimDuration) {
+        thread::sleep(Duration::from_secs_f64(d.as_secs_f64() * self.scale));
+    }
+
+    /// Snapshot of network statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.lock().snapshot()
+    }
+
+    /// Stops all workers and routers, reassembles each node from its shards
+    /// and returns the final node states in id order.
+    pub fn stop(mut self) -> Vec<P> {
+        for tx in &self.worker_txs {
+            let _ = tx.send(ShardEnvelope::Stop);
+        }
+        for tx in &self.router_txs {
+            let _ = tx.send(RouterCmd::Stop);
+        }
+        for h in self.router_handles.drain(..) {
+            let _ = h.join();
+        }
+        let mut shards: Vec<P::Shard> = self
+            .worker_handles
+            .drain(..)
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect();
+        let mut nodes = Vec::with_capacity(shards.len() / self.shards);
+        while !shards.is_empty() {
+            let rest = shards.split_off(self.shards.min(shards.len()));
+            nodes.push(P::from_shards(std::mem::replace(&mut shards, rest)));
+        }
+        nodes
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn shard_worker_loop<P: ShardedProto>(
+    me: NodeId,
+    n: usize,
+    shards: usize,
+    start: Instant,
+    scale: f64,
+    shard: &mut P::Shard,
+    inbox: Receiver<ShardEnvelope<P>>,
+    routers: Vec<Sender<RouterCmd<P::Msg>>>,
+    seed: u64,
+) {
+    let mut timers: BinaryHeap<Reverse<(Instant, u64, u64)>> = BinaryHeap::new();
+    let mut cancelled: HashSet<u64> = HashSet::new();
+    let mut next_timer: u64 = 0;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    macro_rules! ctx {
+        () => {
+            ShardCtx {
+                me,
+                n,
+                shards,
+                start,
+                scale,
+                route: P::shard_of,
+                routers: &routers,
+                timers: &mut timers,
+                cancelled: &mut cancelled,
+                next_timer: &mut next_timer,
+                rng: &mut rng,
+            }
+        };
+    }
+
+    {
+        let mut c = ctx!();
+        P::shard_on_start(shard, &mut c);
+    }
+
+    loop {
+        // Fire due timers first.
+        loop {
+            let due_now = match timers.peek() {
+                Some(Reverse((due, _, _))) => *due <= Instant::now(),
+                None => false,
+            };
+            if !due_now {
+                break;
+            }
+            let Reverse((_, id, kind)) = timers.pop().expect("peeked");
+            if cancelled.remove(&id) {
+                continue;
+            }
+            let mut c = ctx!();
+            P::shard_on_timer(shard, TimerId(id), kind, &mut c);
+        }
+
+        // Idle shard workers must not wake the scheduler: with no timer
+        // armed, block until the next envelope (Stop arrives on the
+        // channel too). With hundreds of workers per machine a 25 ms idle
+        // poll was a measurable scheduling storm.
+        let timeout = timers
+            .peek()
+            .map(|Reverse((due, _, _))| due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_secs(3600));
+
+        match inbox.recv_timeout(timeout) {
+            Ok(ShardEnvelope::Net { from, msg }) => {
+                let mut c = ctx!();
+                P::shard_on_message(shard, from, msg, &mut c);
+            }
+            Ok(ShardEnvelope::Invoke(f)) => {
+                let mut c = ctx!();
+                f(shard, &mut c);
+            }
+            Ok(ShardEnvelope::Stop) | Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sharded_router_loop<P: ShardedProto>(
+    topo: Topology,
+    scale: f64,
+    shards: usize,
+    my_shard: usize,
+    txs: Vec<Sender<ShardEnvelope<P>>>,
+    rx: Receiver<RouterCmd<P::Msg>>,
+    stats: Arc<Mutex<NetStats>>,
+    rng: &mut StdRng,
+) {
+    let deliver = |f: InFlight<P::Msg>| {
+        let _ = txs[f.to.index() * shards + my_shard]
+            .send(ShardEnvelope::Net { from: f.from, msg: f.msg });
+    };
+    let mut heap: BinaryHeap<Reverse<InFlight<P::Msg>>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    loop {
+        // Forward everything due.
+        loop {
+            let due_now = match heap.peek() {
+                Some(Reverse(f)) => f.due <= Instant::now(),
+                None => false,
+            };
+            if !due_now {
+                break;
+            }
+            let Reverse(f) = heap.pop().expect("peeked");
+            deliver(f);
+        }
+
+        // Nothing in flight: block until the next command.
+        let timeout = heap
+            .peek()
+            .map(|Reverse(f)| f.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_secs(3600));
+
+        match rx.recv_timeout(timeout) {
+            Ok(RouterCmd::Send { from, to, msg }) => {
+                stats.lock().record(msg.class(), msg.wire_size() as u64);
+                let virt = if from == to {
+                    SimDuration::from_micros(50)
+                } else {
+                    topo.sample_delay(from, to, rng)
+                };
+                let wall = Duration::from_secs_f64(virt.as_secs_f64() * scale);
+                heap.push(Reverse(InFlight { due: Instant::now() + wall, seq, from, to, msg }));
+                seq += 1;
+            }
+            Ok(RouterCmd::Stop) | Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+    // Flush anything still queued so late messages are not lost on stop.
+    while let Some(Reverse(f)) = heap.pop() {
+        deliver(f);
     }
 }
 
@@ -418,7 +848,7 @@ mod tests {
         let nodes: Vec<Ring> = (0..n).map(|_| Ring { received: 0, laps: 3 }).collect();
         let eng = ThreadedEngine::start(
             Topology::lan(n),
-            ThreadedConfig { seed: 1, time_scale: 1.0 },
+            ThreadedConfig { seed: 1, time_scale: 1.0, ..Default::default() },
             nodes,
         );
         eng.invoke(NodeId(0), |_, ctx| ctx.send(NodeId(1), Token { hops: 1 }));
@@ -436,7 +866,7 @@ mod tests {
         let nodes: Vec<Ring> = (0..2).map(|_| Ring { received: 0, laps: 1 }).collect();
         let eng = ThreadedEngine::start(
             Topology::lan(2),
-            ThreadedConfig { seed: 2, time_scale: 1.0 },
+            ThreadedConfig { seed: 2, time_scale: 1.0, ..Default::default() },
             nodes,
         );
         eng.invoke(NodeId(0), |_, ctx| ctx.send(NodeId(1), Token { hops: 1 }));
@@ -473,7 +903,7 @@ mod tests {
     fn timers_fire_and_cancel_on_threads() {
         let eng = ThreadedEngine::start(
             Topology::lan(1),
-            ThreadedConfig { seed: 3, time_scale: 1.0 },
+            ThreadedConfig { seed: 3, time_scale: 1.0, ..Default::default() },
             vec![Alarm { fired: vec![] }],
         );
         thread::sleep(Duration::from_millis(120));
@@ -485,7 +915,7 @@ mod tests {
     fn virtual_time_respects_scale() {
         let eng = ThreadedEngine::start(
             Topology::lan(1),
-            ThreadedConfig { seed: 4, time_scale: 0.01 },
+            ThreadedConfig { seed: 4, time_scale: 0.01, ..Default::default() },
             vec![Alarm { fired: vec![] }],
         );
         thread::sleep(Duration::from_millis(50));

@@ -22,11 +22,19 @@ pub struct GossipConfig {
     pub fanout: usize,
     /// Initial time-to-live (hop budget) of a rumor.
     pub ttl: u8,
+    /// Duplicate-suppression window: the router remembers between
+    /// `seen_cap` and `2 × seen_cap` of the most recent rumor ids (two
+    /// generations, evicted wholesale), so memory stays bounded no matter
+    /// how many rumors a long run produces. A rumor older than the window
+    /// may be relayed once more — its TTL still bounds the re-spread, and
+    /// in-flight copies (the correctness case) are far younger than any
+    /// realistic window.
+    pub seen_cap: usize,
 }
 
 impl Default for GossipConfig {
     fn default() -> Self {
-        GossipConfig { fanout: 3, ttl: 4 }
+        GossipConfig { fanout: 3, ttl: 4, seen_cap: 4096 }
     }
 }
 
@@ -54,23 +62,46 @@ pub enum Relay {
 }
 
 /// Per-node gossip state: duplicate suppression plus fanout selection.
+///
+/// Duplicate suppression is **generational**: ids go into a current
+/// generation; when it reaches `seen_cap` it becomes the previous
+/// generation (whose ids are still recognised) and the oldest generation is
+/// dropped wholesale. Memory is therefore bounded by `2 × seen_cap` ids —
+/// an unbounded `HashSet` here used to grow by one entry per rumor ever
+/// relayed, a real leak for long-lived nodes.
 #[derive(Debug, Clone)]
 pub struct GossipRouter {
     cfg: GossipConfig,
     me: NodeId,
+    /// Current duplicate-suppression generation.
     seen: HashSet<RumorId>,
+    /// Previous generation (read-only until evicted).
+    seen_prev: HashSet<RumorId>,
     next_seq: u64,
 }
 
 impl GossipRouter {
     /// Builds a router for node `me`.
     pub fn new(me: NodeId, cfg: GossipConfig) -> Self {
-        GossipRouter { cfg, me, seen: HashSet::new(), next_seq: 0 }
+        assert!(cfg.seen_cap > 0, "duplicate suppression needs a positive window");
+        GossipRouter { cfg, me, seen: HashSet::new(), seen_prev: HashSet::new(), next_seq: 0 }
     }
 
     /// The router's configuration.
     pub fn config(&self) -> GossipConfig {
         self.cfg
+    }
+
+    /// Records `id` as seen; returns `false` when it was already known.
+    fn note_seen(&mut self, id: RumorId) -> bool {
+        if self.seen_prev.contains(&id) || !self.seen.insert(id) {
+            return false;
+        }
+        if self.seen.len() >= self.cfg.seen_cap {
+            // Rotate generations: drop the old one wholesale.
+            self.seen_prev = std::mem::take(&mut self.seen);
+        }
+        true
     }
 
     /// Starts a new rumor; returns its id, the initial TTL, and the first
@@ -82,7 +113,7 @@ impl GossipRouter {
     ) -> (RumorId, u8, Vec<NodeId>) {
         let id = RumorId { origin: self.me, seq: self.next_seq };
         self.next_seq += 1;
-        self.seen.insert(id);
+        self.note_seen(id);
         let to = self.pick_peers(peers, rng);
         (id, self.cfg.ttl, to)
     }
@@ -95,7 +126,7 @@ impl GossipRouter {
         peers: &[NodeId],
         rng: &mut R,
     ) -> Relay {
-        if !self.seen.insert(id) {
+        if !self.note_seen(id) {
             return Relay::Drop;
         }
         if ttl == 0 {
@@ -109,14 +140,16 @@ impl GossipRouter {
         }
     }
 
-    /// True when this node has already processed the rumor.
+    /// True when this node still remembers processing the rumor (ids older
+    /// than the suppression window are forgotten).
     pub fn has_seen(&self, id: RumorId) -> bool {
-        self.seen.contains(&id)
+        self.seen.contains(&id) || self.seen_prev.contains(&id)
     }
 
-    /// Number of distinct rumors processed.
+    /// Number of distinct rumor ids currently remembered (bounded by
+    /// `2 × seen_cap`).
     pub fn seen_count(&self) -> usize {
-        self.seen.len()
+        self.seen.len() + self.seen_prev.len()
     }
 
     /// Uniformly picks up to `fanout` distinct peers, never `me`.
@@ -179,7 +212,8 @@ mod tests {
     fn originate_marks_seen_and_picks_fanout() {
         let mut rng = StdRng::seed_from_u64(1);
         let peers: Vec<NodeId> = (0..10u32).map(NodeId).collect();
-        let mut r = GossipRouter::new(NodeId(0), GossipConfig { fanout: 3, ttl: 4 });
+        let mut r =
+            GossipRouter::new(NodeId(0), GossipConfig { fanout: 3, ttl: 4, ..Default::default() });
         let (id, ttl, to) = r.originate(&peers, &mut rng);
         assert_eq!(ttl, 4);
         assert_eq!(to.len(), 3);
@@ -220,7 +254,8 @@ mod tests {
     fn forwarded_ttl_decrements() {
         let mut rng = StdRng::seed_from_u64(4);
         let peers: Vec<NodeId> = (0..6u32).map(NodeId).collect();
-        let mut r = GossipRouter::new(NodeId(2), GossipConfig { fanout: 2, ttl: 8 });
+        let mut r =
+            GossipRouter::new(NodeId(2), GossipConfig { fanout: 2, ttl: 8, ..Default::default() });
         match r.on_receive(RumorId { origin: NodeId(0), seq: 0 }, 5, &peers, &mut rng) {
             Relay::Forward { ttl, to } => {
                 assert_eq!(ttl, 4);
@@ -234,8 +269,12 @@ mod tests {
     fn spread_covers_most_nodes_with_modest_ttl() {
         // lpbcast's pitch: fanout 3, TTL ~log(n) reaches nearly everyone.
         let mut rng = StdRng::seed_from_u64(7);
-        let (covered, hops, messages) =
-            simulate_spread(64, NodeId(0), GossipConfig { fanout: 3, ttl: 6 }, &mut rng);
+        let (covered, hops, messages) = simulate_spread(
+            64,
+            NodeId(0),
+            GossipConfig { fanout: 3, ttl: 6, ..Default::default() },
+            &mut rng,
+        );
         assert!(covered > 57, "covered only {covered}/64");
         assert!(hops <= 7);
         assert!(messages < 64 * 4, "messages {messages} should stay near n·fanout");
@@ -244,18 +283,77 @@ mod tests {
     #[test]
     fn ttl_bounds_hops() {
         let mut rng = StdRng::seed_from_u64(8);
-        let (_, hops, _) =
-            simulate_spread(128, NodeId(0), GossipConfig { fanout: 2, ttl: 3 }, &mut rng);
+        let (_, hops, _) = simulate_spread(
+            128,
+            NodeId(0),
+            GossipConfig { fanout: 2, ttl: 3, ..Default::default() },
+            &mut rng,
+        );
         assert!(hops <= 4, "TTL 3 allows at most 4 delivery waves, got {hops}");
     }
 
     #[test]
     fn tiny_ttl_limits_coverage() {
         let mut rng = StdRng::seed_from_u64(9);
-        let (covered, _, _) =
-            simulate_spread(128, NodeId(0), GossipConfig { fanout: 2, ttl: 1 }, &mut rng);
+        let (covered, _, _) = simulate_spread(
+            128,
+            NodeId(0),
+            GossipConfig { fanout: 2, ttl: 1, ..Default::default() },
+            &mut rng,
+        );
         // origin + 2 first-hop + ≤4 second-hop.
         assert!(covered <= 7, "covered {covered}");
+    }
+
+    /// The duplicate-suppression memory bound: a long-lived router that
+    /// relays rumors forever must hold at most `2 × seen_cap` ids — the
+    /// unbounded `HashSet` it replaced grew by one entry per rumor ever
+    /// seen.
+    #[test]
+    fn seen_set_is_bounded_by_generations() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let peers: Vec<NodeId> = (0..8u32).map(NodeId).collect();
+        let cap = 64;
+        let cfg = GossipConfig { fanout: 2, ttl: 3, seen_cap: cap };
+        let mut r = GossipRouter::new(NodeId(1), cfg);
+        for seq in 0..100_000u64 {
+            let id = RumorId { origin: NodeId(0), seq };
+            let _ = r.on_receive(id, 3, &peers, &mut rng);
+            assert!(
+                r.seen_count() <= 2 * cap,
+                "seen grew to {} after {} rumors (cap {})",
+                r.seen_count(),
+                seq + 1,
+                cap
+            );
+        }
+        // Recent rumors are still suppressed...
+        let recent = RumorId { origin: NodeId(0), seq: 99_999 };
+        assert!(r.has_seen(recent));
+        assert_eq!(r.on_receive(recent, 3, &peers, &mut rng), Relay::Drop);
+        // ...while ids far outside the window have been evicted.
+        let ancient = RumorId { origin: NodeId(0), seq: 0 };
+        assert!(!r.has_seen(ancient), "eviction must eventually forget old ids");
+    }
+
+    /// Duplicates arriving while an id straddles the generation rotation
+    /// are still suppressed (the previous generation stays searchable).
+    #[test]
+    fn duplicates_across_rotation_are_suppressed() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let peers: Vec<NodeId> = (0..8u32).map(NodeId).collect();
+        let cap = 16;
+        let cfg = GossipConfig { fanout: 2, ttl: 3, seen_cap: cap };
+        let mut r = GossipRouter::new(NodeId(1), cfg);
+        let marked = RumorId { origin: NodeId(0), seq: 0 };
+        assert!(matches!(r.on_receive(marked, 3, &peers, &mut rng), Relay::Forward { .. }));
+        // Fill exactly up to one rotation: `marked` moves to the previous
+        // generation but must still be recognised.
+        for seq in 1..cap as u64 {
+            let _ = r.on_receive(RumorId { origin: NodeId(0), seq }, 3, &peers, &mut rng);
+        }
+        assert!(r.has_seen(marked));
+        assert_eq!(r.on_receive(marked, 3, &peers, &mut rng), Relay::Drop);
     }
 
     proptest! {
@@ -264,7 +362,7 @@ mod tests {
                                            fanout in 1usize..5, ttl in 0u8..6) {
             let mut rng = StdRng::seed_from_u64(seed);
             let (covered, _, _) =
-                simulate_spread(n, NodeId(0), GossipConfig { fanout, ttl }, &mut rng);
+                simulate_spread(n, NodeId(0), GossipConfig { fanout, ttl, ..Default::default() }, &mut rng);
             prop_assert!(covered <= n);
             prop_assert!(covered >= 1); // origin always counts
         }
@@ -272,7 +370,7 @@ mod tests {
         #[test]
         fn message_complexity_is_fanout_bounded(n in 4usize..64, seed in 0u64..16) {
             let mut rng = StdRng::seed_from_u64(seed);
-            let cfg = GossipConfig { fanout: 3, ttl: 5 };
+            let cfg = GossipConfig { fanout: 3, ttl: 5, ..Default::default() };
             let (_, _, messages) = simulate_spread(n, NodeId(0), cfg, &mut rng);
             // Each node forwards a rumor at most once to ≤ fanout peers.
             prop_assert!(messages <= n * cfg.fanout);

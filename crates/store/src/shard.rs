@@ -1,0 +1,281 @@
+//! One shard of a node's store: the replicas whose [`ObjectId`] hashes to
+//! this shard, their local write sequencing, and the shard-local dirty-set.
+//!
+//! A [`StoreShard`] is the unit the protocol layer (`idea-core`) owns per
+//! shard worker: it never touches objects of other shards, so two shards of
+//! the same node can be mutated concurrently without coordination. The
+//! routing itself — which shard owns which object — lives in
+//! [`idea_types::ShardId`] so every layer agrees on it;
+//! [`crate::ShardedStore`] is the whole-node composition.
+
+use crate::replica::{ApplyOutcome, Replica};
+use idea_types::{
+    IdeaError, NodeId, ObjectId, Result, SimTime, Update, UpdateId, UpdatePayload, WriterId,
+};
+use idea_vv::ExtendedVersionVector;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a read returns: the replica's current value view (owned).
+///
+/// Cloning the full [`ExtendedVersionVector`] per read is only warranted
+/// when the caller keeps the version; level-only readers should use
+/// [`StoreShard::read_view`] / the borrowing [`SnapshotView`] instead.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The object read.
+    pub object: ObjectId,
+    /// Number of updates reflected in the snapshot.
+    pub updates: usize,
+    /// Critical metadata value at read time.
+    pub meta: i64,
+    /// The replica's extended version vector at read time.
+    pub version: ExtendedVersionVector,
+    /// Timestamp of the most recent local application (issue time of the
+    /// newest update), if any.
+    pub latest_update: Option<SimTime>,
+}
+
+/// A read that borrows the replica instead of cloning its version vector.
+///
+/// This is the allocation-free sibling of [`Snapshot`] for callers that only
+/// need the value view (meta, update count, recency) — the common case for
+/// level probes and application polling loops. [`SnapshotView::to_owned`]
+/// upgrades to a full [`Snapshot`] when the version must outlive the borrow.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotView<'a> {
+    /// The object read.
+    pub object: ObjectId,
+    /// Number of updates reflected in the snapshot.
+    pub updates: usize,
+    /// Critical metadata value at read time.
+    pub meta: i64,
+    /// The replica's extended version vector (borrowed).
+    pub version: &'a ExtendedVersionVector,
+    /// Timestamp of the most recent local application, if any.
+    pub latest_update: Option<SimTime>,
+}
+
+impl SnapshotView<'_> {
+    /// Upgrades to an owned [`Snapshot`] (clones the version vector).
+    pub fn to_owned(&self) -> Snapshot {
+        Snapshot {
+            object: self.object,
+            updates: self.updates,
+            meta: self.meta,
+            version: self.version.clone(),
+            latest_update: self.latest_update,
+        }
+    }
+}
+
+/// The replicas of one shard, behind the same read/write API as the whole
+/// store.
+#[derive(Debug, Clone)]
+pub struct StoreShard {
+    node: NodeId,
+    writer: WriterId,
+    replicas: BTreeMap<ObjectId, Replica>,
+    /// Next local sequence number per object.
+    next_seq: BTreeMap<ObjectId, u64>,
+    /// Objects with a pending detection probe: local writes mark their
+    /// object dirty, and the protocol layer marks read-triggered probes via
+    /// [`StoreShard::mark_dirty`]; the detection layer's batching window
+    /// drains the set ([`StoreShard::take_dirty`]) to start one coalesced
+    /// round per dirty object. Remote ingests do *not* dirty — only local
+    /// triggers start probes (§4.2).
+    dirty: BTreeSet<ObjectId>,
+}
+
+impl StoreShard {
+    /// An empty shard for `node`, writing as `writer`.
+    pub fn new(node: NodeId, writer: WriterId) -> Self {
+        StoreShard {
+            node,
+            writer,
+            replicas: BTreeMap::new(),
+            next_seq: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+        }
+    }
+
+    /// The owning node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The local writer identity.
+    pub fn writer(&self) -> WriterId {
+        self.writer
+    }
+
+    /// Creates (or returns) the replica of `object`.
+    pub fn open(&mut self, object: ObjectId) -> &mut Replica {
+        self.replicas.entry(object).or_insert_with(|| Replica::new(object))
+    }
+
+    /// Immutable access to a replica.
+    pub fn replica(&self, object: ObjectId) -> Result<&Replica> {
+        self.replicas.get(&object).ok_or(IdeaError::UnknownObject(object))
+    }
+
+    /// Mutable access to a replica.
+    pub fn replica_mut(&mut self, object: ObjectId) -> Result<&mut Replica> {
+        self.replicas.get_mut(&object).ok_or(IdeaError::UnknownObject(object))
+    }
+
+    /// Objects hosted by this shard, in id order (no per-call allocation).
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.replicas.keys().copied()
+    }
+
+    /// Number of replicas hosted by this shard.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// True when the shard hosts no replica.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Issues a local write: assigns the next sequence number, applies it to
+    /// the local replica, marks the object dirty and returns the update for
+    /// dissemination.
+    pub fn write(
+        &mut self,
+        object: ObjectId,
+        at: SimTime,
+        meta_delta: i64,
+        payload: UpdatePayload,
+    ) -> Update {
+        let seq = self.next_seq.entry(object).or_insert(1);
+        let update = Update {
+            object,
+            id: UpdateId { writer: self.writer, seq: *seq },
+            at,
+            meta_delta,
+            payload,
+        };
+        *seq += 1;
+        let replica = self.open(object);
+        let outcome = replica.apply(update.clone()).expect("own write applies");
+        debug_assert_eq!(outcome, ApplyOutcome::Applied, "local writes are in order");
+        self.dirty.insert(object);
+        update
+    }
+
+    /// Applies a remote update to the local replica. Does not mark the
+    /// object dirty — remote traffic never starts local probes (§4.2).
+    ///
+    /// # Errors
+    /// Fails when no replica of the object exists (`open` it first).
+    pub fn ingest(&mut self, update: Update) -> Result<ApplyOutcome> {
+        let object = update.object;
+        let replica = self.replicas.get_mut(&object).ok_or(IdeaError::UnknownObject(object))?;
+        replica.apply(update)
+    }
+
+    /// Reads the current snapshot of `object` (owned; clones the version).
+    ///
+    /// # Errors
+    /// Fails when no replica of the object exists.
+    pub fn read(&self, object: ObjectId) -> Result<Snapshot> {
+        self.read_view(object).map(|v| v.to_owned())
+    }
+
+    /// Reads the current snapshot of `object` without cloning the version.
+    ///
+    /// # Errors
+    /// Fails when no replica of the object exists.
+    pub fn read_view(&self, object: ObjectId) -> Result<SnapshotView<'_>> {
+        let r = self.replica(object)?;
+        Ok(SnapshotView {
+            object,
+            updates: r.len(),
+            meta: r.meta(),
+            version: r.version(),
+            latest_update: r.version().latest_update_time(),
+        })
+    }
+
+    /// Resets the local write sequence to continue after `seq` (used after a
+    /// reconciliation re-sequenced this writer's extra updates).
+    pub fn resume_writes_after(&mut self, object: ObjectId, seq: u64) {
+        self.next_seq.insert(object, seq + 1);
+    }
+
+    /// Marks an object dirty without a write (read-triggered probes).
+    pub fn mark_dirty(&mut self, object: ObjectId) {
+        self.dirty.insert(object);
+    }
+
+    /// Drains the dirty-set: the objects marked since the previous drain.
+    pub fn take_dirty(&mut self) -> BTreeSet<ObjectId> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Objects currently marked dirty.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn shard(node: u32) -> StoreShard {
+        StoreShard::new(NodeId(node), WriterId(node))
+    }
+
+    fn payload() -> UpdatePayload {
+        UpdatePayload::Opaque(Bytes::new())
+    }
+
+    #[test]
+    fn writes_mark_dirty_but_ingests_do_not() {
+        let mut a = shard(0);
+        let mut b = shard(1);
+        a.open(ObjectId(1));
+        b.open(ObjectId(1));
+        assert_eq!(a.dirty_len(), 0);
+        let u = a.write(ObjectId(1), SimTime::from_secs(1), 3, payload());
+        assert_eq!(a.dirty_len(), 1);
+        assert_eq!(a.take_dirty().into_iter().collect::<Vec<_>>(), vec![ObjectId(1)]);
+        assert_eq!(a.dirty_len(), 0, "drain empties the set");
+
+        // Remote traffic never starts local probes: ingest must not dirty.
+        assert_eq!(b.ingest(u.clone()).unwrap(), ApplyOutcome::Applied);
+        assert_eq!(b.dirty_len(), 0);
+        // Explicit marking (read-triggered probes) is idempotent.
+        b.mark_dirty(ObjectId(1));
+        b.mark_dirty(ObjectId(1));
+        assert_eq!(b.dirty_len(), 1);
+    }
+
+    #[test]
+    fn read_view_borrows_and_upgrades() {
+        let mut s = shard(0);
+        s.open(ObjectId(1));
+        s.write(ObjectId(1), SimTime::from_secs(1), 5, payload());
+        let view = s.read_view(ObjectId(1)).unwrap();
+        assert_eq!(view.meta, 5);
+        assert_eq!(view.updates, 1);
+        assert_eq!(view.latest_update, Some(SimTime::from_secs(1)));
+        let owned = view.to_owned();
+        assert_eq!(owned.meta, view.meta);
+        assert_eq!(&owned.version, view.version);
+        assert!(matches!(s.read_view(ObjectId(9)), Err(IdeaError::UnknownObject(_))));
+    }
+
+    #[test]
+    fn len_tracks_replicas() {
+        let mut s = shard(0);
+        assert!(s.is_empty());
+        s.open(ObjectId(1));
+        s.open(ObjectId(2));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,73 +1,130 @@
-//! One node's store: every replica it hosts, behind a read/write API.
+//! One node's store: every replica it hosts, partitioned into shards.
+//!
+//! [`ShardedStore`] routes each per-object operation to the
+//! [`StoreShard`] owning that object (`ShardId::of(object, S)`), so
+//! disjoint objects never contend on shared structure. With `S = 1` it
+//! behaves exactly like the historical single-map store; [`NodeStore`] is
+//! that configuration's name, kept for the callers (baselines, tests) that
+//! never shard.
 
 use crate::replica::{ApplyOutcome, Replica};
-use idea_types::{
-    IdeaError, NodeId, ObjectId, Result, SimTime, Update, UpdateId, UpdatePayload, WriterId,
-};
-use idea_vv::ExtendedVersionVector;
-use std::collections::BTreeMap;
+use crate::shard::{Snapshot, SnapshotView, StoreShard};
+use idea_types::{NodeId, ObjectId, Result, ShardId, SimTime, Update, UpdatePayload, WriterId};
 
-/// What a read returns: the replica's current value view.
+/// The unsharded (single-shard) store configuration.
+///
+/// Identical API and behaviour to the pre-sharding `NodeStore`; use
+/// [`ShardedStore::with_shards`] to partition.
+pub type NodeStore = ShardedStore;
+
+/// All replicas hosted by one node, partitioned by `ObjectId` hash.
 #[derive(Debug, Clone)]
-pub struct Snapshot {
-    /// The object read.
-    pub object: ObjectId,
-    /// Number of updates reflected in the snapshot.
-    pub updates: usize,
-    /// Critical metadata value at read time.
-    pub meta: i64,
-    /// The replica's extended version vector at read time.
-    pub version: ExtendedVersionVector,
-    /// Timestamp of the most recent local application (issue time of the
-    /// newest update), if any.
-    pub latest_update: Option<SimTime>,
+pub struct ShardedStore {
+    shards: Vec<StoreShard>,
 }
 
-/// All replicas hosted by one node.
-#[derive(Debug, Clone)]
-pub struct NodeStore {
-    node: NodeId,
-    /// The writer identity used for this node's local writes.
-    writer: WriterId,
-    replicas: BTreeMap<ObjectId, Replica>,
-    /// Next local sequence number per object.
-    next_seq: BTreeMap<ObjectId, u64>,
-}
-
-impl NodeStore {
-    /// A store for `node`, writing as `writer`.
+impl ShardedStore {
+    /// A single-shard store for `node`, writing as `writer` (the historical
+    /// `NodeStore` behaviour).
     pub fn new(node: NodeId, writer: WriterId) -> Self {
-        NodeStore { node, writer, replicas: BTreeMap::new(), next_seq: BTreeMap::new() }
+        Self::with_shards(node, writer, 1)
+    }
+
+    /// A store partitioned into `shards` independent shards.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn with_shards(node: NodeId, writer: WriterId, shards: usize) -> Self {
+        assert!(shards > 0, "store needs at least one shard");
+        ShardedStore { shards: (0..shards).map(|_| StoreShard::new(node, writer)).collect() }
     }
 
     /// The owning node.
     pub fn node(&self) -> NodeId {
-        self.node
+        self.shards[0].node()
     }
 
     /// The local writer identity.
     pub fn writer(&self) -> WriterId {
-        self.writer
+        self.shards[0].writer()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `object`.
+    pub fn shard_of(&self, object: ObjectId) -> ShardId {
+        ShardId::of(object, self.shards.len())
+    }
+
+    /// Immutable access to shard `s`.
+    pub fn shard(&self, s: ShardId) -> &StoreShard {
+        &self.shards[s.index()]
+    }
+
+    /// Mutable access to shard `s`.
+    pub fn shard_mut(&mut self, s: ShardId) -> &mut StoreShard {
+        &mut self.shards[s.index()]
+    }
+
+    /// Iterates the shards in index order.
+    pub fn shards(&self) -> impl Iterator<Item = &StoreShard> + '_ {
+        self.shards.iter()
+    }
+
+    /// Decomposes the store into its shards (for per-shard ownership by
+    /// runtime workers); [`ShardedStore::from_shards`] reassembles.
+    pub fn into_shards(self) -> Vec<StoreShard> {
+        self.shards
+    }
+
+    /// Reassembles a store from shards produced by
+    /// [`ShardedStore::into_shards`] (in the same index order).
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty.
+    pub fn from_shards(shards: Vec<StoreShard>) -> Self {
+        assert!(!shards.is_empty(), "store needs at least one shard");
+        ShardedStore { shards }
+    }
+
+    #[inline]
+    fn owning(&self, object: ObjectId) -> &StoreShard {
+        &self.shards[ShardId::of(object, self.shards.len()).index()]
+    }
+
+    #[inline]
+    fn owning_mut(&mut self, object: ObjectId) -> &mut StoreShard {
+        let s = ShardId::of(object, self.shards.len()).index();
+        &mut self.shards[s]
     }
 
     /// Creates (or returns) the replica of `object`.
     pub fn open(&mut self, object: ObjectId) -> &mut Replica {
-        self.replicas.entry(object).or_insert_with(|| Replica::new(object))
+        self.owning_mut(object).open(object)
     }
 
     /// Immutable access to a replica.
     pub fn replica(&self, object: ObjectId) -> Result<&Replica> {
-        self.replicas.get(&object).ok_or(IdeaError::UnknownObject(object))
+        self.owning(object).replica(object)
     }
 
     /// Mutable access to a replica.
     pub fn replica_mut(&mut self, object: ObjectId) -> Result<&mut Replica> {
-        self.replicas.get_mut(&object).ok_or(IdeaError::UnknownObject(object))
+        self.owning_mut(object).replica_mut(object)
     }
 
-    /// Objects hosted by this node, in id order (no per-call allocation).
+    /// Objects hosted by this node, in id order.
+    ///
+    /// With several shards the ids are gathered and sorted (an allocation);
+    /// shard-local iteration ([`StoreShard::objects`]) stays allocation-free
+    /// and is what the per-shard protocol paths use.
     pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
-        self.replicas.keys().copied()
+        let mut ids: Vec<ObjectId> = self.shards.iter().flat_map(|s| s.objects()).collect();
+        ids.sort_unstable();
+        ids.into_iter()
     }
 
     /// Issues a local write: assigns the next sequence number, applies it to
@@ -79,19 +136,7 @@ impl NodeStore {
         meta_delta: i64,
         payload: UpdatePayload,
     ) -> Update {
-        let seq = self.next_seq.entry(object).or_insert(1);
-        let update = Update {
-            object,
-            id: UpdateId { writer: self.writer, seq: *seq },
-            at,
-            meta_delta,
-            payload,
-        };
-        *seq += 1;
-        let replica = self.open(object);
-        let outcome = replica.apply(update.clone()).expect("own write applies");
-        debug_assert_eq!(outcome, ApplyOutcome::Applied, "local writes are in order");
-        update
+        self.owning_mut(object).write(object, at, meta_delta, payload)
     }
 
     /// Applies a remote update to the local replica.
@@ -99,30 +144,29 @@ impl NodeStore {
     /// # Errors
     /// Fails when no replica of the object exists (`open` it first).
     pub fn ingest(&mut self, update: Update) -> Result<ApplyOutcome> {
-        let replica =
-            self.replicas.get_mut(&update.object).ok_or(IdeaError::UnknownObject(update.object))?;
-        replica.apply(update)
+        self.owning_mut(update.object).ingest(update)
     }
 
-    /// Reads the current snapshot of `object`.
+    /// Reads the current snapshot of `object` (owned; clones the version).
     ///
     /// # Errors
     /// Fails when no replica of the object exists.
     pub fn read(&self, object: ObjectId) -> Result<Snapshot> {
-        let r = self.replica(object)?;
-        Ok(Snapshot {
-            object,
-            updates: r.len(),
-            meta: r.meta(),
-            version: r.version().clone(),
-            latest_update: r.version().latest_update_time(),
-        })
+        self.owning(object).read(object)
+    }
+
+    /// Reads the current snapshot of `object` without cloning the version.
+    ///
+    /// # Errors
+    /// Fails when no replica of the object exists.
+    pub fn read_view(&self, object: ObjectId) -> Result<SnapshotView<'_>> {
+        self.owning(object).read_view(object)
     }
 
     /// Resets the local write sequence to continue after `seq` (used after a
     /// reconciliation re-sequenced this writer's extra updates).
     pub fn resume_writes_after(&mut self, object: ObjectId, seq: u64) {
-        self.next_seq.insert(object, seq + 1);
+        self.owning_mut(object).resume_writes_after(object, seq);
     }
 }
 
@@ -130,6 +174,7 @@ impl NodeStore {
 mod tests {
     use super::*;
     use bytes::Bytes;
+    use idea_types::{IdeaError, SimTime};
 
     fn store(node: u32) -> NodeStore {
         NodeStore::new(NodeId(node), WriterId(node))
@@ -223,5 +268,71 @@ mod tests {
         assert_eq!(s.objects().collect::<Vec<_>>(), vec![ObjectId(1), ObjectId(3)]);
         assert_eq!(s.node(), NodeId(0));
         assert_eq!(s.writer(), WriterId(0));
+    }
+
+    #[test]
+    fn sharded_store_routes_consistently() {
+        let mut s = ShardedStore::with_shards(NodeId(0), WriterId(0), 4);
+        assert_eq!(s.shard_count(), 4);
+        for obj in 0..32u64 {
+            s.open(ObjectId(obj));
+            s.write(ObjectId(obj), SimTime::from_secs(1), obj as i64, payload());
+        }
+        // Every object is hosted by exactly the shard the router names.
+        for obj in 0..32u64 {
+            let owner = s.shard_of(ObjectId(obj));
+            assert!(s.shard(owner).replica(ObjectId(obj)).is_ok());
+            for other in 0..4u32 {
+                if other != owner.0 {
+                    assert!(
+                        s.shard(ShardId(other)).replica(ObjectId(obj)).is_err(),
+                        "object {obj} leaked into shard {other}"
+                    );
+                }
+            }
+            assert_eq!(s.read(ObjectId(obj)).unwrap().meta, obj as i64);
+        }
+        // The whole-node object listing is still sorted.
+        let ids: Vec<ObjectId> = s.objects().collect();
+        assert_eq!(ids.len(), 32);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sharded_behaviour_matches_single_map() {
+        // Same operation sequence on S=1 and S=4: identical outcomes.
+        let run = |shards: usize| {
+            let mut s = ShardedStore::with_shards(NodeId(0), WriterId(0), shards);
+            let mut out = Vec::new();
+            for round in 1..=3u64 {
+                for obj in 0..8u64 {
+                    s.open(ObjectId(obj));
+                    let u = s.write(
+                        ObjectId(obj),
+                        SimTime::from_secs(round),
+                        (obj + round) as i64,
+                        payload(),
+                    );
+                    out.push((u.seq(), u.object));
+                }
+            }
+            for obj in 0..8u64 {
+                let snap = s.read(ObjectId(obj)).unwrap();
+                out.push((snap.updates as u64, snap.object));
+            }
+            out
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn into_and_from_shards_round_trip() {
+        let mut s = ShardedStore::with_shards(NodeId(0), WriterId(0), 2);
+        s.open(ObjectId(1));
+        s.write(ObjectId(1), SimTime::from_secs(1), 9, payload());
+        let shards = s.into_shards();
+        assert_eq!(shards.len(), 2);
+        let s = ShardedStore::from_shards(shards);
+        assert_eq!(s.read(ObjectId(1)).unwrap().meta, 9);
     }
 }

@@ -17,6 +17,7 @@
 pub mod error;
 pub mod ids;
 pub mod level;
+pub mod shard;
 pub mod size;
 pub mod time;
 pub mod update;
@@ -24,6 +25,7 @@ pub mod update;
 pub use error::IdeaError;
 pub use ids::{NodeId, ObjectId, WriterId};
 pub use level::{ConsistencyLevel, ErrorTriple};
+pub use shard::{shard_hash, ShardId};
 pub use size::MessageSizeModel;
 pub use time::{SimDuration, SimTime};
 pub use update::{Update, UpdateId, UpdatePayload};

@@ -55,7 +55,7 @@ pub fn measure_active_rounds(
             });
         }
         eng.run_for(SimDuration::from_secs(1));
-        let before = eng.node(NodeId(initiator as u32)).resolution_log().len();
+        let before = eng.node(NodeId(initiator as u32)).resolution_count();
         eng.with_node(NodeId(initiator as u32), |p, ctx| {
             p.demand_active_resolution(OBJ, ctx);
         });

@@ -184,7 +184,7 @@ pub fn run(cfg: &TradeoffConfig) -> Vec<TradeoffRow> {
                     oracle.record(&u);
                 });
             },
-            |eng, w| eng.node(NodeId(w)).store().replica(OBJ).unwrap().version().clone(),
+            |eng, w| eng.node(NodeId(w)).replica(OBJ).unwrap().version().clone(),
         );
         rows.push(TradeoffRow {
             name: "IDEA (hint 90 %)",

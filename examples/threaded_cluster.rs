@@ -19,7 +19,7 @@ fn main() {
     // time_scale 0.01: one virtual second takes 10 wall milliseconds.
     let net = ThreadedEngine::start(
         Topology::planetlab(n, 3),
-        ThreadedConfig { seed: 3, time_scale: 0.01 },
+        ThreadedConfig { seed: 3, time_scale: 0.01, ..Default::default() },
         nodes,
     );
 

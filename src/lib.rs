@@ -66,10 +66,11 @@ pub mod prelude {
         ResolutionPolicy, Weights,
     };
     pub use idea_net::{
-        Context, Proto, SimConfig, SimEngine, ThreadedConfig, ThreadedEngine, Topology,
+        shards_from_env, Context, Proto, ShardedEngine, ShardedProto, SimConfig, SimEngine,
+        ThreadedConfig, ThreadedEngine, Topology,
     };
     pub use idea_types::{
-        ConsistencyLevel, ErrorTriple, NodeId, ObjectId, SimDuration, SimTime, Update,
+        ConsistencyLevel, ErrorTriple, NodeId, ObjectId, ShardId, SimDuration, SimTime, Update,
         UpdatePayload, WriterId,
     };
     pub use idea_vv::{ExtendedVersionVector, VersionVector, VvOrdering};

@@ -46,9 +46,9 @@ proptest! {
         eng.with_node(NodeId(1), |p, ctx| p.demand_active_resolution(OBJ, ctx));
         eng.run_for(SimDuration::from_secs(10));
 
-        let reference = eng.node(NodeId(3)).store().replica(OBJ).unwrap().version().clone();
+        let reference = eng.node(NodeId(3)).replica(OBJ).unwrap().version().clone();
         for w in 0..3u32 {
-            let vv = eng.node(NodeId(w)).store().replica(OBJ).unwrap().version().clone();
+            let vv = eng.node(NodeId(w)).replica(OBJ).unwrap().version().clone();
             prop_assert_eq!(
                 vv.compare(&reference), VvOrdering::Equal,
                 "node {} diverges after resolution (seed {})", w, seed

@@ -45,9 +45,9 @@ fn detect_quantify_resolve_lifecycle() {
     eng.run_for(SimDuration::from_secs(6));
     let metas: Vec<i64> = (0..4).map(|w| eng.node(NodeId(w)).report(OBJ).meta).collect();
     assert!(metas.windows(2).all(|m| m[0] == m[1]), "metas {metas:?}");
-    let vv3 = eng.node(NodeId(3)).store().replica(OBJ).unwrap().version().clone();
+    let vv3 = eng.node(NodeId(3)).replica(OBJ).unwrap().version().clone();
     for w in 0..3 {
-        let vvw = eng.node(NodeId(w)).store().replica(OBJ).unwrap().version().clone();
+        let vvw = eng.node(NodeId(w)).replica(OBJ).unwrap().version().clone();
         assert_eq!(vvw.compare(&vv3), VvOrdering::Equal, "node {w} vector diverges");
     }
 }

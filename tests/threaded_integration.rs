@@ -12,7 +12,7 @@ fn threaded_cluster(n: usize, seed: u64) -> ThreadedEngine<IdeaNode> {
         (0..n).map(|i| IdeaNode::new(NodeId(i as u32), IdeaConfig::default(), &[OBJ])).collect();
     ThreadedEngine::start(
         Topology::planetlab(n, seed),
-        ThreadedConfig { seed, time_scale: 0.02 },
+        ThreadedConfig { seed, time_scale: 0.02, ..Default::default() },
         nodes,
     )
 }
@@ -66,6 +66,74 @@ fn threaded_engine_reports_stats() {
     let total: u64 = snap.per_class.iter().map(|(_, m, _)| *m).sum();
     assert!(total > 0, "traffic must be accounted");
     net.stop();
+}
+
+/// The sharded runtime: `THREADED_SHARDS` workers per node (default 2),
+/// sharded mailboxes and routers. Disjoint objects are processed
+/// concurrently while per-object ordering holds, so every object still
+/// converges through its own detection/resolution rounds.
+#[test]
+fn sharded_threaded_cluster_converges_per_object() {
+    let shards = shards_from_env(2);
+    let n = 4usize;
+    let objects: Vec<ObjectId> = (0..8u64).map(ObjectId).collect();
+    let cfg = IdeaConfig { store_shards: shards, ..Default::default() };
+    let nodes: Vec<IdeaNode> =
+        (0..n).map(|i| IdeaNode::new(NodeId(i as u32), cfg.clone(), &objects)).collect();
+    let net = ShardedEngine::start(
+        Topology::planetlab(n, 9),
+        ThreadedConfig { seed: 9, time_scale: 0.02, shards },
+        nodes,
+    );
+    assert_eq!(net.shards(), shards);
+    assert_eq!(net.len(), n);
+
+    // Warm every object's top layer, then write conflicting values.
+    for _ in 0..3 {
+        for w in 0..n as u32 {
+            for &obj in &objects {
+                let s = ShardId::of(obj, shards).index();
+                net.invoke(NodeId(w), s, move |shard, ctx| {
+                    shard.local_write(obj, 1, UpdatePayload::none(), ctx);
+                });
+            }
+            net.sleep_virtual(SimDuration::from_millis(400));
+        }
+    }
+    net.sleep_virtual(SimDuration::from_secs(4));
+
+    for w in 0..n as u32 {
+        for &obj in &objects {
+            let s = ShardId::of(obj, shards).index();
+            net.invoke(NodeId(w), s, move |shard, ctx| {
+                shard.local_write(obj, 5, UpdatePayload::none(), ctx);
+            });
+        }
+    }
+    net.sleep_virtual(SimDuration::from_secs(2));
+    for &obj in &objects {
+        let s = ShardId::of(obj, shards).index();
+        net.invoke(NodeId(0), s, move |shard, ctx| shard.demand_active_resolution(obj, ctx));
+    }
+    net.sleep_virtual(SimDuration::from_secs(8));
+    thread::sleep(Duration::from_millis(300));
+
+    // A sharded query observes the same state the worker wrote.
+    let first = objects[0];
+    let s = ShardId::of(first, shards).index();
+    let meta = net.query(NodeId(0), s, move |shard, _| shard.report(first).meta);
+    assert!(meta > 0, "worker-owned replica must reflect writes");
+
+    let states = net.stop();
+    assert_eq!(states.len(), n, "stop() reassembles every node from its shards");
+    for &obj in &objects {
+        let metas: Vec<i64> = states.iter().map(|st| st.report(obj).meta).collect();
+        // Threaded runs are not deterministic; allow late stragglers but
+        // demand that a majority agrees with the highest-id reference.
+        let reference = metas[3];
+        let agreeing = metas.iter().filter(|m| **m == reference).count();
+        assert!(agreeing >= 3, "object {obj}: metas {metas:?}");
+    }
 }
 
 #[test]
