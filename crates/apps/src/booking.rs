@@ -10,6 +10,7 @@
 //! resolution whose frequency an [`AutoController`] adjusts inside learned
 //! under/oversell bounds, subject to the Formula-4 bandwidth cap.
 
+use idea_core::client::{apply_to_node, Command, IdeaHost, Response};
 use idea_core::{AutoController, IdeaConfig, IdeaMsg, IdeaNode, NodeReport};
 use idea_net::{Context, Proto, TimerId};
 use idea_types::{NodeId, ObjectId, SimDuration, Update, UpdatePayload};
@@ -131,12 +132,17 @@ impl BookingServer {
             self.rejected_sold_out += 1;
             return (BookOutcome::SoldOut, None);
         }
-        let update = self.node.local_write(
-            self.flight_object,
-            price_cents,
-            UpdatePayload::Booking { flight: self.flight, seats, price_cents },
-            ctx,
-        );
+        // The sale is a client-layer write command — the same unit a remote
+        // booking frontend would submit.
+        let cmd = Command::Write {
+            object: self.flight_object,
+            meta_delta: price_cents,
+            payload: UpdatePayload::Booking { flight: self.flight, seats, price_cents },
+        };
+        let update = match apply_to_node(&mut self.node, cmd, ctx) {
+            Response::Written { update } => update,
+            other => unreachable!("write on the hosted record cannot fail: {other:?}"),
+        };
         self.accepted_seats += seats;
         let local_remaining = self.capacity - (sold + seats);
         (BookOutcome::Accepted { local_remaining }, Some(update))
@@ -170,6 +176,15 @@ impl BookingServer {
     /// Node report for the booking record object.
     pub fn report(&self) -> NodeReport {
         self.node.report(self.flight_object)
+    }
+}
+
+impl IdeaHost for BookingServer {
+    fn idea(&self) -> &IdeaNode {
+        &self.node
+    }
+    fn idea_mut(&mut self) -> &mut IdeaNode {
+        &mut self.node
     }
 }
 

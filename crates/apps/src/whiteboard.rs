@@ -6,6 +6,7 @@
 //! semantics — "these updates make sense only when they are read in order"
 //! (§5.1) — so the default weights are [`Weights::WHITEBOARD`].
 
+use idea_core::client::{apply_to_node, Command, IdeaHost, Response};
 use idea_core::{IdeaConfig, IdeaMsg, IdeaNode, NodeReport, Weights};
 use idea_net::{Context, Proto, TimerId};
 use idea_types::{ConsistencyLevel, NodeId, ObjectId, Update, UpdatePayload};
@@ -64,15 +65,19 @@ impl WhiteboardClient {
         self.board
     }
 
-    /// Draws a stroke: issues the update with the ASCII-sum metadata.
+    /// Draws a stroke: issues the write command with the ASCII-sum
+    /// metadata. Routed through the typed client layer — the same
+    /// [`Command::Write`] a remote session would send.
     pub fn draw(&mut self, x: u16, y: u16, text: &str, ctx: &mut dyn Context<IdeaMsg>) -> Update {
-        let delta = ascii_sum(text);
-        self.node.local_write(
-            self.board,
-            delta,
-            UpdatePayload::Stroke { x, y, text: text.to_string() },
-            ctx,
-        )
+        let cmd = Command::Write {
+            object: self.board,
+            meta_delta: ascii_sum(text),
+            payload: UpdatePayload::Stroke { x, y, text: text.to_string() },
+        };
+        match apply_to_node(&mut self.node, cmd, ctx) {
+            Response::Written { update } => update,
+            other => unreachable!("write on the hosted board cannot fail: {other:?}"),
+        }
     }
 
     /// Renders the replica's current view: last writer wins per cell, in
@@ -101,13 +106,31 @@ impl WhiteboardClient {
 
     /// The participant explicitly demands resolution (§5.1 on-demand mode).
     pub fn demand_resolution(&mut self, ctx: &mut dyn Context<IdeaMsg>) {
-        self.node.demand_active_resolution(self.board, ctx);
+        let _ =
+            apply_to_node(&mut self.node, Command::DemandResolution { object: self.board }, ctx);
     }
 
     /// The participant tells IDEA the consistency is unacceptable,
     /// optionally re-weighting the three metrics (§5.1's three ways).
+    ///
+    /// The dissatisfaction itself (floor raise + resolution) is never
+    /// swallowed: out-of-domain weights are dropped and the feedback still
+    /// applies un-reweighted.
     pub fn complain(&mut self, new_weights: Option<Weights>, ctx: &mut dyn Context<IdeaMsg>) {
-        self.node.user_dissatisfied(self.board, new_weights, ctx);
+        let cmd = Command::Dissatisfied { object: self.board, new_weights };
+        if let Response::Rejected { .. } = apply_to_node(&mut self.node, cmd, ctx) {
+            let fallback = Command::Dissatisfied { object: self.board, new_weights: None };
+            let _ = apply_to_node(&mut self.node, fallback, ctx);
+        }
+    }
+}
+
+impl IdeaHost for WhiteboardClient {
+    fn idea(&self) -> &IdeaNode {
+        &self.node
+    }
+    fn idea_mut(&mut self) -> &mut IdeaNode {
+        &mut self.node
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! Every write is eagerly propagated to every replica and only *commits*
 //! when all acknowledgements return — multiversion-locking flavour
-//! (the paper's ref [1]) reduced to its cost essence: per-write latency of
+//! (the paper's ref \[1\]) reduced to its cost essence: per-write latency of
 //! a full WAN round-trip and per-write fan-out traffic. The right end of
 //! the Figure-2 spectrum: highest overhead, instant "detection" (conflicts
 //! cannot accumulate).

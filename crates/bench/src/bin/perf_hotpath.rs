@@ -2,7 +2,7 @@
 //!
 //! Times the three costs the wire-compaction work targets — pairwise
 //! `triple_against`, shipping a vector (full clone vs compact
-//! [`VvSummary`] encode), and an N-node detect-round simulation — and emits
+//! [`idea_vv::VvSummary`] encode), and an N-node detect-round simulation — and emits
 //! machine-readable `BENCH_hotpath.json` so future PRs have a trajectory to
 //! compare against.
 //!
@@ -23,6 +23,7 @@
 //! (optionally `--seed N`; `--small` runs the N ∈ {10, 80} scale points
 //! and a reduced drain for CI smoke).
 
+use idea_core::client::{Command, EngineHandle};
 use idea_core::{IdeaConfig, IdeaNode};
 use idea_net::{MsgClass, ShardedEngine, SimConfig, SimEngine, ThreadedConfig, Topology};
 use idea_types::{NodeId, ObjectId, ShardId, SimDuration, SimTime, UpdatePayload, WriterId};
@@ -142,16 +143,34 @@ fn detect_round_scenario(
     }
 }
 
+/// How the timed write blast reaches the shard workers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum DrainRoute {
+    /// `ShardedEngine::invoke` closures — the low-level escape hatch.
+    Closure,
+    /// `Command::Write` through `EngineHandle::submit` — the typed client
+    /// layer a network frontend would use.
+    Session,
+}
+
 /// Sharded-vs-unsharded wall clock on the threaded runtime: `writers` hot
 /// nodes of an `n`-node cluster blast `rounds` write waves over `objects`
 /// disjoint objects with no pacing, so the hot nodes' mailboxes backlog and
 /// message processing — not virtual-time sleeping — dominates. The same
 /// workload then drains on `shards` workers per node; with shards > 1 the
-/// backlogged nodes process disjoint objects concurrently.
+/// backlogged nodes process disjoint objects concurrently. `route` selects
+/// closure-injected vs session-routed writes for the timed phase, which is
+/// what pins the command layer's overhead (`client_overhead` in the JSON).
 ///
 /// Returns the stats alongside wall time so the caller can verify both
 /// configurations did equivalent protocol work.
-fn sharded_drain_scenario(n: usize, shards: usize, seed: u64, rounds: usize) -> ScenarioStats {
+fn sharded_drain_scenario(
+    n: usize,
+    shards: usize,
+    seed: u64,
+    rounds: usize,
+    route: DrainRoute,
+) -> ScenarioStats {
     const OBJECTS: u64 = 16;
     const WRITERS_HOT: u32 = 4;
     let objects: Vec<ObjectId> = (1..=OBJECTS).map(ObjectId).collect();
@@ -160,7 +179,7 @@ fn sharded_drain_scenario(n: usize, shards: usize, seed: u64, rounds: usize) -> 
     let nodes: Vec<IdeaNode> =
         (0..n).map(|i| IdeaNode::new(NodeId(i as u32), cfg.clone(), &objects)).collect();
 
-    let eng = ShardedEngine::start(
+    let mut eng = ShardedEngine::start(
         Topology::planetlab(n, seed),
         ThreadedConfig { seed, time_scale: 0.002, shards },
         nodes,
@@ -191,10 +210,22 @@ fn sharded_drain_scenario(n: usize, shards: usize, seed: u64, rounds: usize) -> 
     for _ in 0..rounds {
         for w in 0..writers {
             for &obj in &objects {
-                let s = ShardId::of(obj, shards).index();
-                eng.invoke(NodeId(w), s, move |shard, ctx| {
-                    shard.local_write(obj, 1, UpdatePayload::none(), ctx);
-                });
+                match route {
+                    DrainRoute::Closure => {
+                        let s = ShardId::of(obj, shards).index();
+                        eng.invoke(NodeId(w), s, move |shard, ctx| {
+                            shard.local_write(obj, 1, UpdatePayload::none(), ctx);
+                        });
+                    }
+                    DrainRoute::Session => eng.submit(
+                        NodeId(w),
+                        Command::Write {
+                            object: obj,
+                            meta_delta: 1,
+                            payload: UpdatePayload::none(),
+                        },
+                    ),
+                }
             }
         }
         eng.sleep_virtual(SimDuration::from_millis(500));
@@ -317,8 +348,13 @@ fn main() {
     // workers; see `sharded_drain_scenario`). The smoke uses a smaller
     // cluster so CI exercises the parallel path without the thread storm.
     let (drain_n, drain_rounds) = if small { (24, 3) } else { (80, 6) };
-    let drain_unsharded = sharded_drain_scenario(drain_n, 1, seed, drain_rounds);
-    let drain_sharded = sharded_drain_scenario(drain_n, 4, seed, drain_rounds);
+    let drain_unsharded =
+        sharded_drain_scenario(drain_n, 1, seed, drain_rounds, DrainRoute::Closure);
+    let drain_sharded = sharded_drain_scenario(drain_n, 4, seed, drain_rounds, DrainRoute::Closure);
+    // Client-layer overhead: the identical sharded drain with writes routed
+    // as typed `Command`s through `EngineHandle::submit` instead of raw
+    // closures — pins what the command surface costs on the hot write path.
+    let drain_session = sharded_drain_scenario(drain_n, 4, seed, drain_rounds, DrainRoute::Session);
     let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
 
     let mut json = String::from("{\n");
@@ -378,6 +414,19 @@ fn main() {
         let _ = writeln!(json, "    \"shards_1\": {},", drain_unsharded.json());
         let _ = writeln!(json, "    \"shards_4\": {},", drain_sharded.json());
         let _ = writeln!(json, "    \"wall_speedup_factor\": {speedup:.2}");
+        let _ = writeln!(json, "  }},");
+    }
+    // Command-layer cost on the same sharded drain: session-routed writes
+    // (Command::Write via EngineHandle) vs closure-injected writes. A
+    // factor near 1.0 means the typed surface is free on the hot path.
+    {
+        let factor = drain_session.wall_ms / drain_sharded.wall_ms.max(1e-9);
+        let _ = writeln!(json, "  \"client_overhead\": {{");
+        let _ = writeln!(json, "    \"cores\": {cores},");
+        let _ = writeln!(json, "    \"rounds\": {drain_rounds},");
+        let _ = writeln!(json, "    \"closure_routed\": {},", drain_sharded.json());
+        let _ = writeln!(json, "    \"session_routed\": {},", drain_session.json());
+        let _ = writeln!(json, "    \"session_over_closure_factor\": {factor:.2}");
         let _ = writeln!(json, "  }},");
     }
     // Headline comparison at the acceptance point (N=40, paper workload).

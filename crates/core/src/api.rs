@@ -1,23 +1,32 @@
-//! The developer API of Table 1 (§4.7).
+//! The developer API of Table 1 (§4.7) — the paper-faithful
+//! integer-coded surface, kept as a thin compatibility shim.
 //!
 //! IDEA exposes two interfaces (Figure 6): one to application *developers* —
 //! this module — and one to *end users* (satisfaction feedback, resolution
-//! demands), which lives on [`crate::protocol::IdeaNode`] directly
-//! (`user_dissatisfied`, `demand_active_resolution`).
+//! demands). Both are first-class operations of the typed client layer now:
+//! [`crate::client::Command`] carries every Table-1 setter plus the
+//! end-user operations as plain serializable data, routed to a running node
+//! through any engine's [`crate::client::EngineHandle`]. Each
+//! [`DeveloperApi`] setter below delegates to a one-field
+//! [`crate::client::ConsistencySpec`], so both surfaces validate and apply
+//! identically (pinned by the `spec_shim` test suite).
 //!
-//! | Paper function | Method here |
-//! |---|---|
-//! | `set_consistency_metric(a, b, c)` | [`DeveloperApi::set_consistency_metric`] |
-//! | `set_weight(a, b, c)` | [`DeveloperApi::set_weight`] |
-//! | `set_resolution(r)` | [`DeveloperApi::set_resolution`] |
-//! | `set_hint(h)` | [`DeveloperApi::set_hint`] |
-//! | `demand_active_resolution()` | on `IdeaNode` (needs a live [`idea_net::Context`]) |
-//! | `set_background_freq(f)` | [`DeveloperApi::set_background_freq`] |
+//! | Paper function | Shim method | Typed form |
+//! |---|---|---|
+//! | `set_consistency_metric(a, b, c)` | [`DeveloperApi::set_consistency_metric`] | [`crate::client::ConsistencySpecBuilder::metric`] |
+//! | `set_weight(a, b, c)` | [`DeveloperApi::set_weight`] | [`crate::client::ConsistencySpecBuilder::weights`] |
+//! | `set_resolution(r)` | [`DeveloperApi::set_resolution`] | [`crate::client::ConsistencySpecBuilder::resolution`] |
+//! | `set_hint(h)` | [`DeveloperApi::set_hint`] | [`crate::client::ConsistencySpecBuilder::hint`] |
+//! | `demand_active_resolution()` | — | [`crate::client::Command::DemandResolution`] |
+//! | `set_background_freq(f)` | [`DeveloperApi::set_background_freq`] | [`crate::client::ConsistencySpecBuilder::background_every`] |
+//!
+//! (`demand_active_resolution` needs no shim: it was never a setter.
+//! Sessions issue it as a command; protocol-embedded callers keep using
+//! [`IdeaNode::demand_active_resolution`] with their live context.)
 
+use crate::client::ConsistencySpec;
 use crate::protocol::IdeaNode;
-use crate::quantify::{MaxBounds, Weights};
-use crate::resolution::ResolutionPolicy;
-use idea_types::{IdeaError, Result, SimDuration};
+use idea_types::{Result, SimDuration};
 
 /// The Table-1 configuration surface.
 pub trait DeveloperApi {
@@ -45,49 +54,29 @@ pub trait DeveloperApi {
 
 impl DeveloperApi for IdeaNode {
     fn set_consistency_metric(&mut self, a: f64, b: f64, c: SimDuration) -> Result<()> {
-        if a <= 0.0 || b <= 0.0 || c.is_zero() {
-            return Err(IdeaError::InvalidParameter("consistency metric maxima must be positive"));
-        }
-        self.set_bounds(MaxBounds::new(a, b, c));
-        Ok(())
+        ConsistencySpec::builder().metric(a, b, c).build()?.apply_to(self)
     }
 
     fn set_weight(&mut self, a: f64, b: f64, c: f64) -> Result<()> {
-        if a < 0.0 || b < 0.0 || c < 0.0 || a + b + c <= 0.0 {
-            return Err(IdeaError::InvalidParameter(
-                "weights must be non-negative with a positive sum",
-            ));
-        }
-        self.set_weights(Weights::new(a, b, c));
-        Ok(())
+        ConsistencySpec::builder().weights(a, b, c).build()?.apply_to(self)
     }
 
     fn set_resolution(&mut self, r: u8) -> Result<()> {
-        match ResolutionPolicy::from_code(r) {
-            Some(p) => {
-                self.set_policy(p);
-                Ok(())
-            }
-            None => Err(IdeaError::InvalidParameter("unknown resolution policy code")),
-        }
+        ConsistencySpec::builder().resolution_code(r).build()?.apply_to(self)
     }
 
     fn set_hint(&mut self, h: f64) -> Result<()> {
-        if !(0.0..=1.0).contains(&h) {
-            return Err(IdeaError::InvalidParameter("hint must be within [0, 1]"));
-        }
-        self.hint_mut().set_hint(h);
-        Ok(())
+        ConsistencySpec::builder().hint(h).build()?.apply_to(self)
     }
 
     fn set_background_freq(&mut self, period: Option<SimDuration>) -> Result<()> {
-        if let Some(p) = period {
-            if p.is_zero() {
-                return Err(IdeaError::InvalidParameter("background period must be positive"));
-            }
+        let b = ConsistencySpec::builder();
+        match period {
+            Some(p) => b.background_every(p),
+            None => b.no_background(),
         }
-        self.set_background_period(period);
-        Ok(())
+        .build()?
+        .apply_to(self)
     }
 }
 
@@ -95,6 +84,7 @@ impl DeveloperApi for IdeaNode {
 mod tests {
     use super::*;
     use crate::config::IdeaConfig;
+    use crate::resolution::ResolutionPolicy;
     use idea_types::{NodeId, ObjectId};
 
     fn node() -> IdeaNode {

@@ -1,0 +1,1400 @@
+//! The typed client layer: Figure 6's application-facing interface as
+//! plain-data commands over engine-agnostic sessions.
+//!
+//! The paper splits IDEA's surface into a *developer* interface (Table 1)
+//! and an *end-user* interface (resolution demands, satisfaction feedback).
+//! Historically both were raw methods on [`IdeaNode`] that callers could
+//! only reach from inside an engine callback. This module lifts them into a
+//! serializable [`Command`]/[`Response`] pair — the exact unit a network
+//! frontend can carry — executed through the [`EngineHandle`] trait, which
+//! all three engines implement:
+//!
+//! * [`idea_net::SimEngine`] — commands run deterministically in virtual
+//!   time via `with_node`;
+//! * [`idea_net::ThreadedEngine`] — commands post to the node thread's
+//!   mailbox and block for the response;
+//! * [`idea_net::ShardedEngine`] — commands route to the shard worker
+//!   owning the object (`ShardId::of`, the same hash the message mailboxes
+//!   use); node-wide commands fan out to every shard worker.
+//!
+//! On top of the command layer sit [`Session`] and [`ObjectHandle`] — the
+//! ergonomic application API with per-session defaults (read consistency,
+//! hint, priority). The same session code compiles once and runs unchanged
+//! on any engine.
+//!
+//! Reads are consistency-aware ([`ReadConsistency`]): `Any` serves the
+//! local replica under the configured [`crate::config::ReadPolicy`],
+//! `AtLeast(level)` additionally starts an on-demand detection probe when
+//! the current estimate sits below the requested floor, and `Fresh` always
+//! probes. The probe is asynchronous (§4.2's trigger semantics): the
+//! response reports the level at read time plus whether a probe was
+//! launched, so a client can poll until its floor is met.
+//!
+//! The integer-coded Table-1 setters survive as a compatibility shim
+//! ([`crate::api::DeveloperApi`]); new code builds a typed
+//! [`ConsistencySpec`] instead, validated at construction.
+
+use crate::messages::IdeaMsg;
+use crate::protocol::{IdeaNode, NodeReport, ProtocolShard};
+use crate::quantify::{MaxBounds, Weights};
+use crate::resolution::ResolutionPolicy;
+use idea_net::{Context, Proto, ShardedEngine, ShardedProto, SimEngine, ThreadedEngine};
+use idea_store::Snapshot;
+use idea_types::{
+    ConsistencyLevel, IdeaError, NodeId, ObjectId, Result, SimDuration, SimTime, Update,
+    UpdatePayload,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+// ====================================================================
+// Read consistency
+// ====================================================================
+
+/// How consistent a session read must be (per-operation choice, as in
+/// adaptive-consistency stores that let every read pick its level).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ReadConsistency {
+    /// Serve the local replica; probe only when the configured
+    /// [`crate::config::ReadPolicy`] demands it (the paper's default).
+    #[default]
+    Any,
+    /// Serve the local replica, and start an on-demand detection probe when
+    /// the current level estimate is below this floor, so subsequent reads
+    /// see a fresher estimate (and the adaptive layer can resolve).
+    AtLeast(ConsistencyLevel),
+    /// Always start a detection probe alongside the read — the "retrieve a
+    /// new file" trigger of §4.2, applied unconditionally.
+    Fresh,
+}
+
+// ====================================================================
+// ConsistencySpec: the typed replacement for the Table-1 integer surface
+// ====================================================================
+
+/// Background-resolution choice inside a [`ConsistencySpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BackgroundFreq {
+    /// Disable background resolution.
+    Disabled,
+    /// Run a background round every `period`.
+    Every(SimDuration),
+}
+
+/// A validated bundle of consistency configuration — the typed form of the
+/// Table-1 surface (`set_consistency_metric`, `set_weight`,
+/// `set_resolution`, `set_hint`, `set_background_freq`).
+///
+/// Build one with [`ConsistencySpec::builder`]; every field is optional
+/// ("leave unchanged"), and domains are checked at
+/// [`ConsistencySpecBuilder::build`] time, so an applied spec can no longer
+/// fail. Specs are plain serializable data and travel inside
+/// [`Command::Configure`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConsistencySpec {
+    bounds: Option<MaxBounds>,
+    weights: Option<Weights>,
+    policy: Option<ResolutionPolicy>,
+    hint: Option<f64>,
+    background: Option<BackgroundFreq>,
+}
+
+impl ConsistencySpec {
+    /// Starts an empty builder (all fields "leave unchanged").
+    pub fn builder() -> ConsistencySpecBuilder {
+        ConsistencySpecBuilder::default()
+    }
+
+    /// True when the spec changes nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == ConsistencySpec::default()
+    }
+
+    /// Re-checks every field's domain — used on deserialized specs, whose
+    /// fields never went through the builder.
+    ///
+    /// # Errors
+    /// Returns the same [`IdeaError::InvalidParameter`] the builder would.
+    pub fn validate(&self) -> Result<()> {
+        if let Some(b) = &self.bounds {
+            let positive = b.numerical > 0.0 && b.order > 0.0;
+            if !positive || b.staleness.is_zero() {
+                return Err(IdeaError::InvalidParameter(
+                    "consistency metric maxima must be positive",
+                ));
+            }
+        }
+        if let Some(w) = &self.weights {
+            let non_negative = w.numerical >= 0.0 && w.order >= 0.0 && w.staleness >= 0.0;
+            let positive_sum = w.numerical + w.order + w.staleness > 0.0;
+            if !non_negative || !positive_sum {
+                return Err(IdeaError::InvalidParameter(
+                    "weights must be non-negative with a positive sum",
+                ));
+            }
+        }
+        if let Some(h) = self.hint {
+            if !(0.0..=1.0).contains(&h) {
+                return Err(IdeaError::InvalidParameter("hint must be within [0, 1]"));
+            }
+        }
+        if let Some(BackgroundFreq::Every(p)) = self.background {
+            if p.is_zero() {
+                return Err(IdeaError::InvalidParameter("background period must be positive"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the spec to a whole node (fans node-wide pieces out to every
+    /// shard, exactly like the historical setters).
+    ///
+    /// # Errors
+    /// Fails only when a deserialized spec carries out-of-domain fields
+    /// (see [`ConsistencySpec::validate`]).
+    pub fn apply_to(&self, node: &mut IdeaNode) -> Result<()> {
+        self.validate()?;
+        if let Some(b) = self.bounds {
+            node.set_bounds(b);
+        }
+        if let Some(w) = self.weights {
+            node.set_weights(w);
+        }
+        if let Some(p) = self.policy {
+            node.set_policy(p);
+        }
+        if let Some(h) = self.hint {
+            node.hint_mut().set_hint(h);
+        }
+        match self.background {
+            Some(BackgroundFreq::Disabled) => node.set_background_period(None),
+            Some(BackgroundFreq::Every(p)) => node.set_background_period(Some(p)),
+            None => {}
+        }
+        Ok(())
+    }
+
+    /// Applies the spec to one shard (the sharded engine fans the same spec
+    /// out to every worker; the hint floor is node-wide behind the shared
+    /// core, so repeated application is idempotent).
+    ///
+    /// # Errors
+    /// Fails only when a deserialized spec carries out-of-domain fields.
+    pub fn apply_to_shard(&self, shard: &mut ProtocolShard) -> Result<()> {
+        self.validate()?;
+        if let Some(b) = self.bounds {
+            shard.set_bounds(b);
+        }
+        if let Some(w) = self.weights {
+            shard.set_weights(w);
+        }
+        if let Some(p) = self.policy {
+            shard.set_policy(p);
+        }
+        if let Some(h) = self.hint {
+            shard.set_hint_floor(h);
+        }
+        match self.background {
+            Some(BackgroundFreq::Disabled) => shard.set_background_period(None),
+            Some(BackgroundFreq::Every(p)) => shard.set_background_period(Some(p)),
+            None => {}
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ConsistencySpec`]; domains are verified in
+/// [`ConsistencySpecBuilder::build`].
+#[derive(Debug, Clone, Default)]
+pub struct ConsistencySpecBuilder {
+    spec: ConsistencySpec,
+    policy_code: Option<u8>,
+}
+
+impl ConsistencySpecBuilder {
+    /// Casts the application onto IDEA's metric: saturation maxima for the
+    /// numerical, order and staleness members (Table-1
+    /// `set_consistency_metric(a, b, c)`).
+    pub fn metric(mut self, numerical: f64, order: f64, staleness: SimDuration) -> Self {
+        self.spec.bounds = Some(MaxBounds { numerical, order, staleness });
+        self
+    }
+
+    /// Sets the Formula-1 weights (Table-1 `set_weight(a, b, c)`). A member
+    /// is disabled by weight 0.
+    pub fn weights(mut self, numerical: f64, order: f64, staleness: f64) -> Self {
+        self.spec.weights = Some(Weights { numerical, order, staleness });
+        self
+    }
+
+    /// Selects the resolution strategy by its typed name.
+    pub fn resolution(mut self, policy: ResolutionPolicy) -> Self {
+        self.spec.policy = Some(policy);
+        self.policy_code = None;
+        self
+    }
+
+    /// Selects the resolution strategy by its Table-1 integer code
+    /// (1 = invalidate both, 2 = highest id wins, 3 = priority wins) —
+    /// the compatibility path; prefer [`ConsistencySpecBuilder::resolution`].
+    pub fn resolution_code(mut self, code: u8) -> Self {
+        self.policy_code = Some(code);
+        self.spec.policy = None;
+        self
+    }
+
+    /// Sets the hint floor in `[0, 1]` (Table-1 `set_hint(h)`); 0 marks the
+    /// system as not hint-based, 1 tolerates no inconsistency.
+    pub fn hint(mut self, hint: f64) -> Self {
+        self.spec.hint = Some(hint);
+        self
+    }
+
+    /// Runs background resolution every `period` (Table-1
+    /// `set_background_freq(f)`, as a period).
+    pub fn background_every(mut self, period: SimDuration) -> Self {
+        self.spec.background = Some(BackgroundFreq::Every(period));
+        self
+    }
+
+    /// Disables background resolution.
+    pub fn no_background(mut self) -> Self {
+        self.spec.background = Some(BackgroundFreq::Disabled);
+        self
+    }
+
+    /// Validates every provided field and returns the immutable spec.
+    ///
+    /// # Errors
+    /// Fails with [`IdeaError::InvalidParameter`] on non-positive metric
+    /// maxima, negative or all-zero weights, an unknown resolution code, a
+    /// hint outside `[0, 1]`, or a zero background period.
+    pub fn build(mut self) -> Result<ConsistencySpec> {
+        if let Some(code) = self.policy_code {
+            self.spec.policy = Some(
+                ResolutionPolicy::from_code(code)
+                    .ok_or(IdeaError::InvalidParameter("unknown resolution policy code"))?,
+            );
+        }
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+}
+
+// ====================================================================
+// Command / Response: the serializable operation surface
+// ====================================================================
+
+/// One client operation against a node — plain serializable data, the wire
+/// unit a future TCP frontend will carry. Covers the end-user interface
+/// (write, read, peek, level, report, demand-resolution, dissatisfaction)
+/// and every Table-1 setter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Command {
+    /// Issue a local write (§4.2 trigger).
+    Write {
+        /// Object to write.
+        object: ObjectId,
+        /// Critical-metadata delta the write contributes.
+        meta_delta: i64,
+        /// Application payload.
+        payload: UpdatePayload,
+    },
+    /// Read the object at the requested consistency.
+    Read {
+        /// Object to read.
+        object: ObjectId,
+        /// Per-operation consistency requirement.
+        consistency: ReadConsistency,
+    },
+    /// Cheap poll of the value view — never triggers detection.
+    Peek {
+        /// Object to peek at.
+        object: ObjectId,
+    },
+    /// The node's current consistency-level estimate.
+    Level {
+        /// Object queried.
+        object: ObjectId,
+    },
+    /// Full node report for the object.
+    Report {
+        /// Object reported on.
+        object: ObjectId,
+    },
+    /// End-user demand for an active resolution (§5.1 on-demand mode).
+    DemandResolution {
+        /// Object to resolve.
+        object: ObjectId,
+    },
+    /// End-user dissatisfaction feedback (§5.1): raise the hint floor by Δ
+    /// and resolve, optionally re-weighting the metrics first.
+    Dissatisfied {
+        /// Object the user is unhappy about.
+        object: ObjectId,
+        /// Optional re-weighting of the three metrics.
+        new_weights: Option<Weights>,
+    },
+    /// Table-1 `set_consistency_metric(a, b, c)`.
+    SetConsistencyMetric {
+        /// Numerical-error saturation maximum.
+        numerical_max: f64,
+        /// Order-error saturation maximum.
+        order_max: f64,
+        /// Staleness saturation maximum.
+        staleness_max: SimDuration,
+    },
+    /// Table-1 `set_weight(a, b, c)`.
+    SetWeight {
+        /// Numerical-error weight.
+        numerical: f64,
+        /// Order-error weight.
+        order: f64,
+        /// Staleness weight.
+        staleness: f64,
+    },
+    /// Table-1 `set_resolution(r)` by integer code.
+    SetResolution {
+        /// Policy code (1 = invalidate both, 2 = highest id, 3 = priority).
+        code: u8,
+    },
+    /// Table-1 `set_hint(h)`.
+    SetHint {
+        /// Hint floor in `[0, 1]`.
+        hint: f64,
+    },
+    /// Table-1 `set_background_freq(f)` (as a period; `None` disables).
+    SetBackgroundFreq {
+        /// Background-resolution period.
+        period: Option<SimDuration>,
+    },
+    /// Assigns a priority rank to a node (for
+    /// [`ResolutionPolicy::PriorityWins`]).
+    SetPriority {
+        /// Node whose rank is being set.
+        node: NodeId,
+        /// Priority rank (higher wins).
+        priority: u8,
+    },
+    /// Applies a whole [`ConsistencySpec`] atomically.
+    Configure {
+        /// The validated spec to apply.
+        spec: ConsistencySpec,
+    },
+}
+
+impl Command {
+    /// The object a command addresses, when it is object-addressed — the
+    /// routing key the sharded engine hashes (`ShardId::of`). Node-wide
+    /// commands (the Table-1 setters) return `None` and fan out to every
+    /// shard instead.
+    pub fn object(&self) -> Option<ObjectId> {
+        match self {
+            Command::Write { object, .. }
+            | Command::Read { object, .. }
+            | Command::Peek { object }
+            | Command::Level { object }
+            | Command::Report { object }
+            | Command::DemandResolution { object }
+            | Command::Dissatisfied { object, .. } => Some(*object),
+            Command::SetConsistencyMetric { .. }
+            | Command::SetWeight { .. }
+            | Command::SetResolution { .. }
+            | Command::SetHint { .. }
+            | Command::SetBackgroundFreq { .. }
+            | Command::SetPriority { .. }
+            | Command::Configure { .. } => None,
+        }
+    }
+}
+
+/// What a read or peek returns over the command layer: the replica's value
+/// view plus the node's level estimate — serializable, unlike the borrowing
+/// store snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadResult {
+    /// The object read.
+    pub object: ObjectId,
+    /// Critical metadata value at read time.
+    pub meta: i64,
+    /// Updates reflected in the replica.
+    pub updates: usize,
+    /// Issue time of the newest applied update, if any.
+    pub latest_update: Option<SimTime>,
+    /// The node's consistency-level estimate at read time.
+    pub level: ConsistencyLevel,
+    /// Whether this read launched a detection probe (read-policy or
+    /// consistency-floor triggered).
+    pub probed: bool,
+}
+
+impl ReadResult {
+    fn from_snapshot(snap: &Snapshot, level: ConsistencyLevel, probed: bool) -> Self {
+        ReadResult {
+            object: snap.object,
+            meta: snap.meta,
+            updates: snap.updates,
+            latest_update: snap.latest_update,
+            level,
+            probed,
+        }
+    }
+
+    /// Copies the scalar fields straight off the borrowing view — no
+    /// version-vector clone, which is the whole point of `Peek`.
+    fn from_view(view: &idea_store::SnapshotView<'_>, level: ConsistencyLevel) -> Self {
+        ReadResult {
+            object: view.object,
+            meta: view.meta,
+            updates: view.updates,
+            latest_update: view.latest_update,
+            level,
+            probed: false,
+        }
+    }
+}
+
+/// The outcome of one [`Command`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The command succeeded and has no payload.
+    Done,
+    /// A write was applied; the sanctioned update is returned.
+    Written {
+        /// The update as recorded by the local replica.
+        update: Update,
+    },
+    /// A read or peek succeeded.
+    Value {
+        /// The replica's value view.
+        read: ReadResult,
+    },
+    /// A level query succeeded.
+    Level {
+        /// The node's current estimate.
+        level: ConsistencyLevel,
+    },
+    /// A report query succeeded.
+    Report {
+        /// The full per-object node report.
+        report: NodeReport,
+    },
+    /// The command was rejected (unknown object, out-of-domain parameter).
+    Rejected {
+        /// Human-readable reason, rendered from the typed error.
+        reason: String,
+    },
+}
+
+impl Response {
+    fn err(e: IdeaError) -> Response {
+        Response::Rejected { reason: e.to_string() }
+    }
+}
+
+/// A rejected command, surfaced by the [`Session`] API.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandError {
+    /// Why the command was rejected.
+    pub reason: String,
+}
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "command rejected: {}", self.reason)
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl From<IdeaError> for CommandError {
+    fn from(e: IdeaError) -> Self {
+        CommandError { reason: e.to_string() }
+    }
+}
+
+/// Maps an unexpected response shape to a [`CommandError`].
+fn unexpected(what: &'static str, got: Response) -> CommandError {
+    match got {
+        Response::Rejected { reason } => CommandError { reason },
+        other => CommandError { reason: format!("expected {what}, got {other:?}") },
+    }
+}
+
+// ====================================================================
+// Command execution
+// ====================================================================
+
+/// Executes one command against a whole node (single-worker engines; also
+/// the path the applications use from inside protocol callbacks).
+pub fn apply_to_node(
+    node: &mut IdeaNode,
+    cmd: Command,
+    ctx: &mut dyn Context<IdeaMsg>,
+) -> Response {
+    match cmd {
+        Command::Write { object, meta_delta, payload } => {
+            if let Err(e) = node.replica(object) {
+                return Response::err(e);
+            }
+            Response::Written { update: node.local_write(object, meta_delta, payload, ctx) }
+        }
+        Command::Read { object, consistency } => match node.read_with(object, consistency, ctx) {
+            Ok((snap, probed)) => Response::Value {
+                read: ReadResult::from_snapshot(&snap, node.level(object), probed),
+            },
+            Err(e) => Response::err(e),
+        },
+        Command::Peek { object } => match node.peek(object) {
+            Ok(view) => {
+                let read = ReadResult::from_view(&view, node.level(object));
+                Response::Value { read }
+            }
+            Err(e) => Response::err(e),
+        },
+        Command::Level { object } => match node.replica(object) {
+            Ok(_) => Response::Level { level: node.level(object) },
+            Err(e) => Response::err(e),
+        },
+        Command::Report { object } => match node.replica(object) {
+            Ok(_) => Response::Report { report: node.report(object) },
+            Err(e) => Response::err(e),
+        },
+        Command::DemandResolution { object } => {
+            if let Err(e) = node.replica(object) {
+                return Response::err(e);
+            }
+            node.demand_active_resolution(object, ctx);
+            Response::Done
+        }
+        Command::Dissatisfied { object, new_weights } => {
+            if let Err(e) = node.replica(object) {
+                return Response::err(e);
+            }
+            if let Err(e) = validate_weights(&new_weights) {
+                return Response::err(e);
+            }
+            node.user_dissatisfied(object, new_weights, ctx);
+            Response::Done
+        }
+        Command::SetPriority { node: target, priority } => {
+            node.set_priority(target, priority);
+            Response::Done
+        }
+        other => match setter_spec(other) {
+            Ok(spec) => match spec.apply_to(node) {
+                Ok(()) => Response::Done,
+                Err(e) => Response::err(e),
+            },
+            Err(e) => Response::err(e),
+        },
+    }
+}
+
+/// Executes one command against a single shard — the sharded engine's unit
+/// of dispatch. Object-addressed commands must be routed to the owning
+/// shard (`ShardId::of`, the same hash the message mailboxes use);
+/// node-wide setters are applied to this shard only, the engine fans them
+/// out.
+pub fn apply_to_shard(
+    shard: &mut ProtocolShard,
+    cmd: Command,
+    ctx: &mut dyn Context<IdeaMsg>,
+) -> Response {
+    match cmd {
+        Command::Write { object, meta_delta, payload } => {
+            if let Err(e) = shard.store().replica(object) {
+                return Response::err(e);
+            }
+            Response::Written { update: shard.local_write(object, meta_delta, payload, ctx) }
+        }
+        Command::Read { object, consistency } => match shard.read_with(object, consistency, ctx) {
+            Ok((snap, probed)) => Response::Value {
+                read: ReadResult::from_snapshot(&snap, shard.level(object), probed),
+            },
+            Err(e) => Response::err(e),
+        },
+        Command::Peek { object } => match shard.peek(object) {
+            Ok(view) => {
+                let read = ReadResult::from_view(&view, shard.level(object));
+                Response::Value { read }
+            }
+            Err(e) => Response::err(e),
+        },
+        Command::Level { object } => match shard.store().replica(object) {
+            Ok(_) => Response::Level { level: shard.level(object) },
+            Err(e) => Response::err(e),
+        },
+        Command::Report { object } => match shard.store().replica(object) {
+            Ok(_) => Response::Report { report: shard.report(object) },
+            Err(e) => Response::err(e),
+        },
+        Command::DemandResolution { object } => {
+            if let Err(e) = shard.store().replica(object) {
+                return Response::err(e);
+            }
+            shard.demand_active_resolution(object, ctx);
+            Response::Done
+        }
+        Command::Dissatisfied { object, new_weights } => {
+            if let Err(e) = shard.store().replica(object) {
+                return Response::err(e);
+            }
+            if let Err(e) = validate_weights(&new_weights) {
+                return Response::err(e);
+            }
+            shard.user_dissatisfied(object, new_weights, ctx);
+            Response::Done
+        }
+        Command::SetPriority { node: target, priority } => {
+            shard.set_priority(target, priority);
+            Response::Done
+        }
+        other => match setter_spec(other) {
+            Ok(spec) => match spec.apply_to_shard(shard) {
+                Ok(()) => Response::Done,
+                Err(e) => Response::err(e),
+            },
+            Err(e) => Response::err(e),
+        },
+    }
+}
+
+fn validate_weights(w: &Option<Weights>) -> Result<()> {
+    if let Some(w) = w {
+        ConsistencySpec::builder().weights(w.numerical, w.order, w.staleness).build()?;
+    }
+    Ok(())
+}
+
+/// Lowers a Table-1 setter command to a validated one-field spec.
+fn setter_spec(cmd: Command) -> Result<ConsistencySpec> {
+    let b = ConsistencySpec::builder();
+    match cmd {
+        Command::SetConsistencyMetric { numerical_max, order_max, staleness_max } => {
+            b.metric(numerical_max, order_max, staleness_max).build()
+        }
+        Command::SetWeight { numerical, order, staleness } => {
+            b.weights(numerical, order, staleness).build()
+        }
+        Command::SetResolution { code } => b.resolution_code(code).build(),
+        Command::SetHint { hint } => b.hint(hint).build(),
+        Command::SetBackgroundFreq { period: Some(p) } => b.background_every(p).build(),
+        Command::SetBackgroundFreq { period: None } => b.no_background().build(),
+        Command::Configure { spec } => {
+            spec.validate()?;
+            Ok(spec)
+        }
+        other => unreachable!("not a setter command: {other:?}"),
+    }
+}
+
+// ====================================================================
+// EngineHandle: one execution surface over all three engines
+// ====================================================================
+
+/// A running deployment that can execute client [`Command`]s against its
+/// nodes. Implemented by all three engines, so session-based application
+/// code compiles once and runs unchanged on any of them.
+pub trait EngineHandle {
+    /// Number of nodes in the deployment.
+    fn nodes(&self) -> usize;
+
+    /// Executes `cmd` on `node` and waits for the response. On the
+    /// deterministic engine this runs inline in virtual time; on the
+    /// threaded engines it posts to the owning worker's mailbox and blocks
+    /// for the reply.
+    fn execute(&mut self, node: NodeId, cmd: Command) -> Response;
+
+    /// Fire-and-forget variant: posts the command without waiting for its
+    /// response (the write-drain fast path on the threaded engines; the
+    /// deterministic engine executes inline and discards the response).
+    fn submit(&mut self, node: NodeId, cmd: Command) {
+        let _ = self.execute(node, cmd);
+    }
+}
+
+/// Anything that embeds an [`IdeaNode`] — the identity for `IdeaNode`
+/// itself, and the applications' client types (white board, booking) in
+/// `idea-apps`. This is what lets the engine handles drive application
+/// protocols through the same command layer.
+pub trait IdeaHost {
+    /// The embedded IDEA node.
+    fn idea(&self) -> &IdeaNode;
+    /// Mutable access to the embedded IDEA node.
+    fn idea_mut(&mut self) -> &mut IdeaNode;
+}
+
+impl IdeaHost for IdeaNode {
+    fn idea(&self) -> &IdeaNode {
+        self
+    }
+    fn idea_mut(&mut self) -> &mut IdeaNode {
+        self
+    }
+}
+
+impl<P> EngineHandle for SimEngine<P>
+where
+    P: Proto<Msg = IdeaMsg> + IdeaHost,
+{
+    fn nodes(&self) -> usize {
+        self.len()
+    }
+
+    fn execute(&mut self, node: NodeId, cmd: Command) -> Response {
+        if node.index() >= self.len() {
+            return Response::err(IdeaError::UnknownNode(node));
+        }
+        self.with_node(node, |p, ctx| apply_to_node(p.idea_mut(), cmd, ctx))
+    }
+}
+
+impl<P> EngineHandle for ThreadedEngine<P>
+where
+    P: Proto<Msg = IdeaMsg> + IdeaHost + 'static,
+{
+    fn nodes(&self) -> usize {
+        self.len()
+    }
+
+    fn execute(&mut self, node: NodeId, cmd: Command) -> Response {
+        if node.index() >= self.len() {
+            return Response::err(IdeaError::UnknownNode(node));
+        }
+        self.query(node, move |p, ctx| apply_to_node(p.idea_mut(), cmd, ctx))
+    }
+
+    fn submit(&mut self, node: NodeId, cmd: Command) {
+        if node.index() >= self.len() {
+            return;
+        }
+        self.invoke(node, move |p, ctx| {
+            let _ = apply_to_node(p.idea_mut(), cmd, ctx);
+        });
+    }
+}
+
+impl<P> EngineHandle for ShardedEngine<P>
+where
+    P: ShardedProto<Msg = IdeaMsg, Shard = ProtocolShard> + 'static,
+{
+    fn nodes(&self) -> usize {
+        self.len()
+    }
+
+    fn execute(&mut self, node: NodeId, cmd: Command) -> Response {
+        if node.index() >= self.len() {
+            return Response::err(IdeaError::UnknownNode(node));
+        }
+        match cmd {
+            // The report aggregates node-wide pieces across shard workers,
+            // exactly like `IdeaNode::report` does in-process.
+            Command::Report { object } => {
+                let owner = self.shard_for_object(object);
+                let report = self.query(node, owner, move |s, ctx| {
+                    apply_to_shard(s, Command::Report { object }, ctx)
+                });
+                let Response::Report { mut report } = report else {
+                    return report; // Rejected (unknown object)
+                };
+                for shard in (0..self.shards()).filter(|&s| s != owner) {
+                    report.resolutions_initiated +=
+                        self.query(node, shard, |s, _| s.resolutions_completed());
+                }
+                Response::Report { report }
+            }
+            // Re-weighting on dissatisfaction is node-wide: fan the weights
+            // to every worker, then resolve on the owning shard (the same
+            // split `IdeaNode::user_dissatisfied` performs). The owning
+            // shard validates object and weights *before* the fan-out so a
+            // rejected command mutates nothing — the same atomicity the
+            // single-worker engines get from their up-front checks.
+            Command::Dissatisfied { object, new_weights: Some(w) } => {
+                match self.dissatisfied_checks(node, object, w) {
+                    Response::Done => {}
+                    rejected => return rejected,
+                }
+                let weights = Command::SetWeight {
+                    numerical: w.numerical,
+                    order: w.order,
+                    staleness: w.staleness,
+                };
+                let r = self.fan_out(node, weights);
+                if !matches!(r, Response::Done) {
+                    return r;
+                }
+                let owner = self.shard_for_object(object);
+                self.query(node, owner, move |s, ctx| {
+                    apply_to_shard(s, Command::Dissatisfied { object, new_weights: None }, ctx)
+                })
+            }
+            cmd => match cmd.object() {
+                Some(object) => {
+                    let owner = self.shard_for_object(object);
+                    self.query(node, owner, move |s, ctx| apply_to_shard(s, cmd, ctx))
+                }
+                None => self.fan_out(node, cmd),
+            },
+        }
+    }
+
+    fn submit(&mut self, node: NodeId, cmd: Command) {
+        if node.index() >= self.len() {
+            return;
+        }
+        match cmd {
+            // Same node-wide split as execute(): without it the
+            // re-weighting would land on the owning shard alone.
+            Command::Dissatisfied { new_weights: Some(_), .. } => {
+                let _ = self.execute(node, cmd);
+            }
+            cmd => match cmd.object() {
+                Some(object) => {
+                    let owner = self.shard_for_object(object);
+                    self.invoke(node, owner, move |s, ctx| {
+                        let _ = apply_to_shard(s, cmd, ctx);
+                    });
+                }
+                None => {
+                    let _ = self.fan_out(node, cmd);
+                }
+            },
+        }
+    }
+}
+
+/// Node-wide helpers for the sharded engine's command routing.
+trait FanOut {
+    /// Applies the same command on every shard worker, returning the first
+    /// rejection (shards validate identically, so either all accept or all
+    /// reject).
+    fn fan_out(&self, node: NodeId, cmd: Command) -> Response;
+
+    /// Side-effect-free validation of a re-weighting dissatisfaction:
+    /// weights in domain, object hosted by its owning shard. `Done` means
+    /// the mutating fan-out may proceed.
+    fn dissatisfied_checks(&self, node: NodeId, object: ObjectId, w: Weights) -> Response;
+}
+
+impl<P> FanOut for ShardedEngine<P>
+where
+    P: ShardedProto<Msg = IdeaMsg, Shard = ProtocolShard> + 'static,
+{
+    fn fan_out(&self, node: NodeId, cmd: Command) -> Response {
+        let mut out = Response::Done;
+        for shard in 0..self.shards() {
+            let c = cmd.clone();
+            let r = self.query(node, shard, move |s, ctx| apply_to_shard(s, c, ctx));
+            if matches!(r, Response::Rejected { .. }) {
+                return r;
+            }
+            out = r;
+        }
+        out
+    }
+
+    fn dissatisfied_checks(&self, node: NodeId, object: ObjectId, w: Weights) -> Response {
+        if let Err(e) = validate_weights(&Some(w)) {
+            return Response::err(e);
+        }
+        let owner = self.shard_for_object(object);
+        self.query(node, owner, move |s, _| match s.store().replica(object) {
+            Ok(_) => Response::Done,
+            Err(e) => Response::err(e),
+        })
+    }
+}
+
+// ====================================================================
+// Session / ObjectHandle: the ergonomic application API
+// ====================================================================
+
+/// A client session bound to one node of a running deployment. Carries the
+/// session defaults (read consistency; hint and priority are set through
+/// the session-level setters) and hands out per-object [`ObjectHandle`]s.
+///
+/// ```
+/// use idea_core::client::{ReadConsistency, Session};
+/// use idea_core::{IdeaConfig, IdeaNode};
+/// use idea_net::{SimConfig, SimEngine, Topology};
+/// use idea_types::{ConsistencyLevel, NodeId, ObjectId, UpdatePayload};
+///
+/// let object = ObjectId(1);
+/// let nodes: Vec<IdeaNode> =
+///     (0..2).map(|i| IdeaNode::new(NodeId(i), IdeaConfig::default(), &[object])).collect();
+/// let mut net = SimEngine::new(Topology::lan(2), SimConfig::default(), nodes);
+///
+/// let mut session = Session::open(&mut net, NodeId(0))
+///     .read_consistency(ReadConsistency::AtLeast(ConsistencyLevel::new(0.9)));
+/// let mut board = session.object(object);
+/// board.write(7, UpdatePayload::none()).unwrap();
+/// let read = board.read().unwrap();
+/// assert_eq!(read.meta, 7);
+/// ```
+pub struct Session<'e, E: EngineHandle + ?Sized> {
+    engine: &'e mut E,
+    node: NodeId,
+    read: ReadConsistency,
+}
+
+impl<'e, E: EngineHandle + ?Sized> Session<'e, E> {
+    /// Opens a session against `node` of a running deployment.
+    pub fn open(engine: &'e mut E, node: NodeId) -> Self {
+        Session { engine, node, read: ReadConsistency::Any }
+    }
+
+    /// The node this session talks to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sets the session's default read consistency (used by
+    /// [`ObjectHandle::read`]).
+    pub fn read_consistency(mut self, read: ReadConsistency) -> Self {
+        self.read = read;
+        self
+    }
+
+    /// Executes a raw command on the session's node.
+    pub fn execute(&mut self, cmd: Command) -> Response {
+        self.engine.execute(self.node, cmd)
+    }
+
+    /// Posts a raw command without waiting for the response.
+    pub fn submit(&mut self, cmd: Command) {
+        self.engine.submit(self.node, cmd);
+    }
+
+    /// Applies a validated [`ConsistencySpec`] to the session's node.
+    ///
+    /// # Errors
+    /// Propagates a rejection (only possible for hand-built or
+    /// deserialized specs that bypassed the builder).
+    pub fn configure(&mut self, spec: ConsistencySpec) -> std::result::Result<(), CommandError> {
+        match self.execute(Command::Configure { spec }) {
+            Response::Done => Ok(()),
+            other => Err(unexpected("Done", other)),
+        }
+    }
+
+    /// Sets this session's hint floor (Table-1 `set_hint`; node-wide on the
+    /// session's node).
+    ///
+    /// # Errors
+    /// Fails when the hint is outside `[0, 1]`.
+    pub fn set_hint(&mut self, hint: f64) -> std::result::Result<(), CommandError> {
+        match self.execute(Command::SetHint { hint }) {
+            Response::Done => Ok(()),
+            other => Err(unexpected("Done", other)),
+        }
+    }
+
+    /// Registers this session's node priority (for
+    /// [`ResolutionPolicy::PriorityWins`]) on **every** node of the
+    /// deployment — priorities are consulted by whichever node initiates a
+    /// resolution.
+    ///
+    /// # Errors
+    /// Propagates the first rejection.
+    pub fn set_priority(&mut self, priority: u8) -> std::result::Result<(), CommandError> {
+        let me = self.node;
+        for i in 0..self.engine.nodes() {
+            let r =
+                self.engine.execute(NodeId(i as u32), Command::SetPriority { node: me, priority });
+            if !matches!(r, Response::Done) {
+                return Err(unexpected("Done", r));
+            }
+        }
+        Ok(())
+    }
+
+    /// A handle on one replicated object through this session.
+    pub fn object(&mut self, object: ObjectId) -> ObjectHandle<'_, 'e, E> {
+        ObjectHandle { session: self, object }
+    }
+}
+
+/// One replicated object as seen through a [`Session`].
+pub struct ObjectHandle<'s, 'e, E: EngineHandle + ?Sized> {
+    session: &'s mut Session<'e, E>,
+    object: ObjectId,
+}
+
+impl<E: EngineHandle + ?Sized> ObjectHandle<'_, '_, E> {
+    /// The object this handle addresses.
+    pub fn id(&self) -> ObjectId {
+        self.object
+    }
+
+    /// Writes to the object and returns the sanctioned update.
+    ///
+    /// # Errors
+    /// Fails when the session's node hosts no replica of the object.
+    pub fn write(
+        &mut self,
+        meta_delta: i64,
+        payload: UpdatePayload,
+    ) -> std::result::Result<Update, CommandError> {
+        let object = self.object;
+        match self.session.execute(Command::Write { object, meta_delta, payload }) {
+            Response::Written { update } => Ok(update),
+            other => Err(unexpected("Written", other)),
+        }
+    }
+
+    /// Posts a write without waiting for the sanctioned update — the
+    /// fire-and-forget fast path.
+    pub fn post(&mut self, meta_delta: i64, payload: UpdatePayload) {
+        let object = self.object;
+        self.session.submit(Command::Write { object, meta_delta, payload });
+    }
+
+    /// Reads the object at the session's default read consistency.
+    ///
+    /// # Errors
+    /// Fails when the session's node hosts no replica of the object.
+    pub fn read(&mut self) -> std::result::Result<ReadResult, CommandError> {
+        let consistency = self.session.read;
+        self.read_with(consistency)
+    }
+
+    /// Reads the object at an explicit per-operation consistency.
+    ///
+    /// # Errors
+    /// Fails when the session's node hosts no replica of the object.
+    pub fn read_with(
+        &mut self,
+        consistency: ReadConsistency,
+    ) -> std::result::Result<ReadResult, CommandError> {
+        let object = self.object;
+        match self.session.execute(Command::Read { object, consistency }) {
+            Response::Value { read } => Ok(read),
+            other => Err(unexpected("Value", other)),
+        }
+    }
+
+    /// Cheap poll of the value view; never triggers detection.
+    ///
+    /// # Errors
+    /// Fails when the session's node hosts no replica of the object.
+    pub fn peek(&mut self) -> std::result::Result<ReadResult, CommandError> {
+        let object = self.object;
+        match self.session.execute(Command::Peek { object }) {
+            Response::Value { read } => Ok(read),
+            other => Err(unexpected("Value", other)),
+        }
+    }
+
+    /// The node's current consistency-level estimate for the object.
+    ///
+    /// # Errors
+    /// Fails when the node is unknown or hosts no replica of the object —
+    /// surfaced rather than mapped to a sentinel level, so a poll-until-
+    /// floor loop cannot spin forever against a nonexistent target.
+    pub fn level(&mut self) -> std::result::Result<ConsistencyLevel, CommandError> {
+        let object = self.object;
+        match self.session.execute(Command::Level { object }) {
+            Response::Level { level } => Ok(level),
+            other => Err(unexpected("Level", other)),
+        }
+    }
+
+    /// Full node report for the object.
+    ///
+    /// # Errors
+    /// Fails when the command is rejected (unknown node).
+    pub fn report(&mut self) -> std::result::Result<NodeReport, CommandError> {
+        let object = self.object;
+        match self.session.execute(Command::Report { object }) {
+            Response::Report { report } => Ok(report),
+            other => Err(unexpected("Report", other)),
+        }
+    }
+
+    /// Demands an active resolution of the object (§5.1 on-demand mode).
+    ///
+    /// # Errors
+    /// Fails when the session's node hosts no replica of the object.
+    pub fn demand_resolution(&mut self) -> std::result::Result<(), CommandError> {
+        let object = self.object;
+        match self.session.execute(Command::DemandResolution { object }) {
+            Response::Done => Ok(()),
+            other => Err(unexpected("Done", other)),
+        }
+    }
+
+    /// Tells IDEA the current consistency is unacceptable (§5.1): raises
+    /// the hint floor by Δ and resolves, optionally re-weighting first.
+    ///
+    /// # Errors
+    /// Fails when the session's node hosts no replica of the object or the
+    /// weights are out of domain.
+    pub fn dissatisfied(
+        &mut self,
+        new_weights: Option<Weights>,
+    ) -> std::result::Result<(), CommandError> {
+        let object = self.object;
+        match self.session.execute(Command::Dissatisfied { object, new_weights }) {
+            Response::Done => Ok(()),
+            other => Err(unexpected("Done", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::DeveloperApi;
+    use crate::config::IdeaConfig;
+    use idea_net::{SimConfig, Topology};
+
+    const OBJ: ObjectId = ObjectId(1);
+
+    fn engine(n: usize) -> SimEngine<IdeaNode> {
+        let nodes: Vec<IdeaNode> = (0..n)
+            .map(|i| IdeaNode::new(NodeId(i as u32), IdeaConfig::default(), &[OBJ]))
+            .collect();
+        SimEngine::new(Topology::lan(n), SimConfig::default(), nodes)
+    }
+
+    #[test]
+    fn spec_builder_validates_at_construction() {
+        assert!(ConsistencySpec::builder()
+            .metric(0.0, 1.0, SimDuration::from_secs(1))
+            .build()
+            .is_err());
+        assert!(ConsistencySpec::builder().weights(-1.0, 1.0, 1.0).build().is_err());
+        assert!(ConsistencySpec::builder().weights(0.0, 0.0, 0.0).build().is_err());
+        assert!(ConsistencySpec::builder().resolution_code(0).build().is_err());
+        assert!(ConsistencySpec::builder().resolution_code(4).build().is_err());
+        assert!(ConsistencySpec::builder().hint(1.5).build().is_err());
+        assert!(ConsistencySpec::builder().background_every(SimDuration::ZERO).build().is_err());
+        let ok = ConsistencySpec::builder()
+            .metric(10.0, 10.0, SimDuration::from_secs(10))
+            .weights(0.4, 0.0, 0.6)
+            .resolution(ResolutionPolicy::PriorityWins)
+            .hint(0.9)
+            .background_every(SimDuration::from_secs(20))
+            .build()
+            .unwrap();
+        assert!(!ok.is_empty());
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn spec_applies_everything_it_carries() {
+        let mut node = IdeaNode::new(NodeId(0), IdeaConfig::default(), &[OBJ]);
+        let spec = ConsistencySpec::builder()
+            .metric(5.0, 6.0, SimDuration::from_secs(7))
+            .weights(0.4, 0.0, 0.6)
+            .resolution_code(3)
+            .hint(0.85)
+            .background_every(SimDuration::from_secs(30))
+            .build()
+            .unwrap();
+        spec.apply_to(&mut node).unwrap();
+        assert_eq!(node.quantifier().bounds().numerical, 5.0);
+        assert_eq!(node.quantifier().weights().order, 0.0);
+        assert_eq!(node.config().policy, ResolutionPolicy::PriorityWins);
+        assert!((node.hint().floor().value() - 0.85).abs() < 1e-12);
+        assert_eq!(node.config().background_period, Some(SimDuration::from_secs(30)));
+        ConsistencySpec::builder().no_background().build().unwrap().apply_to(&mut node).unwrap();
+        assert_eq!(node.config().background_period, None);
+    }
+
+    #[test]
+    fn commands_round_trip_through_the_sim_engine() {
+        let mut eng = engine(2);
+        let r = eng.execute(
+            NodeId(0),
+            Command::Write { object: OBJ, meta_delta: 4, payload: UpdatePayload::none() },
+        );
+        let Response::Written { update } = r else { panic!("write must return Written: {r:?}") };
+        assert_eq!(update.meta_delta, 4);
+
+        let r = eng
+            .execute(NodeId(0), Command::Read { object: OBJ, consistency: ReadConsistency::Any });
+        let Response::Value { read } = r else { panic!("read must return Value: {r:?}") };
+        assert_eq!(read.meta, 4);
+        assert_eq!(read.updates, 1);
+
+        let r = eng.execute(NodeId(0), Command::Level { object: OBJ });
+        assert!(matches!(r, Response::Level { .. }));
+
+        let r = eng.execute(NodeId(0), Command::Report { object: OBJ });
+        let Response::Report { report } = r else { panic!("report: {r:?}") };
+        assert_eq!(report.meta, 4);
+    }
+
+    #[test]
+    fn unknown_objects_and_nodes_reject_instead_of_panicking() {
+        let mut eng = engine(2);
+        let missing = ObjectId(99);
+        for cmd in [
+            Command::Write { object: missing, meta_delta: 1, payload: UpdatePayload::none() },
+            Command::Read { object: missing, consistency: ReadConsistency::Fresh },
+            Command::Peek { object: missing },
+            Command::Level { object: missing },
+            Command::Report { object: missing },
+            Command::DemandResolution { object: missing },
+            Command::Dissatisfied { object: missing, new_weights: None },
+        ] {
+            assert!(
+                matches!(eng.execute(NodeId(0), cmd.clone()), Response::Rejected { .. }),
+                "{cmd:?} must reject"
+            );
+        }
+        let r = eng.execute(NodeId(7), Command::Level { object: OBJ });
+        assert!(matches!(r, Response::Rejected { .. }));
+    }
+
+    #[test]
+    fn setter_commands_match_the_developer_api() {
+        let mut eng = engine(1);
+        assert_eq!(eng.execute(NodeId(0), Command::SetHint { hint: 0.9 }), Response::Done);
+        assert!(matches!(
+            eng.execute(NodeId(0), Command::SetHint { hint: 1.5 }),
+            Response::Rejected { .. }
+        ));
+        assert_eq!(eng.execute(NodeId(0), Command::SetResolution { code: 3 }), Response::Done);
+        let mut reference = IdeaNode::new(NodeId(0), IdeaConfig::default(), &[OBJ]);
+        reference.set_hint(0.9).unwrap();
+        reference.set_resolution(3).unwrap();
+        assert_eq!(eng.node(NodeId(0)).config().policy, reference.config().policy);
+        assert_eq!(eng.node(NodeId(0)).hint().floor().value(), reference.hint().floor().value());
+    }
+
+    #[test]
+    fn at_least_reads_probe_only_below_the_floor() {
+        let mut eng = engine(2);
+        eng.execute(
+            NodeId(0),
+            Command::Write { object: OBJ, meta_delta: 1, payload: UpdatePayload::none() },
+        );
+        // A perfect local estimate satisfies any floor: no probe beyond the
+        // read policy's own (first read triggers one — consume it first).
+        let first = match eng
+            .execute(NodeId(0), Command::Read { object: OBJ, consistency: ReadConsistency::Any })
+        {
+            Response::Value { read } => read,
+            r => panic!("{r:?}"),
+        };
+        assert!(first.probed, "first read probes per the read policy");
+        let satisfied = match eng.execute(
+            NodeId(0),
+            Command::Read {
+                object: OBJ,
+                consistency: ReadConsistency::AtLeast(ConsistencyLevel::new(0.5)),
+            },
+        ) {
+            Response::Value { read } => read,
+            r => panic!("{r:?}"),
+        };
+        assert!(!satisfied.probed, "estimate {:?} already meets 0.5", satisfied.level);
+        let fresh = match eng
+            .execute(NodeId(0), Command::Read { object: OBJ, consistency: ReadConsistency::Fresh })
+        {
+            Response::Value { read } => read,
+            r => panic!("{r:?}"),
+        };
+        assert!(fresh.probed, "Fresh always probes");
+    }
+
+    /// The on-demand half of `AtLeast`: a node whose estimate genuinely
+    /// sits below the floor must launch a detection probe on read.
+    #[test]
+    fn at_least_reads_probe_when_below_the_floor() {
+        let mut eng = engine(2);
+        // Node 1 writes five updates node 0 never fetches; node 0's first
+        // read starts a detection round whose reply quantifies the gap.
+        for _ in 0..5 {
+            eng.execute(
+                NodeId(1),
+                Command::Write { object: OBJ, meta_delta: 3, payload: UpdatePayload::none() },
+            );
+            eng.run_for(SimDuration::from_secs(1));
+        }
+        eng.run_for(SimDuration::from_secs(3));
+        eng.execute(NodeId(0), Command::Read { object: OBJ, consistency: ReadConsistency::Fresh });
+        eng.run_for(SimDuration::from_secs(3));
+        let level = eng.node(NodeId(0)).level(OBJ);
+        assert!(
+            level < ConsistencyLevel::PERFECT,
+            "setup must leave node 0 below perfect, got {level:?}"
+        );
+
+        let below = match eng.execute(
+            NodeId(0),
+            Command::Read {
+                object: OBJ,
+                consistency: ReadConsistency::AtLeast(ConsistencyLevel::PERFECT),
+            },
+        ) {
+            Response::Value { read } => read,
+            r => panic!("{r:?}"),
+        };
+        assert!(below.probed, "below-floor AtLeast read must launch the on-demand probe");
+        assert!(below.level < ConsistencyLevel::PERFECT);
+
+        // The same node at a floor it already meets stays quiet.
+        let met = match eng.execute(
+            NodeId(0),
+            Command::Read {
+                object: OBJ,
+                consistency: ReadConsistency::AtLeast(ConsistencyLevel::new(0.05)),
+            },
+        ) {
+            Response::Value { read } => read,
+            r => panic!("{r:?}"),
+        };
+        assert!(!met.probed, "met floor must not probe (level {:?})", met.level);
+    }
+
+    #[test]
+    fn sessions_default_and_override_read_consistency() {
+        let mut eng = engine(2);
+        let mut session =
+            Session::open(&mut eng, NodeId(0)).read_consistency(ReadConsistency::Fresh);
+        let mut obj = session.object(OBJ);
+        obj.write(3, UpdatePayload::none()).unwrap();
+        let read = obj.read().unwrap();
+        assert!(read.probed, "session default Fresh must probe");
+        let peek = obj.peek().unwrap();
+        assert!(!peek.probed);
+        assert_eq!(peek.meta, 3);
+        assert_eq!(obj.read_with(ReadConsistency::Any).unwrap().meta, 3);
+    }
+
+    #[test]
+    fn session_priority_broadcasts_to_every_node() {
+        let mut eng = engine(3);
+        Session::open(&mut eng, NodeId(2)).set_priority(9).unwrap();
+        for i in 0..3 {
+            // Priorities feed PriorityWins; observable through the config
+            // surface only indirectly, so check via a reference resolution
+            // set-up: the command must have reached every node (no panic,
+            // Done everywhere) — and the node-level map reflects it.
+            let node = eng.node(NodeId(i));
+            assert_eq!(node.priority_of(NodeId(2)), Some(9), "node {i}");
+        }
+    }
+
+    #[test]
+    fn command_is_plain_wire_data() {
+        // The vendored serde stand-in cannot drive serialization at
+        // runtime, but the bounds pin that every wire unit of the client
+        // layer is serde-annotated, owned, clonable data — exactly what a
+        // TCP frontend needs to frame.
+        fn assert_wire<T>()
+        where
+            T: serde::Serialize + for<'de> serde::Deserialize<'de> + Clone + Send + 'static,
+        {
+        }
+        assert_wire::<Command>();
+        assert_wire::<Response>();
+        assert_wire::<ConsistencySpec>();
+        assert_wire::<ReadResult>();
+        assert_wire::<ReadConsistency>();
+    }
+}

@@ -3,7 +3,7 @@
 use crate::quantify::{MaxBounds, Weights};
 use crate::resolution::ResolutionPolicy;
 use idea_overlay::{GossipConfig, TopLayerConfig};
-use idea_types::SimDuration;
+use idea_types::{IdeaError, Result, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// When does a *read* trigger the IDEA protocol (§4.2)?
@@ -137,6 +137,58 @@ impl Default for IdeaConfig {
 }
 
 impl IdeaConfig {
+    /// Checks every field against its documented domain, returning the
+    /// first violation as a typed [`IdeaError::InvalidConfig`].
+    ///
+    /// [`crate::protocol::IdeaNode::new`] calls this before building a
+    /// node (and panics on violation); fallible callers use
+    /// [`crate::protocol::IdeaNode::try_new`] instead.
+    ///
+    /// # Errors
+    /// Fails when `store_shards` is outside `1..=256`, a configured
+    /// `detect_batch_window` or `background_period` is zero, the hint floor
+    /// is outside `[0, 1]`, `hint_delta` is negative, or the back-off window
+    /// is inverted (`backoff_min > backoff_max`).
+    pub fn validate(&self) -> Result<()> {
+        if self.store_shards == 0 || self.store_shards > 256 {
+            return Err(IdeaError::InvalidConfig {
+                field: "store_shards",
+                reason: "must be in 1..=256 (the timer encoding carries the shard in one byte)",
+            });
+        }
+        if self.detect_batch_window.is_some_and(|w| w.is_zero()) {
+            return Err(IdeaError::InvalidConfig {
+                field: "detect_batch_window",
+                reason: "must be positive when set (None disables batching)",
+            });
+        }
+        if self.background_period.is_some_and(|p| p.is_zero()) {
+            return Err(IdeaError::InvalidConfig {
+                field: "background_period",
+                reason: "must be positive when set (None disables background resolution)",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.hint) || !self.hint.is_finite() {
+            return Err(IdeaError::InvalidConfig {
+                field: "hint",
+                reason: "floor must be within [0, 1] (0 disables hint-based control)",
+            });
+        }
+        if self.hint_delta < 0.0 || !self.hint_delta.is_finite() {
+            return Err(IdeaError::InvalidConfig {
+                field: "hint_delta",
+                reason: "learning step must be non-negative and finite",
+            });
+        }
+        if self.backoff_min > self.backoff_max {
+            return Err(IdeaError::InvalidConfig {
+                field: "backoff_min",
+                reason: "back-off window is inverted (backoff_min > backoff_max)",
+            });
+        }
+        Ok(())
+    }
+
     /// Preset for the paper's hint-based white-board experiments (§6.1):
     /// hint-driven active resolution, no background rounds, no sweeps.
     pub fn whiteboard(hint: f64) -> Self {
@@ -174,6 +226,66 @@ mod tests {
         assert!(c.detect_batch_window.is_none(), "paper probes per trigger by default");
         assert!(c.summary_tail > 0, "probes must carry some timestamp tail");
         assert_eq!(c.store_shards, 1, "default is the paper's unsharded store");
+    }
+
+    fn rejected_field(cfg: &IdeaConfig) -> &'static str {
+        match cfg.validate() {
+            Err(IdeaError::InvalidConfig { field, .. }) => field,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_every_preset() {
+        IdeaConfig::default().validate().unwrap();
+        IdeaConfig::whiteboard(0.95).validate().unwrap();
+        IdeaConfig::booking(SimDuration::from_secs(20)).validate().unwrap();
+        IdeaConfig { store_shards: 256, ..Default::default() }.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_zero_shards() {
+        let cfg = IdeaConfig { store_shards: 0, ..Default::default() };
+        assert_eq!(rejected_field(&cfg), "store_shards");
+    }
+
+    #[test]
+    fn validate_rejects_excess_shards() {
+        let cfg = IdeaConfig { store_shards: 257, ..Default::default() };
+        assert_eq!(rejected_field(&cfg), "store_shards");
+    }
+
+    #[test]
+    fn validate_rejects_zero_batch_window() {
+        let cfg = IdeaConfig { detect_batch_window: Some(SimDuration::ZERO), ..Default::default() };
+        assert_eq!(rejected_field(&cfg), "detect_batch_window");
+    }
+
+    #[test]
+    fn validate_rejects_zero_background_period() {
+        let cfg = IdeaConfig { background_period: Some(SimDuration::ZERO), ..Default::default() };
+        assert_eq!(rejected_field(&cfg), "background_period");
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_hint_floor() {
+        assert_eq!(rejected_field(&IdeaConfig { hint: 1.2, ..Default::default() }), "hint");
+        assert_eq!(rejected_field(&IdeaConfig { hint: -0.1, ..Default::default() }), "hint");
+        assert_eq!(rejected_field(&IdeaConfig { hint: f64::NAN, ..Default::default() }), "hint");
+        assert_eq!(
+            rejected_field(&IdeaConfig { hint_delta: -0.5, ..Default::default() }),
+            "hint_delta"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_inverted_backoff_window() {
+        let cfg = IdeaConfig {
+            backoff_min: SimDuration::from_millis(500),
+            backoff_max: SimDuration::from_millis(100),
+            ..Default::default()
+        };
+        assert_eq!(rejected_field(&cfg), "backoff_min");
     }
 
     #[test]

@@ -16,13 +16,16 @@
 //!    controller with under/oversell bounds and the Formula-4 rate cap.
 //!
 //! [`protocol::IdeaNode`] wires all of it into one [`idea_net::Proto`] state
-//! machine; [`api`] exposes the Table-1 developer interface.
+//! machine; [`client`] exposes the typed application surface (sessions,
+//! commands, consistency-aware reads) over every engine, and [`api`] keeps
+//! the paper's integer-coded Table-1 interface as a compatibility shim.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adapt;
 pub mod api;
+pub mod client;
 pub mod config;
 pub mod messages;
 pub mod protocol;
@@ -31,6 +34,10 @@ pub mod resolution;
 
 pub use adapt::{AutoController, HintController};
 pub use api::DeveloperApi;
+pub use client::{
+    apply_to_node, apply_to_shard, Command, CommandError, ConsistencySpec, EngineHandle, IdeaHost,
+    ObjectHandle, ReadConsistency, ReadResult, Response, Session,
+};
 pub use config::{IdeaConfig, ReadPolicy};
 pub use messages::IdeaMsg;
 pub use protocol::{IdeaNode, NodeReport};

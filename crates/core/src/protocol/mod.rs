@@ -13,21 +13,21 @@
 //!
 //! | module | subsystem | owns |
 //! |---|---|---|
-//! | [`write_path`] | local writes, read policies, snapshot serving, update transfer | per-object read/announce bookkeeping |
-//! | [`detection`] | top-layer temperature rounds + bottom-layer gossip sweeps | in-flight rounds, sweep collectors, timer routing |
-//! | [`resolution`] | active two-phase + background periodic resolution | per-object resolution state machine, attention leases, the resolution log |
-//! | [`node`] | [`IdeaNode`] composing the shards; implements [`idea_net::Proto`] | the shard vector and the [`SharedCore`] |
+//! | `write_path` | local writes, read policies, snapshot serving, update transfer | per-object read/announce bookkeeping |
+//! | `detection` | top-layer temperature rounds + bottom-layer gossip sweeps | in-flight rounds, sweep collectors, timer routing |
+//! | `resolution` | active two-phase + background periodic resolution | per-object resolution state machine, attention leases, the resolution log |
+//! | `node` | [`IdeaNode`] composing the shards; implements [`idea_net::Proto`] | the shard vector and the `SharedCore` |
 //!
 //! ## Sharding
 //!
 //! Every per-object structure — the replica store, the per-object overlay
-//! view ([`ObjShared`]), and each subsystem's per-object state — lives in
-//! exactly one [`node::ProtocolShard`], selected by
+//! view (`ObjShared`), and each subsystem's per-object state — lives in
+//! exactly one `node::ProtocolShard`, selected by
 //! [`idea_types::ShardId::of`] over the object id
 //! ([`crate::config::IdeaConfig::store_shards`] shards per node). A shard's
-//! working state is a [`NodeCore`]; the few genuinely node-wide pieces (the
+//! working state is a `NodeCore`; the few genuinely node-wide pieces (the
 //! adaptive hint floor, the correlation-id counter, the rollback count) sit
-//! behind the [`SharedCore`] every shard holds an `Arc` to. The borrow
+//! behind the `SharedCore` every shard holds an `Arc` to. The borrow
 //! structure makes the independence explicit: handling a message touches
 //! `&mut NodeCore` of one shard plus the (internally synchronised)
 //! `SharedCore`, never another shard.
@@ -39,14 +39,14 @@
 //!
 //! Each subsystem is a narrow struct with an explicit handle-message /
 //! handle-timer surface; cross-subsystem effects flow through return values
-//! (e.g. [`Trigger::Resolve`]) that the shard routes, so the store can be
+//! (e.g. `Trigger::Resolve`) that the shard routes, so the store can be
 //! re-partitioned, detection batched, or the resolution strategy swapped
 //! without touching the other subsystems.
 //!
 //! ## Conventions
 //!
 //! * Writer homes: writer `w` lives on node `w` (the experiments' layout;
-//!   [`NodeCore::home`] centralises the mapping).
+//!   `NodeCore::home` centralises the mapping).
 //! * Sequence reuse: when resolution invalidates a writer's updates, the
 //!   writer's sequence counter resumes from the last *sanctioned* number, so
 //!   counters stay dense. Stale copies of invalidated updates are

@@ -1,7 +1,7 @@
 //! The [`IdeaNode`]: a vector of [`ProtocolShard`]s — each composing the
 //! write-path, detection and resolution subsystems over its own
-//! [`NodeCore`] — routed by `ObjectId` hash, plus the node-wide
-//! [`SharedCore`]. Implements [`Proto`] for the single-threaded engines;
+//! `NodeCore` — routed by `ObjectId` hash, plus the node-wide
+//! `SharedCore`. Implements [`Proto`] for the single-threaded engines;
 //! the threaded engine may instead split the shards onto workers via
 //! [`idea_net::ShardedProto`].
 
@@ -13,6 +13,7 @@ use super::{
     MAX_SHARDS,
 };
 use crate::adapt::{AdaptAction, HintController};
+use crate::client::ReadConsistency;
 use crate::config::IdeaConfig;
 use crate::messages::IdeaMsg;
 use crate::quantify::{MaxBounds, Quantifier, Weights};
@@ -46,7 +47,7 @@ pub struct NodeReport {
 }
 
 /// One shard of the IDEA middleware: the subsystems plus the shard's
-/// [`NodeCore`]. All per-object protocol state of the objects this shard
+/// `NodeCore`. All per-object protocol state of the objects this shard
 /// owns lives here and nowhere else, which is what lets the threaded
 /// engine's shard workers drive disjoint objects concurrently.
 pub struct ProtocolShard {
@@ -187,11 +188,34 @@ impl ProtocolShard {
 
     /// Reads the object, triggering detection per the read policy (§4.2).
     pub fn read(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) -> Result<Snapshot> {
-        let (snapshot, probe) = self.write_path.read(&mut self.core, object, ctx)?;
+        Ok(self.read_with(object, ReadConsistency::Any, ctx)?.0)
+    }
+
+    /// Consistency-aware read (the client layer's `Read` command): serves
+    /// the local replica and decides the detection probe from both the
+    /// configured read policy *and* the requested [`ReadConsistency`] —
+    /// `AtLeast` probes on demand when the current estimate sits below the
+    /// floor, `Fresh` always probes. Returns the snapshot plus whether a
+    /// probe was launched.
+    ///
+    /// # Errors
+    /// Fails when this shard hosts no replica of the object.
+    pub fn read_with(
+        &mut self,
+        object: ObjectId,
+        consistency: ReadConsistency,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) -> Result<(Snapshot, bool)> {
+        let (snapshot, policy_probe) = self.write_path.read(&mut self.core, object, ctx)?;
+        let probe = match consistency {
+            ReadConsistency::Any => policy_probe,
+            ReadConsistency::AtLeast(floor) => policy_probe || self.level(object) < floor,
+            ReadConsistency::Fresh => true,
+        };
         if probe {
             self.detection.request_round(&mut self.core, object, ctx);
         }
-        Ok(snapshot)
+        Ok((snapshot, probe))
     }
 
     /// Reads the object's value view without cloning its version vector and
@@ -249,6 +273,58 @@ impl ProtocolShard {
             updates: replica.map_or(0, |r| r.len()),
         }
     }
+
+    // ------------------------------------------- per-shard configuration
+    //
+    // The client layer's node-wide setters are fanned out shard by shard on
+    // the sharded runtime; these are the per-worker halves. On a composed
+    // `IdeaNode` the node-level setters below iterate the same methods.
+
+    /// Sets the Formula-1 weights on this shard.
+    pub fn set_weights(&mut self, w: Weights) {
+        self.core.quant.set_weights(w);
+        self.core.cfg.weights = w;
+    }
+
+    /// Sets the Formula-1 saturation bounds on this shard.
+    pub fn set_bounds(&mut self, b: MaxBounds) {
+        self.core.quant.set_bounds(b);
+        self.core.cfg.bounds = b;
+    }
+
+    /// Sets the resolution policy on this shard.
+    pub fn set_policy(&mut self, policy: ResolutionPolicy) {
+        self.core.cfg.policy = policy;
+    }
+
+    /// Sets or clears the background-resolution period on this shard.
+    pub fn set_background_period(&mut self, period: Option<idea_types::SimDuration>) {
+        self.core.cfg.background_period = period;
+    }
+
+    /// Assigns a priority rank to a node in this shard's table.
+    pub fn set_priority(&mut self, node: NodeId, priority: u8) {
+        self.core.priorities.insert(node, priority);
+    }
+
+    /// Sets the hint floor. The hint controller is *node-wide* (behind the
+    /// shared core), so applying this on any — or every — shard of a node
+    /// is equivalent.
+    pub fn set_hint_floor(&mut self, hint: f64) {
+        self.core.shared_handle().hint.lock().set_hint(hint);
+    }
+
+    /// Resolution rounds this shard initiated to completion (the sharded
+    /// engine sums these across workers when assembling a node report).
+    pub fn resolutions_completed(&self) -> u64 {
+        self.resolution.completed()
+    }
+
+    /// This shard's quantifier (each shard keeps its own copy; node-level
+    /// setters fan updates out, so shards normally agree).
+    pub fn quantifier(&self) -> &Quantifier {
+        &self.core.quant
+    }
 }
 
 /// The IDEA middleware node: per-object shards plus node-wide shared state.
@@ -262,10 +338,25 @@ impl IdeaNode {
     /// `cfg.store_shards` store/protocol shards.
     ///
     /// # Panics
-    /// Panics when `cfg.store_shards` exceeds [`MAX_SHARDS`].
+    /// Panics when the configuration fails [`IdeaConfig::validate`]
+    /// (e.g. `store_shards` outside `1..=`[`MAX_SHARDS`]); use
+    /// [`IdeaNode::try_new`] to surface the violation as an error instead.
     pub fn new(me: NodeId, cfg: IdeaConfig, objects: &[ObjectId]) -> Self {
-        let nshards = cfg.store_shards.max(1);
-        assert!(nshards <= MAX_SHARDS, "store_shards must be ≤ {MAX_SHARDS}");
+        match Self::try_new(me, cfg, objects) {
+            Ok(node) => node,
+            Err(e) => panic!("invalid IdeaConfig: {e}"),
+        }
+    }
+
+    /// Fallible twin of [`IdeaNode::new`]: validates the configuration
+    /// first and returns the typed violation instead of panicking.
+    ///
+    /// # Errors
+    /// Propagates [`IdeaConfig::validate`]'s [`idea_types::IdeaError`].
+    pub fn try_new(me: NodeId, cfg: IdeaConfig, objects: &[ObjectId]) -> Result<Self> {
+        cfg.validate()?;
+        let nshards = cfg.store_shards;
+        debug_assert!((1..=MAX_SHARDS).contains(&nshards), "validate() bounds store_shards");
         let shared = Arc::new(SharedCore::new(HintController::new(cfg.hint, cfg.hint_delta)));
         let shards = (0..nshards)
             .map(|s| {
@@ -281,7 +372,7 @@ impl IdeaNode {
                 ))
             })
             .collect();
-        IdeaNode { shards, shared }
+        Ok(IdeaNode { shards, shared })
     }
 
     #[inline]
@@ -323,8 +414,7 @@ impl IdeaNode {
     /// Sets the Formula-1 weights on every shard (Table-1 `set_weight`).
     pub fn set_weights(&mut self, w: Weights) {
         for s in &mut self.shards {
-            s.core.quant.set_weights(w);
-            s.core.cfg.weights = w;
+            s.set_weights(w);
         }
     }
 
@@ -332,8 +422,7 @@ impl IdeaNode {
     /// `set_consistency_metric`).
     pub fn set_bounds(&mut self, b: MaxBounds) {
         for s in &mut self.shards {
-            s.core.quant.set_bounds(b);
-            s.core.cfg.bounds = b;
+            s.set_bounds(b);
         }
     }
 
@@ -350,7 +439,7 @@ impl IdeaNode {
     /// Sets the resolution policy (the `set_resolution` API).
     pub fn set_policy(&mut self, policy: ResolutionPolicy) {
         for s in &mut self.shards {
-            s.core.cfg.policy = policy;
+            s.set_policy(policy);
         }
     }
 
@@ -358,7 +447,7 @@ impl IdeaNode {
     /// (the `set_background_freq` API). Takes effect at the next timer fire.
     pub fn set_background_period(&mut self, period: Option<idea_types::SimDuration>) {
         for s in &mut self.shards {
-            s.core.cfg.background_period = period;
+            s.set_background_period(period);
         }
     }
 
@@ -366,8 +455,13 @@ impl IdeaNode {
     /// [`ResolutionPolicy::PriorityWins`]).
     pub fn set_priority(&mut self, node: NodeId, priority: u8) {
         for s in &mut self.shards {
-            s.core.priorities.insert(node, priority);
+            s.set_priority(node, priority);
         }
+    }
+
+    /// The priority rank assigned to `node`, if any.
+    pub fn priority_of(&self, node: NodeId) -> Option<u8> {
+        self.shards[0].core.priorities.get(&node).copied()
     }
 
     /// Number of completed resolution records across all shards. Cheap
@@ -431,6 +525,21 @@ impl IdeaNode {
     /// Reads the object, triggering detection per the read policy (§4.2).
     pub fn read(&mut self, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) -> Result<Snapshot> {
         self.shard_for(object).read(object, ctx)
+    }
+
+    /// Consistency-aware read (see [`ProtocolShard::read_with`]): serves
+    /// the local replica and launches an on-demand detection probe per the
+    /// requested [`ReadConsistency`].
+    ///
+    /// # Errors
+    /// Fails when no replica of the object exists.
+    pub fn read_with(
+        &mut self,
+        object: ObjectId,
+        consistency: ReadConsistency,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) -> Result<(Snapshot, bool)> {
+        self.shard_for(object).read_with(object, consistency, ctx)
     }
 
     /// Reads the object's value view without cloning its version vector and

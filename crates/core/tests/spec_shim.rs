@@ -1,0 +1,177 @@
+//! Compatibility pin for the Table-1 shim: every [`DeveloperApi`] setter
+//! and the typed [`ConsistencySpec`] builder must produce identical node
+//! state — the shim is a renaming, not a second implementation. Exhaustive
+//! over the three resolution-policy codes and the edges of the weight /
+//! hint / metric domains.
+
+use idea_core::client::ConsistencySpec;
+use idea_core::{DeveloperApi, IdeaConfig, IdeaNode, ResolutionPolicy};
+use idea_types::{NodeId, ObjectId, SimDuration};
+
+const OBJ: ObjectId = ObjectId(1);
+
+fn node() -> IdeaNode {
+    IdeaNode::new(NodeId(0), IdeaConfig::default(), &[OBJ])
+}
+
+/// The full externally observable configuration state of a node.
+fn observe(n: &IdeaNode) -> (String, String, ResolutionPolicy, u64, Option<SimDuration>) {
+    (
+        format!("{:?}", n.quantifier().weights()),
+        format!("{:?}", n.quantifier().bounds()),
+        n.config().policy,
+        (n.hint().floor().value() * 1e9).round() as u64,
+        n.config().background_period,
+    )
+}
+
+#[test]
+fn resolution_codes_are_exhaustively_equivalent() {
+    for code in 1..=3u8 {
+        let mut via_shim = node();
+        via_shim.set_resolution(code).unwrap();
+        let mut via_spec = node();
+        ConsistencySpec::builder()
+            .resolution_code(code)
+            .build()
+            .unwrap()
+            .apply_to(&mut via_spec)
+            .unwrap();
+        assert_eq!(observe(&via_shim), observe(&via_spec), "code {code}");
+        // And the typed-name route agrees with the integer route.
+        let mut via_name = node();
+        ConsistencySpec::builder()
+            .resolution(ResolutionPolicy::from_code(code).unwrap())
+            .build()
+            .unwrap()
+            .apply_to(&mut via_name)
+            .unwrap();
+        assert_eq!(observe(&via_spec), observe(&via_name), "code {code}");
+    }
+    // Out-of-domain codes reject identically on both surfaces.
+    for code in [0u8, 4, 255] {
+        assert!(node().set_resolution(code).is_err());
+        assert!(ConsistencySpec::builder().resolution_code(code).build().is_err());
+    }
+}
+
+#[test]
+fn weights_agree_across_the_domain_edges() {
+    // Edge-of-domain weights: single-member, zero-member, tiny, large.
+    let cases = [
+        (0.4, 0.0, 0.6),
+        (1.0, 0.0, 0.0),
+        (0.0, 1.0, 0.0),
+        (0.0, 0.0, 1.0),
+        (1e-9, 1e-9, 1e-9),
+        (1e9, 0.0, 1e-9),
+        (1.0, 1.0, 1.0),
+    ];
+    for (a, b, c) in cases {
+        let mut via_shim = node();
+        via_shim.set_weight(a, b, c).unwrap();
+        let mut via_spec = node();
+        ConsistencySpec::builder()
+            .weights(a, b, c)
+            .build()
+            .unwrap()
+            .apply_to(&mut via_spec)
+            .unwrap();
+        assert_eq!(observe(&via_shim), observe(&via_spec), "weights <{a}, {b}, {c}>");
+    }
+    // Rejections match too.
+    for (a, b, c) in [(-1.0, 1.0, 1.0), (0.0, 0.0, 0.0), (1.0, -0.1, 0.0)] {
+        assert!(node().set_weight(a, b, c).is_err(), "<{a}, {b}, {c}>");
+        assert!(ConsistencySpec::builder().weights(a, b, c).build().is_err(), "<{a}, {b}, {c}>");
+    }
+}
+
+#[test]
+fn hints_agree_across_the_domain_edges() {
+    for h in [0.0, 1e-9, 0.5, 0.92, 1.0 - 1e-9, 1.0] {
+        let mut via_shim = node();
+        via_shim.set_hint(h).unwrap();
+        let mut via_spec = node();
+        ConsistencySpec::builder().hint(h).build().unwrap().apply_to(&mut via_spec).unwrap();
+        assert_eq!(observe(&via_shim), observe(&via_spec), "hint {h}");
+    }
+    for h in [-0.1, 1.1, f64::INFINITY] {
+        assert!(node().set_hint(h).is_err(), "hint {h}");
+        assert!(ConsistencySpec::builder().hint(h).build().is_err(), "hint {h}");
+    }
+}
+
+#[test]
+fn metric_bounds_agree() {
+    let cases = [
+        (5.0, 6.0, SimDuration::from_secs(7)),
+        (1e-9, 1e9, SimDuration::from_micros(1)),
+        (10.0, 10.0, SimDuration::from_secs(10)),
+    ];
+    for (a, b, c) in cases {
+        let mut via_shim = node();
+        via_shim.set_consistency_metric(a, b, c).unwrap();
+        let mut via_spec = node();
+        ConsistencySpec::builder()
+            .metric(a, b, c)
+            .build()
+            .unwrap()
+            .apply_to(&mut via_spec)
+            .unwrap();
+        assert_eq!(observe(&via_shim), observe(&via_spec), "metric <{a}, {b}, {c:?}>");
+    }
+    for (a, b, c) in [
+        (0.0, 1.0, SimDuration::from_secs(1)),
+        (1.0, 0.0, SimDuration::from_secs(1)),
+        (1.0, 1.0, SimDuration::ZERO),
+        (-2.0, 1.0, SimDuration::from_secs(1)),
+    ] {
+        assert!(node().set_consistency_metric(a, b, c).is_err());
+        assert!(ConsistencySpec::builder().metric(a, b, c).build().is_err());
+    }
+}
+
+#[test]
+fn background_freq_agrees() {
+    for period in [Some(SimDuration::from_secs(20)), Some(SimDuration::from_micros(1)), None] {
+        let mut via_shim = node();
+        via_shim.set_background_freq(period).unwrap();
+        let mut via_spec = node();
+        let b = ConsistencySpec::builder();
+        match period {
+            Some(p) => b.background_every(p),
+            None => b.no_background(),
+        }
+        .build()
+        .unwrap()
+        .apply_to(&mut via_spec)
+        .unwrap();
+        assert_eq!(observe(&via_shim), observe(&via_spec), "period {period:?}");
+    }
+    assert!(node().set_background_freq(Some(SimDuration::ZERO)).is_err());
+    assert!(ConsistencySpec::builder().background_every(SimDuration::ZERO).build().is_err());
+}
+
+#[test]
+fn a_combined_spec_equals_the_setter_sequence() {
+    let mut via_shim = node();
+    via_shim.set_consistency_metric(1_000.0, 40.0, SimDuration::from_secs(60)).unwrap();
+    via_shim.set_weight(0.4, 0.0, 0.6).unwrap();
+    via_shim.set_resolution(3).unwrap();
+    via_shim.set_hint(0.92).unwrap();
+    via_shim.set_background_freq(Some(SimDuration::from_secs(20))).unwrap();
+
+    let mut via_spec = node();
+    ConsistencySpec::builder()
+        .metric(1_000.0, 40.0, SimDuration::from_secs(60))
+        .weights(0.4, 0.0, 0.6)
+        .resolution(ResolutionPolicy::PriorityWins)
+        .hint(0.92)
+        .background_every(SimDuration::from_secs(20))
+        .build()
+        .unwrap()
+        .apply_to(&mut via_spec)
+        .unwrap();
+
+    assert_eq!(observe(&via_shim), observe(&via_spec));
+}

@@ -1,4 +1,4 @@
-//! Analytic top-layer coverage model (the authors' ref [16]).
+//! Analytic top-layer coverage model (the authors' ref \[16\]).
 //!
 //! The paper leans on a prior result: "most inconsistencies can be caught in
 //! the top layer with a very high probability (more than 95 % in a variety

@@ -12,7 +12,7 @@
 //! * [`bottom`] — the background path: TTL-bounded gossip sweeps the
 //!   **bottom layer** to catch what the top layer missed, feeding the
 //!   rollback decision of §4.4.2;
-//! * [`coverage`] — the analytic model of the authors' ref [16] predicting
+//! * [`coverage`] — the analytic model of the authors' ref \[16\] predicting
 //!   the probability that the top layer catches an inconsistency (the basis
 //!   of the ">95 % in a variety of scenarios" claim).
 

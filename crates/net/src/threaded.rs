@@ -605,6 +605,13 @@ impl<P: ShardedProto + 'static> ShardedEngine<P> {
         self.shards
     }
 
+    /// The worker index owning `object` — the same `ObjectId` hash the
+    /// message mailboxes are partitioned by, exposed so command layers can
+    /// route object-addressed work without re-deriving the partition.
+    pub fn shard_for_object(&self, object: idea_types::ObjectId) -> usize {
+        idea_types::ShardId::of(object, self.shards).index()
+    }
+
     /// Fire-and-forget action on one shard worker of a node. The caller
     /// picks the shard owning the object it is about to touch (the same
     /// hash the mailbox uses, e.g. `ShardId::of`).

@@ -1,6 +1,6 @@
 //! Lightweight probabilistic broadcast for the bottom layer.
 //!
-//! "In the bottom layer, it uses gossip-based protocol [6] to check in the
+//! "In the bottom layer, it uses gossip-based protocol \[6\] to check in the
 //! background any missed inconsistency by the top-layer" (§4.3), with a TTL
 //! bounding the traversal so detection delay stays bounded (§4.4.2:
 //! "Currently, we use TTL (Time to Live) to control the traversal of the

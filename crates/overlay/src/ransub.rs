@@ -1,7 +1,7 @@
 //! RanSub: scalable distribution of uniform random subsets.
 //!
 //! The paper constructs the temperature overlay "by leveraging the RanSub
-//! protocol [9] to include nodes that update this file sufficiently
+//! protocol \[9\] to include nodes that update this file sufficiently
 //! frequently and/or recently" (§4.1). RanSub runs over a tree in two
 //! phases per round:
 //!

@@ -3,8 +3,8 @@
 //! IDEA "is assumed to work with a general distributed file system that
 //! handles the ordinary read/write operations" (§2); this crate is that
 //! substrate. Each node holds a [`Replica`] per shared object: an ordered
-//! log of applied [`Update`]s, the matching
-//! [`ExtendedVersionVector`], checkpoints for the rollback path of §4.4.2,
+//! log of applied [`idea_types::Update`]s, the matching
+//! [`idea_vv::ExtendedVersionVector`], checkpoints for the rollback path of §4.4.2,
 //! and the transfer helpers resolution uses to ship missing updates.
 //!
 //! [`ShardedStore`] bundles one node's replicas behind the read/write API

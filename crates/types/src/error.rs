@@ -23,6 +23,14 @@ pub enum IdeaError {
     RollbackBeyondLog,
     /// An API parameter was outside its documented domain.
     InvalidParameter(&'static str),
+    /// A configuration field was outside its documented domain
+    /// (surfaced by `IdeaConfig::validate` before a node is built).
+    InvalidConfig {
+        /// The offending configuration field.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: &'static str,
+    },
     /// The requested resolution found no updates to reconcile.
     NothingToResolve,
     /// An active resolution lost the call-for-attention race and was
@@ -45,6 +53,9 @@ impl fmt::Display for IdeaError {
                 write!(f, "rollback target precedes the retained log prefix")
             }
             IdeaError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            IdeaError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config: {field} {reason}")
+            }
             IdeaError::NothingToResolve => write!(f, "no inconsistency to resolve"),
             IdeaError::ResolutionContended => {
                 write!(f, "active resolution cancelled: another initiator is running")
@@ -69,6 +80,14 @@ mod tests {
         assert!(s.contains('9'));
         assert!(IdeaError::UnknownNode(NodeId(1)).to_string().contains("n1"));
         assert!(IdeaError::UnknownObject(ObjectId(2)).to_string().contains("obj2"));
+    }
+
+    #[test]
+    fn invalid_config_names_the_field() {
+        let e = IdeaError::InvalidConfig { field: "store_shards", reason: "must be in 1..=256" };
+        let s = e.to_string();
+        assert!(s.contains("store_shards"));
+        assert!(s.contains("1..=256"));
     }
 
     #[test]

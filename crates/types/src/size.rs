@@ -1,6 +1,6 @@
 //! Message-size accounting model.
 //!
-//! The paper's Table-3 bandwidth estimate "assume[s] that each packet has
+//! The paper's Table-3 bandwidth estimate "assume\[s\] that each packet has
 //! size of 1KB". [`MessageSizeModel`] lets experiments either adopt that
 //! flat assumption or account actual serialized sizes, so the Formula-4
 //! optimal-rate derivation (`b · x% / c`) can be replayed under both.

@@ -4,7 +4,7 @@
 //!
 //! 1. each counted update carries its **timestamp**, e.g. `A:2(1, 2)` means
 //!    user A's two updates happened at times 1 and 2;
-//! 2. a **critical metadata** value in square brackets (`[5]`) summarises the
+//! 2. a **critical metadata** value in square brackets (`\[5\]`) summarises the
 //!    application effect of the updates (ASCII sum of recent strokes for a
 //!    white board, total sale price for ticket booking);
 //! 3. a `<numerical error, order error, staleness>` **triple** is attached,
@@ -37,7 +37,7 @@ pub(crate) struct WriterHistory {
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ExtendedVersionVector {
     histories: BTreeMap<WriterId, WriterHistory>,
-    /// Cumulative critical-metadata value (the `[5]` column of Figure 5).
+    /// Cumulative critical-metadata value (the `\[5\]` column of Figure 5).
     meta: i64,
     /// Cached classic counter view, maintained incrementally so the hot
     /// detection path never rebuilds it.
@@ -298,7 +298,7 @@ impl ExtendedVersionVector {
     }
 
     /// Renders in the paper's Figure-5 style:
-    /// `<A:2(1, 2) B:0> <[5]> <num, order, stale>` (triple omitted — it is
+    /// `<A:2(1, 2) B:0> <\[5\]> <num, order, stale>` (triple omitted — it is
     /// relative to a reference, not intrinsic).
     pub fn paper_format(&self) -> String {
         let mut s = String::from("<");

@@ -2,7 +2,7 @@
 //!
 //! These probe the claims the paper leans on but does not plot:
 //!
-//! * **A1** — the ref-[16] claim that the top layer catches > 95 % of
+//! * **A1** — the ref-\[16\] claim that the top layer catches > 95 % of
 //!   inconsistencies, as a function of activity skew and layer size;
 //! * **A2** — the §4.4.2 rollback machinery: TTL vs bottom-layer detection
 //!   coverage and rollback frequency when a bottom-layer writer exists;

@@ -7,8 +7,8 @@
 //! accumulates smoothly rather than in lock-step bursts.
 
 use idea_apps::{BookingServer, WhiteboardClient};
-use idea_core::api::DeveloperApi;
-use idea_core::{IdeaConfig, MaxBounds, ResolutionRecord, Weights};
+use idea_core::client::Session;
+use idea_core::{ConsistencySpec, IdeaConfig, MaxBounds, ResolutionRecord, Weights};
 use idea_net::{MsgClass, NetStats, SimConfig, SimEngine, Topology};
 use idea_types::{MessageSizeModel, NodeId, ObjectId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -157,11 +157,11 @@ pub fn run_hint(cfg: &HintRunConfig) -> HintRunResult {
             pre_window_res = total_resolutions(&eng, cfg.writers);
         }
         if reset_idx < resets.len() && t == start + resets[reset_idx].0 {
+            // The Figure-8 mid-run reset arrives the way a live operator's
+            // would: as a session command against each writer.
             let new_hint = resets[reset_idx].1;
             for w in 0..cfg.writers {
-                eng.with_node(NodeId(w as u32), |c, _| {
-                    c.idea_mut().set_hint(new_hint).expect("valid hint");
-                });
+                Session::open(&mut eng, NodeId(w as u32)).set_hint(new_hint).expect("valid hint");
             }
             // A hint reset opens a fresh observation regime.
             window_worst = 1.0;
@@ -310,14 +310,14 @@ pub fn run_booking(cfg: &BookingRunConfig) -> BookingRunResult {
     );
     // Scale the numerical metric to the sale volume: a gap of five missed
     // bookings saturates it (§5.2's "gap of the system's overall sale
-    // price").
+    // price"). Built once as a typed spec, applied per node as a session
+    // command.
+    let metric = ConsistencySpec::builder()
+        .metric((cfg.price_cents * 5) as f64, 40.0, SimDuration::from_secs(60))
+        .build()
+        .expect("valid metric");
     for i in 0..cfg.nodes {
-        let max_num = (cfg.price_cents * 5) as f64;
-        eng.with_node(NodeId(i as u32), |s, _| {
-            s.idea_mut()
-                .set_consistency_metric(max_num, 40.0, SimDuration::from_secs(60))
-                .expect("valid metric");
-        });
+        Session::open(&mut eng, NodeId(i as u32)).configure(metric.clone()).expect("valid metric");
     }
 
     let start = SimTime::ZERO + cfg.warmup;

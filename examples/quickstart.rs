@@ -1,8 +1,15 @@
-//! Quickstart: four replicas, one conflict, one adaptive resolution.
+//! Quickstart: four replicas, one conflict, one adaptive resolution —
+//! driven through the typed client layer (sessions + object handles).
 //!
 //! ```bash
 //! cargo run --example quickstart
 //! ```
+//!
+//! The session code below is engine-agnostic: `Session::open` works
+//! identically against `SimEngine`, `ThreadedEngine` and `ShardedEngine`
+//! (see `examples/threaded_cluster.rs` for the same API on real threads,
+//! and `examples/whiteboard_session.rs` for the low-level closure escape
+//! hatch).
 
 use idea::prelude::*;
 
@@ -19,34 +26,37 @@ fn main() {
     println!("warming up the top layer...");
     for _ in 0..3 {
         for w in 0..4u32 {
-            net.with_node(NodeId(w), |n, ctx| {
-                n.local_write(object, 1, UpdatePayload::none(), ctx);
-            });
+            let mut session = Session::open(&mut net, NodeId(w));
+            session.object(object).write(1, UpdatePayload::none()).expect("hosted object");
             net.run_for(SimDuration::from_millis(400));
         }
     }
     net.run_for(SimDuration::from_secs(2));
-    println!("top layer at node 0: {:?}", net.node(NodeId(0)).report(object).top_members);
+    let top = Session::open(&mut net, NodeId(0)).object(object).report().expect("report");
+    println!("top layer at node 0: {:?}", top.top_members);
 
     // Conflicting concurrent writes: every replica diverges.
     for w in 0..4u32 {
-        net.with_node(NodeId(w), |n, ctx| {
-            n.local_write(object, 10 + w as i64, UpdatePayload::none(), ctx);
-        });
+        let mut session = Session::open(&mut net, NodeId(w));
+        session.object(object).write(10 + w as i64, UpdatePayload::none()).expect("hosted object");
     }
     net.run_for(SimDuration::from_secs(2));
     for w in 0..4u32 {
-        let rep = net.node(NodeId(w)).report(object);
-        println!("node {w}: level {} meta {}", rep.level, rep.meta);
+        // A consistency-aware read: serve the local replica, and launch an
+        // on-demand probe when the estimate sits below 95 %.
+        let mut session = Session::open(&mut net, NodeId(w))
+            .read_consistency(ReadConsistency::AtLeast(ConsistencyLevel::new(0.95)));
+        let read = session.object(object).read().expect("hosted object");
+        println!("node {w}: level {} meta {} (probed: {})", read.level, read.meta, read.probed);
     }
 
     // A user demands resolution; the two-phase protocol converges everyone
     // to the reference state (highest node id wins by default).
     println!("\ndemanding active resolution from node 0...");
-    net.with_node(NodeId(0), |n, ctx| n.demand_active_resolution(object, ctx));
+    Session::open(&mut net, NodeId(0)).object(object).demand_resolution().expect("hosted object");
     net.run_for(SimDuration::from_secs(5));
     for w in 0..4u32 {
-        let rep = net.node(NodeId(w)).report(object);
+        let rep = Session::open(&mut net, NodeId(w)).object(object).report().expect("report");
         println!("node {w}: level {} meta {}", rep.level, rep.meta);
     }
 

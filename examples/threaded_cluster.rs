@@ -1,62 +1,81 @@
-//! The same IDEA protocol on real OS threads: one thread per node, crossbeam
-//! channels as links, WAN latency injected by the router, time compressed
-//! 100×. Demonstrates that the protocol code is engine-agnostic.
+//! The same IDEA protocol on real OS threads — driven through the typed
+//! client layer. `drive()` below is written once against [`EngineHandle`]
+//! and runs unchanged on the plain per-node [`ThreadedEngine`] and on the
+//! [`ShardedEngine`]'s per-shard workers: set `THREADED_SHARDS` > 1 to
+//! switch engines (the CI matrix runs both).
 //!
 //! ```bash
 //! cargo run --example threaded_cluster
+//! THREADED_SHARDS=4 cargo run --example threaded_cluster
 //! ```
 
 use idea::prelude::*;
 use std::thread;
 use std::time::Duration;
 
-fn main() {
-    let object = ObjectId(1);
-    let n = 4usize;
-    let nodes: Vec<IdeaNode> =
-        (0..n).map(|i| IdeaNode::new(NodeId(i as u32), IdeaConfig::default(), &[object])).collect();
+const OBJECT: ObjectId = ObjectId(1);
+const N: usize = 4;
 
-    // time_scale 0.01: one virtual second takes 10 wall milliseconds.
-    let net = ThreadedEngine::start(
-        Topology::planetlab(n, 3),
-        ThreadedConfig { seed: 3, time_scale: 0.01, ..Default::default() },
-        nodes,
-    );
-
-    println!("warming up on {} threads...", n);
+/// The engine-agnostic application: warm the top layer, diverge, resolve —
+/// all through sessions. `sleep` maps virtual time onto the engine's clock.
+fn drive<E: EngineHandle>(eng: &mut E, sleep: impl Fn(&E, SimDuration)) {
+    println!("warming up on {} nodes...", eng.nodes());
     for _ in 0..3 {
-        for w in 0..n as u32 {
-            net.invoke(NodeId(w), move |p, ctx| {
-                p.local_write(object, 1, UpdatePayload::none(), ctx);
-            });
-            net.sleep_virtual(SimDuration::from_millis(400));
+        for w in 0..N as u32 {
+            Session::open(eng, NodeId(w)).object(OBJECT).post(1, UpdatePayload::none());
+            sleep(eng, SimDuration::from_millis(400));
         }
     }
-    net.sleep_virtual(SimDuration::from_secs(3));
+    sleep(eng, SimDuration::from_secs(3));
 
-    let members = net.query(NodeId(0), move |p, _| p.report(object).top_members);
-    println!("top layer: {members:?}");
+    let top = Session::open(eng, NodeId(0)).object(OBJECT).report().expect("report");
+    println!("top layer: {:?}", top.top_members);
 
     // Conflicting writes, then a demanded resolution.
-    for w in 0..n as u32 {
-        net.invoke(NodeId(w), move |p, ctx| {
-            p.local_write(object, 5, UpdatePayload::none(), ctx);
-        });
+    for w in 0..N as u32 {
+        Session::open(eng, NodeId(w)).object(OBJECT).post(5, UpdatePayload::none());
     }
-    net.sleep_virtual(SimDuration::from_secs(2));
-    net.invoke(NodeId(0), move |p, ctx| p.demand_active_resolution(object, ctx));
-    net.sleep_virtual(SimDuration::from_secs(6));
-    // Give stragglers a moment of wall time.
-    thread::sleep(Duration::from_millis(200));
+    sleep(eng, SimDuration::from_secs(2));
+    Session::open(eng, NodeId(0)).object(OBJECT).demand_resolution().expect("resolution");
+    sleep(eng, SimDuration::from_secs(6));
 
-    let states = net.stop();
     println!("\nafter resolution:");
-    for (i, node) in states.iter().enumerate() {
-        let rep = node.report(object);
-        println!("node {i}: meta {} updates {} level {}", rep.meta, rep.updates, rep.level);
+    for w in 0..N as u32 {
+        let rep = Session::open(eng, NodeId(w)).object(OBJECT).report().expect("report");
+        println!("node {w}: meta {} updates {} level {}", rep.meta, rep.updates, rep.level);
     }
-    let metas: Vec<i64> = states.iter().map(|s| s.report(object).meta).collect();
-    if metas.windows(2).all(|w| w[0] == w[1]) {
+}
+
+fn metas_converged(metas: &[i64]) -> bool {
+    metas.windows(2).all(|w| w[0] == w[1])
+}
+
+fn main() {
+    let shards = shards_from_env(1);
+    // time_scale 0.01: one virtual second takes 10 wall milliseconds.
+    let tcfg = ThreadedConfig { seed: 3, time_scale: 0.01, shards };
+    let idea_cfg = IdeaConfig { store_shards: shards, ..Default::default() };
+    let nodes: Vec<IdeaNode> =
+        (0..N).map(|i| IdeaNode::new(NodeId(i as u32), idea_cfg.clone(), &[OBJECT])).collect();
+    let topo = Topology::planetlab(N, 3);
+
+    let metas: Vec<i64> = if shards > 1 {
+        println!("running on ShardedEngine ({shards} shard workers per node)");
+        let mut net = ShardedEngine::start(topo, tcfg, nodes);
+        drive(&mut net, |e, d| e.sleep_virtual(d));
+        thread::sleep(Duration::from_millis(200)); // stragglers
+        let states = net.stop();
+        states.iter().map(|s| s.report(OBJECT).meta).collect()
+    } else {
+        println!("running on ThreadedEngine (one worker per node)");
+        let mut net = ThreadedEngine::start(topo, tcfg, nodes);
+        drive(&mut net, |e, d| e.sleep_virtual(d));
+        thread::sleep(Duration::from_millis(200)); // stragglers
+        let states = net.stop();
+        states.iter().map(|s| s.report(OBJECT).meta).collect()
+    };
+
+    if metas_converged(&metas) {
         println!("\nall replicas converged on the threaded runtime ✓");
     } else {
         println!("\nreplicas still settling (threaded runs are not deterministic)");

@@ -2,6 +2,14 @@
 //! participants draw, consistency decays, the hint-based controller keeps
 //! it above the floor, and an unhappy user teaches IDEA a higher floor.
 //!
+//! This example deliberately keeps the **low-level closure escape hatch**
+//! (`SimEngine::with_node` with a live protocol context) instead of the
+//! typed `Session`/`ObjectHandle` client API the other examples use: the
+//! white-board client exposes app-specific verbs (`draw`, `complain`) that
+//! run *inside* the engine callback. Prefer sessions unless you need this
+//! kind of in-callback composition — see `examples/quickstart.rs` and
+//! `examples/threaded_cluster.rs` for the session form.
+//!
 //! ```bash
 //! cargo run --example whiteboard_session
 //! ```

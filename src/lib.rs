@@ -36,9 +36,13 @@
 //! }
 //! net.run_for(SimDuration::from_secs(2));
 //!
-//! // ...and resolve it on demand.
-//! net.with_node(NodeId(0), |c, ctx| c.demand_resolution(ctx));
+//! // ...and resolve it on demand — through a typed client session (the
+//! // same session code runs unchanged on the threaded engines).
+//! let mut session = Session::open(&mut net, NodeId(0));
+//! session.object(board).demand_resolution().unwrap();
 //! net.run_for(SimDuration::from_secs(5));
+//! let read = Session::open(&mut net, NodeId(0)).object(board).peek().unwrap();
+//! assert!(read.updates >= 1);
 //! let winning_cell = net.node(NodeId(0)).render();
 //! assert!(winning_cell.contains_key(&(0, 0)));
 //! ```
@@ -62,8 +66,9 @@ pub mod prelude {
     pub use idea_apps::{BookOutcome, BookingServer, Stroke, WhiteboardClient};
     pub use idea_core::api::DeveloperApi;
     pub use idea_core::{
-        AutoController, HintController, IdeaConfig, IdeaMsg, IdeaNode, MaxBounds, Quantifier,
-        ResolutionPolicy, Weights,
+        AutoController, Command, CommandError, ConsistencySpec, EngineHandle, HintController,
+        IdeaConfig, IdeaHost, IdeaMsg, IdeaNode, MaxBounds, ObjectHandle, Quantifier,
+        ReadConsistency, ReadResult, ResolutionPolicy, Response, Session, Weights,
     };
     pub use idea_net::{
         shards_from_env, Context, Proto, ShardedEngine, ShardedProto, SimConfig, SimEngine,
