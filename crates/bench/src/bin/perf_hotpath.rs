@@ -23,12 +23,14 @@
 //! (optionally `--seed N`; `--small` runs the N ∈ {10, 80} scale points
 //! and a reduced drain for CI smoke).
 
-use idea_core::client::{Command, EngineHandle};
+use idea_core::client::{Command, CommandExecutor};
 use idea_core::{IdeaConfig, IdeaNode};
 use idea_net::{MsgClass, ShardedEngine, SimConfig, SimEngine, ThreadedConfig, Topology};
+use idea_transport::{IdeaServer, RemoteEngine};
 use idea_types::{NodeId, ObjectId, ShardId, SimDuration, SimTime, UpdatePayload, WriterId};
 use idea_vv::ExtendedVersionVector;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Writers driving the detect-round scenario (the paper's top-layer size).
@@ -151,6 +153,10 @@ enum DrainRoute {
     /// `Command::Write` through `EngineHandle::submit` — the typed client
     /// layer a network frontend would use.
     Session,
+    /// The same `Command::Write` submits, but framed over loopback TCP
+    /// through `RemoteEngine → IdeaServer` — what the served system costs
+    /// on the write drain versus in-process submission.
+    Remote,
 }
 
 /// Sharded-vs-unsharded wall clock on the threaded runtime: `writers` hot
@@ -179,11 +185,22 @@ fn sharded_drain_scenario(
     let nodes: Vec<IdeaNode> =
         (0..n).map(|i| IdeaNode::new(NodeId(i as u32), cfg.clone(), &objects)).collect();
 
-    let mut eng = ShardedEngine::start(
+    let eng = Arc::new(ShardedEngine::start(
         Topology::planetlab(n, seed),
         ThreadedConfig { seed, time_scale: 0.002, shards },
         nodes,
-    );
+    ));
+    // The remote route serves the same engine over loopback TCP and routes
+    // the timed submits through a pooled client; the other routes never
+    // touch the network.
+    let served = if route == DrainRoute::Remote {
+        let server = IdeaServer::bind("127.0.0.1:0", eng.clone()).expect("bind loopback");
+        let remote =
+            RemoteEngine::connect_pool(server.local_addr(), 4).expect("connect drain client");
+        Some((server, remote))
+    } else {
+        None
+    };
     let writers = WRITERS_HOT.min(n as u32);
     // Warm-up (untimed): paced write waves so the announce gossip spreads
     // and every object's top layer forms — the blast below must exercise
@@ -217,14 +234,27 @@ fn sharded_drain_scenario(
                             shard.local_write(obj, 1, UpdatePayload::none(), ctx);
                         });
                     }
-                    DrainRoute::Session => eng.submit(
-                        NodeId(w),
-                        Command::Write {
-                            object: obj,
-                            meta_delta: 1,
-                            payload: UpdatePayload::none(),
-                        },
-                    ),
+                    DrainRoute::Session => {
+                        let _ = eng.try_submit(
+                            NodeId(w),
+                            Command::Write {
+                                object: obj,
+                                meta_delta: 1,
+                                payload: UpdatePayload::none(),
+                            },
+                        );
+                    }
+                    DrainRoute::Remote => {
+                        let (_, remote) = served.as_ref().expect("remote route is served");
+                        let _ = remote.try_submit(
+                            NodeId(w),
+                            Command::Write {
+                                object: obj,
+                                meta_delta: 1,
+                                payload: UpdatePayload::none(),
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -251,6 +281,11 @@ fn sharded_drain_scenario(
     }
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let snap = eng.stats();
+    if let Some((server, remote)) = served {
+        drop(remote);
+        server.stop();
+    }
+    let eng = Arc::try_unwrap(eng).ok().expect("server released the engine");
     let _ = eng.stop();
 
     let class = |c: MsgClass| {
@@ -355,6 +390,9 @@ fn main() {
     // as typed `Command`s through `EngineHandle::submit` instead of raw
     // closures — pins what the command surface costs on the hot write path.
     let drain_session = sharded_drain_scenario(drain_n, 4, seed, drain_rounds, DrainRoute::Session);
+    // Loopback-TCP drain: the identical workload submitted through
+    // RemoteEngine → IdeaServer — pins what serving costs on the write path.
+    let drain_remote = sharded_drain_scenario(drain_n, 4, seed, drain_rounds, DrainRoute::Remote);
     let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
 
     let mut json = String::from("{\n");
@@ -427,6 +465,20 @@ fn main() {
         let _ = writeln!(json, "    \"closure_routed\": {},", drain_sharded.json());
         let _ = writeln!(json, "    \"session_routed\": {},", drain_session.json());
         let _ = writeln!(json, "    \"session_over_closure_factor\": {factor:.2}");
+        let _ = writeln!(json, "  }},");
+    }
+    // Served-system cost on the same drain: loopback-TCP session submits
+    // (RemoteEngine → IdeaServer → shard mailboxes) vs in-process session
+    // submits. The engine does identical protocol work; the factor is the
+    // framing + socket overhead of the write drain.
+    {
+        let factor = drain_remote.wall_ms / drain_session.wall_ms.max(1e-9);
+        let _ = writeln!(json, "  \"remote_drain\": {{");
+        let _ = writeln!(json, "    \"cores\": {cores},");
+        let _ = writeln!(json, "    \"rounds\": {drain_rounds},");
+        let _ = writeln!(json, "    \"in_process_session\": {},", drain_session.json());
+        let _ = writeln!(json, "    \"loopback_tcp_session\": {},", drain_remote.json());
+        let _ = writeln!(json, "    \"remote_over_local_factor\": {factor:.2}");
         let _ = writeln!(json, "  }},");
     }
     // Headline comparison at the acceptance point (N=40, paper workload).

@@ -42,10 +42,12 @@ use idea_net::{Context, Proto, ShardedEngine, ShardedProto, SimEngine, ThreadedE
 use idea_store::Snapshot;
 use idea_types::{
     ConsistencyLevel, IdeaError, NodeId, ObjectId, Result, SimDuration, SimTime, Update,
-    UpdatePayload,
+    UpdatePayload, WireError,
 };
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 // ====================================================================
 // Read consistency
@@ -108,6 +110,40 @@ impl ConsistencySpec {
     /// True when the spec changes nothing.
     pub fn is_empty(&self) -> bool {
         *self == ConsistencySpec::default()
+    }
+
+    /// The spec's fields, in declaration order — the decomposition a wire
+    /// codec serializes (fields are private so hand-built specs cannot skip
+    /// validation; this is the sanctioned read path).
+    #[allow(clippy::type_complexity)]
+    pub fn parts(
+        &self,
+    ) -> (
+        Option<MaxBounds>,
+        Option<Weights>,
+        Option<ResolutionPolicy>,
+        Option<f64>,
+        Option<BackgroundFreq>,
+    ) {
+        (self.bounds, self.weights, self.policy, self.hint, self.background)
+    }
+
+    /// Rebuilds a spec from the fields of [`ConsistencySpec::parts`],
+    /// re-validating every domain — the decode path of a wire codec.
+    ///
+    /// # Errors
+    /// Returns the same [`IdeaError::InvalidParameter`] the builder would
+    /// for out-of-domain fields.
+    pub fn from_parts(
+        bounds: Option<MaxBounds>,
+        weights: Option<Weights>,
+        policy: Option<ResolutionPolicy>,
+        hint: Option<f64>,
+        background: Option<BackgroundFreq>,
+    ) -> Result<ConsistencySpec> {
+        let spec = ConsistencySpec { bounds, weights, policy, hint, background };
+        spec.validate()?;
+        Ok(spec)
     }
 
     /// Re-checks every field's domain — used on deserialized specs, whose
@@ -479,16 +515,18 @@ pub enum Response {
         /// The full per-object node report.
         report: NodeReport,
     },
-    /// The command was rejected (unknown object, out-of-domain parameter).
+    /// The command was rejected (unknown object, out-of-domain parameter,
+    /// unavailable engine) — the typed error is serializable, so rejection
+    /// behaviour is identical in-process and across a transport.
     Rejected {
-        /// Human-readable reason, rendered from the typed error.
-        reason: String,
+        /// Why the command was rejected.
+        error: WireError,
     },
 }
 
 impl Response {
-    fn err(e: IdeaError) -> Response {
-        Response::Rejected { reason: e.to_string() }
+    fn err(e: impl Into<WireError>) -> Response {
+        Response::Rejected { error: e.into() }
     }
 }
 
@@ -496,12 +534,12 @@ impl Response {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommandError {
     /// Why the command was rejected.
-    pub reason: String,
+    pub error: WireError,
 }
 
 impl fmt::Display for CommandError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "command rejected: {}", self.reason)
+        write!(f, "command rejected: {}", self.error)
     }
 }
 
@@ -509,15 +547,23 @@ impl std::error::Error for CommandError {}
 
 impl From<IdeaError> for CommandError {
     fn from(e: IdeaError) -> Self {
-        CommandError { reason: e.to_string() }
+        CommandError { error: e.into() }
+    }
+}
+
+impl From<WireError> for CommandError {
+    fn from(error: WireError) -> Self {
+        CommandError { error }
     }
 }
 
 /// Maps an unexpected response shape to a [`CommandError`].
 fn unexpected(what: &'static str, got: Response) -> CommandError {
     match got {
-        Response::Rejected { reason } => CommandError { reason },
-        other => CommandError { reason: format!("expected {what}, got {other:?}") },
+        Response::Rejected { error } => CommandError { error },
+        other => {
+            CommandError { error: WireError::Protocol(format!("expected {what}, got {other:?}")) }
+        }
     }
 }
 
@@ -690,12 +736,21 @@ fn setter_spec(cmd: Command) -> Result<ConsistencySpec> {
 }
 
 // ====================================================================
-// EngineHandle: one execution surface over all three engines
+// EngineHandle / CommandExecutor: the execution surface over every engine
 // ====================================================================
 
 /// A running deployment that can execute client [`Command`]s against its
-/// nodes. Implemented by all three engines, so session-based application
-/// code compiles once and runs unchanged on any of them.
+/// nodes — the surface [`Session`]s are written against. Implemented by all
+/// three in-process engines and by the TCP client stub in
+/// `idea-transport`, so session-based application code compiles once and
+/// runs unchanged locally or against a remote cluster.
+///
+/// `EngineHandle` is the *exclusive-access* trait (`&mut self`, works for
+/// the single-threaded [`SimEngine`]). Engines that can take commands from
+/// many threads at once additionally implement the object-safe
+/// [`CommandExecutor`] split, which is what a network server fronts; any
+/// `Arc<impl CommandExecutor>` is an `EngineHandle` again, so sessions run
+/// against shared engines too.
 pub trait EngineHandle {
     /// Number of nodes in the deployment.
     fn nodes(&self) -> usize;
@@ -703,14 +758,169 @@ pub trait EngineHandle {
     /// Executes `cmd` on `node` and waits for the response. On the
     /// deterministic engine this runs inline in virtual time; on the
     /// threaded engines it posts to the owning worker's mailbox and blocks
-    /// for the reply.
+    /// for the reply. Engine-level failures (dead worker, lost connection)
+    /// surface as [`Response::Rejected`] with the typed [`WireError`] — no
+    /// engine panics across this boundary.
     fn execute(&mut self, node: NodeId, cmd: Command) -> Response;
 
     /// Fire-and-forget variant: posts the command without waiting for its
-    /// response (the write-drain fast path on the threaded engines; the
-    /// deterministic engine executes inline and discards the response).
+    /// response. On the threaded engines and the remote stub this is the
+    /// genuinely pipelined write-drain fast path — the call returns once
+    /// the command is enqueued (or written to the socket), never blocking
+    /// on the reply; the deterministic engine executes inline and discards
+    /// the response.
     fn submit(&mut self, node: NodeId, cmd: Command) {
         let _ = self.execute(node, cmd);
+    }
+}
+
+/// A reply callback handed to [`CommandExecutor::dispatch`]; invoked
+/// exactly once with the command's outcome, possibly from a worker thread.
+pub type ReplyFn = Box<dyn FnOnce(Response) + Send + 'static>;
+
+/// The object-safe, shared-access half of the engine surface: what a
+/// network server boxes and fronts. Everything is `&self` (connection
+/// handler threads share one executor) and fallible — an engine whose
+/// workers are gone returns [`WireError::EngineUnavailable`] instead of
+/// panicking, so the same typed error crosses the wire that local callers
+/// see.
+///
+/// Implementors: [`ThreadedEngine`], [`ShardedEngine`] (commands go
+/// straight into the existing per-node / per-shard mailboxes),
+/// [`LockedEngine`] (any `EngineHandle` behind a mutex — how the
+/// deterministic engine is served), and the `RemoteEngine` client stub in
+/// `idea-transport` (proxying makes a server chainable).
+pub trait CommandExecutor: Send + Sync {
+    /// Number of nodes in the deployment.
+    fn node_count(&self) -> usize;
+
+    /// Executes `cmd` on `node`, blocking for the outcome.
+    ///
+    /// # Errors
+    /// `Err` is reserved for *engine/transport* failures (dead worker,
+    /// closed connection); command-level rejections (unknown object,
+    /// out-of-domain parameter) arrive as `Ok(Response::Rejected { .. })`.
+    fn try_execute(&self, node: NodeId, cmd: Command) -> std::result::Result<Response, WireError>;
+
+    /// Non-blocking dispatch: hands the command to the owning worker's
+    /// mailbox where the engine supports it and returns immediately;
+    /// `reply` is invoked with the outcome once the worker processed it.
+    /// This is what lets one server connection pipeline many in-flight
+    /// requests. The default implementation (and node-wide commands on the
+    /// sharded engine) executes inline — correct, just not pipelined.
+    fn dispatch(&self, node: NodeId, cmd: Command, reply: ReplyFn) {
+        let outcome = self.try_execute(node, cmd).unwrap_or_else(Response::err);
+        reply(outcome);
+    }
+
+    /// Fire-and-forget submission: enqueues the command without any reply
+    /// path at all. Command-level rejections (unknown node or object,
+    /// out-of-domain parameter) are silently dropped — there is nowhere to
+    /// report them, matching [`EngineHandle::submit`].
+    ///
+    /// # Errors
+    /// `Err` is reserved for the engine (or the connection to it) no
+    /// longer accepting commands — a consumer may treat it as fatal for
+    /// the whole executor, never as a per-command rejection.
+    fn try_submit(&self, node: NodeId, cmd: Command) -> std::result::Result<(), WireError> {
+        self.try_execute(node, cmd).map(|_| ())
+    }
+}
+
+/// The typed error for an engine whose worker threads are gone.
+fn engine_unavailable() -> WireError {
+    WireError::EngineUnavailable("engine worker stopped".into())
+}
+
+/// A one-shot reply slot shared between the "posted into the mailbox" and
+/// the "mailbox already closed" paths of [`CommandExecutor::dispatch`]:
+/// whichever side runs first consumes the callback. If neither side ever
+/// runs — the engine accepted the envelope but stopped before processing
+/// it, dropping the closure unrun — the drop of the last reference answers
+/// with [`WireError::EngineUnavailable`], so a caller blocked on the reply
+/// fails fast instead of waiting out a timeout.
+#[derive(Clone)]
+struct ReplyCell(Arc<ReplyCellInner>);
+
+struct ReplyCellInner(Mutex<Option<ReplyFn>>);
+
+impl ReplyCell {
+    fn new(reply: ReplyFn) -> Self {
+        ReplyCell(Arc::new(ReplyCellInner(Mutex::new(Some(reply)))))
+    }
+
+    fn call(&self, response: Response) {
+        if let Some(reply) = self.0 .0.lock().take() {
+            reply(response);
+        }
+    }
+}
+
+impl Drop for ReplyCellInner {
+    fn drop(&mut self) {
+        if let Some(reply) = self.0.lock().take() {
+            reply(Response::err(engine_unavailable()));
+        }
+    }
+}
+
+/// Any [`EngineHandle`] behind a mutex is a shareable [`CommandExecutor`]:
+/// commands serialize through the lock. This is how the deterministic
+/// [`SimEngine`] — whose command execution is inline and `&mut` — is
+/// served over a transport, and it doubles as a correctness reference for
+/// the lock-free engine executors.
+pub struct LockedEngine<E> {
+    inner: Mutex<E>,
+}
+
+impl<E> LockedEngine<E> {
+    /// Wraps an engine for shared access.
+    pub fn new(engine: E) -> Self {
+        LockedEngine { inner: Mutex::new(engine) }
+    }
+
+    /// Unwraps the engine again (e.g. to stop it after serving).
+    pub fn into_inner(self) -> E {
+        self.inner.into_inner()
+    }
+
+    /// Runs `f` with exclusive access to the wrapped engine — the escape
+    /// hatch for engine-specific driving (e.g. `SimEngine::run_for`)
+    /// between served commands.
+    pub fn with<R>(&self, f: impl FnOnce(&mut E) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+impl<E: EngineHandle + Send> CommandExecutor for LockedEngine<E> {
+    fn node_count(&self) -> usize {
+        self.inner.lock().nodes()
+    }
+
+    fn try_execute(&self, node: NodeId, cmd: Command) -> std::result::Result<Response, WireError> {
+        Ok(self.inner.lock().execute(node, cmd))
+    }
+
+    fn try_submit(&self, node: NodeId, cmd: Command) -> std::result::Result<(), WireError> {
+        self.inner.lock().submit(node, cmd);
+        Ok(())
+    }
+}
+
+/// A shared executor is itself an [`EngineHandle`], so `Session`s run
+/// unchanged against an engine that is concurrently being served (or
+/// against any boxed `Arc<dyn CommandExecutor>`).
+impl<E: CommandExecutor + ?Sized> EngineHandle for Arc<E> {
+    fn nodes(&self) -> usize {
+        self.as_ref().node_count()
+    }
+
+    fn execute(&mut self, node: NodeId, cmd: Command) -> Response {
+        self.as_ref().try_execute(node, cmd).unwrap_or_else(Response::err)
+    }
+
+    fn submit(&mut self, node: NodeId, cmd: Command) {
+        let _ = self.as_ref().try_submit(node, cmd);
     }
 }
 
@@ -750,6 +960,49 @@ where
     }
 }
 
+impl<P> CommandExecutor for ThreadedEngine<P>
+where
+    P: Proto<Msg = IdeaMsg> + IdeaHost + 'static,
+{
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+
+    fn try_execute(&self, node: NodeId, cmd: Command) -> std::result::Result<Response, WireError> {
+        if node.index() >= self.len() {
+            return Ok(Response::err(IdeaError::UnknownNode(node)));
+        }
+        self.try_query(node, move |p, ctx| apply_to_node(p.idea_mut(), cmd, ctx))
+            .ok_or_else(engine_unavailable)
+    }
+
+    fn dispatch(&self, node: NodeId, cmd: Command, reply: ReplyFn) {
+        if node.index() >= self.len() {
+            return reply(Response::err(IdeaError::UnknownNode(node)));
+        }
+        let cell = ReplyCell::new(reply);
+        let in_worker = cell.clone();
+        if !self.try_invoke(node, move |p, ctx| {
+            in_worker.call(apply_to_node(p.idea_mut(), cmd, ctx));
+        }) {
+            cell.call(Response::err(engine_unavailable()));
+        }
+    }
+
+    fn try_submit(&self, node: NodeId, cmd: Command) -> std::result::Result<(), WireError> {
+        if node.index() >= self.len() {
+            return Ok(()); // dropped rejection, per the trait contract
+        }
+        if self.try_invoke(node, move |p, ctx| {
+            let _ = apply_to_node(p.idea_mut(), cmd, ctx);
+        }) {
+            Ok(())
+        } else {
+            Err(engine_unavailable())
+        }
+    }
+}
+
 impl<P> EngineHandle for ThreadedEngine<P>
 where
     P: Proto<Msg = IdeaMsg> + IdeaHost + 'static,
@@ -759,19 +1012,137 @@ where
     }
 
     fn execute(&mut self, node: NodeId, cmd: Command) -> Response {
-        if node.index() >= self.len() {
-            return Response::err(IdeaError::UnknownNode(node));
-        }
-        self.query(node, move |p, ctx| apply_to_node(p.idea_mut(), cmd, ctx))
+        CommandExecutor::try_execute(self, node, cmd).unwrap_or_else(Response::err)
     }
 
     fn submit(&mut self, node: NodeId, cmd: Command) {
+        let _ = CommandExecutor::try_submit(self, node, cmd);
+    }
+}
+
+impl<P> CommandExecutor for ShardedEngine<P>
+where
+    P: ShardedProto<Msg = IdeaMsg, Shard = ProtocolShard> + 'static,
+{
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+
+    fn try_execute(&self, node: NodeId, cmd: Command) -> std::result::Result<Response, WireError> {
         if node.index() >= self.len() {
-            return;
+            return Ok(Response::err(IdeaError::UnknownNode(node)));
         }
-        self.invoke(node, move |p, ctx| {
-            let _ = apply_to_node(p.idea_mut(), cmd, ctx);
-        });
+        match cmd {
+            // The report aggregates node-wide pieces across shard workers,
+            // exactly like `IdeaNode::report` does in-process.
+            Command::Report { object } => {
+                let owner = self.shard_for_object(object);
+                let report = self
+                    .try_query(node, owner, move |s, ctx| {
+                        apply_to_shard(s, Command::Report { object }, ctx)
+                    })
+                    .ok_or_else(engine_unavailable)?;
+                let Response::Report { mut report } = report else {
+                    return Ok(report); // Rejected (unknown object)
+                };
+                for shard in (0..self.shards()).filter(|&s| s != owner) {
+                    report.resolutions_initiated += self
+                        .try_query(node, shard, |s, _| s.resolutions_completed())
+                        .ok_or_else(engine_unavailable)?;
+                }
+                Ok(Response::Report { report })
+            }
+            // Re-weighting on dissatisfaction is node-wide: fan the weights
+            // to every worker, then resolve on the owning shard (the same
+            // split `IdeaNode::user_dissatisfied` performs). The owning
+            // shard validates object and weights *before* the fan-out so a
+            // rejected command mutates nothing — the same atomicity the
+            // single-worker engines get from their up-front checks.
+            Command::Dissatisfied { object, new_weights: Some(w) } => {
+                match self.dissatisfied_checks(node, object, w)? {
+                    Response::Done => {}
+                    rejected => return Ok(rejected),
+                }
+                let weights = Command::SetWeight {
+                    numerical: w.numerical,
+                    order: w.order,
+                    staleness: w.staleness,
+                };
+                let r = self.fan_out(node, weights)?;
+                if !matches!(r, Response::Done) {
+                    return Ok(r);
+                }
+                let owner = self.shard_for_object(object);
+                self.try_query(node, owner, move |s, ctx| {
+                    apply_to_shard(s, Command::Dissatisfied { object, new_weights: None }, ctx)
+                })
+                .ok_or_else(engine_unavailable)
+            }
+            cmd => match cmd.object() {
+                Some(object) => {
+                    let owner = self.shard_for_object(object);
+                    self.try_query(node, owner, move |s, ctx| apply_to_shard(s, cmd, ctx))
+                        .ok_or_else(engine_unavailable)
+                }
+                None => self.fan_out(node, cmd),
+            },
+        }
+    }
+
+    fn dispatch(&self, node: NodeId, cmd: Command, reply: ReplyFn) {
+        if node.index() >= self.len() {
+            return reply(Response::err(IdeaError::UnknownNode(node)));
+        }
+        // Object-addressed commands pipeline through the owning shard's
+        // mailbox. The two multi-shard commands (report aggregation,
+        // re-weighting dissatisfaction) and the node-wide setters execute
+        // inline on the calling thread — they are control-plane traffic.
+        let multi_shard = matches!(
+            cmd,
+            Command::Report { .. } | Command::Dissatisfied { new_weights: Some(_), .. }
+        );
+        match cmd.object() {
+            Some(object) if !multi_shard => {
+                let owner = self.shard_for_object(object);
+                let cell = ReplyCell::new(reply);
+                let in_worker = cell.clone();
+                if !self.try_invoke(node, owner, move |s, ctx| {
+                    in_worker.call(apply_to_shard(s, cmd, ctx));
+                }) {
+                    cell.call(Response::err(engine_unavailable()));
+                }
+            }
+            _ => {
+                let outcome = self.try_execute(node, cmd).unwrap_or_else(Response::err);
+                reply(outcome);
+            }
+        }
+    }
+
+    fn try_submit(&self, node: NodeId, cmd: Command) -> std::result::Result<(), WireError> {
+        if node.index() >= self.len() {
+            return Ok(()); // dropped rejection, per the trait contract
+        }
+        match cmd {
+            // Same node-wide split as try_execute(): without it the
+            // re-weighting would land on the owning shard alone.
+            Command::Dissatisfied { new_weights: Some(_), .. } => {
+                self.try_execute(node, cmd).map(|_| ())
+            }
+            cmd => match cmd.object() {
+                Some(object) => {
+                    let owner = self.shard_for_object(object);
+                    if self.try_invoke(node, owner, move |s, ctx| {
+                        let _ = apply_to_shard(s, cmd, ctx);
+                    }) {
+                        Ok(())
+                    } else {
+                        Err(engine_unavailable())
+                    }
+                }
+                None => self.fan_out(node, cmd).map(|_| ()),
+            },
+        }
     }
 }
 
@@ -784,83 +1155,11 @@ where
     }
 
     fn execute(&mut self, node: NodeId, cmd: Command) -> Response {
-        if node.index() >= self.len() {
-            return Response::err(IdeaError::UnknownNode(node));
-        }
-        match cmd {
-            // The report aggregates node-wide pieces across shard workers,
-            // exactly like `IdeaNode::report` does in-process.
-            Command::Report { object } => {
-                let owner = self.shard_for_object(object);
-                let report = self.query(node, owner, move |s, ctx| {
-                    apply_to_shard(s, Command::Report { object }, ctx)
-                });
-                let Response::Report { mut report } = report else {
-                    return report; // Rejected (unknown object)
-                };
-                for shard in (0..self.shards()).filter(|&s| s != owner) {
-                    report.resolutions_initiated +=
-                        self.query(node, shard, |s, _| s.resolutions_completed());
-                }
-                Response::Report { report }
-            }
-            // Re-weighting on dissatisfaction is node-wide: fan the weights
-            // to every worker, then resolve on the owning shard (the same
-            // split `IdeaNode::user_dissatisfied` performs). The owning
-            // shard validates object and weights *before* the fan-out so a
-            // rejected command mutates nothing — the same atomicity the
-            // single-worker engines get from their up-front checks.
-            Command::Dissatisfied { object, new_weights: Some(w) } => {
-                match self.dissatisfied_checks(node, object, w) {
-                    Response::Done => {}
-                    rejected => return rejected,
-                }
-                let weights = Command::SetWeight {
-                    numerical: w.numerical,
-                    order: w.order,
-                    staleness: w.staleness,
-                };
-                let r = self.fan_out(node, weights);
-                if !matches!(r, Response::Done) {
-                    return r;
-                }
-                let owner = self.shard_for_object(object);
-                self.query(node, owner, move |s, ctx| {
-                    apply_to_shard(s, Command::Dissatisfied { object, new_weights: None }, ctx)
-                })
-            }
-            cmd => match cmd.object() {
-                Some(object) => {
-                    let owner = self.shard_for_object(object);
-                    self.query(node, owner, move |s, ctx| apply_to_shard(s, cmd, ctx))
-                }
-                None => self.fan_out(node, cmd),
-            },
-        }
+        CommandExecutor::try_execute(self, node, cmd).unwrap_or_else(Response::err)
     }
 
     fn submit(&mut self, node: NodeId, cmd: Command) {
-        if node.index() >= self.len() {
-            return;
-        }
-        match cmd {
-            // Same node-wide split as execute(): without it the
-            // re-weighting would land on the owning shard alone.
-            Command::Dissatisfied { new_weights: Some(_), .. } => {
-                let _ = self.execute(node, cmd);
-            }
-            cmd => match cmd.object() {
-                Some(object) => {
-                    let owner = self.shard_for_object(object);
-                    self.invoke(node, owner, move |s, ctx| {
-                        let _ = apply_to_shard(s, cmd, ctx);
-                    });
-                }
-                None => {
-                    let _ = self.fan_out(node, cmd);
-                }
-            },
-        }
+        let _ = CommandExecutor::try_submit(self, node, cmd);
     }
 }
 
@@ -869,40 +1168,53 @@ trait FanOut {
     /// Applies the same command on every shard worker, returning the first
     /// rejection (shards validate identically, so either all accept or all
     /// reject).
-    fn fan_out(&self, node: NodeId, cmd: Command) -> Response;
+    fn fan_out(&self, node: NodeId, cmd: Command) -> std::result::Result<Response, WireError>;
 
     /// Side-effect-free validation of a re-weighting dissatisfaction:
     /// weights in domain, object hosted by its owning shard. `Done` means
     /// the mutating fan-out may proceed.
-    fn dissatisfied_checks(&self, node: NodeId, object: ObjectId, w: Weights) -> Response;
+    fn dissatisfied_checks(
+        &self,
+        node: NodeId,
+        object: ObjectId,
+        w: Weights,
+    ) -> std::result::Result<Response, WireError>;
 }
 
 impl<P> FanOut for ShardedEngine<P>
 where
     P: ShardedProto<Msg = IdeaMsg, Shard = ProtocolShard> + 'static,
 {
-    fn fan_out(&self, node: NodeId, cmd: Command) -> Response {
+    fn fan_out(&self, node: NodeId, cmd: Command) -> std::result::Result<Response, WireError> {
         let mut out = Response::Done;
         for shard in 0..self.shards() {
             let c = cmd.clone();
-            let r = self.query(node, shard, move |s, ctx| apply_to_shard(s, c, ctx));
+            let r = self
+                .try_query(node, shard, move |s, ctx| apply_to_shard(s, c, ctx))
+                .ok_or_else(engine_unavailable)?;
             if matches!(r, Response::Rejected { .. }) {
-                return r;
+                return Ok(r);
             }
             out = r;
         }
-        out
+        Ok(out)
     }
 
-    fn dissatisfied_checks(&self, node: NodeId, object: ObjectId, w: Weights) -> Response {
+    fn dissatisfied_checks(
+        &self,
+        node: NodeId,
+        object: ObjectId,
+        w: Weights,
+    ) -> std::result::Result<Response, WireError> {
         if let Err(e) = validate_weights(&Some(w)) {
-            return Response::err(e);
+            return Ok(Response::err(e));
         }
         let owner = self.shard_for_object(object);
-        self.query(node, owner, move |s, _| match s.store().replica(object) {
+        self.try_query(node, owner, move |s, _| match s.store().replica(object) {
             Ok(_) => Response::Done,
             Err(e) => Response::err(e),
         })
+        .ok_or_else(engine_unavailable)
     }
 }
 
@@ -1378,6 +1690,24 @@ mod tests {
             let node = eng.node(NodeId(i));
             assert_eq!(node.priority_of(NodeId(2)), Some(9), "node {i}");
         }
+    }
+
+    /// A dispatch reply closure dropped unrun (engine stopped with the
+    /// envelope still queued) must still answer — with the typed
+    /// engine-unavailable rejection — so a blocked caller fails fast
+    /// instead of waiting out a timeout.
+    #[test]
+    fn dropped_reply_cell_answers_engine_unavailable() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let cell = ReplyCell::new(Box::new(move |resp| {
+            let _ = tx.send(resp);
+        }));
+        drop(cell);
+        let resp = rx.try_recv().expect("drop must produce a response");
+        assert!(
+            matches!(resp, Response::Rejected { error: WireError::EngineUnavailable(_) }),
+            "{resp:?}"
+        );
     }
 
     #[test]

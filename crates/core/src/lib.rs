@@ -35,8 +35,9 @@ pub mod resolution;
 pub use adapt::{AutoController, HintController};
 pub use api::DeveloperApi;
 pub use client::{
-    apply_to_node, apply_to_shard, Command, CommandError, ConsistencySpec, EngineHandle, IdeaHost,
-    ObjectHandle, ReadConsistency, ReadResult, Response, Session,
+    apply_to_node, apply_to_shard, Command, CommandError, CommandExecutor, ConsistencySpec,
+    EngineHandle, IdeaHost, LockedEngine, ObjectHandle, ReadConsistency, ReadResult, ReplyFn,
+    Response, Session,
 };
 pub use config::{IdeaConfig, ReadPolicy};
 pub use messages::IdeaMsg;

@@ -242,20 +242,49 @@ impl<P: Proto + 'static> ThreadedEngine<P> {
         id: NodeId,
         f: impl FnOnce(&mut P, &mut dyn Context<P::Msg>) + Send + 'static,
     ) {
-        let _ = self.node_txs[id.index()].send(Envelope::Invoke(Box::new(f)));
+        let _ = self.try_invoke(id, f);
+    }
+
+    /// Fallible fire-and-forget: `false` when the node thread's mailbox is
+    /// closed (the engine is stopping or stopped), so service frontends can
+    /// surface a typed error instead of dropping the command silently.
+    #[must_use]
+    pub fn try_invoke(
+        &self,
+        id: NodeId,
+        f: impl FnOnce(&mut P, &mut dyn Context<P::Msg>) + Send + 'static,
+    ) -> bool {
+        self.node_txs[id.index()].send(Envelope::Invoke(Box::new(f))).is_ok()
     }
 
     /// Runs `f` on the node thread and waits for its result.
+    ///
+    /// # Panics
+    /// Panics when the node thread is gone; use
+    /// [`ThreadedEngine::try_query`] where that must be an error instead.
     pub fn query<R: Send + 'static>(
         &self,
         id: NodeId,
         f: impl FnOnce(&mut P, &mut dyn Context<P::Msg>) -> R + Send + 'static,
     ) -> R {
+        self.try_query(id, f).expect("node thread alive")
+    }
+
+    /// Like [`ThreadedEngine::query`], but returns `None` instead of
+    /// panicking when the node thread is gone — either the mailbox is
+    /// already closed, or the thread dies before replying.
+    pub fn try_query<R: Send + 'static>(
+        &self,
+        id: NodeId,
+        f: impl FnOnce(&mut P, &mut dyn Context<P::Msg>) -> R + Send + 'static,
+    ) -> Option<R> {
         let (tx, rx) = bounded(1);
-        self.invoke(id, move |p, ctx| {
+        if !self.try_invoke(id, move |p, ctx| {
             let _ = tx.send(f(p, ctx));
-        });
-        rx.recv().expect("node thread alive")
+        }) {
+            return None;
+        }
+        rx.recv().ok()
     }
 
     /// Sleeps for `d` of *virtual* time (scaled to wall time).
@@ -621,23 +650,55 @@ impl<P: ShardedProto + 'static> ShardedEngine<P> {
         shard: usize,
         f: impl FnOnce(&mut P::Shard, &mut dyn Context<P::Msg>) + Send + 'static,
     ) {
+        let _ = self.try_invoke(id, shard, f);
+    }
+
+    /// Fallible fire-and-forget: `false` when the shard worker's mailbox is
+    /// closed (the engine is stopping or stopped), so service frontends can
+    /// surface a typed error instead of dropping the command silently.
+    #[must_use]
+    pub fn try_invoke(
+        &self,
+        id: NodeId,
+        shard: usize,
+        f: impl FnOnce(&mut P::Shard, &mut dyn Context<P::Msg>) + Send + 'static,
+    ) -> bool {
         assert!(shard < self.shards, "shard index out of range");
-        let _ = self.worker_txs[id.index() * self.shards + shard]
-            .send(ShardEnvelope::Invoke(Box::new(f)));
+        self.worker_txs[id.index() * self.shards + shard]
+            .send(ShardEnvelope::Invoke(Box::new(f)))
+            .is_ok()
     }
 
     /// Runs `f` on the shard worker and waits for its result.
+    ///
+    /// # Panics
+    /// Panics when the worker is gone; use [`ShardedEngine::try_query`]
+    /// where that must be an error instead.
     pub fn query<R: Send + 'static>(
         &self,
         id: NodeId,
         shard: usize,
         f: impl FnOnce(&mut P::Shard, &mut dyn Context<P::Msg>) -> R + Send + 'static,
     ) -> R {
+        self.try_query(id, shard, f).expect("shard worker alive")
+    }
+
+    /// Like [`ShardedEngine::query`], but returns `None` instead of
+    /// panicking when the shard worker is gone — either the mailbox is
+    /// already closed, or the worker dies before replying.
+    pub fn try_query<R: Send + 'static>(
+        &self,
+        id: NodeId,
+        shard: usize,
+        f: impl FnOnce(&mut P::Shard, &mut dyn Context<P::Msg>) -> R + Send + 'static,
+    ) -> Option<R> {
         let (tx, rx) = bounded(1);
-        self.invoke(id, shard, move |p, ctx| {
+        if !self.try_invoke(id, shard, move |p, ctx| {
             let _ = tx.send(f(p, ctx));
-        });
-        rx.recv().expect("shard worker alive")
+        }) {
+            return None;
+        }
+        rx.recv().ok()
     }
 
     /// Sleeps for `d` of *virtual* time (scaled to wall time).

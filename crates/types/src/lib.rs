@@ -22,7 +22,7 @@ pub mod size;
 pub mod time;
 pub mod update;
 
-pub use error::IdeaError;
+pub use error::{IdeaError, WireError};
 pub use ids::{NodeId, ObjectId, WriterId};
 pub use level::{ConsistencyLevel, ErrorTriple};
 pub use shard::{shard_hash, ShardId};

@@ -57,6 +57,7 @@ pub use idea_detect as detect;
 pub use idea_net as net;
 pub use idea_overlay as overlay;
 pub use idea_store as store;
+pub use idea_transport as transport;
 pub use idea_types as types;
 pub use idea_vv as vv;
 pub use idea_workload as workload;
@@ -66,17 +67,19 @@ pub mod prelude {
     pub use idea_apps::{BookOutcome, BookingServer, Stroke, WhiteboardClient};
     pub use idea_core::api::DeveloperApi;
     pub use idea_core::{
-        AutoController, Command, CommandError, ConsistencySpec, EngineHandle, HintController,
-        IdeaConfig, IdeaHost, IdeaMsg, IdeaNode, MaxBounds, ObjectHandle, Quantifier,
-        ReadConsistency, ReadResult, ResolutionPolicy, Response, Session, Weights,
+        AutoController, Command, CommandError, CommandExecutor, ConsistencySpec, EngineHandle,
+        HintController, IdeaConfig, IdeaHost, IdeaMsg, IdeaNode, LockedEngine, MaxBounds,
+        ObjectHandle, Quantifier, ReadConsistency, ReadResult, ResolutionPolicy, Response, Session,
+        Weights,
     };
     pub use idea_net::{
         shards_from_env, Context, Proto, ShardedEngine, ShardedProto, SimConfig, SimEngine,
         ThreadedConfig, ThreadedEngine, Topology,
     };
+    pub use idea_transport::{IdeaServer, RemoteEngine};
     pub use idea_types::{
         ConsistencyLevel, ErrorTriple, NodeId, ObjectId, ShardId, SimDuration, SimTime, Update,
-        UpdatePayload, WriterId,
+        UpdatePayload, WireError, WriterId,
     };
     pub use idea_vv::{ExtendedVersionVector, VersionVector, VvOrdering};
 }
