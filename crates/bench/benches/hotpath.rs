@@ -6,11 +6,16 @@
 //! `record`, the cached `counters` view, the merge-walk `triple_against`,
 //! `adopt`, the compact `summary`/`suffix_since` encodes, and classic
 //! `missing_from` — so regressions in the allocation-free paths show up
-//! directly.
+//! directly. The timer-wheel and gossip-digest groups cover the two
+//! structures the lazy-gossip work added to the hot path: the engine's
+//! `(at, seq)`-ordered timer queue and the IHAVE advertisement codec.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use idea_types::{SimTime, WriterId};
+use idea_net::TimerWheel;
+use idea_overlay::gossip::{decode_digest, encode_digest, RumorId};
+use idea_types::{NodeId, SimTime, WriterId};
 use idea_vv::{ExtendedVersionVector, VersionVector};
+use std::collections::HashSet;
 
 /// History sizes swept: total updates spread over four writers.
 const SIZES: [u64; 3] = [10, 100, 1_000];
@@ -112,6 +117,89 @@ fn bench_missing_from(c: &mut Criterion) {
     group.finish();
 }
 
+/// Timer counts swept for the wheel benches: a busy shard's in-flight
+/// timer population (detect deadlines, sweep deadlines, pull and flush
+/// timers) sits in the hundreds-to-tens-of-thousands range.
+const TIMERS: [u64; 3] = [100, 1_000, 10_000];
+
+/// Spread deadline for timer `i`: multiplicative-hash scatter over a ~1 M
+/// tick horizon, exercising all wheel levels instead of one hot slot.
+fn deadline(i: u64) -> u64 {
+    (i.wrapping_mul(7919)) % 1_048_576
+}
+
+fn wheel_with(n: u64) -> TimerWheel<u64> {
+    let mut w = TimerWheel::new();
+    for i in 0..n {
+        w.push(deadline(i), i, i);
+    }
+    w
+}
+
+/// The `SimEngine` timer-queue operations the heap-to-wheel swap rewrote:
+/// schedule (push at scattered deadlines), fire (drain in `(at, seq)`
+/// order, cascading across levels), and cancel (the engine's tombstone
+/// set, checked as each entry pops). A drained wheel is not reusable, so
+/// `fire` and `cancel` rebuild inside the measured routine — subtract the
+/// `schedule` entry for the pop-side cost alone.
+fn bench_timer_wheel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timer-wheel");
+    for &n in &TIMERS {
+        group.bench_with_input(BenchmarkId::new("schedule", n), &n, |bench, &n| {
+            bench.iter(|| black_box(wheel_with(n)))
+        });
+        group.bench_with_input(BenchmarkId::new("fire", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut w = wheel_with(n);
+                while let Some(e) = w.pop() {
+                    black_box(e);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cancel", n), &n, |bench, &n| {
+            bench.iter(|| {
+                // Half the timers are cancelled before they fire —
+                // tombstoned exactly like `SimEngine::cancel_timer`.
+                let mut w = wheel_with(n);
+                let mut cancelled: HashSet<u64> = (0..n).filter(|i| i % 2 == 0).collect();
+                while let Some((at, seq, id)) = w.pop() {
+                    if cancelled.remove(&id) {
+                        continue;
+                    }
+                    black_box((at, seq, id));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Advertisement batch sizes swept for the digest codec: a piggybacked
+/// entry or two is the common case, a flush-timer batch the tail.
+const DIGESTS: [usize; 3] = [1, 16, 128];
+
+fn digest_entries(len: usize) -> Vec<(RumorId, u8)> {
+    (0..len).map(|i| (RumorId { origin: NodeId((i % 64) as u32), seq: i as u64 }, 4)).collect()
+}
+
+/// The lazy gossip plane's wire codec: IHAVE advertisements encode at
+/// [`idea_overlay::gossip::DIGEST_ENTRY_BYTES`] per entry and decode on
+/// every detect message carrying piggybacked digests.
+fn bench_digest_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip-digest");
+    for &len in &DIGESTS {
+        let entries = digest_entries(len);
+        let bytes = encode_digest(&entries);
+        group.bench_with_input(BenchmarkId::new("encode", len), &len, |bench, _| {
+            bench.iter(|| black_box(encode_digest(&entries)))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", len), &len, |bench, _| {
+            bench.iter(|| black_box(decode_digest(&bytes)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     hotpath,
     bench_record,
@@ -119,6 +207,8 @@ criterion_group!(
     bench_triple_against,
     bench_adopt,
     bench_wire_forms,
-    bench_missing_from
+    bench_missing_from,
+    bench_timer_wheel,
+    bench_digest_codec
 );
 criterion_main!(hotpath);

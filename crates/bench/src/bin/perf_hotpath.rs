@@ -26,6 +26,7 @@
 use idea_core::client::{Command, CommandExecutor};
 use idea_core::{IdeaConfig, IdeaNode};
 use idea_net::{MsgClass, ShardedEngine, SimConfig, SimEngine, ThreadedConfig, Topology};
+use idea_overlay::GossipMode;
 use idea_transport::{IdeaServer, RemoteEngine};
 use idea_types::{NodeId, ObjectId, ShardId, SimDuration, SimTime, UpdatePayload, WriterId};
 use idea_vv::ExtendedVersionVector;
@@ -55,6 +56,16 @@ const BASELINE_SCENARIOS: &[(usize, u64, u64, u64, u64, u64, f64)] = &[
 const BASELINE_TRIPLE_NS: f64 = 36_511.1;
 const BASELINE_CLONE_NS: f64 = 249.4;
 
+/// Measurement window of the fig9 gossip-scale sweep — shorter than the
+/// N ≤ 80 trajectory window so the N=640 point stays affordable in CI.
+const GOSSIP_SCALE_WINDOW_SECS: u64 = 120;
+/// Pre-flip eager baseline for the fig9 extension, recorded with this
+/// exact driver (seed 7, burst 1, 120 s window) at the commit where the
+/// lazy plane landed but the default gossip mode was still eager:
+/// `(n, gossip_msgs, gossip_bytes)`.
+const GOSSIP_SCALE_EAGER_BASELINE: &[(usize, u64, u64)] =
+    &[(160, 6_496, 489_960), (320, 8_331, 626_272), (640, 9_447, 700_252)];
+
 /// One detect-round scenario measurement.
 #[derive(Debug, Clone)]
 struct ScenarioStats {
@@ -70,10 +81,21 @@ struct ScenarioStats {
 }
 
 impl ScenarioStats {
+    /// Gossip bytes normalised per node — the fig9 scale-out number: the
+    /// fanout work each node pays, independent of deployment size.
+    fn gossip_bytes_per_node(&self) -> f64 {
+        self.gossip_bytes as f64 / self.n as f64
+    }
+
+    fn msgs_per_node(&self) -> f64 {
+        self.total_msgs as f64 / self.n as f64
+    }
+
     fn json(&self) -> String {
         format!(
-            "{{\"n\": {}, \"detect_msgs\": {}, \"detect_bytes\": {}, \"gossip_msgs\": {}, \"gossip_bytes\": {}, \"resolution_msgs\": {}, \"resolution_bytes\": {}, \"total_msgs\": {}, \"wall_ms\": {:.1}}}",
+            "{{\"n\": {}, \"detect_msgs\": {}, \"detect_bytes\": {}, \"gossip_msgs\": {}, \"gossip_bytes\": {}, \"gossip_bytes_per_node\": {:.1}, \"msgs_per_node\": {:.1}, \"resolution_msgs\": {}, \"resolution_bytes\": {}, \"total_msgs\": {}, \"wall_ms\": {:.1}}}",
             self.n, self.detect_msgs, self.detect_bytes, self.gossip_msgs, self.gossip_bytes,
+            self.gossip_bytes_per_node(), self.msgs_per_node(),
             self.resolution_msgs, self.resolution_bytes, self.total_msgs, self.wall_ms
         )
     }
@@ -93,9 +115,26 @@ fn detect_round_scenario(
     burst: usize,
     batch_ms: Option<u64>,
 ) -> ScenarioStats {
+    detect_round_scenario_mode(n, seed, burst, batch_ms, None, WINDOW_SECS)
+}
+
+/// [`detect_round_scenario`] with the gossip plane forced to `mode`
+/// (`None` = whatever the config default is) and an explicit measurement
+/// window — the fig9 scale sweep shortens it so N=640 stays affordable.
+fn detect_round_scenario_mode(
+    n: usize,
+    seed: u64,
+    burst: usize,
+    batch_ms: Option<u64>,
+    mode: Option<GossipMode>,
+    window_secs: u64,
+) -> ScenarioStats {
     let obj = ObjectId(1);
     let mut cfg = IdeaConfig::whiteboard(0.95);
     cfg.detect_batch_window = batch_ms.map(SimDuration::from_millis);
+    if let Some(m) = mode {
+        cfg.gossip.mode = m;
+    }
     let nodes: Vec<IdeaNode> =
         (0..n).map(|i| IdeaNode::new(NodeId(i as u32), cfg.clone(), &[obj])).collect();
     let mut eng = SimEngine::new(
@@ -106,7 +145,7 @@ fn detect_round_scenario(
 
     let start = Instant::now();
     let writers = WRITERS.min(n);
-    let end = SimTime::ZERO + SimDuration::from_secs(WINDOW_SECS);
+    let end = SimTime::ZERO + SimDuration::from_secs(window_secs);
     let mut next_write: Vec<SimTime> =
         (0..writers).map(|w| SimTime::ZERO + SimDuration::from_secs(w as u64)).collect();
     loop {
@@ -313,6 +352,14 @@ fn sharded_drain_scenario(
     }
 }
 
+/// One fig9 gossip-scale point: the paper workload (burst 1, no probe
+/// batching) on the shortened window, gossip plane forced to `mode`.
+/// Traffic counts are deterministic per (n, seed, mode); wall time is
+/// reported as measured from a single run.
+fn gossip_scale_point(n: usize, seed: u64, mode: GossipMode) -> ScenarioStats {
+    detect_round_scenario_mode(n, seed, 1, None, Some(mode), GOSSIP_SCALE_WINDOW_SECS)
+}
+
 /// Min-of-three wall clock over identical deterministic runs (the minimum
 /// of repeated identical work is the noise-robust estimator).
 fn measured(n: usize, seed: u64, burst: usize, batch_ms: Option<u64>) -> ScenarioStats {
@@ -350,9 +397,70 @@ fn time_ns<T>(mut f: impl FnMut() -> T) -> f64 {
     start.elapsed().as_nanos() as f64 / iters as f64
 }
 
+/// The fig9 gossip-scale block: pinned pre-flip eager baseline, live eager
+/// and lazy measurements at each `sizes` point, and the per-N byte factor.
+/// Returned without a trailing comma; the caller splices it into the
+/// top-level object.
+fn gossip_scale_json(seed: u64, sizes: &[usize]) -> String {
+    let points: Vec<(ScenarioStats, ScenarioStats)> = sizes
+        .iter()
+        .map(|&n| {
+            (
+                gossip_scale_point(n, seed, GossipMode::Eager),
+                gossip_scale_point(n, seed, GossipMode::Lazy),
+            )
+        })
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "  \"gossip_scale\": {{");
+    let _ = writeln!(out, "    \"window_secs\": {GOSSIP_SCALE_WINDOW_SECS},");
+    let _ = writeln!(out, "    \"eager_baseline_preflip\": [");
+    for (i, &(n, gm, gb)) in GOSSIP_SCALE_EAGER_BASELINE.iter().enumerate() {
+        let comma = if i + 1 == GOSSIP_SCALE_EAGER_BASELINE.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "      {{\"n\": {n}, \"gossip_msgs\": {gm}, \"gossip_bytes\": {gb}, \"gossip_bytes_per_node\": {:.1}}}{comma}",
+            gb as f64 / n as f64
+        );
+    }
+    let _ = writeln!(out, "    ],");
+    for (label, pick) in [("eager", 0usize), ("lazy", 1usize)] {
+        let _ = writeln!(out, "    \"{label}\": [");
+        for (i, pair) in points.iter().enumerate() {
+            let s = if pick == 0 { &pair.0 } else { &pair.1 };
+            let comma = if i + 1 == points.len() { "" } else { "," };
+            let _ = writeln!(out, "      {}{comma}", s.json());
+        }
+        let _ = writeln!(out, "    ],");
+    }
+    let _ = writeln!(out, "    \"lazy_over_eager_bytes_factor\": [");
+    for (i, (eager, lazy)) in points.iter().enumerate() {
+        let factor = lazy.gossip_bytes as f64 / eager.gossip_bytes.max(1) as f64;
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        let _ = writeln!(out, "      {{\"n\": {}, \"factor\": {factor:.3}}}{comma}", eager.n);
+    }
+    let _ = writeln!(out, "    ]");
+    out.push_str("  }");
+    out
+}
+
 fn main() {
     let seed = idea_bench::seed_from_args();
     let small = std::env::args().any(|a| a == "--small");
+    let gossip_scale_only = std::env::args().any(|a| a == "--gossip-scale");
+
+    // CI `gossip-scale` smoke: just the N=160 eager/lazy sweep, written as
+    // a self-contained BENCH_hotpath.json (the full harness overwrites it
+    // on the next unrestricted run).
+    if gossip_scale_only {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"seed\": {seed},");
+        json.push_str(&gossip_scale_json(seed, &[160]));
+        json.push_str("\n}\n");
+        std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+        print!("{json}");
+        return;
+    }
 
     // ---- micro: pairwise triple + vector shipping cost --------------------
     let a = evv_with(WRITERS as u32, 250);
@@ -491,6 +599,11 @@ fn main() {
         let _ = writeln!(json, "    \"wall_clock_speedup_factor\": {wall_factor:.2}");
         let _ = writeln!(json, "  }},");
     }
+    // fig9 extension: eager vs lazy gossip traffic at N ∈ {160, 320, 640}
+    // ({160} in the CI smoke), per-node bytes being the scale-out number.
+    let scale_sizes: &[usize] = if small { &[160] } else { &[160, 320, 640] };
+    json.push_str(&gossip_scale_json(seed, scale_sizes));
+    json.push_str(",\n");
     let _ = writeln!(json, "  \"triple_speedup_factor\": {:.1}", BASELINE_TRIPLE_NS / triple_ns);
     json.push_str("}\n");
 

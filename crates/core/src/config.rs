@@ -80,6 +80,16 @@ pub struct IdeaConfig {
     pub top_layer: TopLayerConfig,
     /// Bottom-layer gossip parameters (§4.3).
     pub gossip: GossipConfig,
+    /// How long a lazy-mode node waits for a pulled rumor body before
+    /// retrying against a backup advertiser (only meaningful with
+    /// `gossip.mode == GossipMode::Lazy`). Should comfortably exceed one
+    /// WAN round-trip.
+    pub gossip_pull_timeout: SimDuration,
+    /// Lazy-mode digest flush window: pending rumor advertisements
+    /// piggyback on outgoing detect traffic, and any still queued when
+    /// this window elapses go out in a dedicated
+    /// [`crate::messages::IdeaMsg::GossipDigest`].
+    pub gossip_digest_flush: SimDuration,
     /// Start a bottom-layer sweep every `n`-th detection round; `None`
     /// disables sweeping. The paper's evaluation disables rollback (§6),
     /// so the default is `None`; the rollback ablation turns it on.
@@ -126,6 +136,8 @@ impl Default for IdeaConfig {
             read_policy: ReadPolicy::default(),
             top_layer: TopLayerConfig::default(),
             gossip: GossipConfig::default(),
+            gossip_pull_timeout: SimDuration::from_millis(500),
+            gossip_digest_flush: SimDuration::from_millis(200),
             sweep_every: None,
             sweep_deadline: SimDuration::from_secs(5),
             sweep_epsilon: 0.03,
@@ -185,6 +197,20 @@ impl IdeaConfig {
                 field: "backoff_min",
                 reason: "back-off window is inverted (backoff_min > backoff_max)",
             });
+        }
+        if self.gossip.mode == idea_overlay::GossipMode::Lazy {
+            if self.gossip_pull_timeout.is_zero() {
+                return Err(IdeaError::InvalidConfig {
+                    field: "gossip_pull_timeout",
+                    reason: "lazy gossip needs a positive pull retry timeout",
+                });
+            }
+            if self.gossip_digest_flush.is_zero() {
+                return Err(IdeaError::InvalidConfig {
+                    field: "gossip_digest_flush",
+                    reason: "lazy gossip needs a positive digest flush window",
+                });
+            }
         }
         Ok(())
     }
@@ -276,6 +302,34 @@ mod tests {
             rejected_field(&IdeaConfig { hint_delta: -0.5, ..Default::default() }),
             "hint_delta"
         );
+    }
+
+    #[test]
+    fn validate_rejects_zero_lazy_knobs_only_in_lazy_mode() {
+        use idea_overlay::{GossipConfig, GossipMode};
+        // Eager mode ignores the lazy knobs entirely.
+        let eager_gossip = GossipConfig { mode: GossipMode::Eager, ..Default::default() };
+        let eager = IdeaConfig {
+            gossip: eager_gossip,
+            gossip_pull_timeout: SimDuration::ZERO,
+            ..Default::default()
+        };
+        eager.validate().unwrap();
+        let lazy_gossip =
+            GossipConfig { mode: GossipMode::Lazy, eager_fanout: 1, ..Default::default() };
+        let cfg = IdeaConfig {
+            gossip: lazy_gossip,
+            gossip_pull_timeout: SimDuration::ZERO,
+            ..Default::default()
+        };
+        assert_eq!(rejected_field(&cfg), "gossip_pull_timeout");
+        let cfg = IdeaConfig {
+            gossip: lazy_gossip,
+            gossip_digest_flush: SimDuration::ZERO,
+            ..Default::default()
+        };
+        assert_eq!(rejected_field(&cfg), "gossip_digest_flush");
+        IdeaConfig { gossip: lazy_gossip, ..Default::default() }.validate().unwrap();
     }
 
     #[test]

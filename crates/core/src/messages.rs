@@ -14,7 +14,7 @@
 
 use crate::resolution::ReferenceState;
 use idea_net::{MsgClass, Wire};
-use idea_overlay::gossip::RumorId;
+use idea_overlay::gossip::{RumorId, DIGEST_ENTRY_BYTES};
 use idea_types::{ObjectId, Update};
 use idea_vv::{ExtendedVersionVector, VersionVector, VvDelta, VvSummary};
 use serde::{Deserialize, Serialize};
@@ -31,6 +31,10 @@ pub enum IdeaMsg {
         object: ObjectId,
         /// Compact summary of the initiator's extended version vector.
         summary: VvSummary,
+        /// Piggybacked lazy-gossip advertisements for the same object
+        /// (rumor id + remaining hop budget). Costs zero wire bytes when
+        /// empty, so eager-mode accounting is unchanged.
+        digests: Vec<(RumorId, u8)>,
     },
     /// Peer → initiator: the peer's vector, as a delta against the probe.
     DetectReply {
@@ -40,6 +44,9 @@ pub enum IdeaMsg {
         object: ObjectId,
         /// The peer's per-writer suffixes beyond the probe's counters.
         delta: VvDelta,
+        /// Piggybacked lazy-gossip advertisements (see
+        /// [`IdeaMsg::DetectRequest::digests`]).
+        digests: Vec<(RumorId, u8)>,
     },
 
     // ---- active resolution, phase 1 (§4.5.2) ----
@@ -126,6 +133,31 @@ pub enum IdeaMsg {
         /// The diverging node's suffixes beyond the sweep's counters.
         delta: VvDelta,
     },
+
+    // ---- lazy gossip plane (IHAVE / pull) ----
+    /// Standalone digest flush: rumor ids this node holds bodies for,
+    /// advertised on lazy links when no detect traffic was available to
+    /// piggyback on. Encoded at [`DIGEST_ENTRY_BYTES`] per entry.
+    GossipDigest {
+        /// Object the advertised rumors sweep.
+        object: ObjectId,
+        /// Advertised rumor ids with their remaining hop budgets.
+        ids: Vec<(RumorId, u8)>,
+    },
+    /// Digest receiver → advertiser: "send me the body of this rumor".
+    GossipPull {
+        /// Object the rumor sweeps.
+        object: ObjectId,
+        /// The rumor whose body is missing here.
+        id: RumorId,
+    },
+    /// Duplicate-body receiver → redundant pusher: "your eager link to me
+    /// is not load-bearing — demote it to the lazy side". The Plumtree
+    /// repair signal that trims the eager overlay towards a spanning tree.
+    GossipPrune {
+        /// Object whose gossip overlay the link belongs to.
+        object: ObjectId,
+    },
 }
 
 impl IdeaMsg {
@@ -144,7 +176,10 @@ impl IdeaMsg {
             | IdeaMsg::FetchRequest { object, .. }
             | IdeaMsg::FetchReply { object, .. }
             | IdeaMsg::SweepRumor { object, .. }
-            | IdeaMsg::SweepDivergence { object, .. } => *object,
+            | IdeaMsg::SweepDivergence { object, .. }
+            | IdeaMsg::GossipDigest { object, .. }
+            | IdeaMsg::GossipPull { object, .. }
+            | IdeaMsg::GossipPrune { object } => *object,
         }
     }
 }
@@ -160,16 +195,23 @@ impl Wire for IdeaMsg {
             | IdeaMsg::Inform { .. }
             | IdeaMsg::FetchRequest { .. } => MsgClass::ResolutionCtl,
             IdeaMsg::FetchReply { .. } => MsgClass::Transfer,
-            IdeaMsg::SweepRumor { .. } | IdeaMsg::SweepDivergence { .. } => MsgClass::Gossip,
+            IdeaMsg::SweepRumor { .. }
+            | IdeaMsg::SweepDivergence { .. }
+            | IdeaMsg::GossipDigest { .. }
+            | IdeaMsg::GossipPull { .. }
+            | IdeaMsg::GossipPrune { .. } => MsgClass::Gossip,
         }
     }
 
     fn wire_size(&self) -> usize {
         match self {
-            IdeaMsg::DetectRequest { summary, .. } => 24 + summary.wire_bytes(),
-            IdeaMsg::DetectReply { delta, .. } | IdeaMsg::SweepDivergence { delta, .. } => {
-                24 + delta.wire_bytes()
+            IdeaMsg::DetectRequest { summary, digests, .. } => {
+                24 + summary.wire_bytes() + DIGEST_ENTRY_BYTES * digests.len()
             }
+            IdeaMsg::DetectReply { delta, digests, .. } => {
+                24 + delta.wire_bytes() + DIGEST_ENTRY_BYTES * digests.len()
+            }
+            IdeaMsg::SweepDivergence { delta, .. } => 24 + delta.wire_bytes(),
             IdeaMsg::CollectReply { evv, .. } => 24 + evv_size(evv),
             IdeaMsg::CallForAttention { .. }
             | IdeaMsg::Attention { .. }
@@ -180,6 +222,9 @@ impl Wire for IdeaMsg {
                 24 + updates.iter().map(|u| u.wire_size()).sum::<usize>()
             }
             IdeaMsg::SweepRumor { counters, .. } => 32 + 12 * counters.writers(),
+            IdeaMsg::GossipDigest { ids, .. } => 16 + DIGEST_ENTRY_BYTES * ids.len(),
+            IdeaMsg::GossipPull { .. } => 24,
+            IdeaMsg::GossipPrune { .. } => 16,
         }
     }
 }
@@ -208,8 +253,13 @@ mod tests {
     fn classes_match_protocol_roles() {
         let evv = sample_evv();
         assert_eq!(
-            IdeaMsg::DetectRequest { round: 1, object: ObjectId(0), summary: evv.summary(8) }
-                .class(),
+            IdeaMsg::DetectRequest {
+                round: 1,
+                object: ObjectId(0),
+                summary: evv.summary(8),
+                digests: vec![],
+            }
+            .class(),
             MsgClass::Detect
         );
         assert_eq!(
@@ -237,11 +287,13 @@ mod tests {
             round: 1,
             object: ObjectId(0),
             summary: ExtendedVersionVector::new().summary(8),
+            digests: vec![],
         };
         let big = IdeaMsg::DetectRequest {
             round: 1,
             object: ObjectId(0),
             summary: sample_evv().summary(8),
+            digests: vec![],
         };
         assert!(big.wire_size() > small.wire_size());
 
@@ -281,16 +333,57 @@ mod tests {
         for s in 1..=500 {
             long.record(WriterId(0), s, SimTime::from_secs(s), 1);
         }
-        let probe =
-            IdeaMsg::DetectRequest { round: 1, object: ObjectId(0), summary: long.summary(8) };
+        let probe = IdeaMsg::DetectRequest {
+            round: 1,
+            object: ObjectId(0),
+            summary: long.summary(8),
+            digests: vec![],
+        };
         // A full-history probe would weigh 16 + 12 + 8·500 ≈ 4 KB.
         assert!(probe.wire_size() < 200, "got {}", probe.wire_size());
 
         // A peer one update behind gets a one-timestamp delta.
         let mut have = idea_vv::VersionVector::new();
         have.observe(WriterId(0), 499);
-        let reply =
-            IdeaMsg::DetectReply { round: 1, object: ObjectId(0), delta: long.suffix_since(&have) };
+        let reply = IdeaMsg::DetectReply {
+            round: 1,
+            object: ObjectId(0),
+            delta: long.suffix_since(&have),
+            digests: vec![],
+        };
         assert!(reply.wire_size() < 96, "got {}", reply.wire_size());
+    }
+
+    /// Piggybacked digests are free when absent (eager-mode accounting is
+    /// bit-identical to the pre-lazy wire) and cost exactly the compact
+    /// encoding per entry otherwise.
+    #[test]
+    fn piggybacked_digests_cost_exactly_their_encoding() {
+        let base = IdeaMsg::DetectRequest {
+            round: 1,
+            object: ObjectId(0),
+            summary: sample_evv().summary(8),
+            digests: vec![],
+        };
+        let id = RumorId { origin: idea_types::NodeId(3), seq: 7 };
+        let loaded = IdeaMsg::DetectRequest {
+            round: 1,
+            object: ObjectId(0),
+            summary: sample_evv().summary(8),
+            digests: vec![(id, 4), (id, 3)],
+        };
+        assert_eq!(loaded.wire_size(), base.wire_size() + 2 * DIGEST_ENTRY_BYTES);
+
+        let digest = IdeaMsg::GossipDigest { object: ObjectId(0), ids: vec![(id, 4)] };
+        assert_eq!(digest.class(), MsgClass::Gossip);
+        assert_eq!(digest.wire_size(), 16 + DIGEST_ENTRY_BYTES);
+        let pull = IdeaMsg::GossipPull { object: ObjectId(0), id };
+        assert_eq!(pull.class(), MsgClass::Gossip);
+        assert!(pull.wire_size() <= 32);
+
+        let prune = IdeaMsg::GossipPrune { object: ObjectId(0) };
+        assert_eq!(prune.class(), MsgClass::Gossip);
+        assert_eq!(prune.object(), ObjectId(0));
+        assert_eq!(prune.wire_size(), 16);
     }
 }

@@ -18,13 +18,14 @@
 //! one timer, one fan-out per peer — turning O(writes × peers) steady-state
 //! probe traffic into O(peers) per window.
 
-use super::{pack, NodeCore, Trigger, K_BATCH, K_DETECT, K_SWEEP};
+use super::lazy::{dispatch_rumor, Missing};
+use super::{pack, NodeCore, Trigger, K_BATCH, K_DETECT, K_PULL, K_SWEEP};
 use crate::adapt::AdaptAction;
 use crate::messages::IdeaMsg;
 use idea_detect::bottom::{BottomReport, SweepCollector};
 use idea_detect::round::DetectRound;
 use idea_net::{Context, TimerId};
-use idea_overlay::gossip::{Relay, RumorId};
+use idea_overlay::gossip::{GossipMode, RumorId};
 use idea_types::{NodeId, ObjectId};
 use idea_vv::{VersionVector, VvDelta, VvSummary};
 use std::collections::{BTreeMap, HashMap};
@@ -51,6 +52,8 @@ pub(crate) struct Detection {
     /// Sweep-deadline ticket → (object, rumor seq). Tickets come from the
     /// node-wide id counter because gossip seqs are only per-object unique.
     sweep_tickets: HashMap<u64, (ObjectId, u64)>,
+    /// Pull-retry ticket → (object, rumor id), for `K_PULL` timers.
+    pull_tickets: HashMap<u64, (ObjectId, RumorId)>,
     /// Whether a batching-window timer is armed. The dirty objects the
     /// window will probe live in the store shard's dirty-set
     /// ([`idea_store::StoreShard::take_dirty`]): local writes mark it at
@@ -123,7 +126,13 @@ impl Detection {
         st.timer = Some(ctx.set_timer(core.cfg.detect_deadline, pack(K_DETECT, core.shard, rid)));
         self.round_objects.insert(rid, object);
         for p in peers {
-            ctx.send(p, IdeaMsg::DetectRequest { round: rid, object, summary: summary.clone() });
+            // Pending lazy-gossip advertisements for this peer hitch a ride
+            // (zero wire bytes when none are queued).
+            let digests = core.obj_mut(object).lazy.take_outbox(p);
+            ctx.send(
+                p,
+                IdeaMsg::DetectRequest { round: rid, object, summary: summary.clone(), digests },
+            );
         }
     }
 
@@ -155,7 +164,8 @@ impl Detection {
             (delta, pair)
         };
         // Reply first, then update local estimates.
-        ctx.send(from, IdeaMsg::DetectReply { round, object, delta });
+        let digests = core.obj_mut(object).lazy.take_outbox(from);
+        ctx.send(from, IdeaMsg::DetectReply { round, object, delta, digests });
         let now = ctx.now();
         core.note_counters(object, &summary.counters, now);
         let st = core.obj_mut(object);
@@ -269,11 +279,9 @@ impl Detection {
         let everyone = &core.everyone;
         let shared = core.objs.get_mut(&object).expect("object state");
         let level = shared.level;
-        let (id, ttl, targets) = shared.gossip.originate(everyone, ctx.rng());
+        let (id, _ttl, plan) = shared.gossip.originate(everyone, ctx.rng());
         self.state(object).collectors.insert(id.seq, SweepCollector::new(level, epsilon, deadline));
-        for t in targets {
-            ctx.send(t, IdeaMsg::SweepRumor { id, ttl, object, counters: counters.clone() });
-        }
+        dispatch_rumor(core, object, id, plan, &counters, ctx);
         // Deadline timers route through a node-unique ticket: gossip seqs
         // are allocated per object, so two objects at one node can emit the
         // same `id.seq` and a seq-keyed map would settle the wrong sweep.
@@ -286,9 +294,14 @@ impl Detection {
     /// gossip policy, and report divergence straight to the origin when we
     /// hold updates it has not seen (§4.4.2 — the bottom layer "can cause
     /// inconsistencies too").
+    ///
+    /// `from` is the pushing (or pull-answering) peer: it is excluded from
+    /// the relay targets, and a duplicate push demotes it to the lazy side.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_sweep_rumor(
         &mut self,
         core: &mut NodeCore,
+        from: NodeId,
         id: RumorId,
         ttl: u8,
         object: ObjectId,
@@ -300,18 +313,26 @@ impl Detection {
         let now = ctx.now();
         core.note_counters(object, &counters, now);
         core.ensure_everyone(ctx.node_count());
+        let lazy_mode = core.cfg.gossip.mode == GossipMode::Lazy;
         let everyone = &core.everyone;
         let shared = core.objs.get_mut(&object).expect("object state");
-        match shared.gossip.on_receive(id, ttl, everyone, ctx.rng()) {
-            Relay::Forward { to, ttl } => {
-                for t in to {
-                    ctx.send(
-                        t,
-                        IdeaMsg::SweepRumor { id, ttl, object, counters: counters.clone() },
-                    );
-                }
-            }
-            Relay::Drop => {}
+        let dup = shared.gossip.has_seen(id);
+        let plan = shared.gossip.on_receive(id, ttl, Some(from), everyone, ctx.rng());
+        if dup && lazy_mode {
+            // Plumtree repair: the pusher's eager link to us is redundant.
+            // Tell it to go lazy (our own link to it is demoted inside
+            // `on_receive`); the eager overlay trims towards a tree.
+            ctx.send(from, IdeaMsg::GossipPrune { object });
+        }
+        // The body closes any pending pull for it, however it got here,
+        // and grafts the deliverer — its link just proved load-bearing.
+        if let Some(miss) = shared.lazy.missing.remove(&id) {
+            shared.gossip.graft(from);
+            ctx.cancel_timer(miss.timer);
+            self.pull_tickets.remove(&miss.ticket);
+        }
+        if let Some(plan) = plan {
+            dispatch_rumor(core, object, id, plan, &counters, ctx);
         }
         let mine = core.store.replica(object).expect("opened").version();
         if counters.missing_from(mine.counters()) > 0 {
@@ -323,6 +344,154 @@ impl Detection {
                     delta: mine.suffix_since(&counters),
                 },
             );
+        }
+    }
+
+    // --------------------------------------------------- lazy gossip plane
+
+    /// Rumor advertisements arrived (piggybacked on detect traffic or in a
+    /// dedicated [`IdeaMsg::GossipDigest`]): for every body we miss, arm a
+    /// `K_PULL` grace timer remembering the advertiser. **No pull goes out
+    /// yet** — if an eager copy is already in flight the body lands first
+    /// and cancels the timer, so only genuinely flood-missed nodes pull
+    /// (and graft). Extra advertisers pile up as retry backups.
+    pub fn on_digests(
+        &mut self,
+        core: &mut NodeCore,
+        from: NodeId,
+        object: ObjectId,
+        ids: Vec<(RumorId, u8)>,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        if ids.is_empty() {
+            return;
+        }
+        core.store.open(object);
+        core.ensure_obj(object);
+        let shard = core.shard;
+        let timeout = core.cfg.gossip_pull_timeout;
+        // Pass 1: classify under the object borrow.
+        let mut fresh = Vec::new();
+        {
+            let shared = core.objs.get_mut(&object).expect("object state");
+            for (id, _ttl) in ids {
+                if !shared.gossip.wants_body(id) {
+                    continue; // body already processed here
+                }
+                match shared.lazy.missing.get_mut(&id) {
+                    Some(miss) => {
+                        if !miss.advertisers.contains(&from) {
+                            miss.advertisers.push(from);
+                        }
+                    }
+                    None => {
+                        if !fresh.contains(&id) {
+                            fresh.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        // Pass 2: arm grace timers (needs the id allocator, so outside
+        // the object borrow).
+        for id in fresh {
+            let ticket = core.fresh_id();
+            let timer = ctx.set_timer(timeout, pack(K_PULL, shard, ticket));
+            self.pull_tickets.insert(ticket, (object, id));
+            let shared = core.objs.get_mut(&object).expect("object state");
+            shared.lazy.missing.insert(id, Missing { advertisers: vec![from], timer, ticket });
+        }
+    }
+
+    /// A peer pulls a rumor body we advertised: answer from the cache and
+    /// graft the puller (its lazy link was load-bearing). The reply is
+    /// stamped ttl 0 — a pull repairs exactly the one delivery the flood
+    /// missed; re-flooding from the puller would blow past the sweep's TTL
+    /// budget. A cache miss is silently dropped — the puller's retry timer
+    /// tries a backup.
+    pub fn on_pull(
+        &mut self,
+        core: &mut NodeCore,
+        from: NodeId,
+        object: ObjectId,
+        id: RumorId,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        let Some(shared) = core.objs.get_mut(&object) else {
+            return;
+        };
+        if let Some(counters) = shared.lazy.cached(id) {
+            let counters = counters.clone();
+            shared.gossip.graft(from);
+            ctx.send(from, IdeaMsg::SweepRumor { id, ttl: 0, object, counters });
+        }
+    }
+
+    /// A pull grace/retry timer fired: if the body is still missing, pull
+    /// from the next advertiser and re-arm; give up (background detection
+    /// still covers the divergence) when none remain.
+    pub fn on_pull_timer(
+        &mut self,
+        core: &mut NodeCore,
+        ticket: u64,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        let Some((object, id)) = self.pull_tickets.remove(&ticket) else {
+            return;
+        };
+        let shard = core.shard;
+        let timeout = core.cfg.gossip_pull_timeout;
+        let next = {
+            let Some(shared) = core.objs.get_mut(&object) else {
+                return;
+            };
+            if !shared.gossip.wants_body(id) {
+                shared.lazy.missing.remove(&id);
+                return;
+            }
+            match shared.lazy.missing.get_mut(&id) {
+                Some(miss) if !miss.advertisers.is_empty() => Some(miss.advertisers.remove(0)),
+                _ => {
+                    shared.lazy.missing.remove(&id);
+                    return;
+                }
+            }
+        };
+        if let Some(peer) = next {
+            let fresh = core.fresh_id();
+            let timer = ctx.set_timer(timeout, pack(K_PULL, shard, fresh));
+            self.pull_tickets.insert(fresh, (object, id));
+            let shared = core.objs.get_mut(&object).expect("object state");
+            if let Some(miss) = shared.lazy.missing.get_mut(&id) {
+                miss.timer = timer;
+                miss.ticket = fresh;
+            }
+            ctx.send(peer, IdeaMsg::GossipPull { object, id });
+        }
+    }
+
+    /// A peer found our eager push redundant ([`IdeaMsg::GossipPrune`]):
+    /// demote our link to it. Its next genuine miss grafts the link back.
+    pub fn on_prune(&mut self, core: &mut NodeCore, from: NodeId, object: ObjectId) {
+        if let Some(shared) = core.objs.get_mut(&object) {
+            shared.gossip.demote(from);
+        }
+    }
+
+    /// The digest flush window closed: advertisements that found no detect
+    /// traffic to ride go out in dedicated [`IdeaMsg::GossipDigest`]s.
+    pub fn on_flush_timer(
+        &mut self,
+        core: &mut NodeCore,
+        object: ObjectId,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        let Some(shared) = core.objs.get_mut(&object) else {
+            return;
+        };
+        shared.lazy.flush_armed = false;
+        for (peer, ids) in shared.lazy.drain_outbox() {
+            ctx.send(peer, IdeaMsg::GossipDigest { object, ids });
         }
     }
 

@@ -1,0 +1,129 @@
+//! The lazy gossip plane: rumor body caching, per-peer digest outboxes,
+//! and the missing-body pull state.
+//!
+//! In [`idea_overlay::GossipMode::Lazy`], a relay plan's lazy links carry
+//! only rumor ids. This module owns the node-side state that makes those
+//! ids useful: the **body cache** answering [`crate::messages::IdeaMsg::GossipPull`]s,
+//! the **outbox** of pending advertisements (piggybacked on outgoing
+//! detect traffic, flushed by the `K_LAZY_FLUSH` timer otherwise), and the
+//! **missing map** tracking bodies advertised-but-not-held, whose
+//! `K_PULL` timer both delays the first pull (giving in-flight eager
+//! copies a grace window) and retries against backup advertisers.
+//!
+//! All state is per-object (it lives inside [`super::ObjShared`]), so the
+//! sharded runtime needs no cross-shard coordination and digests
+//! piggybacked on a `DetectRequest { object }` always describe that same
+//! object.
+
+use super::{pack, NodeCore, K_LAZY_FLUSH};
+use crate::messages::IdeaMsg;
+use idea_net::{Context, TimerId};
+use idea_overlay::gossip::{GossipMode, RelayPlan, RumorId};
+use idea_types::{NodeId, ObjectId};
+use idea_vv::VersionVector;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Bodies kept per object for answering pulls. Old entries are evicted
+/// FIFO; a pull for an evicted body is simply unanswered and the puller's
+/// retry timer moves on to a backup advertiser.
+const CACHE_CAP: usize = 1024;
+
+/// A rumor advertised to us whose body has not arrived yet. No pull has
+/// gone out while the `K_PULL` timer is pending: the grace window lets an
+/// eager copy already in flight win, so only genuinely flood-missed nodes
+/// ever pull (immediate pulls would race the flood and churn the overlay
+/// with graft/prune oscillation).
+pub(crate) struct Missing {
+    /// Advertisers to pull from, tried one per timer firing.
+    pub advertisers: Vec<NodeId>,
+    /// The armed `K_PULL` grace/retry timer.
+    pub timer: TimerId,
+    /// Ticket keying [`super::detection::Detection`]'s pull-ticket map.
+    pub ticket: u64,
+}
+
+/// Per-object lazy-plane state (see module docs).
+#[derive(Default)]
+pub(crate) struct LazyPlane {
+    /// Rumor bodies held for answering pulls: id → counters. Pull replies
+    /// are stamped ttl 0 (terminal): a pull satisfies the one node the
+    /// flood missed, it must not re-flood past the sweep's TTL budget.
+    cache: HashMap<RumorId, VersionVector>,
+    /// FIFO eviction order of `cache`.
+    cache_order: VecDeque<RumorId>,
+    /// Pending advertisements per peer, drained by piggybacking and the
+    /// flush timer.
+    outbox: BTreeMap<NodeId, Vec<(RumorId, u8)>>,
+    /// Advertised-but-missing bodies with their pull state.
+    pub missing: HashMap<RumorId, Missing>,
+    /// Whether a `K_LAZY_FLUSH` timer is armed for this object.
+    pub flush_armed: bool,
+}
+
+impl LazyPlane {
+    /// Caches a body for answering pulls, evicting FIFO at capacity.
+    pub fn cache_body(&mut self, id: RumorId, counters: VersionVector) {
+        if self.cache.insert(id, counters).is_none() {
+            self.cache_order.push_back(id);
+            if self.cache_order.len() > CACHE_CAP {
+                if let Some(old) = self.cache_order.pop_front() {
+                    self.cache.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// The cached body of `id`, if still held.
+    pub fn cached(&self, id: RumorId) -> Option<&VersionVector> {
+        self.cache.get(&id)
+    }
+
+    /// Queues an advertisement of `id` towards `peer`.
+    pub fn enqueue_digest(&mut self, peer: NodeId, id: RumorId, ttl: u8) {
+        self.outbox.entry(peer).or_default().push((id, ttl));
+    }
+
+    /// Drains the advertisements queued for `peer` (for piggybacking on a
+    /// detect message headed there). Empty in eager mode by construction.
+    pub fn take_outbox(&mut self, peer: NodeId) -> Vec<(RumorId, u8)> {
+        self.outbox.remove(&peer).unwrap_or_default()
+    }
+
+    /// Drains the whole outbox (for the flush timer).
+    pub fn drain_outbox(&mut self) -> BTreeMap<NodeId, Vec<(RumorId, u8)>> {
+        std::mem::take(&mut self.outbox)
+    }
+}
+
+/// Sends a relay plan on the wire: full [`IdeaMsg::SweepRumor`] bodies on
+/// the eager links, queued digests (piggyback or flush) on the lazy links.
+/// In lazy mode the body is also cached so later pulls can be answered.
+pub(crate) fn dispatch_rumor(
+    core: &mut NodeCore,
+    object: ObjectId,
+    id: RumorId,
+    plan: RelayPlan,
+    counters: &VersionVector,
+    ctx: &mut dyn Context<IdeaMsg>,
+) {
+    for &t in &plan.eager {
+        ctx.send(t, IdeaMsg::SweepRumor { id, ttl: plan.ttl, object, counters: counters.clone() });
+    }
+    if core.cfg.gossip.mode != GossipMode::Lazy {
+        return; // eager plans never carry lazy links
+    }
+    let shard = core.shard;
+    let flush_after = core.cfg.gossip_digest_flush;
+    let shared = core.objs.get_mut(&object).expect("object state");
+    shared.lazy.cache_body(id, counters.clone());
+    if plan.lazy.is_empty() {
+        return;
+    }
+    for &p in &plan.lazy {
+        shared.lazy.enqueue_digest(p, id, plan.ttl);
+    }
+    if !shared.lazy.flush_armed {
+        shared.lazy.flush_armed = true;
+        ctx.set_timer(flush_after, pack(K_LAZY_FLUSH, shard, object.index() as u64));
+    }
+}

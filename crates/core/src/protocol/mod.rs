@@ -59,6 +59,7 @@
 //!   leaving the worker that armed it.
 
 mod detection;
+mod lazy;
 mod node;
 mod reference;
 mod resolution;
@@ -88,6 +89,8 @@ pub(crate) const K_BACKGROUND: u64 = 2;
 pub(crate) const K_BACKOFF: u64 = 3;
 pub(crate) const K_SWEEP: u64 = 4;
 pub(crate) const K_BATCH: u64 = 5;
+pub(crate) const K_LAZY_FLUSH: u64 = 6;
+pub(crate) const K_PULL: u64 = 7;
 
 /// Most shards a node may be configured with (the timer encoding carries
 /// the shard in one byte).
@@ -126,6 +129,8 @@ pub(crate) struct ObjShared {
     pub known_counts: VersionVector,
     /// Current consistency-level estimate for the object.
     pub level: ConsistencyLevel,
+    /// Lazy gossip plane: body cache, digest outbox, missing/pull state.
+    pub lazy: lazy::LazyPlane,
 }
 
 /// The genuinely node-wide state, shared by all shards of one node.
@@ -264,6 +269,7 @@ impl NodeCore {
             gossip: GossipRouter::new(me, gossip),
             known_counts: VersionVector::new(),
             level: ConsistencyLevel::PERFECT,
+            lazy: lazy::LazyPlane::default(),
         });
     }
 

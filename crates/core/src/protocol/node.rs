@@ -9,8 +9,8 @@ use super::detection::Detection;
 use super::resolution::ResolutionDriver;
 use super::write_path::WritePath;
 use super::{
-    unpack, NodeCore, SharedCore, Trigger, K_BACKGROUND, K_BACKOFF, K_BATCH, K_DETECT, K_SWEEP,
-    MAX_SHARDS,
+    unpack, NodeCore, SharedCore, Trigger, K_BACKGROUND, K_BACKOFF, K_BATCH, K_DETECT,
+    K_LAZY_FLUSH, K_PULL, K_SWEEP, MAX_SHARDS,
 };
 use crate::adapt::{AdaptAction, HintController};
 use crate::client::ReadConsistency;
@@ -109,11 +109,15 @@ impl ProtocolShard {
         );
         let core = &mut self.core;
         match msg {
-            IdeaMsg::DetectRequest { round, object, summary } => {
+            IdeaMsg::DetectRequest { round, object, summary, digests } => {
+                // Piggybacked lazy-gossip advertisements first, so their
+                // pull grace timers are armed before the reply goes out.
+                self.detection.on_digests(core, from, object, digests, ctx);
                 let t = self.detection.on_request(core, from, round, object, summary, ctx);
                 self.route(t, object, ctx);
             }
-            IdeaMsg::DetectReply { round, object, delta } => {
+            IdeaMsg::DetectReply { round, object, delta, digests } => {
+                self.detection.on_digests(core, from, object, digests, ctx);
                 let t = self.detection.on_reply(core, from, round, object, delta, ctx);
                 self.route(t, object, ctx);
             }
@@ -139,11 +143,18 @@ impl ProtocolShard {
                 self.write_path.on_fetch_reply(core, object, updates)
             }
             IdeaMsg::SweepRumor { id, ttl, object, counters } => {
-                self.detection.on_sweep_rumor(core, id, ttl, object, counters, ctx)
+                self.detection.on_sweep_rumor(core, from, id, ttl, object, counters, ctx)
             }
             IdeaMsg::SweepDivergence { object, sweep, delta } => {
                 self.detection.on_sweep_divergence(core, from, object, sweep, delta)
             }
+            IdeaMsg::GossipDigest { object, ids } => {
+                self.detection.on_digests(core, from, object, ids, ctx)
+            }
+            IdeaMsg::GossipPull { object, id } => {
+                self.detection.on_pull(core, from, object, id, ctx)
+            }
+            IdeaMsg::GossipPrune { object } => self.detection.on_prune(core, from, object),
         }
     }
 
@@ -166,6 +177,8 @@ impl ProtocolShard {
                 }
             }
             K_BATCH => self.detection.on_batch_timer(&mut self.core, ctx),
+            K_LAZY_FLUSH => self.detection.on_flush_timer(&mut self.core, ObjectId(low), ctx),
+            K_PULL => self.detection.on_pull_timer(&mut self.core, low, ctx),
             _ => {}
         }
     }
@@ -272,6 +285,13 @@ impl ProtocolShard {
             meta: replica.map_or(0, |r| r.meta()),
             updates: replica.map_or(0, |r| r.len()),
         }
+    }
+
+    /// The gossip rumor ids this shard's router remembers delivering for
+    /// `object`, sorted. Test/harness introspection: delivery-set
+    /// equivalence between eager and lazy modes compares these.
+    pub fn gossip_seen(&self, object: ObjectId) -> Vec<idea_overlay::RumorId> {
+        self.core.obj(object).map_or_else(Vec::new, |s| s.gossip.seen_ids())
     }
 
     // ------------------------------------------- per-shard configuration
@@ -507,6 +527,12 @@ impl IdeaNode {
         let mut rep = self.shards[self.shard_idx(object)].report(object);
         rep.resolutions_initiated = self.shards.iter().map(|s| s.resolution.completed()).sum();
         rep
+    }
+
+    /// The gossip rumor ids this node delivered for `object`, sorted (see
+    /// [`ProtocolShard::gossip_seen`]).
+    pub fn gossip_seen(&self, object: ObjectId) -> Vec<idea_overlay::RumorId> {
+        self.shards[self.shard_idx(object)].gossip_seen(object)
     }
 
     // ----------------------------------------------------------- triggers

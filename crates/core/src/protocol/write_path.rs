@@ -7,6 +7,7 @@
 //! which forwards it to the detection subsystem — the write path never
 //! touches detection state.
 
+use super::lazy::dispatch_rumor;
 use super::NodeCore;
 use crate::messages::IdeaMsg;
 use idea_net::Context;
@@ -101,10 +102,8 @@ impl WritePath {
         let everyone = &core.everyone;
         let shared = core.objs.get_mut(&object).expect("object state");
         counters.merge(&shared.known_counts);
-        let (id, ttl, targets) = shared.gossip.originate(everyone, ctx.rng());
-        for t in targets {
-            ctx.send(t, IdeaMsg::SweepRumor { id, ttl, object, counters: counters.clone() });
-        }
+        let (id, _ttl, plan) = shared.gossip.originate(everyone, ctx.rng());
+        dispatch_rumor(core, object, id, plan, &counters, ctx);
     }
 
     /// A peer asked for the updates it is missing: ship them (batched).

@@ -5,6 +5,13 @@
 //! the deterministic engine. The refactor must reproduce them bit-for-bit:
 //! routing every per-object operation through a shard handle is a
 //! *structural* change, not a behavioural one.
+//!
+//! Re-captured when the gossip plane gained **sender exclusion** (a relay
+//! no longer pushes a rumor back to the peer it arrived from): that
+//! intentionally changes the seeded RNG draw sequence, so exact message
+//! counts and resolution timing shift while convergence is preserved
+//! (every node still agrees, level 1.0). The shard-count invariance these
+//! tests primarily guard is unchanged.
 
 use idea_core::{IdeaConfig, IdeaNode};
 use idea_net::{MsgClass, SimConfig, SimEngine, Topology};
@@ -61,6 +68,9 @@ fn write(eng: &mut SimEngine<IdeaNode>, node: u32, obj: ObjectId, delta: i64) {
 fn formula1_scenario(shards: usize) -> Trace {
     let mut cfg = IdeaConfig::whiteboard(0.93);
     cfg.store_shards = shards;
+    // These traces were pinned before the default gossip mode flipped to
+    // lazy; the eager path stays available behind config exactly for them.
+    cfg.gossip.mode = idea_overlay::GossipMode::Eager;
     let objects = [OBJ_A, OBJ_B];
     let n = 8;
     let nodes: Vec<IdeaNode> =
@@ -98,13 +108,15 @@ fn formula1_scenario(shards: usize) -> Trace {
 /// The detect-round scenario: default config plus sweeps and background
 /// resolution over a single object (the §6.1 detection regime).
 fn detect_round_scenario(shards: usize) -> Trace {
-    let cfg = IdeaConfig {
+    let mut cfg = IdeaConfig {
         store_shards: shards,
         sweep_every: Some(2),
         sweep_deadline: SimDuration::from_secs(3),
         background_period: Some(SimDuration::from_secs(20)),
         ..Default::default()
     };
+    // Pinned pre-flip: the eager flood these trace counts were captured on.
+    cfg.gossip.mode = idea_overlay::GossipMode::Eager;
     let n = 10;
     let nodes: Vec<IdeaNode> =
         (0..n).map(|i| IdeaNode::new(NodeId(i as u32), cfg.clone(), &[OBJ_A])).collect();
@@ -145,16 +157,16 @@ fn formula1_pin() -> Trace {
     Trace {
         nodes,
         detect_msgs: 176,
-        gossip_msgs: 566,
-        resolution_msgs: 258,
+        gossip_msgs: 569,
+        resolution_msgs: 252,
         total_msgs: 1009,
-        resolutions: 9,
+        resolutions: 10,
     }
 }
 
 /// The detect-round trace captured at `8d9bef3`.
 fn detect_pin() -> Trace {
-    let mut nodes = vec![(63, 14, 1_000_000); 4];
+    let mut nodes = vec![(62, 13, 1_000_000); 4];
     nodes.extend(vec![(0, 0, 1_000_000); 4]);
     nodes.push((50, 1, 1_000_000));
     nodes.push((0, 0, 1_000_000));
@@ -162,9 +174,9 @@ fn detect_pin() -> Trace {
         nodes,
         detect_msgs: 164,
         gossip_msgs: 924,
-        resolution_msgs: 125,
-        total_msgs: 1236,
-        resolutions: 6,
+        resolution_msgs: 92,
+        total_msgs: 1197,
+        resolutions: 5,
     }
 }
 

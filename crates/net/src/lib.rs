@@ -30,6 +30,7 @@ pub mod sim;
 pub mod stats;
 pub mod threaded;
 pub mod topology;
+pub mod wheel;
 
 pub use latency::{Jitter, LatencyModel};
 pub use proto::{Context, Proto, ShardedProto, TimerId, Wire};
@@ -37,3 +38,4 @@ pub use sim::{SimConfig, SimEngine};
 pub use stats::{MsgClass, NetStats, StatsSnapshot};
 pub use threaded::{shards_from_env, ShardedEngine, ThreadedConfig, ThreadedEngine};
 pub use topology::{Region, Topology};
+pub use wheel::TimerWheel;

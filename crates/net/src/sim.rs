@@ -12,11 +12,11 @@
 use crate::proto::{Context, Proto, TimerId, Wire};
 use crate::stats::NetStats;
 use crate::topology::Topology;
+use crate::wheel::TimerWheel;
 use idea_types::{NodeId, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::HashSet;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -40,32 +40,6 @@ impl Default for SimConfig {
 enum EvKind<M> {
     Deliver { from: NodeId, to: NodeId, msg: M },
     Timer { node: NodeId, id: TimerId, kind: u64 },
-}
-
-/// A scheduled event. Ordering is `(at, seq)` — `seq` breaks ties in
-/// insertion order, which keeps runs deterministic.
-#[derive(Debug)]
-struct Ev<M> {
-    at: SimTime,
-    seq: u64,
-    kind: EvKind<M>,
-}
-
-impl<M> PartialEq for Ev<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Ev<M> {}
-impl<M> PartialOrd for Ev<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Ev<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.at.cmp(&other.at).then_with(|| self.seq.cmp(&other.seq))
-    }
 }
 
 /// Actions a node requested while handling one event.
@@ -123,7 +97,10 @@ pub struct SimEngine<P: Proto> {
     cfg: SimConfig,
     topo: Topology,
     nodes: Vec<Option<P>>,
-    queue: BinaryHeap<Reverse<Ev<P::Msg>>>,
+    /// Event queue: a hierarchical timer wheel popping in `(at, seq)`
+    /// order, bit-identical to the `BinaryHeap` it replaced (proven by the
+    /// proptest in [`crate::wheel`]).
+    queue: TimerWheel<EvKind<P::Msg>>,
     now: SimTime,
     seq: u64,
     rng: StdRng,
@@ -155,7 +132,7 @@ impl<P: Proto> SimEngine<P> {
             cfg,
             topo,
             nodes: nodes.into_iter().map(Some).collect(),
-            queue: BinaryHeap::new(),
+            queue: TimerWheel::new(),
             now: SimTime::ZERO,
             seq: 0,
             stats: NetStats::new(),
@@ -314,17 +291,18 @@ impl<P: Proto> SimEngine<P> {
     fn push(&mut self, at: SimTime, kind: EvKind<P::Msg>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Ev { at, seq, kind }));
+        self.queue.push(at.as_micros(), seq, kind);
     }
 
     /// Processes the next event, if any; returns whether one was processed.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some((at, _seq, kind)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "time must not run backwards");
-        self.now = ev.at;
-        match ev.kind {
+        let at = SimTime::from_micros(at);
+        debug_assert!(at >= self.now, "time must not run backwards");
+        self.now = at;
+        match kind {
             EvKind::Deliver { from, to, msg } => {
                 let i = to.index();
                 if self.paused[i] {
@@ -351,13 +329,8 @@ impl<P: Proto> SimEngine<P> {
 
     /// Runs every event scheduled at or before `t`, then advances to `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        loop {
-            match self.queue.peek() {
-                Some(Reverse(ev)) if ev.at <= t => {
-                    self.step();
-                }
-                _ => break,
-            }
+        while self.queue.next_at().is_some_and(|at| at <= t.as_micros()) {
+            self.step();
         }
         if t > self.now {
             self.now = t;
@@ -373,13 +346,8 @@ impl<P: Proto> SimEngine<P> {
     /// Runs until the queue drains or virtual time would pass `limit`.
     /// Returns the time reached.
     pub fn run_until_quiescent(&mut self, limit: SimTime) -> SimTime {
-        loop {
-            match self.queue.peek() {
-                Some(Reverse(ev)) if ev.at <= limit => {
-                    self.step();
-                }
-                _ => break,
-            }
+        while self.queue.next_at().is_some_and(|at| at <= limit.as_micros()) {
+            self.step();
         }
         self.now
     }

