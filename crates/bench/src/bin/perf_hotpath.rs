@@ -19,18 +19,30 @@
 //! (`ShardedEngine`); the recorded `cores` count qualifies the speedup —
 //! on a single-core machine the configurations can only tie.
 //!
+//! The `fan_in` block sweeps concurrent-session counts (10 → 10,000)
+//! against both server implementations at a fixed aggregate request rate,
+//! recording latency percentiles from a child-process client and the
+//! server's peak thread count — the threaded-vs-evented scaling story.
+//!
 //! Usage: `cargo run -p idea-bench --release --bin perf_hotpath`
 //! (optionally `--seed N`; `--small` runs the N ∈ {10, 80} scale points
-//! and a reduced drain for CI smoke).
+//! and a reduced drain for CI smoke; `--gossip-scale` and `--fan-in` are
+//! the self-contained CI smokes of their blocks).
 
+use idea_bench::LatencyHistogram;
 use idea_core::client::{Command, CommandExecutor};
-use idea_core::{IdeaConfig, IdeaNode};
+use idea_core::{IdeaConfig, IdeaNode, LockedEngine};
 use idea_net::{MsgClass, ShardedEngine, SimConfig, SimEngine, ThreadedConfig, Topology};
 use idea_overlay::GossipMode;
-use idea_transport::{IdeaServer, RemoteEngine};
+use idea_transport::frame::{frame_bytes, parse_frame, read_frame, Frame, FramePayload};
+use idea_transport::{IdeaServer, RemoteEngine, ServerConfig, ServerMode};
 use idea_types::{NodeId, ObjectId, ShardId, SimDuration, SimTime, UpdatePayload, WriterId};
 use idea_vv::ExtendedVersionVector;
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::io::{Read as _, Write as IoWrite};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -444,10 +456,334 @@ fn gossip_scale_json(seed: u64, sizes: &[usize]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// fan_in: many-session latency sweep, threaded baseline vs evented server
+// ---------------------------------------------------------------------------
+
+/// Aggregate offered rate of the fan-in sweep, fixed across session counts
+/// so the percentiles compare *connection-scaling* cost, not queueing: at
+/// every leg the server does the same requests/second, only spread over
+/// more connections.
+const FAN_IN_RATE_PER_SEC: u64 = 2_000;
+/// Samples per leg (5 s of measurement at the fixed rate).
+const FAN_IN_REQUESTS: u64 = 10_000;
+/// The paper-engine deployment served during the sweep.
+const FAN_IN_OBJECT: ObjectId = ObjectId(1);
+
+/// One fan-in leg: `sessions` concurrent connections driven by a child
+/// process at the fixed aggregate rate against one server mode.
+struct FanInLeg {
+    sessions: usize,
+    hist: LatencyHistogram,
+    errors: u64,
+    /// Peak `Threads:` count of the *server* process during the leg.
+    peak_threads: u64,
+    wall_ms: f64,
+}
+
+impl FanInLeg {
+    fn json(&self) -> String {
+        let us = |ns: u64| ns as f64 / 1e3;
+        format!(
+            "{{\"sessions\": {}, \"samples\": {}, \"errors\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"max_us\": {:.1}, \"peak_threads\": {}, \"wall_ms\": {:.0}}}",
+            self.sessions,
+            self.hist.count(),
+            self.errors,
+            us(self.hist.p50()),
+            us(self.hist.p99()),
+            us(self.hist.p999()),
+            us(self.hist.max()),
+            self.peak_threads,
+            self.wall_ms,
+        )
+    }
+}
+
+/// `Threads:` from `/proc/self/status` (0 where /proc is unavailable).
+fn current_thread_count() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Runs one leg: serves a `LockedEngine<SimEngine>` in *this* process
+/// (sampling its peak thread count) and re-executes this binary as the
+/// client child — two processes because the 10,000-session leg needs
+/// ~10 k fds on each side of the loopback, and a single process would
+/// blow through the fd ceiling holding both ends.
+fn fan_in_leg(mode: ServerMode, sessions: usize, seed: u64) -> FanInLeg {
+    let cfg = IdeaConfig::whiteboard(0.95);
+    let nodes: Vec<IdeaNode> =
+        (0..2).map(|i| IdeaNode::new(NodeId(i), cfg.clone(), &[FAN_IN_OBJECT])).collect();
+    let engine = SimEngine::new(Topology::lan(2), SimConfig { seed, ..Default::default() }, nodes);
+    let shared = Arc::new(LockedEngine::new(engine));
+    let server = IdeaServer::bind_with(
+        "127.0.0.1:0",
+        shared,
+        ServerConfig { mode, ..ServerConfig::default() },
+    )
+    .expect("bind fan-in server");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let peak = Arc::new(AtomicU64::new(0));
+    let sampler = {
+        let stop = Arc::clone(&stop);
+        let peak = Arc::clone(&peak);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                peak.fetch_max(current_thread_count(), Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+    };
+
+    let started = Instant::now();
+    let exe = std::env::current_exe().expect("current_exe");
+    let output = std::process::Command::new(exe)
+        .args([
+            "--fan-in-client",
+            &server.local_addr().to_string(),
+            &sessions.to_string(),
+            &FAN_IN_RATE_PER_SEC.to_string(),
+            &FAN_IN_REQUESTS.to_string(),
+        ])
+        .output()
+        .expect("spawn fan-in client child");
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    stop.store(true, Ordering::Relaxed);
+    let _ = sampler.join();
+    if !output.status.success() {
+        panic!(
+            "fan-in client failed ({} sessions, {mode:?}): {}",
+            sessions,
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let mut hist = LatencyHistogram::new();
+    let mut errors = u64::MAX;
+    for line in stdout.lines() {
+        if let Some(encoded) = line.strip_prefix("FANIN_HIST ") {
+            hist = LatencyHistogram::decode(encoded.trim()).expect("child histogram");
+        } else if line.starts_with("FANIN ") {
+            errors = line
+                .split_whitespace()
+                .find_map(|kv| kv.strip_prefix("errors="))
+                .and_then(|v| v.parse().ok())
+                .expect("child error count");
+        }
+    }
+    assert!(errors != u64::MAX, "child reported no error count:\n{stdout}");
+    FanInLeg { sessions, hist, errors, peak_threads: peak.load(Ordering::Relaxed), wall_ms }
+}
+
+/// Per-connection client state in the fan-in child.
+struct FanInSession {
+    stream: TcpStream,
+    in_buf: Vec<u8>,
+    in_start: usize,
+    dead: bool,
+}
+
+/// The child role behind the hidden `--fan-in-client addr sessions rate
+/// requests` invocation: opens `sessions` connections, paces `requests`
+/// Peek commands round-robin at the aggregate `rate`, and prints the
+/// latency histogram (nanoseconds) plus an error count for the parent to
+/// decode. Responses are collected with the same vendored poller the
+/// server uses — one thread regardless of session count.
+fn fan_in_client(args: &[String]) -> ! {
+    let addr: SocketAddr = args[0].parse().expect("server address");
+    let sessions: usize = args[1].parse().expect("session count");
+    let rate: u64 = args[2].parse().expect("rate");
+    let requests: u64 = args[3].parse().expect("request count");
+
+    let mut poll = mio::Poll::new().expect("client poller");
+    let mut conns: Vec<FanInSession> = Vec::with_capacity(sessions);
+    let mut errors = 0u64;
+    for i in 0..sessions {
+        let mut stream = TcpStream::connect(addr).expect("connect session");
+        let _ = stream.set_nodelay(true);
+        let hello = read_frame(&mut stream).expect("handshake").expect("greeting");
+        assert!(matches!(hello.payload, FramePayload::Hello { .. }), "{hello:?}");
+        stream.set_nonblocking(true).expect("nonblocking session");
+        poll.registry()
+            .register(&stream, mio::Token(i), mio::Interest::READABLE)
+            .expect("register session");
+        conns.push(FanInSession { stream, in_buf: Vec::new(), in_start: 0, dead: false });
+    }
+
+    // One Peek per request, round-robin over the sessions; request ids are
+    // globally unique so in-flight requests correlate through one map.
+    let command_bytes = |request_id: u64| {
+        frame_bytes(&Frame {
+            request_id,
+            node: NodeId(0),
+            payload: FramePayload::Command(Command::Peek { object: FAN_IN_OBJECT }),
+        })
+        .expect("encode Peek")
+    };
+    let interval = Duration::from_nanos(1_000_000_000 / rate);
+    let mut hist = LatencyHistogram::new();
+    let mut in_flight: HashMap<u64, Instant> = HashMap::new();
+    let mut sent = 0u64;
+    let mut completed = 0u64;
+    let mut events = mio::Events::with_capacity(1024);
+    let started = Instant::now();
+    let deadline = started + interval * requests as u32 + Duration::from_secs(20);
+
+    while (completed + errors < requests || sent < requests) && Instant::now() < deadline {
+        // Send everything due by now (the poll below has millisecond
+        // granularity; a wake may owe several sub-millisecond slots).
+        while sent < requests && started.elapsed() >= interval * sent as u32 {
+            let id = sent + 1;
+            let conn = &mut conns[(sent % sessions as u64) as usize];
+            sent += 1;
+            if conn.dead {
+                errors += 1;
+                continue;
+            }
+            let bytes = command_bytes(id);
+            match conn.stream.write_all(&bytes) {
+                Ok(()) => {
+                    in_flight.insert(id, Instant::now());
+                }
+                Err(_) => {
+                    conn.dead = true;
+                    errors += 1;
+                }
+            }
+        }
+        let timeout = if sent < requests {
+            let next_due = started + interval * sent as u32;
+            next_due.saturating_duration_since(Instant::now())
+        } else {
+            Duration::from_millis(50)
+        };
+        if poll.poll(&mut events, Some(timeout)).is_err() {
+            continue;
+        }
+        for event in events.iter() {
+            let mio::Token(i) = event.token();
+            let conn = &mut conns[i];
+            if conn.dead {
+                continue;
+            }
+            // Drain the socket, then every complete response frame.
+            let mut scratch = [0u8; 16 * 1024];
+            loop {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => conn.in_buf.extend_from_slice(&scratch[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            loop {
+                match parse_frame(&conn.in_buf[conn.in_start..]) {
+                    Ok(Some((frame, used))) => {
+                        conn.in_start += used;
+                        if let Some(t0) = in_flight.remove(&frame.request_id) {
+                            hist.record(t0.elapsed().as_nanos() as u64);
+                            completed += 1;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            if conn.in_start == conn.in_buf.len() {
+                conn.in_buf.clear();
+                conn.in_start = 0;
+            }
+        }
+    }
+    // Requests still unanswered at the deadline are failures.
+    errors += in_flight.len() as u64;
+
+    println!("FANIN sessions={sessions} sent={sent} completed={completed} errors={errors}");
+    println!("FANIN_HIST {}", hist.encode());
+    std::process::exit(0);
+}
+
+/// The `fan_in` JSON block: the threaded baseline at the session counts it
+/// can reach, the evented server through the ten-thousand-session leg, and
+/// the headline guard (evented p99 at 100 sessions vs threaded).
+/// Returned without a trailing comma.
+fn fan_in_json(seed: u64, threaded_legs: &[usize], evented_legs: &[usize]) -> String {
+    let run = |mode: ServerMode, legs: &[usize]| -> Vec<FanInLeg> {
+        legs.iter()
+            .map(|&sessions| {
+                eprintln!("fan_in: {mode:?} x {sessions} sessions...");
+                fan_in_leg(mode, sessions, seed)
+            })
+            .collect()
+    };
+    let threaded = run(ServerMode::Threaded, threaded_legs);
+    let evented = run(ServerMode::Evented, evented_legs);
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "  \"fan_in\": {{");
+    let _ = writeln!(out, "    \"rate_per_sec\": {FAN_IN_RATE_PER_SEC},");
+    let _ = writeln!(out, "    \"requests_per_leg\": {FAN_IN_REQUESTS},");
+    let _ = writeln!(out, "    \"cores\": {cores},");
+    for (label, legs) in [("threaded", &threaded), ("evented", &evented)] {
+        let _ = writeln!(out, "    \"{label}\": [");
+        for (i, leg) in legs.iter().enumerate() {
+            let comma = if i + 1 == legs.len() { "" } else { "," };
+            let _ = writeln!(out, "      {}{comma}", leg.json());
+        }
+        let _ = writeln!(out, "    ],");
+    }
+    // The acceptance guard: at 100 sessions (a count both servers reach
+    // comfortably) the evented p99 must not be worse than the baseline's.
+    let guard = |legs: &[FanInLeg]| {
+        legs.iter().find(|l| l.sessions == 100).map(|l| l.hist.p99() as f64 / 1e3)
+    };
+    match (guard(&threaded), guard(&evented)) {
+        (Some(t), Some(e)) => {
+            let _ = writeln!(out, "    \"p99_at_100_sessions\": {{");
+            let _ = writeln!(out, "      \"threaded_us\": {t:.1},");
+            let _ = writeln!(out, "      \"evented_us\": {e:.1},");
+            let _ = writeln!(out, "      \"evented_over_threaded\": {:.2}", e / t.max(1e-9));
+            let _ = writeln!(out, "    }}");
+        }
+        _ => {
+            let _ = writeln!(out, "    \"p99_at_100_sessions\": null");
+        }
+    }
+    out.push_str("  }");
+    out
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // The hidden child role behind the fan-in sweep — must dispatch before
+    // anything else (it is re-executed per leg).
+    if let Some(pos) = args.iter().position(|a| a == "--fan-in-client") {
+        fan_in_client(&args[pos + 1..]);
+    }
     let seed = idea_bench::seed_from_args();
-    let small = std::env::args().any(|a| a == "--small");
-    let gossip_scale_only = std::env::args().any(|a| a == "--gossip-scale");
+    let small = args.iter().any(|a| a == "--small");
+    let gossip_scale_only = args.iter().any(|a| a == "--gossip-scale");
+    let fan_in_only = args.iter().any(|a| a == "--fan-in");
 
     // CI `gossip-scale` smoke: just the N=160 eager/lazy sweep, written as
     // a self-contained BENCH_hotpath.json (the full harness overwrites it
@@ -456,6 +792,19 @@ fn main() {
         let mut json = String::from("{\n");
         let _ = writeln!(json, "  \"seed\": {seed},");
         json.push_str(&gossip_scale_json(seed, &[160]));
+        json.push_str("\n}\n");
+        std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+        print!("{json}");
+        return;
+    }
+
+    // CI `fan-in-smoke`: the 10/100/1,000-session legs against both server
+    // modes, written as a self-contained BENCH_hotpath.json (the full
+    // harness additionally runs the 10,000-session evented leg).
+    if fan_in_only {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"seed\": {seed},");
+        json.push_str(&fan_in_json(seed, &[10, 100, 1_000], &[10, 100, 1_000]));
         json.push_str("\n}\n");
         std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
         print!("{json}");
@@ -534,6 +883,17 @@ fn main() {
     let _ = writeln!(json, "    \"micro\": {{");
     let _ = writeln!(json, "      \"triple_against_1000_ns\": {triple_ns:.1},");
     let _ = writeln!(json, "      \"evv_clone_1000_ns\": {clone_ns:.1},");
+    // The clone drifted from the 249 ns pre-compaction baseline when the
+    // wire-compaction PR added the per-writer counter cache to
+    // `ExtendedVersionVector`: every clone now copies the cache alongside
+    // the history. That cache is also what cut `triple_against` ~6x, and
+    // the detect hot path ships `VvSummary` (not clones), so the trade is
+    // deliberate — annotated here so the drift reads as understood, not as
+    // an unnoticed regression.
+    let _ = writeln!(
+        json,
+        "      \"evv_clone_drift_note\": \"clone copies the counter cache added by the wire-compaction PR; the cache funds the triple_against speedup and clones are off the detect hot path\","
+    );
     let _ = writeln!(json, "      \"summary_encode_1000_ns\": {summary_ns:.1}");
     let _ = writeln!(json, "    }},");
     let _ = writeln!(json, "    \"scenarios\": [");
@@ -603,6 +963,17 @@ fn main() {
     // ({160} in the CI smoke), per-node bytes being the scale-out number.
     let scale_sizes: &[usize] = if small { &[160] } else { &[160, 320, 640] };
     json.push_str(&gossip_scale_json(seed, scale_sizes));
+    json.push_str(",\n");
+    // Fan-in latency sweep: threaded baseline vs evented server. The
+    // threaded server pays 2 threads + 2 fds per connection, so its legs
+    // stop at 1,000 sessions (10,000 would need 20k fds in this process);
+    // the evented sweep runs through 10,000 in the full harness.
+    let (fan_threaded, fan_evented): (&[usize], &[usize]) = if small {
+        (&[10, 100], &[10, 100, 1_000])
+    } else {
+        (&[10, 100, 1_000], &[10, 100, 1_000, 10_000])
+    };
+    json.push_str(&fan_in_json(seed, fan_threaded, fan_evented));
     json.push_str(",\n");
     let _ = writeln!(json, "  \"triple_speedup_factor\": {:.1}", BASELINE_TRIPLE_NS / triple_ns);
     json.push_str("}\n");

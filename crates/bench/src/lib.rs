@@ -18,6 +18,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod hist;
+
+pub use hist::LatencyHistogram;
+
 /// Default seed shared by the binaries so their outputs agree with the
 /// committed EXPERIMENTS.md.
 pub const DEFAULT_SEED: u64 = 7;

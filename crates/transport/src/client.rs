@@ -72,8 +72,13 @@ impl Connection {
             stream.try_clone().map_err(|e| WireError::Transport(format!("clone stream: {e}")))?;
         let hello = read_frame(&mut read_half)?
             .ok_or_else(|| WireError::Transport("server closed during handshake".into()))?;
-        let FramePayload::Hello { nodes } = hello.payload else {
-            return Err(WireError::Protocol("expected Hello as the first frame".into()));
+        let nodes = match hello.payload {
+            FramePayload::Hello { nodes } => nodes,
+            // The server refused admission: surface its typed rejection
+            // (e.g. `ServerAtCapacity`) as this call's error so callers can
+            // tell "server full" from a dead or misbehaving peer.
+            FramePayload::Response(Response::Rejected { error }) => return Err(error),
+            _ => return Err(WireError::Protocol("expected Hello as the first frame".into())),
         };
         let _ = stream.set_read_timeout(None);
 

@@ -647,6 +647,12 @@ impl WireCodec for WireError {
                 out.push(11);
                 what.encode(out);
             }
+            // Appended after tags 0..=11 were pinned: existing encodings
+            // are untouched, old decoders reject tag 12 as out-of-domain.
+            WireError::ServerAtCapacity { limit } => {
+                out.push(12);
+                limit.encode(out);
+            }
         }
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
@@ -670,6 +676,7 @@ impl WireCodec for WireError {
             9 => Ok(WireError::EngineUnavailable(String::decode(r)?)),
             10 => Ok(WireError::Transport(String::decode(r)?)),
             11 => Ok(WireError::Protocol(String::decode(r)?)),
+            12 => Ok(WireError::ServerAtCapacity { limit: u32::decode(r)? }),
             _ => Err(r.err("WireError tag out of domain")),
         }
     }

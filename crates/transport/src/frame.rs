@@ -190,6 +190,45 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
     Ok(Some(frame))
 }
 
+/// Tries to parse one frame from the front of `buf` without consuming it —
+/// the reassembly primitive for nonblocking reads, where a socket hands
+/// over arbitrary byte runs that rarely align with frame boundaries.
+///
+/// Returns `Ok(Some((frame, consumed)))` when `buf` starts with a complete
+/// frame (`consumed` = header + body bytes to advance past), `Ok(None)`
+/// when the prefix is valid so far but incomplete (read more and retry).
+///
+/// # Errors
+/// The same protocol errors as [`read_frame`]: bad magic, version
+/// mismatch, an over-cap length (rejected from the header alone, before
+/// the body arrives) or a malformed body.
+pub fn parse_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+    if buf.len() < 10 {
+        if !MAGIC.starts_with(&buf[..buf.len().min(4)]) {
+            return Err(protocol_err("bad frame magic"));
+        }
+        return Ok(None);
+    }
+    if buf[..4] != MAGIC {
+        return Err(protocol_err("bad frame magic"));
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    if version != VERSION {
+        return Err(protocol_err(format!(
+            "protocol version mismatch: peer speaks v{version}, this build speaks v{VERSION}"
+        )));
+    }
+    let len = u32::from_le_bytes([buf[6], buf[7], buf[8], buf[9]]) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(protocol_err(format!("frame length {len} exceeds cap {MAX_FRAME_BYTES}")));
+    }
+    let Some(body) = buf.get(10..10 + len) else {
+        return Ok(None);
+    };
+    let frame = Frame::from_bytes(body).map_err(WireError::from)?;
+    Ok(Some((frame, 10 + len)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +290,66 @@ mod tests {
         wire[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
         let err = read_frame(&mut &wire[..]).unwrap_err();
         assert!(matches!(err, WireError::Protocol(_)), "{err:?}");
+    }
+
+    /// `parse_frame` yields the same frames as `read_frame` no matter how
+    /// the bytes are chopped: every split point of a two-frame stream
+    /// parses to incomplete-then-complete with the right consumed counts.
+    #[test]
+    fn parse_frame_reassembles_across_arbitrary_splits() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &sample()).unwrap();
+        let first_len = wire.len();
+        write_frame(
+            &mut wire,
+            &Frame {
+                request_id: 9,
+                node: NodeId(1),
+                payload: FramePayload::Response(Response::Done),
+            },
+        )
+        .unwrap();
+
+        for split in 0..=wire.len() {
+            let prefix = &wire[..split];
+            match parse_frame(prefix).unwrap() {
+                None => assert!(split < first_len, "complete frame reported incomplete"),
+                Some((frame, consumed)) => {
+                    assert_eq!(consumed, first_len);
+                    assert_eq!(frame, sample());
+                    // The remainder parses as the second frame once whole.
+                    let rest = &prefix[consumed..];
+                    if split == wire.len() {
+                        let (second, used) = parse_frame(rest).unwrap().unwrap();
+                        assert_eq!(used, rest.len());
+                        assert_eq!(second.request_id, 9);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `parse_frame` rejects garbage from the very first byte — it never
+    /// waits for a full header to call bad magic.
+    #[test]
+    fn parse_frame_rejects_bad_prefixes_early() {
+        assert!(matches!(parse_frame(b"X"), Err(WireError::Protocol(_))));
+        assert!(matches!(parse_frame(b"IDEX"), Err(WireError::Protocol(_))));
+        assert!(parse_frame(b"IDE").unwrap().is_none(), "valid prefix of the magic");
+        assert!(parse_frame(b"").unwrap().is_none());
+
+        let mut wire = frame_bytes(&sample()).unwrap();
+        wire[4] = 99; // version
+        let err = parse_frame(&wire).unwrap_err();
+        let WireError::Protocol(msg) = err else { panic!("{err:?}") };
+        assert!(msg.contains("version"), "{msg}");
+
+        let mut wire = frame_bytes(&sample()).unwrap();
+        wire[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(
+            matches!(parse_frame(&wire[..10]), Err(WireError::Protocol(_))),
+            "over-cap length must be rejected from the header alone"
+        );
     }
 
     /// The cap binds on the send side too: an over-cap frame fails its own

@@ -1,243 +1,208 @@
-//! [`IdeaServer`]: the TCP frontend over any [`CommandExecutor`].
+//! [`IdeaServer`]: the TCP frontend over any [`CommandExecutor`], in two
+//! interchangeable implementations selected by [`ServerConfig::mode`]:
 //!
-//! One accept-loop thread; per connection one *reader* thread (decodes
-//! frames, hands commands to the executor) and one *writer* thread (owns
-//! the socket's write half, encodes responses as they complete). Commands
-//! addressed to an object are dispatched into the engine's existing
-//! per-shard mailboxes without blocking the reader, and each response
-//! frame carries the `request_id` of its command — so a single connection
-//! pipelines: many commands can be in flight, replies return in completion
-//! order, and per-object ordering is still guaranteed because the reader
-//! dispatches sequentially into per-object FIFO mailboxes.
+//! * [`ServerMode::Evented`] (the default) — one readiness-driven event
+//!   loop thread multiplexing every connection over the vendored
+//!   `mio`-style poller: nonblocking accept, per-connection read-buffer
+//!   frame reassembly, and a per-connection write queue whose flushes
+//!   coalesce many small response frames into one `write` syscall. Thread
+//!   count is O(1) in the number of connections — the fan-in path.
+//! * [`ServerMode::Threaded`] — the original two-OS-threads-per-connection
+//!   server, kept as the pinned baseline the fan-in benchmark compares
+//!   against (and a conservative fallback).
 //!
-//! Fire-and-forget frames (`request_id == `[`NO_REPLY`]) are submitted
-//! with no reply path at all — the server stays silent on success, and
-//! closes the connection if the engine can no longer accept commands.
+//! Both speak the identical wire protocol with identical per-connection
+//! semantics: commands dispatch in arrival order into the executor's
+//! per-object FIFO mailboxes via the non-blocking
+//! [`CommandExecutor::dispatch`] reply-callback path, responses return in
+//! *completion* order correlated by `request_id`, and fire-and-forget
+//! frames (`request_id == `[`NO_REPLY`](crate::frame::NO_REPLY)) are
+//! submitted with no reply path at all. The loopback byte-equivalence
+//! suite runs unchanged against either mode.
+//!
+//! The evented server adds connection admission and backpressure, which
+//! the threaded baseline does not have:
+//!
+//! * a connection past [`ServerConfig::max_connections`] is answered with
+//!   the typed [`WireError::ServerAtCapacity`](idea_types::WireError::ServerAtCapacity) rejection and closed —
+//!   never silently dropped, never hung;
+//! * a connection whose un-flushed response bytes exceed
+//!   [`ServerConfig::high_water_bytes`] (a slow or stalled reader) has its
+//!   *reads* deferred until the queue drains below half the mark, so one
+//!   slow consumer cannot balloon server memory or stall its neighbours.
 
-use crate::frame::{read_frame, write_frame, Frame, FramePayload, NO_REPLY};
-use crossbeam::channel::{unbounded, Sender};
-use idea_core::{CommandExecutor, Response};
-use idea_types::{NodeId, WireError};
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use idea_core::CommandExecutor;
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::Arc;
-use std::thread::{self, JoinHandle};
-use std::time::Duration;
 
-/// One response queued for a connection's writer thread.
-type Outbound = (u64, NodeId, Response);
+mod evented;
+mod threaded;
 
-/// Live connections, keyed by accept order, holding the duplicated stream
-/// used to shut a connection down. A reader removes its own entry when it
-/// exits, so closed connections do not accumulate fds for the server's
-/// lifetime.
-type ConnTable = Arc<Mutex<HashMap<u64, TcpStream>>>;
+/// Which server implementation [`IdeaServer::bind_with`] starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerMode {
+    /// Readiness-driven event loop: one thread for every connection.
+    Evented,
+    /// Two OS threads (reader + writer) per connection — the pre-event-loop
+    /// implementation, kept as the pinned fan-in baseline.
+    Threaded,
+}
+
+/// Tuning for [`IdeaServer::bind_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Implementation to start (default [`ServerMode::Evented`]).
+    pub mode: ServerMode,
+    /// Admission cap: a connection accepted while this many are live is
+    /// answered with the typed [`WireError::ServerAtCapacity`](idea_types::WireError::ServerAtCapacity) rejection
+    /// and closed. Enforced by the evented server only (the threaded
+    /// baseline predates admission control). Default 16 384.
+    pub max_connections: usize,
+    /// Per-connection backpressure mark: once a connection's un-flushed
+    /// response bytes exceed this, its reads are deferred until the queue
+    /// drains below half the mark. Evented server only. Default 1 MiB.
+    pub high_water_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            mode: ServerMode::Evented,
+            max_connections: 16_384,
+            high_water_bytes: 1 << 20,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The default configuration with `mode` taken from the
+    /// `IDEA_SERVER_MODE` environment variable (`threaded` or `evented`,
+    /// default evented) — how CI drives the same test suite against both
+    /// implementations.
+    pub fn from_env() -> Self {
+        let mode = match std::env::var("IDEA_SERVER_MODE").as_deref() {
+            Ok("threaded") => ServerMode::Threaded,
+            _ => ServerMode::Evented,
+        };
+        ServerConfig { mode, ..ServerConfig::default() }
+    }
+
+    /// The threaded baseline with otherwise-default settings.
+    pub fn threaded() -> Self {
+        ServerConfig { mode: ServerMode::Threaded, ..ServerConfig::default() }
+    }
+}
 
 /// A running TCP server fronting a [`CommandExecutor`].
 ///
-/// Bind with [`IdeaServer::bind`]; the listener address (useful with port
-/// `0`) is [`IdeaServer::local_addr`]. [`IdeaServer::stop`] (also run on
-/// drop) closes the listener and every connection and joins the service
-/// threads — it does **not** stop the engine, which the caller still owns.
+/// Bind with [`IdeaServer::bind`] (mode from the environment, evented by
+/// default) or [`IdeaServer::bind_with`]; the listener address (useful
+/// with port `0`) is [`IdeaServer::local_addr`]. [`IdeaServer::stop`]
+/// (also run on drop) closes the listener and every connection and joins
+/// the service threads — it does **not** stop the engine, which the
+/// caller still owns.
 pub struct IdeaServer {
-    local_addr: SocketAddr,
-    stop_flag: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
-    conns: ConnTable,
-    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    accepted: Arc<AtomicU64>,
+    inner: Inner,
+}
+
+enum Inner {
+    Threaded(threaded::ThreadedServer),
+    Evented(evented::EventedServer),
 }
 
 impl IdeaServer {
-    /// Binds `addr` and starts serving `executor`.
+    /// Binds `addr` and starts serving `executor` with
+    /// [`ServerConfig::from_env`].
     ///
     /// # Errors
     /// Propagates listener-setup I/O failures; per-connection failures
     /// after that only close the affected connection.
     pub fn bind(addr: impl ToSocketAddrs, executor: Arc<dyn CommandExecutor>) -> io::Result<Self> {
+        Self::bind_with(addr, executor, ServerConfig::from_env())
+    }
+
+    /// Binds `addr` and starts serving `executor` under `config`.
+    ///
+    /// # Errors
+    /// Propagates listener- and poller-setup I/O failures.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        executor: Arc<dyn CommandExecutor>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
-        let local_addr = listener.local_addr()?;
-        let stop_flag = Arc::new(AtomicBool::new(false));
-        let conns: ConnTable = Arc::new(Mutex::new(HashMap::new()));
-        let readers = Arc::new(Mutex::new(Vec::new()));
-        let accepted = Arc::new(AtomicU64::new(0));
-
-        let accept = {
-            let stop_flag = Arc::clone(&stop_flag);
-            let conns = Arc::clone(&conns);
-            let readers = Arc::clone(&readers);
-            let accepted = Arc::clone(&accepted);
-            thread::Builder::new()
-                .name("idea-accept".into())
-                .spawn(move || loop {
-                    let stream = match listener.accept() {
-                        Ok((stream, _)) => stream,
-                        Err(_) if stop_flag.load(Ordering::SeqCst) => break,
-                        Err(_) => {
-                            // Persistent failures (e.g. fd exhaustion)
-                            // must not busy-spin the accept thread.
-                            thread::sleep(Duration::from_millis(20));
-                            continue;
-                        }
-                    };
-                    if stop_flag.load(Ordering::SeqCst) {
-                        break; // the wake-up connection from stop()
-                    }
-                    let _ = stream.set_nodelay(true);
-                    let conn_id = accepted.fetch_add(1, Ordering::SeqCst);
-                    if let Ok(clone) = stream.try_clone() {
-                        conns.lock().insert(conn_id, clone);
-                    }
-                    // Reap reader threads of connections that have closed
-                    // (dropping a finished JoinHandle just detaches it).
-                    readers.lock().retain(|h: &JoinHandle<()>| !h.is_finished());
-                    let executor = Arc::clone(&executor);
-                    let table = Arc::clone(&conns);
-                    let handle = thread::Builder::new()
-                        .name("idea-conn".into())
-                        .spawn(move || {
-                            serve_connection(stream, executor);
-                            // Release the shutdown handle (and its fd) as
-                            // soon as the connection is done.
-                            table.lock().remove(&conn_id);
-                        })
-                        .expect("spawn connection reader");
-                    readers.lock().push(handle);
-                })
-                .expect("spawn accept loop")
+        let inner = match config.mode {
+            ServerMode::Threaded => {
+                Inner::Threaded(threaded::ThreadedServer::spawn(listener, executor)?)
+            }
+            ServerMode::Evented => {
+                Inner::Evented(evented::EventedServer::spawn(listener, executor, config)?)
+            }
         };
-
-        Ok(IdeaServer { local_addr, stop_flag, accept: Some(accept), conns, readers, accepted })
+        Ok(IdeaServer { inner })
     }
 
     /// The bound listener address.
     pub fn local_addr(&self) -> SocketAddr {
-        self.local_addr
+        match &self.inner {
+            Inner::Threaded(s) => s.local_addr(),
+            Inner::Evented(s) => s.local_addr(),
+        }
     }
 
-    /// Connections accepted since bind (monotonic; includes closed ones).
+    /// The implementation this server runs.
+    pub fn mode(&self) -> ServerMode {
+        match &self.inner {
+            Inner::Threaded(_) => ServerMode::Threaded,
+            Inner::Evented(_) => ServerMode::Evented,
+        }
+    }
+
+    /// Connections accepted since bind (monotonic; includes closed and
+    /// admission-rejected ones).
     pub fn connections_accepted(&self) -> u64 {
-        self.accepted.load(Ordering::SeqCst)
+        match &self.inner {
+            Inner::Threaded(s) => s.connections_accepted(),
+            Inner::Evented(s) => s.connections_accepted(),
+        }
+    }
+
+    /// Connections refused at admission with the typed
+    /// [`WireError::ServerAtCapacity`](idea_types::WireError::ServerAtCapacity) rejection. Always 0 in threaded
+    /// mode, which has no admission control.
+    pub fn connections_rejected(&self) -> u64 {
+        match &self.inner {
+            Inner::Threaded(_) => 0,
+            Inner::Evented(s) => s.connections_rejected(),
+        }
+    }
+
+    /// Times the event loop woke from its poll since bind — accept
+    /// readiness, connection I/O, and completion wake-ups all count. An
+    /// *idle* evented server on an OS-backed poller blocks in the poll and
+    /// burns none (the regression pin for the old 20 ms accept-poll).
+    /// Always 0 in threaded mode.
+    pub fn loop_wakeups(&self) -> u64 {
+        match &self.inner {
+            Inner::Threaded(_) => 0,
+            Inner::Evented(s) => s.loop_wakeups(),
+        }
+    }
+
+    /// Count of reads-deferred transitions: how many times a connection
+    /// crossed [`ServerConfig::high_water_bytes`] and had its reads parked
+    /// until the write queue drained. Always 0 in threaded mode.
+    pub fn reads_deferred_total(&self) -> u64 {
+        match &self.inner {
+            Inner::Threaded(_) => 0,
+            Inner::Evented(s) => s.reads_deferred_total(),
+        }
     }
 
     /// Stops accepting, closes every connection and joins the service
     /// threads. Idempotent; also runs on drop.
-    pub fn stop(mut self) {
-        self.shutdown_now();
-    }
-
-    fn shutdown_now(&mut self) {
-        self.stop_flag.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throw-away connection.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(handle) = self.accept.take() {
-            let _ = handle.join();
-        }
-        for (_, conn) in self.conns.lock().drain() {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-        for handle in self.readers.lock().drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-impl Drop for IdeaServer {
-    fn drop(&mut self) {
-        self.shutdown_now();
-    }
-}
-
-/// Reader half of one connection; spawns its writer sibling.
-fn serve_connection(stream: TcpStream, executor: Arc<dyn CommandExecutor>) {
-    let write_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let (out_tx, out_rx) = unbounded::<Outbound>();
-
-    // Writer thread: owns the write half; exits when every sender (the
-    // reader below plus any in-flight dispatch replies) is gone, or on the
-    // first write failure.
-    let writer = thread::Builder::new().name("idea-conn-writer".into()).spawn(move || {
-        let mut w = BufWriter::new(write_half);
-        while let Ok((request_id, node, response)) = out_rx.recv() {
-            let frame = Frame { request_id, node, payload: FramePayload::Response(response) };
-            match write_frame(&mut w, &frame) {
-                Ok(()) => {}
-                // An unframeable (over-cap) response fails only its own
-                // request: substitute a typed rejection so the waiting
-                // client is answered and the connection survives.
-                Err(error @ WireError::Protocol(_)) => {
-                    let substitute = Frame {
-                        request_id,
-                        node,
-                        payload: FramePayload::Response(Response::Rejected { error }),
-                    };
-                    if write_frame(&mut w, &substitute).is_err() {
-                        break;
-                    }
-                }
-                Err(_) => break,
-            }
-        }
-    });
-    if writer.is_err() {
-        return;
-    }
-
-    // Greeting: the deployment size, before any command response.
-    {
-        let frame = Frame {
-            request_id: NO_REPLY,
-            node: NodeId(0),
-            payload: FramePayload::Hello { nodes: executor.node_count() as u32 },
-        };
-        let mut hello = stream.try_clone().ok();
-        let sent = hello.as_mut().map(|s| write_frame(s, &frame).is_ok()).unwrap_or(false);
-        if !sent {
-            return;
-        }
-    }
-
-    let mut reader = BufReader::new(stream);
-    // A clean close, an I/O failure and a malformed frame all drop the
-    // connection: a frame that fails to decode leaves the stream position
-    // unknown, so per-command recovery is impossible.
-    while let Ok(Some(frame)) = read_frame(&mut reader) {
-        let Frame { request_id, node, payload } = frame;
-        match payload {
-            FramePayload::Command(cmd) if request_id == NO_REPLY => {
-                match executor.try_submit(node, cmd) {
-                    Ok(()) => {}
-                    // Command-independent failure: the engine is gone, so
-                    // every later command would fail too — close, which the
-                    // client observes as a transport error.
-                    Err(WireError::EngineUnavailable(_)) => break,
-                    Err(_) => {}
-                }
-            }
-            FramePayload::Command(cmd) => {
-                let tx: Sender<Outbound> = out_tx.clone();
-                executor.dispatch(
-                    node,
-                    cmd,
-                    Box::new(move |response| {
-                        let _ = tx.send((request_id, node, response));
-                    }),
-                );
-            }
-            // Only clients send Hello/Response frames — answer with a
-            // typed rejection when correlatable, otherwise ignore.
-            FramePayload::Hello { .. } | FramePayload::Response(_) => {
-                if request_id != NO_REPLY {
-                    let error = WireError::Protocol("clients must send Command frames".to_string());
-                    let _ = out_tx.send((request_id, node, Response::Rejected { error }));
-                }
-            }
-        }
+    pub fn stop(self) {
+        // Drop runs the shutdown.
     }
 }

@@ -1,0 +1,230 @@
+//! The thread-per-connection baseline ([`super::ServerMode::Threaded`]).
+//!
+//! One accept-loop thread; per connection one *reader* thread (decodes
+//! frames, hands commands to the executor) and one *writer* thread (owns
+//! the socket's write half, encodes responses as they complete). Commands
+//! addressed to an object are dispatched into the engine's existing
+//! per-shard mailboxes without blocking the reader, and each response
+//! frame carries the `request_id` of its command — so a single connection
+//! pipelines: many commands can be in flight, replies return in completion
+//! order, and per-object ordering is still guaranteed because the reader
+//! dispatches sequentially into per-object FIFO mailboxes.
+//!
+//! Fire-and-forget frames (`request_id == `[`NO_REPLY`]) are submitted
+//! with no reply path at all — the server stays silent on success, and
+//! closes the connection if the engine can no longer accept commands.
+//!
+//! This implementation is kept verbatim as the fan-in benchmark's pinned
+//! baseline: two OS threads (plus two fds for the shutdown clone) per
+//! connection is exactly the scaling wall the evented server removes.
+
+use crate::frame::{read_frame, write_frame, Frame, FramePayload, NO_REPLY};
+use crossbeam::channel::{unbounded, Sender};
+use idea_core::{CommandExecutor, Response};
+use idea_types::{NodeId, WireError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// One response queued for a connection's writer thread.
+type Outbound = (u64, NodeId, Response);
+
+/// Live connections, keyed by accept order, holding the duplicated stream
+/// used to shut a connection down. A reader removes its own entry when it
+/// exits, so closed connections do not accumulate fds for the server's
+/// lifetime.
+type ConnTable = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+pub(super) struct ThreadedServer {
+    local_addr: SocketAddr,
+    stop_flag: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: ConnTable,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    accepted: Arc<AtomicU64>,
+}
+
+impl ThreadedServer {
+    pub(super) fn spawn(
+        listener: TcpListener,
+        executor: Arc<dyn CommandExecutor>,
+    ) -> io::Result<Self> {
+        let local_addr = listener.local_addr()?;
+        let stop_flag = Arc::new(AtomicBool::new(false));
+        let conns: ConnTable = Arc::new(Mutex::new(HashMap::new()));
+        let readers = Arc::new(Mutex::new(Vec::new()));
+        let accepted = Arc::new(AtomicU64::new(0));
+
+        let accept = {
+            let stop_flag = Arc::clone(&stop_flag);
+            let conns = Arc::clone(&conns);
+            let readers = Arc::clone(&readers);
+            let accepted = Arc::clone(&accepted);
+            thread::Builder::new()
+                .name("idea-accept".into())
+                .spawn(move || loop {
+                    let stream = match listener.accept() {
+                        Ok((stream, _)) => stream,
+                        Err(_) if stop_flag.load(Ordering::SeqCst) => break,
+                        Err(_) => {
+                            // Persistent failures (e.g. fd exhaustion)
+                            // must not busy-spin the accept thread.
+                            thread::sleep(Duration::from_millis(20));
+                            continue;
+                        }
+                    };
+                    if stop_flag.load(Ordering::SeqCst) {
+                        break; // the wake-up connection from stop()
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let conn_id = accepted.fetch_add(1, Ordering::SeqCst);
+                    if let Ok(clone) = stream.try_clone() {
+                        conns.lock().insert(conn_id, clone);
+                    }
+                    // Reap reader threads of connections that have closed
+                    // (dropping a finished JoinHandle just detaches it).
+                    readers.lock().retain(|h: &JoinHandle<()>| !h.is_finished());
+                    let executor = Arc::clone(&executor);
+                    let table = Arc::clone(&conns);
+                    let handle = thread::Builder::new()
+                        .name("idea-conn".into())
+                        .spawn(move || {
+                            serve_connection(stream, executor);
+                            // Release the shutdown handle (and its fd) as
+                            // soon as the connection is done.
+                            table.lock().remove(&conn_id);
+                        })
+                        .expect("spawn connection reader");
+                    readers.lock().push(handle);
+                })
+                .expect("spawn accept loop")
+        };
+
+        Ok(ThreadedServer { local_addr, stop_flag, accept: Some(accept), conns, readers, accepted })
+    }
+
+    pub(super) fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    pub(super) fn connections_accepted(&self) -> u64 {
+        self.accepted.load(Ordering::SeqCst)
+    }
+
+    fn shutdown_now(&mut self) {
+        self.stop_flag.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throw-away connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        for (_, conn) in self.conns.lock().drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        for handle in self.readers.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ThreadedServer {
+    fn drop(&mut self) {
+        self.shutdown_now();
+    }
+}
+
+/// Reader half of one connection; spawns its writer sibling.
+fn serve_connection(stream: TcpStream, executor: Arc<dyn CommandExecutor>) {
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (out_tx, out_rx) = unbounded::<Outbound>();
+
+    // Writer thread: owns the write half; exits when every sender (the
+    // reader below plus any in-flight dispatch replies) is gone, or on the
+    // first write failure.
+    let writer = thread::Builder::new().name("idea-conn-writer".into()).spawn(move || {
+        let mut w = BufWriter::new(write_half);
+        while let Ok((request_id, node, response)) = out_rx.recv() {
+            let frame = Frame { request_id, node, payload: FramePayload::Response(response) };
+            match write_frame(&mut w, &frame) {
+                Ok(()) => {}
+                // An unframeable (over-cap) response fails only its own
+                // request: substitute a typed rejection so the waiting
+                // client is answered and the connection survives.
+                Err(error @ WireError::Protocol(_)) => {
+                    let substitute = Frame {
+                        request_id,
+                        node,
+                        payload: FramePayload::Response(Response::Rejected { error }),
+                    };
+                    if write_frame(&mut w, &substitute).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    if writer.is_err() {
+        return;
+    }
+
+    // Greeting: the deployment size, before any command response.
+    {
+        let frame = Frame {
+            request_id: NO_REPLY,
+            node: NodeId(0),
+            payload: FramePayload::Hello { nodes: executor.node_count() as u32 },
+        };
+        let mut hello = stream.try_clone().ok();
+        let sent = hello.as_mut().map(|s| write_frame(s, &frame).is_ok()).unwrap_or(false);
+        if !sent {
+            return;
+        }
+    }
+
+    let mut reader = BufReader::new(stream);
+    // A clean close, an I/O failure and a malformed frame all drop the
+    // connection: a frame that fails to decode leaves the stream position
+    // unknown, so per-command recovery is impossible.
+    while let Ok(Some(frame)) = read_frame(&mut reader) {
+        let Frame { request_id, node, payload } = frame;
+        match payload {
+            FramePayload::Command(cmd) if request_id == NO_REPLY => {
+                match executor.try_submit(node, cmd) {
+                    Ok(()) => {}
+                    // Command-independent failure: the engine is gone, so
+                    // every later command would fail too — close, which the
+                    // client observes as a transport error.
+                    Err(WireError::EngineUnavailable(_)) => break,
+                    Err(_) => {}
+                }
+            }
+            FramePayload::Command(cmd) => {
+                let tx: Sender<Outbound> = out_tx.clone();
+                executor.dispatch(
+                    node,
+                    cmd,
+                    Box::new(move |response| {
+                        let _ = tx.send((request_id, node, response));
+                    }),
+                );
+            }
+            // Only clients send Hello/Response frames — answer with a
+            // typed rejection when correlatable, otherwise ignore.
+            FramePayload::Hello { .. } | FramePayload::Response(_) => {
+                if request_id != NO_REPLY {
+                    let error = WireError::Protocol("clients must send Command frames".to_string());
+                    let _ = out_tx.send((request_id, node, Response::Rejected { error }));
+                }
+            }
+        }
+    }
+}

@@ -143,7 +143,7 @@ fn arb_update() -> impl Strategy<Value = Update> {
 }
 
 fn arb_wire_error() -> impl Strategy<Value = WireError> {
-    (0u8..12, 0u32..100, prop::collection::vec(0u8..255, 0..20)).prop_map(|(tag, n, bytes)| {
+    (0u8..13, 0u32..100, prop::collection::vec(0u8..255, 0..20)).prop_map(|(tag, n, bytes)| {
         let text: String = bytes.iter().map(|b| char::from(b' ' + b % 95)).collect();
         match tag {
             0 => WireError::UnknownNode(NodeId(n)),
@@ -161,7 +161,8 @@ fn arb_wire_error() -> impl Strategy<Value = WireError> {
             8 => WireError::HorizonExceeded,
             9 => WireError::EngineUnavailable(text),
             10 => WireError::Transport(text),
-            _ => WireError::Protocol(text),
+            11 => WireError::Protocol(text),
+            _ => WireError::ServerAtCapacity { limit: n },
         }
     })
 }
@@ -301,6 +302,7 @@ fn fixture_responses() -> Vec<Response> {
         },
         Response::Rejected { error: WireError::UnknownObject(ObjectId(99)) },
         Response::Rejected { error: WireError::EngineUnavailable("engine worker stopped".into()) },
+        Response::Rejected { error: WireError::ServerAtCapacity { limit: 4_096 } },
     ]
 }
 

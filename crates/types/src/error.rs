@@ -76,11 +76,13 @@ impl std::error::Error for IdeaError {}
 /// deserialized — every variant owns its data, so a server can encode the
 /// error into a response frame and a client can reconstruct it. The
 /// protocol-level variants mirror [`IdeaError`] one-for-one (see
-/// `From<IdeaError>`); the last three exist only at the service boundary:
+/// `From<IdeaError>`); the last four exist only at the service boundary:
 ///
 /// * [`WireError::EngineUnavailable`] — the executor behind the service is
 ///   gone (a stopped engine, a dead shard worker) — the condition that used
 ///   to panic in `EngineHandle::execute`;
+/// * [`WireError::ServerAtCapacity`] — the server refused the connection
+///   at admission (its connection cap is reached);
 /// * [`WireError::Transport`] — an I/O failure on the connection;
 /// * [`WireError::Protocol`] — a malformed or version-incompatible frame.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -119,6 +121,14 @@ pub enum WireError {
     /// stopped, worker thread gone). Surfaced as a typed rejection instead
     /// of the panic the in-process engines used to raise.
     EngineUnavailable(String),
+    /// The server refused the connection at admission: it is already at
+    /// its configured connection cap. Unlike [`WireError::Transport`], the
+    /// condition is typed — a client can distinguish "server full, retry
+    /// later" from a dead or unreachable server.
+    ServerAtCapacity {
+        /// The cap the server was configured with.
+        limit: u32,
+    },
     /// The connection to the service failed (I/O error, disconnect).
     Transport(String),
     /// A frame could not be decoded (bad magic, unknown version, truncated
@@ -168,6 +178,9 @@ impl fmt::Display for WireError {
             }
             WireError::HorizonExceeded => write!(f, "simulation horizon exceeded"),
             WireError::EngineUnavailable(what) => write!(f, "engine unavailable: {what}"),
+            WireError::ServerAtCapacity { limit } => {
+                write!(f, "server at its connection capacity ({limit})")
+            }
             WireError::Transport(what) => write!(f, "transport failure: {what}"),
             WireError::Protocol(what) => write!(f, "protocol violation: {what}"),
         }

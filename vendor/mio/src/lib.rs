@@ -1,0 +1,510 @@
+//! Offline stand-in for the `mio` crate: readiness-based I/O multiplexing
+//! over `epoll` on Linux, with a portable fallback backend everywhere else.
+//!
+//! The subset mirrors upstream mio 0.8's shape — [`Poll`], [`Registry`],
+//! [`Token`], [`Interest`], [`Events`], [`Waker`] — with three documented
+//! deviations, all chosen so workspace code stays correct under either
+//! this stub or the real crate:
+//!
+//! * **Registration is by `AsRawFd`**, not `event::Source`: `register`
+//!   takes any `&impl AsRawFd` (upstream wraps raw fds in `SourceFd`).
+//! * **Readiness is level-triggered** (upstream defaults to
+//!   edge-triggered). A consumer that drains each fd until `WouldBlock`
+//!   and re-arms interest explicitly behaves identically under both.
+//! * **[`Waker`] requires an explicit [`Waker::drain`]** from the polling
+//!   thread when its token surfaces (upstream resets its eventfd
+//!   internally; the stub's UDP-socket-pair waker combined with
+//!   level-triggered readiness would re-fire forever otherwise).
+//!
+//! The portable backend never blocks on the OS: `poll` sleeps one tick
+//! (bounded by the caller's timeout) and then reports every registered fd
+//! as ready for its registered interest. Consumers doing nonblocking I/O
+//! observe spurious readiness and `WouldBlock` — correct, just not cheap;
+//! it exists so the workspace builds and tests anywhere. Force it with
+//! `IDEA_POLL_BACKEND=portable` (checked once per [`Poll::new`]).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::io;
+use std::net::UdpSocket;
+use std::os::fd::AsRawFd;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[cfg(target_os = "linux")]
+mod sys_epoll;
+mod sys_portable;
+
+/// Identifies a registration: returned in every [`Event`] for the fd it
+/// was registered with. The poll backends never interpret the value, so a
+/// consumer may encode anything that fits (mio's contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Readiness interest: readable, writable, or both
+/// (`Interest::READABLE | Interest::WRITABLE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness.
+    pub const READABLE: Interest = Interest(0b01);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Does this interest include read readiness?
+    pub fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    /// Does this interest include write readiness?
+    pub fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// One readiness event delivered by [`Poll::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+    error: bool,
+    read_closed: bool,
+}
+
+impl Event {
+    pub(crate) fn new(
+        token: Token,
+        readable: bool,
+        writable: bool,
+        error: bool,
+        read_closed: bool,
+    ) -> Event {
+        Event { token, readable, writable, error, read_closed }
+    }
+
+    /// The token the fd was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Read readiness (includes hang-up and error conditions, so a reader
+    /// always observes the failure by attempting the read).
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// Write readiness (includes error conditions).
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// An error condition on the fd.
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+
+    /// The peer closed its write half (or the whole connection): reading
+    /// will observe EOF after any buffered data.
+    pub fn is_read_closed(&self) -> bool {
+        self.read_closed
+    }
+}
+
+/// A buffer of readiness events, filled by [`Poll::poll`].
+#[derive(Debug)]
+pub struct Events {
+    list: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// An event buffer holding at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events { list: Vec::with_capacity(capacity), capacity: capacity.max(1) }
+    }
+
+    /// Iterates the events of the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.list.iter()
+    }
+
+    /// No events were delivered by the last poll.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.list.clear();
+    }
+
+    pub(crate) fn push(&mut self, event: Event) {
+        self.list.push(event);
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll(sys_epoll::Epoll),
+    Portable(sys_portable::Portable),
+}
+
+/// Registration handle: shared between [`Poll`] and anything that needs to
+/// (de)register fds or build a [`Waker`]. Cloning via
+/// [`Registry::try_clone`] yields a handle to the same poll instance.
+pub struct Registry {
+    backend: Arc<Backend>,
+}
+
+impl Registry {
+    /// Registers `source` for `interests` under `token`.
+    ///
+    /// # Errors
+    /// `AlreadyExists` if the fd is registered; OS errors from the backend.
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        match &*self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(e) => e.register(source.as_raw_fd(), token, interests),
+            Backend::Portable(p) => p.register(source.as_raw_fd(), token, interests),
+        }
+    }
+
+    /// Replaces the registration of an already-registered `source`.
+    ///
+    /// # Errors
+    /// `NotFound` if the fd is not registered; OS errors from the backend.
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        match &*self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(e) => e.reregister(source.as_raw_fd(), token, interests),
+            Backend::Portable(p) => p.reregister(source.as_raw_fd(), token, interests),
+        }
+    }
+
+    /// Removes the registration of `source`.
+    ///
+    /// # Errors
+    /// `NotFound` if the fd is not registered; OS errors from the backend.
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        match &*self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(e) => e.deregister(source.as_raw_fd()),
+            Backend::Portable(p) => p.deregister(source.as_raw_fd()),
+        }
+    }
+
+    /// Another handle to the same poll instance.
+    ///
+    /// # Errors
+    /// Infallible in this stub; fallible for upstream signature parity.
+    pub fn try_clone(&self) -> io::Result<Registry> {
+        Ok(Registry { backend: Arc::clone(&self.backend) })
+    }
+}
+
+/// The poller: owns the OS readiness queue and delivers [`Events`].
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// A poller on the platform's best backend: `epoll` on Linux, the
+    /// portable fallback elsewhere (or when `IDEA_POLL_BACKEND=portable`).
+    ///
+    /// # Errors
+    /// OS failure creating the epoll instance.
+    pub fn new() -> io::Result<Poll> {
+        #[cfg(target_os = "linux")]
+        {
+            if std::env::var("IDEA_POLL_BACKEND").as_deref() != Ok("portable") {
+                return Ok(Poll {
+                    registry: Registry {
+                        backend: Arc::new(Backend::Epoll(sys_epoll::Epoll::new()?)),
+                    },
+                });
+            }
+        }
+        Self::portable()
+    }
+
+    /// A poller on the portable fallback backend, on any platform — what
+    /// the backend-independence tests construct explicitly.
+    ///
+    /// # Errors
+    /// Infallible in this stub; fallible for signature parity.
+    pub fn portable() -> io::Result<Poll> {
+        Ok(Poll {
+            registry: Registry {
+                backend: Arc::new(Backend::Portable(sys_portable::Portable::new())),
+            },
+        })
+    }
+
+    /// Is this poller backed by the OS readiness queue (as opposed to the
+    /// portable spurious-readiness fallback)? The no-idle-wakeups
+    /// guarantee only holds on an OS-backed poller.
+    pub fn is_os_backed(&self) -> bool {
+        match &*self.registry.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(_) => true,
+            Backend::Portable(_) => false,
+        }
+    }
+
+    /// The registration handle.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one registered fd is ready, `timeout` expires
+    /// (`None` = no limit), or a [`Waker`] wakes the poll; fills `events`
+    /// with up to its capacity of readiness events.
+    ///
+    /// # Errors
+    /// OS failure from the backend (`EINTR` is absorbed and reported as an
+    /// empty event set).
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        match &*self.registry.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(e) => e.wait(events, timeout),
+            Backend::Portable(p) => {
+                p.wait(events, timeout);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Wakes a [`Poll`] blocked in [`Poll::poll`] from any thread: the
+/// cross-thread signal a readiness event loop needs for work that does not
+/// originate on an fd (e.g. completions from worker threads).
+///
+/// Implemented as a connected localhost UDP socket pair — fully inside
+/// `std`, no extra syscall surface. The receiving socket is registered
+/// with the poll under the token passed to [`Waker::new`]; when that token
+/// surfaces, the polling thread must call [`Waker::drain`].
+pub struct Waker {
+    tx: UdpSocket,
+    rx: UdpSocket,
+}
+
+impl Waker {
+    /// Builds a waker and registers its readable end under `token`.
+    ///
+    /// # Errors
+    /// Socket setup or registration failure.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        let rx = UdpSocket::bind("127.0.0.1:0")?;
+        let tx = UdpSocket::bind("127.0.0.1:0")?;
+        tx.connect(rx.local_addr()?)?;
+        rx.connect(tx.local_addr()?)?;
+        rx.set_nonblocking(true)?;
+        tx.set_nonblocking(true)?;
+        registry.register(&rx, token, Interest::READABLE)?;
+        Ok(Waker { tx, rx })
+    }
+
+    /// Wakes the poll. Callable from any thread; coalesces naturally (a
+    /// full socket buffer means a wake is already pending, which is all
+    /// the semantics require).
+    ///
+    /// # Errors
+    /// Unexpected socket failure (`WouldBlock` is success: wake pending).
+    pub fn wake(&self) -> io::Result<()> {
+        match self.tx.send(&[1]) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Consumes pending wake signals. The polling thread calls this when
+    /// the waker's token surfaces; without it, level-triggered readiness
+    /// re-delivers the event on every poll. (Stub extension — upstream
+    /// mio's waker resets internally.)
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while self.rx.recv(&mut buf).is_ok() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    const LISTENER: Token = Token(0);
+    const CLIENT: Token = Token(1);
+    const WAKER: Token = Token(9);
+
+    fn polls_under_test() -> Vec<Poll> {
+        let mut polls = vec![Poll::portable().unwrap()];
+        let default = Poll::new().unwrap();
+        if default.is_os_backed() {
+            polls.push(default);
+        }
+        polls
+    }
+
+    #[test]
+    fn interest_combination() {
+        let both = Interest::READABLE | Interest::WRITABLE;
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert!(!Interest::WRITABLE.is_readable());
+    }
+
+    /// A pending connection makes the listener readable; the accepted
+    /// stream is writable; data makes it readable — on every backend.
+    #[test]
+    fn tcp_readiness_lifecycle() {
+        for mut poll in polls_under_test() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.set_nonblocking(true).unwrap();
+            poll.registry().register(&listener, LISTENER, Interest::READABLE).unwrap();
+
+            let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+            let mut events = Events::with_capacity(8);
+            let accepted = wait_for(&mut poll, &mut events, LISTENER, |e| e.is_readable());
+            assert!(accepted, "listener must turn readable on a pending connection");
+
+            let (stream, _) = listener.accept().unwrap();
+            stream.set_nonblocking(true).unwrap();
+            poll.registry()
+                .register(&stream, CLIENT, Interest::READABLE | Interest::WRITABLE)
+                .unwrap();
+            assert!(
+                wait_for(&mut poll, &mut events, CLIENT, |e| e.is_writable()),
+                "a fresh stream must be writable"
+            );
+
+            client.write_all(b"ping").unwrap();
+            assert!(
+                wait_for(&mut poll, &mut events, CLIENT, |e| e.is_readable()),
+                "incoming bytes must make the stream readable"
+            );
+            let mut buf = [0u8; 8];
+            let mut readable = stream;
+            assert_eq!(readable.read(&mut buf).unwrap(), 4);
+
+            poll.registry().deregister(&readable).unwrap();
+            poll.registry().deregister(&listener).unwrap();
+        }
+    }
+
+    fn wait_for(
+        poll: &mut Poll,
+        events: &mut Events,
+        token: Token,
+        pred: impl Fn(&Event) -> bool,
+    ) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            poll.poll(events, Some(Duration::from_millis(50))).unwrap();
+            if events.iter().any(|e| e.token() == token && pred(e)) {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn double_register_and_missing_deregister_are_typed_errors() {
+        for poll in polls_under_test() {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            poll.registry().register(&listener, LISTENER, Interest::READABLE).unwrap();
+            let again = poll.registry().register(&listener, CLIENT, Interest::READABLE);
+            assert_eq!(again.unwrap_err().kind(), io::ErrorKind::AlreadyExists);
+            poll.registry().deregister(&listener).unwrap();
+            let gone = poll.registry().deregister(&listener);
+            assert_eq!(gone.unwrap_err().kind(), io::ErrorKind::NotFound);
+            let rereg = poll.registry().reregister(&listener, LISTENER, Interest::READABLE);
+            assert_eq!(rereg.unwrap_err().kind(), io::ErrorKind::NotFound);
+        }
+    }
+
+    /// A waker unblocks a poll from another thread, and draining stops the
+    /// event from re-firing (strict only on an OS-backed poll — the
+    /// portable backend is spurious by design).
+    #[test]
+    fn waker_wakes_and_drains() {
+        for mut poll in polls_under_test() {
+            let os_backed = poll.is_os_backed();
+            let waker = Arc::new(Waker::new(poll.registry(), WAKER).unwrap());
+            let mut events = Events::with_capacity(8);
+
+            if os_backed {
+                // No wake pending: a short poll must time out empty.
+                poll.poll(&mut events, Some(Duration::from_millis(50))).unwrap();
+                assert!(events.is_empty(), "idle OS-backed poll must deliver nothing");
+            }
+
+            let remote = Arc::clone(&waker);
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                remote.wake().unwrap();
+            });
+            assert!(
+                wait_for(&mut poll, &mut events, WAKER, |e| e.is_readable()),
+                "wake() must surface the waker token"
+            );
+            handle.join().unwrap();
+
+            waker.drain();
+            if os_backed {
+                poll.poll(&mut events, Some(Duration::from_millis(50))).unwrap();
+                assert!(events.is_empty(), "a drained waker must not re-fire");
+            }
+        }
+    }
+
+    /// The portable backend reports registered fds ready without any OS
+    /// readiness signal — the documented spurious-readiness contract.
+    #[test]
+    fn portable_backend_reports_spurious_readiness() {
+        let mut poll = Poll::portable().unwrap();
+        assert!(!poll.is_os_backed());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        poll.registry().register(&listener, LISTENER, Interest::READABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert!(
+            events.iter().any(|e| e.token() == LISTENER && e.is_readable()),
+            "portable backend must assume readiness"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! The Linux backend: raw `epoll` over hand-declared libc FFI (the build
+//! environment has no `libc` crate; `std` already links the symbols).
+//!
+//! Level-triggered on purpose — see the crate docs for why consumers must
+//! drain to `WouldBlock` regardless. All `unsafe` in the crate lives here.
+
+use crate::{Event, Events, Interest, Token};
+use std::collections::HashSet;
+use std::io;
+use std::os::raw::c_int;
+use std::os::unix::io::RawFd;
+use std::sync::Mutex;
+use std::time::Duration;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLPRI: u32 = 0x002;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+/// `struct epoll_event`. On x86-64 the kernel ABI packs it (no padding
+/// between `events` and `data`); on other architectures it is naturally
+/// aligned.
+#[derive(Clone, Copy)]
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// One epoll instance. The fd set mirror (`registered`) exists only to
+/// give `register`/`deregister` the same typed `AlreadyExists`/`NotFound`
+/// errors as the portable backend, ahead of the kernel's `EEXIST`/`ENOENT`.
+pub(crate) struct Epoll {
+    epfd: c_int,
+    registered: Mutex<HashSet<RawFd>>,
+    /// Reusable `epoll_wait` output buffer (poll is single-threaded; the
+    /// lock is uncontended and keeps the type `Sync` without unsafe).
+    buf: Mutex<Vec<EpollEvent>>,
+}
+
+impl Epoll {
+    pub(crate) fn new() -> io::Result<Epoll> {
+        // SAFETY: plain syscall, no pointers; a negative return is checked.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { epfd, registered: Mutex::new(HashSet::new()), buf: Mutex::new(Vec::new()) })
+    }
+
+    fn interests_to_mask(interests: Interest) -> u32 {
+        let mut mask = EPOLLRDHUP;
+        if interests.is_readable() {
+            mask |= EPOLLIN;
+        }
+        if interests.is_writable() {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, mask: u32, token: Token) -> io::Result<()> {
+        let mut ev = EpollEvent { events: mask, data: token.0 as u64 };
+        let ev_ptr = if op == EPOLL_CTL_DEL { std::ptr::null_mut() } else { &mut ev };
+        // SAFETY: `ev_ptr` is null (DEL, allowed since Linux 2.6.9) or
+        // points at a live, properly laid-out `EpollEvent` for the call's
+        // duration; the kernel does not retain the pointer.
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, ev_ptr) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    pub(crate) fn register(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+        let mut registered = self.registered.lock().expect("epoll fd-set mirror");
+        if !registered.insert(fd) {
+            return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd already registered"));
+        }
+        let outcome = self.ctl(EPOLL_CTL_ADD, fd, Self::interests_to_mask(interests), token);
+        if outcome.is_err() {
+            registered.remove(&fd);
+        }
+        outcome
+    }
+
+    pub(crate) fn reregister(
+        &self,
+        fd: RawFd,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        if !self.registered.lock().expect("epoll fd-set mirror").contains(&fd) {
+            return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+        }
+        self.ctl(EPOLL_CTL_MOD, fd, Self::interests_to_mask(interests), token)
+    }
+
+    pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        if !self.registered.lock().expect("epoll fd-set mirror").remove(&fd) {
+            return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+        }
+        self.ctl(EPOLL_CTL_DEL, fd, 0, Token(0))
+    }
+
+    pub(crate) fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            // Round a nonzero sub-millisecond timeout up so a short wait
+            // never degenerates into a busy spin.
+            Some(d) => {
+                d.as_millis().clamp(u128::from(d.as_nanos() > 0), c_int::MAX as u128) as c_int
+            }
+        };
+        let max = events.capacity();
+        let mut buf = self.buf.lock().expect("epoll event buffer");
+        buf.resize(max, EpollEvent { events: 0, data: 0 });
+        // SAFETY: the buffer holds `max` initialized `EpollEvent`s and
+        // outlives the call; the kernel writes at most `max` entries and
+        // returns how many.
+        let n = unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), max as c_int, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            // An interrupted wait is an empty ready set, not a failure.
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for raw in buf.iter().take(n as usize) {
+            // Copy out of the (possibly packed) struct before use.
+            let mask = raw.events;
+            let data = raw.data;
+            events.push(Event::new(
+                Token(data as usize),
+                mask & (EPOLLIN | EPOLLPRI | EPOLLHUP | EPOLLERR | EPOLLRDHUP) != 0,
+                mask & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                mask & EPOLLERR != 0,
+                mask & (EPOLLHUP | EPOLLRDHUP) != 0,
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: closing an fd this struct exclusively owns.
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}

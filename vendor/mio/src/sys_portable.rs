@@ -1,0 +1,74 @@
+//! The portable fallback backend: no OS readiness queue at all. `wait`
+//! sleeps one bounded tick and then reports every registered fd as ready
+//! for its registered interest — the documented spurious-readiness
+//! contract. Correct for consumers doing nonblocking I/O (they observe
+//! `WouldBlock` and move on); used where epoll is unavailable and in the
+//! backend-independence tests.
+
+use crate::{Event, Events, Interest, Token};
+use std::collections::HashMap;
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The polling tick: the latency floor of the fallback, and its idle cost.
+const TICK: Duration = Duration::from_millis(1);
+
+pub(crate) struct Portable {
+    registered: Mutex<HashMap<RawFd, (Token, Interest)>>,
+}
+
+impl Portable {
+    pub(crate) fn new() -> Portable {
+        Portable { registered: Mutex::new(HashMap::new()) }
+    }
+
+    pub(crate) fn register(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+        match self.registered.lock().expect("portable fd table").entry(fd) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd already registered"))
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert((token, interests));
+                Ok(())
+            }
+        }
+    }
+
+    pub(crate) fn reregister(
+        &self,
+        fd: RawFd,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        match self.registered.lock().expect("portable fd table").get_mut(&fd) {
+            Some(slot) => {
+                *slot = (token, interests);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        match self.registered.lock().expect("portable fd table").remove(&fd) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    pub(crate) fn wait(&self, events: &mut Events, timeout: Option<Duration>) {
+        std::thread::sleep(timeout.map_or(TICK, |t| t.min(TICK)));
+        let registered = self.registered.lock().expect("portable fd table");
+        for (&_fd, &(token, interests)) in registered.iter().take(events.capacity()) {
+            events.push(Event::new(
+                token,
+                interests.is_readable(),
+                interests.is_writable(),
+                false,
+                false,
+            ));
+        }
+    }
+}
