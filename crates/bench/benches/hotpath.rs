@@ -9,12 +9,16 @@
 //! directly. The timer-wheel and gossip-digest groups cover the two
 //! structures the lazy-gossip work added to the hot path: the engine's
 //! `(at, seq)`-ordered timer queue and the IHAVE advertisement codec.
+//! The collect-delta and fetch-chunk groups cover the resolution-plane
+//! compaction wire forms: the `VvDelta` collect answer (cost must track
+//! divergence, not history depth) and the chunked `FetchReply` batch.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use idea_net::TimerWheel;
 use idea_overlay::gossip::{decode_digest, encode_digest, RumorId};
-use idea_types::{NodeId, SimTime, WriterId};
-use idea_vv::{ExtendedVersionVector, VersionVector};
+use idea_transport::WireCodec;
+use idea_types::{NodeId, ObjectId, SimTime, Update, UpdateId, UpdatePayload, WriterId};
+use idea_vv::{ExtendedVersionVector, VersionVector, VvDelta};
 use std::collections::HashSet;
 
 /// History sizes swept: total updates spread over four writers.
@@ -200,6 +204,74 @@ fn bench_digest_codec(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-writer suffix depths swept for the collect-delta codec: how far
+/// the probed member is ahead of the initiator's summary. One extra
+/// update per writer is the steady-state divergence; hundreds is the
+/// catching-up-after-partition tail.
+const DELTA_DEPTHS: [u64; 3] = [1, 16, 256];
+
+/// The compact collect answer on the wire: a [`VvDelta`] carved by
+/// `suffix_since` from a 1,000-update history, encoded with the transport
+/// [`WireCodec`] the resolution plane ships it with. Cost must scale with
+/// the *divergence*, never the history depth — that is the whole point of
+/// the delta form.
+fn bench_collect_delta_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collect-delta-wire");
+    for &depth in &DELTA_DEPTHS {
+        let base = evv_total(1_000);
+        let mut ahead = base.clone();
+        for w in 0..4u32 {
+            let writer = WriterId(w);
+            for i in 0..depth {
+                ahead.record(writer, ahead.count(writer) + 1, SimTime::from_secs(20_000 + i), 1);
+            }
+        }
+        let delta = ahead.suffix_since(base.counters());
+        let bytes = delta.to_bytes();
+        group.bench_with_input(BenchmarkId::new("encode", depth), &depth, |bench, _| {
+            bench.iter(|| black_box(delta.to_bytes()))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", depth), &depth, |bench, _| {
+            bench.iter(|| black_box(VvDelta::from_bytes(&bytes).expect("round trip")))
+        });
+    }
+    group.finish();
+}
+
+/// Fetch chunk sizes swept: the `max_fetch_updates` bounds the
+/// end-to-end tests pin, with 64 as the large-chunk tail.
+const FETCH_CHUNKS: [usize; 3] = [1, 7, 64];
+
+fn update_chunk(len: usize) -> Vec<Update> {
+    (0..len)
+        .map(|i| Update {
+            object: ObjectId(1),
+            id: UpdateId { writer: WriterId((i % 4) as u32), seq: (i / 4 + 1) as u64 },
+            at: SimTime::from_secs(i as u64 + 1),
+            meta_delta: 1,
+            payload: UpdatePayload::none(),
+        })
+        .collect()
+}
+
+/// One chunked `FetchReply`'s update batch through the transport codec —
+/// the framing cost of splitting a backlog into `max_fetch_updates`-sized
+/// chunks instead of one unbounded reply.
+fn bench_fetch_chunk_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fetch-chunk-wire");
+    for &len in &FETCH_CHUNKS {
+        let chunk = update_chunk(len);
+        let bytes = chunk.to_bytes();
+        group.bench_with_input(BenchmarkId::new("encode", len), &len, |bench, _| {
+            bench.iter(|| black_box(chunk.to_bytes()))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", len), &len, |bench, _| {
+            bench.iter(|| black_box(Vec::<Update>::from_bytes(&bytes).expect("round trip")))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     hotpath,
     bench_record,
@@ -209,6 +281,8 @@ criterion_group!(
     bench_wire_forms,
     bench_missing_from,
     bench_timer_wheel,
-    bench_digest_codec
+    bench_digest_codec,
+    bench_collect_delta_codec,
+    bench_fetch_chunk_codec
 );
 criterion_main!(hotpath);

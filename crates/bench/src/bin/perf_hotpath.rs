@@ -26,8 +26,9 @@
 //!
 //! Usage: `cargo run -p idea-bench --release --bin perf_hotpath`
 //! (optionally `--seed N`; `--small` runs the N ∈ {10, 80} scale points
-//! and a reduced drain for CI smoke; `--gossip-scale` and `--fan-in` are
-//! the self-contained CI smokes of their blocks).
+//! and a reduced drain for CI smoke; `--gossip-scale`, `--fan-in` and
+//! `--burst` are the self-contained CI smokes of their blocks — `--burst`
+//! covers the `resolution_compaction` wire A/B).
 
 use idea_bench::LatencyHistogram;
 use idea_core::client::{Command, CommandExecutor};
@@ -78,6 +79,14 @@ const GOSSIP_SCALE_WINDOW_SECS: u64 = 120;
 const GOSSIP_SCALE_EAGER_BASELINE: &[(usize, u64, u64)] =
     &[(160, 6_496, 489_960), (320, 8_331, 626_272), (640, 9_447, 700_252)];
 
+/// Pre-compaction resolution-plane traffic `(resolution_msgs,
+/// resolution_bytes)` at the burst N=40 point, recorded with this exact
+/// driver (seed 7, burst 8) at commit `f367aa9` — before the delta
+/// collect / compact inform / chunked fetch wire landed. The PR-8
+/// acceptance bar is the batched leg's bytes dropping ≥ 4× below this.
+const RESOLUTION_BASELINE_PER_WRITE: (u64, u64) = (15_820, 15_362_048);
+const RESOLUTION_BASELINE_BATCHED: (u64, u64) = (7_358, 8_163_344);
+
 /// One detect-round scenario measurement.
 #[derive(Debug, Clone)]
 struct ScenarioStats {
@@ -113,38 +122,50 @@ impl ScenarioStats {
     }
 }
 
-/// Drives `WRITERS` staggered writers for `WINDOW_SECS` of virtual time on
-/// an `n`-node cluster and reports the network cost of the detection layer.
-/// The hint floor keeps replicas converging through resolutions, as in the
-/// paper's §6.1 runs — which is exactly the regime where shipping full
-/// histories is wasteful: the history keeps growing while the actual
-/// divergence stays bounded. `burst` writes are issued 50 ms apart at each
-/// write slot (1 = the paper's workload); `batch_ms` arms the probe
-/// coalescing window.
-fn detect_round_scenario(
-    n: usize,
-    seed: u64,
-    burst: usize,
-    batch_ms: Option<u64>,
-) -> ScenarioStats {
-    detect_round_scenario_mode(n, seed, burst, batch_ms, None, WINDOW_SECS)
+/// The plane-selection knobs of [`detect_round_scenario_mode`], bundled so
+/// the A/B legs read as named overrides instead of positional booleans.
+struct ScenarioOpts {
+    /// Forced gossip plane (`None` = the config default).
+    mode: Option<GossipMode>,
+    /// Virtual-time window the writers are driven for.
+    window_secs: u64,
+    /// Resolution wire: `false` = the legacy full-EVV collect/inform
+    /// forms, the `resolution_compaction` A/B leg.
+    compact: bool,
+    /// Cross-object digest batching (the `gossip_scale` A/B leg).
+    batch_digests: bool,
 }
 
-/// [`detect_round_scenario`] with the gossip plane forced to `mode`
-/// (`None` = whatever the config default is) and an explicit measurement
-/// window — the fig9 scale sweep shortens it so N=640 stays affordable.
+impl ScenarioOpts {
+    /// The measured default: config-default gossip plane, full window,
+    /// compact resolution wire, no digest batching.
+    fn default_window(window_secs: u64) -> Self {
+        Self { mode: None, window_secs, compact: true, batch_digests: false }
+    }
+}
+
+/// Drives `WRITERS` staggered writers for `opts.window_secs` of virtual
+/// time on an `n`-node cluster and reports the network cost of the
+/// detection layer. The hint floor keeps replicas converging through
+/// resolutions, as in the paper's §6.1 runs — which is exactly the regime
+/// where shipping full histories is wasteful: the history keeps growing
+/// while the actual divergence stays bounded. `burst` writes are issued
+/// 50 ms apart at each write slot (1 = the paper's workload); `batch_ms`
+/// arms the probe coalescing window; the remaining plane knobs ride in
+/// [`ScenarioOpts`].
 fn detect_round_scenario_mode(
     n: usize,
     seed: u64,
     burst: usize,
     batch_ms: Option<u64>,
-    mode: Option<GossipMode>,
-    window_secs: u64,
+    opts: ScenarioOpts,
 ) -> ScenarioStats {
     let obj = ObjectId(1);
     let mut cfg = IdeaConfig::whiteboard(0.95);
     cfg.detect_batch_window = batch_ms.map(SimDuration::from_millis);
-    if let Some(m) = mode {
+    cfg.compact_resolution = opts.compact;
+    cfg.batch_digests = opts.batch_digests;
+    if let Some(m) = opts.mode {
         cfg.gossip.mode = m;
     }
     let nodes: Vec<IdeaNode> =
@@ -157,7 +178,7 @@ fn detect_round_scenario_mode(
 
     let start = Instant::now();
     let writers = WRITERS.min(n);
-    let end = SimTime::ZERO + SimDuration::from_secs(window_secs);
+    let end = SimTime::ZERO + SimDuration::from_secs(opts.window_secs);
     let mut next_write: Vec<SimTime> =
         (0..writers).map(|w| SimTime::ZERO + SimDuration::from_secs(w as u64)).collect();
     loop {
@@ -365,20 +386,123 @@ fn sharded_drain_scenario(
 }
 
 /// One fig9 gossip-scale point: the paper workload (burst 1, no probe
-/// batching) on the shortened window, gossip plane forced to `mode`.
-/// Traffic counts are deterministic per (n, seed, mode); wall time is
-/// reported as measured from a single run.
-fn gossip_scale_point(n: usize, seed: u64, mode: GossipMode) -> ScenarioStats {
-    detect_round_scenario_mode(n, seed, 1, None, Some(mode), GOSSIP_SCALE_WINDOW_SECS)
+/// batching) on the shortened window, gossip plane forced to `mode` and
+/// cross-object digest batching by `batch_digests`. Traffic counts are
+/// deterministic per (n, seed, mode); wall time is reported as measured
+/// from a single run.
+fn gossip_scale_point(n: usize, seed: u64, mode: GossipMode, batch_digests: bool) -> ScenarioStats {
+    detect_round_scenario_mode(
+        n,
+        seed,
+        1,
+        None,
+        ScenarioOpts {
+            mode: Some(mode),
+            batch_digests,
+            ..ScenarioOpts::default_window(GOSSIP_SCALE_WINDOW_SECS)
+        },
+    )
+}
+
+/// The digest-batching A/B of the `gossip_scale` block: one *hot* object
+/// written by every writer each slot (so it probes constantly) plus seven
+/// *cold* objects of the same shard written round-robin — too sparse for
+/// a top layer of their own, so their pending lazy advertisements
+/// otherwise wait on per-object flush timers. With cross-object batching
+/// ([`IdeaConfig::batch_digests`], off by default to preserve shard
+/// equivalence) those adverts hitch on the hot object's detect frames
+/// instead: flush-timer gossip frames disappear, detect frames fatten.
+/// This leg counts both sides of that trade; an all-hot or single-object
+/// workload cannot — every hot object drains its own outbox on its own
+/// detect round at the same instant, batched or not.
+fn digest_batch_scenario(n: usize, seed: u64, batch: bool) -> ScenarioStats {
+    const OBJECTS: u64 = 8;
+    let objects: Vec<ObjectId> = (1..=OBJECTS).map(ObjectId).collect();
+    let mut cfg = IdeaConfig::whiteboard(0.95);
+    cfg.gossip.mode = GossipMode::Lazy;
+    cfg.batch_digests = batch;
+    let nodes: Vec<IdeaNode> =
+        (0..n).map(|i| IdeaNode::new(NodeId(i as u32), cfg.clone(), &objects)).collect();
+    let mut eng = SimEngine::new(
+        Topology::planetlab(n, seed),
+        SimConfig { seed, ..Default::default() },
+        nodes,
+    );
+    let start = Instant::now();
+    let writers = WRITERS.min(n);
+    let end = SimTime::ZERO + SimDuration::from_secs(GOSSIP_SCALE_WINDOW_SECS);
+    let hot = objects[0];
+    let mut cold_slot = 0u64;
+    let mut next_write: Vec<SimTime> =
+        (0..writers).map(|w| SimTime::ZERO + SimDuration::from_secs(w as u64)).collect();
+    loop {
+        let t = next_write.iter().copied().min().expect("at least one writer");
+        if t > end {
+            break;
+        }
+        eng.run_until(t);
+        for (w, next) in next_write.iter_mut().enumerate() {
+            if *next == t {
+                let cold = objects[1 + (cold_slot % (OBJECTS - 1)) as usize];
+                cold_slot += 1;
+                eng.with_node(NodeId(w as u32), |p, ctx| {
+                    // Cold first: its announce adverts are in the outbox
+                    // when the hot write's detect round goes out, which is
+                    // the piggyback opportunity batching exists to take
+                    // (hot first, and the 200 ms flush timer always beats
+                    // the next probe, 2 s away).
+                    p.local_write(cold, 1, UpdatePayload::none(), ctx);
+                    p.local_write(hot, 1, UpdatePayload::none(), ctx);
+                });
+                *next = t + SimDuration::from_secs(WRITE_PERIOD_SECS);
+            }
+        }
+    }
+    eng.run_until(end + SimDuration::from_secs(5));
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let s = eng.stats();
+    ScenarioStats {
+        n,
+        detect_msgs: s.messages(MsgClass::Detect),
+        detect_bytes: s.payload_bytes(MsgClass::Detect),
+        gossip_msgs: s.messages(MsgClass::Gossip),
+        gossip_bytes: s.payload_bytes(MsgClass::Gossip),
+        resolution_msgs: s.messages(MsgClass::ResolutionCtl) + s.messages(MsgClass::Transfer),
+        resolution_bytes: s.payload_bytes(MsgClass::ResolutionCtl)
+            + s.payload_bytes(MsgClass::Transfer),
+        total_msgs: s.total_messages(),
+        wall_ms,
+    }
 }
 
 /// Min-of-three wall clock over identical deterministic runs (the minimum
 /// of repeated identical work is the noise-robust estimator).
 fn measured(n: usize, seed: u64, burst: usize, batch_ms: Option<u64>) -> ScenarioStats {
-    let mut best = detect_round_scenario(n, seed, burst, batch_ms);
+    measured_wire(n, seed, burst, batch_ms, true)
+}
+
+/// [`measured`] with the resolution wire selected explicitly — the
+/// `resolution_compaction` block runs the same burst legs under both
+/// wires for the same-commit A/B.
+fn measured_wire(
+    n: usize,
+    seed: u64,
+    burst: usize,
+    batch_ms: Option<u64>,
+    compact: bool,
+) -> ScenarioStats {
+    let run = || {
+        detect_round_scenario_mode(
+            n,
+            seed,
+            burst,
+            batch_ms,
+            ScenarioOpts { compact, ..ScenarioOpts::default_window(WINDOW_SECS) },
+        )
+    };
+    let mut best = run();
     for _ in 0..2 {
-        let next = detect_round_scenario(n, seed, burst, batch_ms);
-        best.wall_ms = best.wall_ms.min(next.wall_ms);
+        best.wall_ms = best.wall_ms.min(run().wall_ms);
     }
     best
 }
@@ -418,11 +542,15 @@ fn gossip_scale_json(seed: u64, sizes: &[usize]) -> String {
         .iter()
         .map(|&n| {
             (
-                gossip_scale_point(n, seed, GossipMode::Eager),
-                gossip_scale_point(n, seed, GossipMode::Lazy),
+                gossip_scale_point(n, seed, GossipMode::Eager, false),
+                gossip_scale_point(n, seed, GossipMode::Lazy, false),
             )
         })
         .collect();
+    // Digest-batching A/B at a fixed small point (the satellite's byte
+    // accounting): same multi-object workload, batching off vs on.
+    let batch_off = digest_batch_scenario(40, seed, false);
+    let batch_on = digest_batch_scenario(40, seed, true);
     let mut out = String::new();
     let _ = writeln!(out, "  \"gossip_scale\": {{");
     let _ = writeln!(out, "    \"window_secs\": {GOSSIP_SCALE_WINDOW_SECS},");
@@ -451,7 +579,88 @@ fn gossip_scale_json(seed: u64, sizes: &[usize]) -> String {
         let comma = if i + 1 == points.len() { "" } else { "," };
         let _ = writeln!(out, "      {{\"n\": {}, \"factor\": {factor:.3}}}{comma}", eager.n);
     }
-    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "    ],");
+    // Cross-object digest batching (opt-in `batch_digests`): eight objects
+    // on one shard, N=40, lazy plane — how many detect/gossip frames the
+    // piggybacked DigestGroups save and what the fatter frames cost.
+    let _ = writeln!(out, "    \"digest_batching_n40_8objs\": {{");
+    let _ = writeln!(out, "      \"off\": {},", batch_off.json());
+    let _ = writeln!(out, "      \"on\": {},", batch_on.json());
+    let _ = writeln!(
+        out,
+        "      \"on_over_off_detect_bytes\": {:.3},",
+        batch_on.detect_bytes as f64 / batch_off.detect_bytes.max(1) as f64
+    );
+    let _ = writeln!(
+        out,
+        "      \"on_over_off_total_msgs\": {:.3}",
+        batch_on.total_msgs as f64 / batch_off.total_msgs.max(1) as f64
+    );
+    let _ = writeln!(out, "    }}");
+    out.push_str("  }");
+    out
+}
+
+/// The PR-8 `resolution_compaction` block: pinned pre-compaction
+/// resolution traffic at the burst N=40 point, the same legs re-measured
+/// live under the legacy full-EVV wire and the compact delta wire
+/// (same commit, one config flag apart), and the byte-reduction factors.
+/// `bytes_reduction_vs_baseline.batched_1s_window` is the acceptance
+/// number: it must be ≥ 4. Returned without a trailing comma.
+fn resolution_compaction_json(seed: u64) -> String {
+    let legacy_pw = measured_wire(40, seed, 8, None, false);
+    let legacy_ba = measured_wire(40, seed, 8, Some(1_000), false);
+    let compact_pw = measured_wire(40, seed, 8, None, true);
+    let compact_ba = measured_wire(40, seed, 8, Some(1_000), true);
+    let factor = |base: u64, now: u64| base as f64 / now.max(1) as f64;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "  \"resolution_compaction\": {{");
+    let _ = writeln!(out, "    \"baseline_precompaction\": {{");
+    let _ = writeln!(out, "      \"commit\": \"f367aa9 (pre resolution-compaction)\",");
+    let _ = writeln!(
+        out,
+        "      \"per_write_probing\": {{\"resolution_msgs\": {}, \"resolution_bytes\": {}}},",
+        RESOLUTION_BASELINE_PER_WRITE.0, RESOLUTION_BASELINE_PER_WRITE.1
+    );
+    let _ = writeln!(
+        out,
+        "      \"batched_1s_window\": {{\"resolution_msgs\": {}, \"resolution_bytes\": {}}}",
+        RESOLUTION_BASELINE_BATCHED.0, RESOLUTION_BASELINE_BATCHED.1
+    );
+    let _ = writeln!(out, "    }},");
+    for (label, pw, ba) in
+        [("legacy_full_wire", &legacy_pw, &legacy_ba), ("compact_wire", &compact_pw, &compact_ba)]
+    {
+        let _ = writeln!(out, "    \"{label}\": {{");
+        let _ = writeln!(out, "      \"per_write_probing\": {},", pw.json());
+        let _ = writeln!(out, "      \"batched_1s_window\": {}", ba.json());
+        let _ = writeln!(out, "    }},");
+    }
+    let _ = writeln!(out, "    \"bytes_reduction_vs_baseline\": {{");
+    let _ = writeln!(
+        out,
+        "      \"per_write_probing\": {:.2},",
+        factor(RESOLUTION_BASELINE_PER_WRITE.1, compact_pw.resolution_bytes)
+    );
+    let _ = writeln!(
+        out,
+        "      \"batched_1s_window\": {:.2}",
+        factor(RESOLUTION_BASELINE_BATCHED.1, compact_ba.resolution_bytes)
+    );
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"bytes_reduction_vs_legacy_same_commit\": {{");
+    let _ = writeln!(
+        out,
+        "      \"per_write_probing\": {:.2},",
+        factor(legacy_pw.resolution_bytes, compact_pw.resolution_bytes)
+    );
+    let _ = writeln!(
+        out,
+        "      \"batched_1s_window\": {:.2}",
+        factor(legacy_ba.resolution_bytes, compact_ba.resolution_bytes)
+    );
+    let _ = writeln!(out, "    }}");
     out.push_str("  }");
     out
 }
@@ -784,6 +993,20 @@ fn main() {
     let small = args.iter().any(|a| a == "--small");
     let gossip_scale_only = args.iter().any(|a| a == "--gossip-scale");
     let fan_in_only = args.iter().any(|a| a == "--fan-in");
+    let burst_only = args.iter().any(|a| a == "--burst");
+
+    // CI `perf-smoke`: just the burst N=40 resolution-compaction A/B,
+    // written as a self-contained BENCH_hotpath.json (the full harness
+    // overwrites it on the next unrestricted run).
+    if burst_only {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"seed\": {seed},");
+        json.push_str(&resolution_compaction_json(seed));
+        json.push_str("\n}\n");
+        std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+        print!("{json}");
+        return;
+    }
 
     // CI `gossip-scale` smoke: just the N=160 eager/lazy sweep, written as
     // a self-contained BENCH_hotpath.json (the full harness overwrites it
@@ -909,6 +1132,13 @@ fn main() {
         let _ = writeln!(json, "    \"batched_1s_window\": {}", ba.json());
         let _ = writeln!(json, "  }},");
     }
+    // Resolution wire-compaction A/B at the same burst point (skipped in
+    // the smoke: the burst legs above already cover the compact wire
+    // there, and `--burst` is the dedicated CI smoke of this block).
+    if !small {
+        json.push_str(&resolution_compaction_json(seed));
+        json.push_str(",\n");
+    }
     // Threaded drain: same backlogged workload on 1 vs 4 shard workers per
     // node. The speedup factor is only meaningful with spare cores — the
     // recorded `cores` qualifies it.
@@ -946,7 +1176,18 @@ fn main() {
         let _ = writeln!(json, "    \"rounds\": {drain_rounds},");
         let _ = writeln!(json, "    \"in_process_session\": {},", drain_session.json());
         let _ = writeln!(json, "    \"loopback_tcp_session\": {},", drain_remote.json());
-        let _ = writeln!(json, "    \"remote_over_local_factor\": {factor:.2}");
+        let _ = writeln!(json, "    \"remote_over_local_factor\": {factor:.2},");
+        // Recorded factors for this leg have ranged 0.83–1.18 across runs
+        // of the identical workload (0.95 was quoted in ROADMAP/CHANGES,
+        // 1.18 in a later BENCH snapshot): the settle detector samples
+        // wall time, so a single lucky or unlucky drain swings the ratio
+        // ~±20% around 1. The honest reading is "within drain-loop noise
+        // of free", not any one decimal — the annotation keeps the next
+        // reader from chasing whichever value the last run happened to pin.
+        let _ = writeln!(
+            json,
+            "    \"factor_note\": \"single-run wall-clock ratio; observed 0.83-1.18 across identical runs, so read as ~1.0 (framing within drain-loop noise), not as a trend\""
+        );
         let _ = writeln!(json, "  }},");
     }
     // Headline comparison at the acceptance point (N=40, paper workload).

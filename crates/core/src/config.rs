@@ -115,6 +115,31 @@ pub struct IdeaConfig {
     /// own timer over its own dirty objects), so probe *timing* can differ
     /// across shard counts while convergence is unaffected.
     pub store_shards: usize,
+    /// Use the compact resolution wire forms: collect answers ship a
+    /// `VvDelta` against the initiator's probe summary instead of the full
+    /// extended vector, and `Inform` encodes the reference as per-writer
+    /// overrides against the member's own collect answer where that is
+    /// smaller. Message count, order and the chosen reference are
+    /// bit-identical to the full forms (pinned by the
+    /// resolution-compaction equivalence tests) — only bytes change, so
+    /// the default is on. `false` restores the PR-1 full-EVV wire.
+    pub compact_resolution: bool,
+    /// Upper bound on the updates carried by a single `FetchReply` frame.
+    /// A far-behind replica streams its backlog in chunks of this size
+    /// (each reply's `done` flag drives a continuation `FetchRequest`
+    /// cursor) instead of one unbounded burst. `None` (the default)
+    /// preserves the historical single-reply behaviour; `Some(0)` is
+    /// rejected by [`IdeaConfig::validate`].
+    pub max_fetch_updates: Option<usize>,
+    /// Batch the pending lazy-gossip advertisements of **every** object in
+    /// a shard onto outgoing detect frames (one
+    /// [`crate::messages::DigestGroup`] per object), not just the probed
+    /// object's. Saves the per-object flush-timer frames, but delivers
+    /// adverts earlier the more objects share a shard — message timing
+    /// then depends on the shard count, so the default is off to preserve
+    /// the shard-equivalence invariant. Byte accounting for the batched
+    /// form is exercised by the `gossip_scale` benchmark.
+    pub batch_digests: bool,
 }
 
 impl Default for IdeaConfig {
@@ -144,6 +169,9 @@ impl Default for IdeaConfig {
             rollback_resolve: true,
             parallel_phase2: false,
             store_shards: 1,
+            compact_resolution: true,
+            max_fetch_updates: None,
+            batch_digests: false,
         }
     }
 }
@@ -159,8 +187,9 @@ impl IdeaConfig {
     /// # Errors
     /// Fails when `store_shards` is outside `1..=256`, a configured
     /// `detect_batch_window` or `background_period` is zero, the hint floor
-    /// is outside `[0, 1]`, `hint_delta` is negative, or the back-off window
-    /// is inverted (`backoff_min > backoff_max`).
+    /// is outside `[0, 1]`, `hint_delta` is negative, the back-off window
+    /// is inverted (`backoff_min > backoff_max`), or a configured
+    /// `max_fetch_updates` is zero.
     pub fn validate(&self) -> Result<()> {
         if self.store_shards == 0 || self.store_shards > 256 {
             return Err(IdeaError::InvalidConfig {
@@ -178,6 +207,12 @@ impl IdeaConfig {
             return Err(IdeaError::InvalidConfig {
                 field: "background_period",
                 reason: "must be positive when set (None disables background resolution)",
+            });
+        }
+        if self.max_fetch_updates == Some(0) {
+            return Err(IdeaError::InvalidConfig {
+                field: "max_fetch_updates",
+                reason: "must be positive when set (None disables fetch chunking)",
             });
         }
         if !(0.0..=1.0).contains(&self.hint) || !self.hint.is_finite() {
@@ -252,6 +287,9 @@ mod tests {
         assert!(c.detect_batch_window.is_none(), "paper probes per trigger by default");
         assert!(c.summary_tail > 0, "probes must carry some timestamp tail");
         assert_eq!(c.store_shards, 1, "default is the paper's unsharded store");
+        assert!(c.compact_resolution, "compact wire forms are byte-equivalent in behaviour");
+        assert!(c.max_fetch_updates.is_none(), "fetch chunking is opt-in");
+        assert!(!c.batch_digests, "cross-object batching is opt-in (shard-equivalence)");
     }
 
     fn rejected_field(cfg: &IdeaConfig) -> &'static str {
@@ -291,6 +329,13 @@ mod tests {
     fn validate_rejects_zero_background_period() {
         let cfg = IdeaConfig { background_period: Some(SimDuration::ZERO), ..Default::default() };
         assert_eq!(rejected_field(&cfg), "background_period");
+    }
+
+    #[test]
+    fn validate_rejects_zero_fetch_chunk() {
+        let cfg = IdeaConfig { max_fetch_updates: Some(0), ..Default::default() };
+        assert_eq!(rejected_field(&cfg), "max_fetch_updates");
+        IdeaConfig { max_fetch_updates: Some(1), ..Default::default() }.validate().unwrap();
     }
 
     #[test]

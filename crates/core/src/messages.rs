@@ -8,16 +8,50 @@
 //! (counters, metadata and a bounded timestamp tail) and answers carry a
 //! [`VvDelta`] (the exact per-writer suffixes beyond the probe's
 //! counters), so detection cost scales with divergence, not with total
-//! update history. Only the resolution collect phase still ships a full
-//! [`ExtendedVersionVector`] — the initiator needs the authoritative state
-//! to choose a reference everyone then adopts.
+//! update history. The resolution plane follows the same
+//! divergence-proportional rule: [`IdeaMsg::CollectRequest`] piggybacks
+//! the initiator's summary so members answer with an
+//! [`IdeaMsg::CollectDelta`] (suffixes beyond the probe, reconstructed
+//! losslessly on the initiator), [`IdeaMsg::Inform`] encodes the chosen
+//! reference as per-writer overrides against the member's own collect
+//! answer ([`ReferenceWire`]), and [`IdeaMsg::FetchReply`] streams missing
+//! updates in bounded chunks driven by a `done` continuation flag. The
+//! full-[`ExtendedVersionVector`] [`IdeaMsg::CollectReply`] survives only
+//! as the `compact_resolution = false` legacy form.
 
-use crate::resolution::ReferenceState;
+use crate::resolution::ReferenceWire;
 use idea_net::{MsgClass, Wire};
 use idea_overlay::gossip::{RumorId, DIGEST_ENTRY_BYTES};
 use idea_types::{ObjectId, Update};
 use idea_vv::{ExtendedVersionVector, VersionVector, VvDelta, VvSummary};
 use serde::{Deserialize, Serialize};
+
+/// One object's worth of piggybacked lazy-gossip advertisements.
+///
+/// Detect traffic carries digests for **any** object sharing the frame's
+/// shard, not just the object being probed — one probe flushes every
+/// pending IHAVE bound for that peer (cross-object digest batching). Each
+/// group costs an 8-byte object header plus [`DIGEST_ENTRY_BYTES`] per
+/// advertised rumor; an empty group list costs zero bytes, so eager-mode
+/// accounting is unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DigestGroup {
+    /// Object the advertised rumors sweep.
+    pub object: ObjectId,
+    /// Advertised rumor ids with their remaining hop budgets.
+    pub ids: Vec<(RumorId, u8)>,
+}
+
+impl DigestGroup {
+    /// Approximate serialized size: object header + compact entries.
+    pub fn wire_bytes(&self) -> usize {
+        8 + DIGEST_ENTRY_BYTES * self.ids.len()
+    }
+}
+
+fn digest_bytes(groups: &[DigestGroup]) -> usize {
+    groups.iter().map(DigestGroup::wire_bytes).sum()
+}
 
 /// All messages exchanged by [`crate::protocol::IdeaNode`]s.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -31,10 +65,10 @@ pub enum IdeaMsg {
         object: ObjectId,
         /// Compact summary of the initiator's extended version vector.
         summary: VvSummary,
-        /// Piggybacked lazy-gossip advertisements for the same object
-        /// (rumor id + remaining hop budget). Costs zero wire bytes when
-        /// empty, so eager-mode accounting is unchanged.
-        digests: Vec<(RumorId, u8)>,
+        /// Piggybacked lazy-gossip advertisements, grouped per object —
+        /// the probed object's group plus any other same-shard object with
+        /// pending IHAVEs for this peer.
+        digests: Vec<DigestGroup>,
     },
     /// Peer → initiator: the peer's vector, as a delta against the probe.
     DetectReply {
@@ -46,7 +80,7 @@ pub enum IdeaMsg {
         delta: VvDelta,
         /// Piggybacked lazy-gossip advertisements (see
         /// [`IdeaMsg::DetectRequest::digests`]).
-        digests: Vec<(RumorId, u8)>,
+        digests: Vec<DigestGroup>,
     },
 
     // ---- active resolution, phase 1 (§4.5.2) ----
@@ -75,8 +109,14 @@ pub enum IdeaMsg {
         rid: u64,
         /// Object being resolved.
         object: ObjectId,
+        /// Compact summary of the initiator's own vector. `Some` asks the
+        /// member to answer with an [`IdeaMsg::CollectDelta`] against it;
+        /// `None` is the legacy form answered by a full
+        /// [`IdeaMsg::CollectReply`].
+        probe: Option<VvSummary>,
     },
-    /// Member → initiator: the member's vector.
+    /// Member → initiator: the member's vector (legacy full form, used
+    /// when the collect request carried no probe).
     CollectReply {
         /// Echoed resolution id.
         rid: u64,
@@ -85,14 +125,29 @@ pub enum IdeaMsg {
         /// The member's extended version vector.
         evv: ExtendedVersionVector,
     },
+    /// Member → initiator: the member's vector as suffixes beyond the
+    /// request's probe. The initiator reconstructs the full vector
+    /// losslessly against the snapshot it probed with
+    /// ([`ExtendedVersionVector::reconstruct`]), so reference selection is
+    /// bit-identical to the legacy reply at a fraction of the bytes.
+    CollectDelta {
+        /// Echoed resolution id.
+        rid: u64,
+        /// Object being resolved.
+        object: ObjectId,
+        /// The member's per-writer suffixes beyond the probe's counters.
+        delta: VvDelta,
+    },
     /// Initiator → members: the chosen reference consistent state.
     Inform {
         /// Resolution id.
         rid: u64,
         /// Object being resolved.
         object: ObjectId,
-        /// Winner + sanctioned counts.
-        reference: ReferenceState,
+        /// Winner + sanctioned counts, encoded full or as overrides
+        /// against this member's own collect answer — whichever is
+        /// smaller on the wire.
+        reference: ReferenceWire,
     },
 
     // ---- update transfer ----
@@ -103,12 +158,18 @@ pub enum IdeaMsg {
         /// The requester's current counters.
         have: VersionVector,
     },
-    /// Reference holder → member: the missing updates (batched).
+    /// Reference holder → member: the missing updates (batched, bounded
+    /// by `max_fetch_updates` per frame when chunking is configured).
     FetchReply {
         /// Object fetched.
         object: ObjectId,
-        /// Updates the requester was missing.
+        /// Updates the requester was missing — in log order, so any
+        /// prefix is per-writer seq-consecutive and ingests cleanly.
         updates: Vec<Update>,
+        /// `false` when the holder truncated the backlog to the chunk
+        /// bound: the requester answers with a continuation
+        /// [`IdeaMsg::FetchRequest`] carrying its advanced counters.
+        done: bool,
     },
 
     // ---- bottom-layer sweep (§4.4.2) ----
@@ -172,6 +233,7 @@ impl IdeaMsg {
             | IdeaMsg::Attention { object, .. }
             | IdeaMsg::CollectRequest { object, .. }
             | IdeaMsg::CollectReply { object, .. }
+            | IdeaMsg::CollectDelta { object, .. }
             | IdeaMsg::Inform { object, .. }
             | IdeaMsg::FetchRequest { object, .. }
             | IdeaMsg::FetchReply { object, .. }
@@ -192,6 +254,7 @@ impl Wire for IdeaMsg {
             | IdeaMsg::Attention { .. }
             | IdeaMsg::CollectRequest { .. }
             | IdeaMsg::CollectReply { .. }
+            | IdeaMsg::CollectDelta { .. }
             | IdeaMsg::Inform { .. }
             | IdeaMsg::FetchRequest { .. } => MsgClass::ResolutionCtl,
             IdeaMsg::FetchReply { .. } => MsgClass::Transfer,
@@ -206,20 +269,22 @@ impl Wire for IdeaMsg {
     fn wire_size(&self) -> usize {
         match self {
             IdeaMsg::DetectRequest { summary, digests, .. } => {
-                24 + summary.wire_bytes() + DIGEST_ENTRY_BYTES * digests.len()
+                24 + summary.wire_bytes() + digest_bytes(digests)
             }
             IdeaMsg::DetectReply { delta, digests, .. } => {
-                24 + delta.wire_bytes() + DIGEST_ENTRY_BYTES * digests.len()
+                24 + delta.wire_bytes() + digest_bytes(digests)
             }
             IdeaMsg::SweepDivergence { delta, .. } => 24 + delta.wire_bytes(),
             IdeaMsg::CollectReply { evv, .. } => 24 + evv_size(evv),
-            IdeaMsg::CallForAttention { .. }
-            | IdeaMsg::Attention { .. }
-            | IdeaMsg::CollectRequest { .. } => 24,
-            IdeaMsg::Inform { reference, .. } => 32 + 12 * reference.counts.writers(),
+            IdeaMsg::CollectDelta { delta, .. } => 24 + delta.wire_bytes(),
+            IdeaMsg::CallForAttention { .. } | IdeaMsg::Attention { .. } => 24,
+            IdeaMsg::CollectRequest { probe, .. } => {
+                24 + probe.as_ref().map_or(0, VvSummary::wire_bytes)
+            }
+            IdeaMsg::Inform { reference, .. } => 24 + reference.wire_bytes(),
             IdeaMsg::FetchRequest { have, .. } => 24 + 12 * have.writers(),
             IdeaMsg::FetchReply { updates, .. } => {
-                24 + updates.iter().map(|u| u.wire_size()).sum::<usize>()
+                25 + updates.iter().map(|u| u.wire_size()).sum::<usize>()
             }
             IdeaMsg::SweepRumor { counters, .. } => 32 + 12 * counters.writers(),
             IdeaMsg::GossipDigest { ids, .. } => 16 + DIGEST_ENTRY_BYTES * ids.len(),
@@ -231,7 +296,7 @@ impl Wire for IdeaMsg {
 
 /// Approximate serialized size of a full extended version vector: per writer
 /// an id+count header plus one timestamp per recorded update. Only the
-/// resolution collect phase still pays this.
+/// legacy (`compact_resolution = false`) collect reply still pays this.
 fn evv_size(evv: &ExtendedVersionVector) -> usize {
     let writers = evv.counters().writers();
     16 + 12 * writers + 8 * evv.total() as usize
@@ -267,7 +332,16 @@ mod tests {
             MsgClass::ResolutionCtl
         );
         assert_eq!(
-            IdeaMsg::FetchReply { object: ObjectId(0), updates: vec![] }.class(),
+            IdeaMsg::CollectDelta {
+                rid: 1,
+                object: ObjectId(0),
+                delta: evv.suffix_since(&VersionVector::new()),
+            }
+            .class(),
+            MsgClass::ResolutionCtl
+        );
+        assert_eq!(
+            IdeaMsg::FetchReply { object: ObjectId(0), updates: vec![], done: true }.class(),
             MsgClass::Transfer
         );
         assert_eq!(
@@ -297,7 +371,7 @@ mod tests {
         };
         assert!(big.wire_size() > small.wire_size());
 
-        let empty_fetch = IdeaMsg::FetchReply { object: ObjectId(0), updates: vec![] };
+        let empty_fetch = IdeaMsg::FetchReply { object: ObjectId(0), updates: vec![], done: true };
         let full_fetch = IdeaMsg::FetchReply {
             object: ObjectId(0),
             updates: vec![idea_types::Update::opaque(
@@ -307,6 +381,7 @@ mod tests {
                 SimTime::ZERO,
                 1,
             )],
+            done: false,
         };
         assert!(full_fetch.wire_size() > empty_fetch.wire_size());
     }
@@ -355,8 +430,8 @@ mod tests {
     }
 
     /// Piggybacked digests are free when absent (eager-mode accounting is
-    /// bit-identical to the pre-lazy wire) and cost exactly the compact
-    /// encoding per entry otherwise.
+    /// bit-identical to the pre-lazy wire) and cost exactly their group
+    /// header plus the compact encoding per entry otherwise.
     #[test]
     fn piggybacked_digests_cost_exactly_their_encoding() {
         let base = IdeaMsg::DetectRequest {
@@ -370,9 +445,22 @@ mod tests {
             round: 1,
             object: ObjectId(0),
             summary: sample_evv().summary(8),
-            digests: vec![(id, 4), (id, 3)],
+            digests: vec![DigestGroup { object: ObjectId(0), ids: vec![(id, 4), (id, 3)] }],
         };
-        assert_eq!(loaded.wire_size(), base.wire_size() + 2 * DIGEST_ENTRY_BYTES);
+        assert_eq!(loaded.wire_size(), base.wire_size() + 8 + 2 * DIGEST_ENTRY_BYTES);
+        // A second object's group rides the same frame for one more
+        // header — cheaper than the 24-byte frame a standalone
+        // GossipDigest would cost.
+        let batched = IdeaMsg::DetectRequest {
+            round: 1,
+            object: ObjectId(0),
+            summary: sample_evv().summary(8),
+            digests: vec![
+                DigestGroup { object: ObjectId(0), ids: vec![(id, 4), (id, 3)] },
+                DigestGroup { object: ObjectId(9), ids: vec![(id, 2)] },
+            ],
+        };
+        assert_eq!(batched.wire_size(), loaded.wire_size() + 8 + DIGEST_ENTRY_BYTES);
 
         let digest = IdeaMsg::GossipDigest { object: ObjectId(0), ids: vec![(id, 4)] };
         assert_eq!(digest.class(), MsgClass::Gossip);
@@ -385,5 +473,59 @@ mod tests {
         assert_eq!(prune.class(), MsgClass::Gossip);
         assert_eq!(prune.object(), ObjectId(0));
         assert_eq!(prune.wire_size(), 16);
+    }
+
+    /// The resolution-plane analogue of
+    /// [`detect_messages_are_history_independent`]: a collect answer to a
+    /// nearly-caught-up initiator costs bytes proportional to the gap, not
+    /// to the 500-update history the legacy reply ships.
+    #[test]
+    fn collect_delta_scales_with_divergence_not_history() {
+        let mut long = ExtendedVersionVector::new();
+        for s in 1..=500 {
+            long.record(WriterId(0), s, SimTime::from_secs(s), 1);
+        }
+        let legacy = IdeaMsg::CollectReply { rid: 1, object: ObjectId(0), evv: long.clone() };
+        assert!(legacy.wire_size() > 4000, "got {}", legacy.wire_size());
+
+        // The initiator is one update behind; its probe advertises w0:499.
+        let mut probe_state = ExtendedVersionVector::new();
+        for s in 1..=499 {
+            probe_state.record(WriterId(0), s, SimTime::from_secs(s), 1);
+        }
+        let probe = probe_state.summary(8);
+        let request =
+            IdeaMsg::CollectRequest { rid: 1, object: ObjectId(0), probe: Some(probe.clone()) };
+        let legacy_request = IdeaMsg::CollectRequest { rid: 1, object: ObjectId(0), probe: None };
+        assert_eq!(request.wire_size(), legacy_request.wire_size() + probe.wire_bytes());
+
+        let compact = IdeaMsg::CollectDelta {
+            rid: 1,
+            object: ObjectId(0),
+            delta: long.suffix_since(&probe.counters),
+        };
+        assert!(compact.wire_size() < 96, "got {}", compact.wire_size());
+        // Request + answer together still undercut one legacy reply.
+        assert!(request.wire_size() + compact.wire_size() < legacy.wire_size());
+
+        // An Inform whose member already acked the sanctioned counts is a
+        // near-empty override list; the full fallback form costs exactly
+        // what the pre-compaction Inform did.
+        let reference = crate::resolution::ReferenceState {
+            winner: Some(idea_types::NodeId(2)),
+            counts: long.counters().clone(),
+        };
+        let delta_inform = IdeaMsg::Inform {
+            rid: 1,
+            object: ObjectId(0),
+            reference: ReferenceWire::encode(&reference, long.counters()),
+        };
+        let full_inform = IdeaMsg::Inform {
+            rid: 1,
+            object: ObjectId(0),
+            reference: ReferenceWire::Full(reference.clone()),
+        };
+        assert_eq!(delta_inform.wire_size(), 32);
+        assert_eq!(full_inform.wire_size(), 32 + 12 * reference.counts.writers());
     }
 }

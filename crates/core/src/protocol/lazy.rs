@@ -11,9 +11,15 @@
 //! copies a grace window) and retries against backup advertisers.
 //!
 //! All state is per-object (it lives inside [`super::ObjShared`]), so the
-//! sharded runtime needs no cross-shard coordination and digests
-//! piggybacked on a `DetectRequest { object }` always describe that same
-//! object.
+//! sharded runtime needs no cross-shard coordination. Piggybacked digests
+//! are grouped per object ([`crate::messages::DigestGroup`]); with
+//! [`crate::IdeaConfig::batch_digests`] set, one detect frame batches the
+//! groups of **every** object in its shard that has advertisements queued
+//! for the receiving peer — objects never cross shards, so the routing
+//! invariant is preserved while one frame drains what would otherwise
+//! take one flush timer per object. The batching is opt-in because it
+//! delivers adverts earlier the more objects share a shard, which makes
+//! message timing shard-count-dependent.
 
 use super::{pack, NodeCore, K_LAZY_FLUSH};
 use crate::messages::IdeaMsg;

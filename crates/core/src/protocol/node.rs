@@ -90,6 +90,29 @@ impl ProtocolShard {
         }
     }
 
+    /// Applies the per-object digest groups piggybacked on a detect frame.
+    /// One frame may batch advertisements for every object of this shard;
+    /// groups for a foreign shard (a routing bug) are skipped defensively.
+    fn apply_digest_groups(
+        &mut self,
+        from: NodeId,
+        digests: Vec<crate::messages::DigestGroup>,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        let shards = self.core.cfg.store_shards.max(1);
+        for g in digests {
+            debug_assert_eq!(
+                ShardId::of(g.object, shards),
+                self.core.shard,
+                "digest group routed to the wrong shard"
+            );
+            if ShardId::of(g.object, shards) != self.core.shard {
+                continue;
+            }
+            self.detection.on_digests(&mut self.core, from, g.object, g.ids, ctx);
+        }
+    }
+
     /// Arms this shard's start-of-run timers (background resolution).
     pub fn on_start(&mut self, ctx: &mut dyn Context<IdeaMsg>) {
         if let Some(period) = self.core.cfg.background_period {
@@ -112,12 +135,14 @@ impl ProtocolShard {
             IdeaMsg::DetectRequest { round, object, summary, digests } => {
                 // Piggybacked lazy-gossip advertisements first, so their
                 // pull grace timers are armed before the reply goes out.
-                self.detection.on_digests(core, from, object, digests, ctx);
+                self.apply_digest_groups(from, digests, ctx);
+                let core = &mut self.core;
                 let t = self.detection.on_request(core, from, round, object, summary, ctx);
                 self.route(t, object, ctx);
             }
             IdeaMsg::DetectReply { round, object, delta, digests } => {
-                self.detection.on_digests(core, from, object, digests, ctx);
+                self.apply_digest_groups(from, digests, ctx);
+                let core = &mut self.core;
                 let t = self.detection.on_reply(core, from, round, object, delta, ctx);
                 self.route(t, object, ctx);
             }
@@ -127,11 +152,14 @@ impl ProtocolShard {
             IdeaMsg::Attention { rid, object, granted } => {
                 self.resolution.on_attention(core, from, rid, object, granted, ctx)
             }
-            IdeaMsg::CollectRequest { rid, object } => {
-                self.resolution.on_collect_request(core, from, rid, object, ctx)
+            IdeaMsg::CollectRequest { rid, object, probe } => {
+                self.resolution.on_collect_request(core, from, rid, object, probe, ctx)
             }
             IdeaMsg::CollectReply { rid, object, evv } => {
                 self.resolution.on_collect_reply(core, from, rid, object, evv, ctx)
+            }
+            IdeaMsg::CollectDelta { rid, object, delta } => {
+                self.resolution.on_collect_delta(core, from, rid, object, delta, ctx)
             }
             IdeaMsg::Inform { rid, object, reference } => {
                 self.resolution.on_inform(core, from, rid, object, reference, ctx)
@@ -139,8 +167,8 @@ impl ProtocolShard {
             IdeaMsg::FetchRequest { object, have } => {
                 self.write_path.on_fetch_request(core, from, object, have, ctx)
             }
-            IdeaMsg::FetchReply { object, updates } => {
-                self.write_path.on_fetch_reply(core, object, updates)
+            IdeaMsg::FetchReply { object, updates, done } => {
+                self.write_path.on_fetch_reply(core, from, object, updates, done, ctx)
             }
             IdeaMsg::SweepRumor { id, ttl, object, counters } => {
                 self.detection.on_sweep_rumor(core, from, id, ttl, object, counters, ctx)

@@ -12,10 +12,21 @@ use super::reference::{apply_reference, backoff_delay, send_collects};
 use super::{pack, NodeCore, K_BACKGROUND, K_BACKOFF};
 use crate::adapt::AdaptAction;
 use crate::messages::IdeaMsg;
-use crate::resolution::{choose_reference, ReferenceState, ResolutionKind, ResolutionRecord};
+use crate::resolution::{choose_reference, ReferenceWire, ResolutionKind, ResolutionRecord};
 use idea_net::Context;
 use idea_types::{NodeId, ObjectId, SimTime};
-use std::collections::BTreeMap;
+use idea_vv::VersionVector;
+use std::collections::{BTreeMap, VecDeque};
+
+/// The initiator's own vector snapshot taken at phase-2 entry: the
+/// `summary` rides every collect request of the round and the full
+/// `baseline` losslessly reconstructs each member's [`idea_vv::VvDelta`]
+/// answer. `None` in legacy (`compact_resolution = false`) rounds.
+#[derive(Debug, Clone)]
+pub(super) struct CollectProbe {
+    pub summary: idea_vv::VvSummary,
+    pub baseline: idea_vv::ExtendedVersionVector,
+}
 
 /// Resolution state machine of one object at one node.
 #[derive(Debug, Default)]
@@ -35,6 +46,7 @@ enum ResState {
         phase2_started: SimTime,
         phase1_dispatch: idea_types::SimDuration,
         phase1_acked: idea_types::SimDuration,
+        probe: Option<Box<CollectProbe>>,
     },
     /// Lost the call-for-attention race; retrying after a random delay.
     /// The abandoned round id is kept for debugging/log output.
@@ -44,12 +56,37 @@ enum ResState {
     },
 }
 
+/// Bound on the per-object collect-answer snapshots a member retains (the
+/// reference a delta-encoded `Inform` resolves against). A member is in at
+/// most one round per initiator at a time, so in practice one or two live
+/// entries exist; the bound only guards against initiators that die
+/// mid-round and never inform.
+const ACKED_SNAPSHOT_CAP: usize = 32;
+
 /// Per-object resolution-side state.
 #[derive(Debug, Default)]
 struct ResObj {
     state: ResState,
     /// Attention granted to `(initiator, rid, at)` — the phase-1 lock.
     attention: Option<(NodeId, u64, SimTime)>,
+    /// Counter snapshots of this node's own collect answers, keyed by
+    /// `(initiator, rid)`; FIFO-bounded by [`ACKED_SNAPSHOT_CAP`].
+    acked: VecDeque<((NodeId, u64), VersionVector)>,
+}
+
+impl ResObj {
+    fn remember_ack(&mut self, from: NodeId, rid: u64, counts: VersionVector) {
+        self.acked.retain(|(key, _)| *key != (from, rid));
+        if self.acked.len() >= ACKED_SNAPSHOT_CAP {
+            self.acked.pop_front();
+        }
+        self.acked.push_back(((from, rid), counts));
+    }
+
+    fn take_ack(&mut self, from: NodeId, rid: u64) -> Option<VersionVector> {
+        let idx = self.acked.iter().position(|(key, _)| *key == (from, rid))?;
+        self.acked.remove(idx).map(|(_, counts)| counts)
+    }
 }
 
 /// The resolution subsystem.
@@ -60,6 +97,19 @@ pub(crate) struct ResolutionDriver {
     log: Vec<ResolutionRecord>,
     /// Resolution rounds this node initiated to completion.
     completed: u64,
+}
+
+/// Snapshots the initiator's replica for a compact collect round; `None`
+/// when the legacy full-EVV wire is configured. The wire summary carries
+/// a zero-length timestamp tail: members only diff against its counters
+/// (`suffix_since`), and the initiator reconstructs replies against the
+/// full `baseline` it kept locally — shipping a tail would be pure
+/// overhead on every collect request.
+fn make_probe(core: &mut NodeCore, object: ObjectId) -> Option<Box<CollectProbe>> {
+    core.cfg.compact_resolution.then(|| {
+        let baseline = core.store.open(object).version().clone();
+        Box::new(CollectProbe { summary: baseline.summary(0), baseline })
+    })
 }
 
 impl ResolutionDriver {
@@ -200,6 +250,8 @@ impl ResolutionDriver {
             let now = ctx.now();
             let me = core.me;
             let members = core.obj_mut(object).layer.top_peers(me);
+            let probe = make_probe(core, object);
+            let summary = probe.as_ref().map(|p| p.summary.clone());
             let st = self.state(object);
             st.state = ResState::Phase2 {
                 rid,
@@ -211,8 +263,9 @@ impl ResolutionDriver {
                 phase2_started: now,
                 phase1_dispatch: dispatch,
                 phase1_acked: now.saturating_since(started),
+                probe,
             };
-            send_collects(core, object, rid, &members, 0, ctx);
+            send_collects(core, object, rid, &members, 0, summary.as_ref(), ctx);
         } else {
             st.state = ResState::Phase1 { rid, awaiting, started, dispatch };
         }
@@ -245,6 +298,8 @@ impl ResolutionDriver {
         }
         let rid = core.fresh_id();
         let now = ctx.now();
+        let probe = make_probe(core, object);
+        let summary = probe.as_ref().map(|p| p.summary.clone());
         self.state(object).state = ResState::Phase2 {
             rid,
             kind: ResolutionKind::Background,
@@ -255,22 +310,62 @@ impl ResolutionDriver {
             phase2_started: now,
             phase1_dispatch: idea_types::SimDuration::ZERO,
             phase1_acked: idea_types::SimDuration::ZERO,
+            probe,
         };
-        send_collects(core, object, rid, &peers, 0, ctx);
+        send_collects(core, object, rid, &peers, 0, summary.as_ref(), ctx);
     }
 
-    /// Member side of phase 2: report our vector.
+    /// Member side of phase 2: report our vector — as suffixes beyond the
+    /// request's probe when one was carried, as the legacy full vector
+    /// otherwise. Either way the counters we answered with are snapshotted
+    /// so a delta-encoded `Inform` of the same round can resolve against
+    /// them. The probe is deliberately *not* folded into our own known
+    /// counts: observing it would perturb detection state and break the
+    /// bit-for-bit equivalence between the compact and legacy wires.
     pub fn on_collect_request(
         &mut self,
         core: &mut NodeCore,
         from: NodeId,
         rid: u64,
         object: ObjectId,
+        probe: Option<idea_vv::VvSummary>,
         ctx: &mut dyn Context<IdeaMsg>,
     ) {
         core.store.open(object);
         let evv = core.store.replica(object).expect("opened").version().clone();
-        ctx.send(from, IdeaMsg::CollectReply { rid, object, evv });
+        self.state(object).remember_ack(from, rid, evv.counters().clone());
+        match probe {
+            Some(probe) => {
+                let delta = evv.suffix_since(&probe.counters);
+                ctx.send(from, IdeaMsg::CollectDelta { rid, object, delta });
+            }
+            None => ctx.send(from, IdeaMsg::CollectReply { rid, object, evv }),
+        }
+    }
+
+    /// Initiator side of phase 2, compact form: reconstruct the member's
+    /// full vector against the round's probe baseline, then proceed
+    /// exactly as for a legacy reply — reference selection cannot tell the
+    /// two wires apart.
+    pub fn on_collect_delta(
+        &mut self,
+        core: &mut NodeCore,
+        from: NodeId,
+        rid: u64,
+        object: ObjectId,
+        delta: idea_vv::VvDelta,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
+        let Some(st) = self.states.get_mut(&object) else {
+            return;
+        };
+        let evv = match &st.state {
+            ResState::Phase2 { rid: r, probe: Some(probe), .. } if *r == rid => {
+                probe.baseline.reconstruct(&delta)
+            }
+            _ => return,
+        };
+        self.on_collect_reply(core, from, rid, object, evv, ctx);
     }
 
     /// Initiator side of phase 2: gather vectors (sequentially or in
@@ -291,18 +386,19 @@ impl ResolutionDriver {
         };
         let parallel = core.cfg.parallel_phase2;
         match &mut st.state {
-            ResState::Phase2 { rid: r, members, collected, next, .. } if *r == rid => {
+            ResState::Phase2 { rid: r, members, collected, next, probe, .. } if *r == rid => {
                 if collected.iter().any(|(n, _)| *n == from) {
                     return;
                 }
                 collected.push((from, evv));
                 *next += 1;
                 let done = collected.len() == members.len();
+                let summary = probe.as_ref().map(|p| p.summary.clone());
                 let (members, next) = (members.clone(), *next);
                 if done {
                     self.finish(core, object, ctx);
                 } else if !parallel {
-                    send_collects(core, object, rid, &members, next, ctx);
+                    send_collects(core, object, rid, &members, next, summary.as_ref(), ctx);
                 }
             }
             _ => {}
@@ -312,7 +408,7 @@ impl ResolutionDriver {
     fn finish(&mut self, core: &mut NodeCore, object: ObjectId, ctx: &mut dyn Context<IdeaMsg>) {
         let mine = core.store.replica(object).expect("opened").version().clone();
         let st = self.state(object);
-        let (rid, kind, members, collected, started, phase2_started, p1d, p1a) =
+        let (rid, kind, members, collected, started, phase2_started, p1d, p1a, compact) =
             match std::mem::take(&mut st.state) {
                 ResState::Phase2 {
                     rid,
@@ -323,6 +419,7 @@ impl ResolutionDriver {
                     phase2_started,
                     phase1_dispatch,
                     phase1_acked,
+                    probe,
                     ..
                 } => (
                     rid,
@@ -333,6 +430,7 @@ impl ResolutionDriver {
                     phase2_started,
                     phase1_dispatch,
                     phase1_acked,
+                    probe.is_some(),
                 ),
                 other => {
                     st.state = other;
@@ -351,8 +449,22 @@ impl ResolutionDriver {
         let reference = choose_reference(core.cfg.policy, &candidates, &core.priorities);
 
         // Inform every member (parallel fan-out), then reconcile locally.
+        // In compact rounds each member gets the reference encoded against
+        // the counters it itself reported — typically a handful of
+        // override entries; the self-contained full form is the fallback
+        // for legacy rounds and for whichever member a delta would not
+        // shrink.
         for &m in &members {
-            ctx.send(m, IdeaMsg::Inform { rid, object, reference: reference.clone() });
+            let wire = if compact {
+                candidates
+                    .iter()
+                    .find(|(n, _)| *n == m)
+                    .map(|(_, evv)| ReferenceWire::encode(&reference, evv.counters()))
+                    .unwrap_or_else(|| ReferenceWire::Full(reference.clone()))
+            } else {
+                ReferenceWire::Full(reference.clone())
+            };
+            ctx.send(m, IdeaMsg::Inform { rid, object, reference: wire });
         }
         let inform_dispatch = core.cfg.dispatch_cost.saturating_mul(members.len() as u64);
         let now = ctx.now();
@@ -373,21 +485,23 @@ impl ResolutionDriver {
 
     /// Member side of the inform: release the attention lease, cancel a
     /// pending back-off (consistency was just restored by someone else,
-    /// §4.5.2), and adopt the reference.
+    /// §4.5.2), and adopt the reference. A delta-encoded reference
+    /// resolves against the counter snapshot stored when this node
+    /// answered the round's collect; on the (eviction-only) snapshot miss
+    /// the adoption is skipped and the next background round reconciles.
     pub fn on_inform(
         &mut self,
         core: &mut NodeCore,
         from: NodeId,
         rid: u64,
         object: ObjectId,
-        reference: ReferenceState,
+        reference: ReferenceWire,
         ctx: &mut dyn Context<IdeaMsg>,
     ) {
         core.store.open(object);
         core.ensure_obj(object);
-        let now = ctx.now();
-        core.note_counters(object, &reference.counts, now);
         let st = self.state(object);
+        let acked = st.take_ack(from, rid);
         if let Some((holder, held_rid, _)) = st.attention {
             if holder == from && held_rid == rid {
                 st.attention = None;
@@ -396,6 +510,12 @@ impl ResolutionDriver {
         if matches!(st.state, ResState::BackOff { .. }) {
             st.state = ResState::Idle;
         }
+        let reference = match (reference.needs_snapshot(), acked) {
+            (true, None) => return,
+            (_, acked) => reference.resolve(&acked.unwrap_or_default()),
+        };
+        let now = ctx.now();
+        core.note_counters(object, &reference.counts, now);
         apply_reference(core, object, &reference, ctx);
     }
 

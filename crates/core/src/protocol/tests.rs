@@ -450,3 +450,101 @@ fn remote_only_objects_materialise_lazily() {
         assert_eq!(snap.object, OBJ);
     });
 }
+
+/// Chunked-fetch satellite pin, at the frame level: for every
+/// `max_fetch_updates` bound, no `FetchReply` frame ever carries more
+/// than the bound, only the final frame says `done`, and the chunks
+/// reassemble exactly the update set the unbounded reply ships in one
+/// frame. The requester side is emulated directly (its advanced counters
+/// are the continuation cursor), so each reply frame can be inspected.
+#[test]
+fn chunked_fetch_frames_respect_the_bound_and_reassemble_identically() {
+    use crate::messages::IdeaMsg;
+    use idea_net::{Context, Proto, TimerId};
+    use idea_types::{SimTime, Update};
+    use idea_vv::VersionVector;
+
+    struct RecCtx {
+        sent: Vec<(NodeId, IdeaMsg)>,
+        rng: rand::rngs::mock::StepRng,
+    }
+    impl Context<IdeaMsg> for RecCtx {
+        fn now(&self) -> SimTime {
+            SimTime::ZERO
+        }
+        fn me(&self) -> NodeId {
+            NodeId(0)
+        }
+        fn node_count(&self) -> usize {
+            2
+        }
+        fn send(&mut self, to: NodeId, msg: IdeaMsg) {
+            self.sent.push((to, msg));
+        }
+        fn set_timer(&mut self, _delay: SimDuration, _kind: u64) -> TimerId {
+            TimerId(0)
+        }
+        fn cancel_timer(&mut self, _timer: TimerId) {}
+        fn rng(&mut self) -> &mut dyn rand::RngCore {
+            &mut self.rng
+        }
+    }
+
+    const BACKLOG: usize = 200;
+
+    fn drain(cap: Option<usize>) -> Vec<Update> {
+        let cfg = IdeaConfig { max_fetch_updates: cap, ..Default::default() };
+        let mut node = IdeaNode::new(NodeId(0), cfg, &[OBJ]);
+        let mut ctx = RecCtx { sent: vec![], rng: rand::rngs::mock::StepRng::new(0, 1) };
+        for i in 0..BACKLOG as i64 {
+            node.local_write(OBJ, i, UpdatePayload::none(), &mut ctx);
+        }
+        let mut have = VersionVector::new();
+        let mut got = Vec::new();
+        let mut frames = 0usize;
+        loop {
+            ctx.sent.clear();
+            node.on_message(
+                NodeId(1),
+                IdeaMsg::FetchRequest { object: OBJ, have: have.clone() },
+                &mut ctx,
+            );
+            let replies: Vec<_> = ctx
+                .sent
+                .iter()
+                .filter_map(|(to, m)| match m {
+                    IdeaMsg::FetchReply { updates, done, .. } => Some((*to, updates, *done)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(replies.len(), 1, "one request, one reply frame");
+            let (to, updates, done) = (replies[0].0, replies[0].1.clone(), replies[0].2);
+            assert_eq!(to, NodeId(1));
+            if let Some(cap) = cap {
+                assert!(
+                    updates.len() <= cap,
+                    "frame carries {} updates over the configured bound {cap}",
+                    updates.len()
+                );
+            }
+            frames += 1;
+            for u in &updates {
+                have.observe(u.id.writer, u.id.seq);
+            }
+            got.extend(updates);
+            if done {
+                break;
+            }
+            assert!(frames <= BACKLOG + 1, "continuation never finished");
+        }
+        let expected_frames = cap.map_or(1, |c| BACKLOG.div_ceil(c));
+        assert_eq!(frames, expected_frames, "cap {cap:?} used the wrong number of frames");
+        got
+    }
+
+    let unbounded = drain(None);
+    assert_eq!(unbounded.len(), BACKLOG);
+    for cap in [1usize, 7, 64] {
+        assert_eq!(drain(Some(cap)), unbounded, "cap {cap} reassembled a different set");
+    }
+}

@@ -107,6 +107,11 @@ impl WritePath {
     }
 
     /// A peer asked for the updates it is missing: ship them (batched).
+    /// With `max_fetch_updates` configured the backlog is truncated to the
+    /// chunk bound — `updates_beyond` walks the log in order, so any
+    /// prefix is per-writer seq-consecutive and safe to ingest — and
+    /// `done: false` tells the requester to come back with its advanced
+    /// counters as the continuation cursor.
     pub fn on_fetch_request(
         &self,
         core: &NodeCore,
@@ -118,18 +123,40 @@ impl WritePath {
         let Ok(replica) = core.store.replica(object) else {
             return;
         };
-        let updates = replica.updates_beyond(&have);
-        ctx.send(from, IdeaMsg::FetchReply { object, updates });
+        let mut updates = replica.updates_beyond(&have);
+        let done = match core.cfg.max_fetch_updates {
+            Some(cap) if updates.len() > cap => {
+                updates.truncate(cap);
+                false
+            }
+            _ => true,
+        };
+        ctx.send(from, IdeaMsg::FetchReply { object, updates, done });
     }
 
-    /// Missing updates arrived: ingest them and settle the level.
-    pub fn on_fetch_reply(&mut self, core: &mut NodeCore, object: ObjectId, updates: Vec<Update>) {
+    /// Missing updates arrived: ingest them, then either settle the level
+    /// (`done`) or request the next chunk from the sender, cursored by the
+    /// counters the ingest just advanced.
+    pub fn on_fetch_reply(
+        &mut self,
+        core: &mut NodeCore,
+        from: NodeId,
+        object: ObjectId,
+        updates: Vec<Update>,
+        done: bool,
+        ctx: &mut dyn Context<IdeaMsg>,
+    ) {
         core.store.open(object);
         for u in updates {
             let _ = core.store.ingest(u);
         }
-        if let Some(st) = core.objs.get_mut(&object) {
-            st.level = ConsistencyLevel::PERFECT;
+        if done {
+            if let Some(st) = core.objs.get_mut(&object) {
+                st.level = ConsistencyLevel::PERFECT;
+            }
+        } else {
+            let have = core.store.replica(object).expect("opened").version().counters().clone();
+            ctx.send(from, IdeaMsg::FetchRequest { object, have });
         }
     }
 }

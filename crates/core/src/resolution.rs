@@ -6,7 +6,7 @@
 //! collect/inform) — but one core: pick a *reference consistent state* from
 //! the collected version vectors and bring every member to it.
 
-use idea_types::{NodeId, SimDuration, SimTime};
+use idea_types::{NodeId, SimDuration, SimTime, WriterId};
 use idea_vv::{ExtendedVersionVector, VersionVector};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -57,6 +57,71 @@ pub struct ReferenceState {
     /// Per-writer sanctioned update counts. Members drop updates beyond
     /// these counts and fetch the ones they miss from the winner.
     pub counts: VersionVector,
+}
+
+/// Wire encoding of a [`ReferenceState`] inside an `Inform`.
+///
+/// The initiator holds every member's collected counters, so instead of
+/// shipping the full sanctioned vector it can ship only the per-writer
+/// **overrides** against what that member itself reported — usually a
+/// handful of entries, independent of how many writers the object has.
+/// [`ReferenceWire::Delta`] carries those overrides (explicit zeros mark
+/// invalidated writers); [`ReferenceWire::Full`] remains as the
+/// self-contained fallback and the legacy (non-compact) form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReferenceWire {
+    /// Self-contained: the complete reference state.
+    Full(ReferenceState),
+    /// Overrides against the counters the receiving member reported in its
+    /// own collect answer of the same round.
+    Delta {
+        /// The winning node, as in [`ReferenceState::winner`].
+        winner: Option<NodeId>,
+        /// `(writer, sanctioned count)` overrides; unlisted writers keep
+        /// the count the member reported.
+        diffs: Vec<(WriterId, u64)>,
+    },
+}
+
+impl ReferenceWire {
+    /// Picks the smaller encoding of `reference` for a member that reported
+    /// `acked` in its collect answer: the delta against `acked` when it
+    /// beats the full vector on the wire, the full form otherwise.
+    pub fn encode(reference: &ReferenceState, acked: &VersionVector) -> ReferenceWire {
+        let diffs = reference.counts.diff_from(acked);
+        if diffs.len() < reference.counts.writers() {
+            ReferenceWire::Delta { winner: reference.winner, diffs }
+        } else {
+            ReferenceWire::Full(reference.clone())
+        }
+    }
+
+    /// Reconstructs the exact [`ReferenceState`] on the member side.
+    /// `acked` is the counter snapshot the member stored when it answered
+    /// the round's collect; it is only consulted by the delta form.
+    pub fn resolve(&self, acked: &VersionVector) -> ReferenceState {
+        match self {
+            ReferenceWire::Full(reference) => reference.clone(),
+            ReferenceWire::Delta { winner, diffs } => {
+                ReferenceState { winner: *winner, counts: acked.with_overrides(diffs) }
+            }
+        }
+    }
+
+    /// Whether this form needs the member's acked-counter snapshot to
+    /// resolve (the delta form is meaningless without it).
+    pub fn needs_snapshot(&self) -> bool {
+        matches!(self, ReferenceWire::Delta { .. })
+    }
+
+    /// Approximate serialized size in bytes: an 8-byte winner/tag header
+    /// plus 12 bytes per carried `(writer, count)` entry.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            ReferenceWire::Full(reference) => 8 + 12 * reference.counts.writers(),
+            ReferenceWire::Delta { diffs, .. } => 8 + 12 * diffs.len(),
+        }
+    }
 }
 
 /// Selects the reference state from the collected `(node, vector)` pairs
@@ -236,6 +301,41 @@ mod tests {
     #[should_panic(expected = "at least one replica")]
     fn empty_candidates_panic() {
         let _ = choose_reference(ResolutionPolicy::HighestIdWins, &[], &BTreeMap::new());
+    }
+
+    #[test]
+    fn reference_wire_delta_resolves_exactly() {
+        let reference = ReferenceState {
+            winner: Some(NodeId(3)),
+            counts: VersionVector::from_pairs([(WriterId(0), 5), (WriterId(2), 1)]),
+        };
+        // The member reported w0:4 w1:2 — the delta must raise w0, zero out
+        // the invalidated w1 and introduce w2.
+        let acked = VersionVector::from_pairs([(WriterId(0), 4), (WriterId(1), 2)]);
+        let wire = ReferenceWire::encode(&reference, &acked);
+        assert_eq!(wire.resolve(&acked), reference);
+        // A member already at the reference gets an empty (minimal) delta.
+        let at_ref = ReferenceWire::encode(&reference, &reference.counts);
+        assert!(matches!(&at_ref, ReferenceWire::Delta { diffs, .. } if diffs.is_empty()));
+        assert_eq!(at_ref.resolve(&reference.counts), reference);
+        assert!(at_ref.wire_bytes() <= wire.wire_bytes());
+    }
+
+    #[test]
+    fn reference_wire_falls_back_to_full_when_delta_is_larger() {
+        // A member that reported a disjoint writer set would need one
+        // override per reference writer *plus* zeroing entries — the full
+        // form is strictly smaller, and self-contained.
+        let reference = ReferenceState {
+            winner: None,
+            counts: VersionVector::from_pairs([(WriterId(0), 1), (WriterId(1), 1)]),
+        };
+        let acked = VersionVector::from_pairs([(WriterId(5), 3), (WriterId(6), 4)]);
+        let wire = ReferenceWire::encode(&reference, &acked);
+        assert!(matches!(wire, ReferenceWire::Full(_)));
+        assert!(!wire.needs_snapshot());
+        assert_eq!(wire.resolve(&acked), reference);
+        assert_eq!(wire.wire_bytes(), 8 + 12 * 2);
     }
 
     #[test]

@@ -19,12 +19,13 @@
 use bytes::Bytes;
 use idea_core::client::{BackgroundFreq, ReadConsistency};
 use idea_core::quantify::{MaxBounds, Weights};
-use idea_core::resolution::ResolutionPolicy;
+use idea_core::resolution::{ReferenceState, ReferenceWire, ResolutionPolicy};
 use idea_core::{Command, ConsistencySpec, NodeReport, ReadResult, Response};
 use idea_types::{
     ConsistencyLevel, NodeId, ObjectId, SimDuration, SimTime, Update, UpdateId, UpdatePayload,
     WireError, WriterId,
 };
+use idea_vv::{VersionVector, VvDelta, VvSummary, WriterSuffix};
 use std::fmt;
 
 /// A decode failure: where in the buffer and what was wrong.
@@ -338,6 +339,136 @@ impl WireCodec for Update {
             meta_delta: i64::decode(r)?,
             payload: UpdatePayload::decode(r)?,
         })
+    }
+}
+
+// ====================================================================
+// Resolution-plane vector forms
+// ====================================================================
+
+/// A version vector is a sorted run of `(writer, counter)` pairs. Zero
+/// counters are elided by construction ([`VersionVector`] never stores
+/// them), so a zero on the wire is a malformed frame, not a representable
+/// value — rejecting it keeps encode/decode a bijection.
+impl WireCodec for VersionVector {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.writers().encode(out);
+        for (w, c) in self.iter() {
+            w.encode(out);
+            c.encode(out);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        let len = decode_len(r)?;
+        let mut pairs = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            let w = WriterId::decode(r)?;
+            let c = u64::decode(r)?;
+            if c == 0 {
+                return Err(r.err("zero counter in version vector"));
+            }
+            pairs.push((w, c));
+        }
+        Ok(VersionVector::from_pairs(pairs))
+    }
+}
+
+impl WireCodec for WriterSuffix {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.writer.encode(out);
+        self.start_seq.encode(out);
+        self.times.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(WriterSuffix {
+            writer: WriterId::decode(r)?,
+            start_seq: u64::decode(r)?,
+            times: Vec::<SimTime>::decode(r)?,
+        })
+    }
+}
+
+impl WireCodec for VvSummary {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.counters.encode(out);
+        self.meta.encode(out);
+        self.latest.encode(out);
+        self.tail.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(VvSummary {
+            counters: VersionVector::decode(r)?,
+            meta: i64::decode(r)?,
+            latest: Option::<SimTime>::decode(r)?,
+            tail: Vec::<WriterSuffix>::decode(r)?,
+        })
+    }
+}
+
+impl WireCodec for VvDelta {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.counters.encode(out);
+        self.meta.encode(out);
+        self.latest.encode(out);
+        self.suffixes.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(VvDelta {
+            counters: VersionVector::decode(r)?,
+            meta: i64::decode(r)?,
+            latest: Option::<SimTime>::decode(r)?,
+            suffixes: Vec::<WriterSuffix>::decode(r)?,
+        })
+    }
+}
+
+impl WireCodec for ReferenceState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.winner.encode(out);
+        self.counts.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(ReferenceState {
+            winner: Option::<NodeId>::decode(r)?,
+            counts: VersionVector::decode(r)?,
+        })
+    }
+}
+
+impl WireCodec for ReferenceWire {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ReferenceWire::Full(reference) => {
+                out.push(0);
+                reference.encode(out);
+            }
+            ReferenceWire::Delta { winner, diffs } => {
+                out.push(1);
+                winner.encode(out);
+                diffs.len().encode(out);
+                for (w, c) in diffs {
+                    w.encode(out);
+                    // Unlike a vector entry, a zero *override* is
+                    // meaningful: it erases the writer from the base.
+                    c.encode(out);
+                }
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(r)? {
+            0 => Ok(ReferenceWire::Full(ReferenceState::decode(r)?)),
+            1 => {
+                let winner = Option::<NodeId>::decode(r)?;
+                let len = decode_len(r)?;
+                let mut diffs = Vec::with_capacity(len.min(1024));
+                for _ in 0..len {
+                    diffs.push((WriterId::decode(r)?, u64::decode(r)?));
+                }
+                Ok(ReferenceWire::Delta { winner, diffs })
+            }
+            _ => Err(r.err("ReferenceWire tag out of domain")),
+        }
     }
 }
 
@@ -764,6 +895,56 @@ mod tests {
         u64::MAX.encode(&mut buf);
         assert!(Vec::<u8>::from_bytes(&buf).is_err());
         assert!(String::from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn resolution_vector_forms_round_trip() {
+        let vv = VersionVector::from_pairs([(WriterId(1), 4), (WriterId(9), 2)]);
+        assert_eq!(VersionVector::from_bytes(&vv.to_bytes()).unwrap(), vv);
+
+        let summary = VvSummary {
+            counters: vv.clone(),
+            meta: -7,
+            latest: Some(SimTime::from_micros(42)),
+            tail: vec![WriterSuffix {
+                writer: WriterId(9),
+                start_seq: 1,
+                times: vec![SimTime::from_micros(40), SimTime::from_micros(42)],
+            }],
+        };
+        assert_eq!(VvSummary::from_bytes(&summary.to_bytes()).unwrap(), summary);
+
+        let delta = VvDelta {
+            counters: vv.clone(),
+            meta: 3,
+            latest: None,
+            suffixes: vec![WriterSuffix {
+                writer: WriterId(1),
+                start_seq: 4,
+                times: vec![SimTime::ZERO],
+            }],
+        };
+        assert_eq!(VvDelta::from_bytes(&delta.to_bytes()).unwrap(), delta);
+
+        let full = ReferenceWire::Full(ReferenceState { winner: Some(NodeId(3)), counts: vv });
+        assert_eq!(ReferenceWire::from_bytes(&full.to_bytes()).unwrap(), full);
+        // A zero override is meaningful in a Delta (it erases the writer).
+        let compact =
+            ReferenceWire::Delta { winner: None, diffs: vec![(WriterId(1), 0), (WriterId(2), 5)] };
+        assert_eq!(ReferenceWire::from_bytes(&compact.to_bytes()).unwrap(), compact);
+    }
+
+    #[test]
+    fn zero_vector_counter_is_rejected() {
+        // VersionVector elides zero counters, so a zero entry can only come
+        // from a malformed frame.
+        let mut buf = Vec::new();
+        1usize.encode(&mut buf);
+        WriterId(5).encode(&mut buf);
+        0u64.encode(&mut buf);
+        assert!(VersionVector::from_bytes(&buf).is_err());
+        // An unknown ReferenceWire tag is out of domain.
+        assert!(ReferenceWire::from_bytes(&[2]).is_err());
     }
 
     #[test]

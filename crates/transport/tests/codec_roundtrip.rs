@@ -9,6 +9,7 @@ use bytes::Bytes;
 use idea_core::client::ReadConsistency;
 use idea_core::quantify::Weights;
 use idea_core::resolution::ResolutionPolicy;
+use idea_core::resolution::{ReferenceState, ReferenceWire};
 use idea_core::{Command, ConsistencySpec, NodeReport, ReadResult, Response};
 use idea_transport::frame::{frame_bytes, read_frame, Frame, FramePayload, NO_REPLY};
 use idea_transport::WireCodec;
@@ -16,6 +17,7 @@ use idea_types::{
     ConsistencyLevel, NodeId, ObjectId, SimDuration, SimTime, Update, UpdateId, UpdatePayload,
     WireError, WriterId,
 };
+use idea_vv::{VersionVector, VvDelta, VvSummary, WriterSuffix};
 use proptest::prelude::*;
 
 // ====================================================================
@@ -210,6 +212,41 @@ fn arb_response() -> impl Strategy<Value = Response> {
         )
 }
 
+fn arb_vv() -> impl Strategy<Value = VersionVector> {
+    prop::collection::btree_map(0u32..16, 1u64..500, 0..6)
+        .prop_map(|m| VersionVector::from_pairs(m.into_iter().map(|(w, c)| (WriterId(w), c))))
+}
+
+fn arb_suffixes() -> impl Strategy<Value = Vec<WriterSuffix>> {
+    prop::collection::vec(
+        (0u32..16, 1u64..100, prop::collection::vec(0u64..600_000_000, 0..5)),
+        0..4,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(w, start_seq, times)| WriterSuffix {
+                writer: WriterId(w),
+                start_seq,
+                times: times.into_iter().map(SimTime).collect(),
+            })
+            .collect()
+    })
+}
+
+fn arb_reference_wire() -> impl Strategy<Value = ReferenceWire> {
+    (0u8..2, 0u8..2, 0u32..8, arb_vv(), prop::collection::vec((0u32..16, 0u64..500), 0..5))
+        .prop_map(|(tag, has_winner, winner, counts, diffs)| {
+            let winner = (has_winner == 1).then_some(NodeId(winner));
+            match tag {
+                0 => ReferenceWire::Full(ReferenceState { winner, counts }),
+                _ => ReferenceWire::Delta {
+                    winner,
+                    diffs: diffs.into_iter().map(|(w, c)| (WriterId(w), c)).collect(),
+                },
+            }
+        })
+}
+
 // ====================================================================
 // Deterministic exhaustive pass: one fixture per variant
 // ====================================================================
@@ -353,6 +390,34 @@ proptest! {
     fn random_responses_round_trip(resp in arb_response()) {
         let bytes = resp.to_bytes();
         prop_assert_eq!(Response::from_bytes(&bytes).unwrap(), resp);
+    }
+
+    /// The resolution-plane vector forms (PR-8 compaction wire) are
+    /// bijective: random summaries, deltas and reference encodings all
+    /// survive encode → decode bit-for-bit.
+    #[test]
+    fn random_vector_forms_round_trip(
+        counters in arb_vv(),
+        meta in -1_000i64..1_000,
+        latest_raw in (0u8..2, 0u64..600_000_000),
+        suffixes in arb_suffixes(),
+        reference in arb_reference_wire(),
+    ) {
+        let latest = (latest_raw.0 == 1).then_some(latest_raw.1);
+        prop_assert_eq!(
+            VersionVector::from_bytes(&counters.to_bytes()).unwrap(),
+            counters.clone()
+        );
+        let summary = VvSummary {
+            counters: counters.clone(),
+            meta,
+            latest: latest.map(SimTime),
+            tail: suffixes.clone(),
+        };
+        prop_assert_eq!(VvSummary::from_bytes(&summary.to_bytes()).unwrap(), summary);
+        let delta = VvDelta { counters, meta, latest: latest.map(SimTime), suffixes };
+        prop_assert_eq!(VvDelta::from_bytes(&delta.to_bytes()).unwrap(), delta);
+        prop_assert_eq!(ReferenceWire::from_bytes(&reference.to_bytes()).unwrap(), reference);
     }
 
     #[test]

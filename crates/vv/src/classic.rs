@@ -151,6 +151,43 @@ impl VersionVector {
         }
         sum
     }
+
+    /// The per-writer overrides that turn `base` into `self`: one
+    /// `(writer, count)` entry per writer whose counter differs, drawn from
+    /// `self` (explicit zeros where `base` holds a writer `self` lacks —
+    /// the invalidated-writer case). `base.with_overrides(diff)` round-trips
+    /// back to `self`.
+    pub fn diff_from(&self, base: &VersionVector) -> Vec<(WriterId, u64)> {
+        let mut diffs = Vec::new();
+        for (w, c) in &self.counters {
+            if base.get(*w) != *c {
+                diffs.push((*w, *c));
+            }
+        }
+        for w in base.counters.keys() {
+            if self.get(*w) == 0 {
+                diffs.push((*w, 0));
+            }
+        }
+        diffs.sort_unstable_by_key(|&(w, _)| w);
+        diffs
+    }
+
+    /// Applies per-writer overrides on top of `self`: listed writers take
+    /// the override value verbatim (zero removes the entry, keeping the
+    /// vector zero-elided), unlisted writers keep their counter. The
+    /// reconstruction dual of [`VersionVector::diff_from`].
+    pub fn with_overrides(&self, overrides: &[(WriterId, u64)]) -> VersionVector {
+        let mut out = self.clone();
+        for &(w, c) in overrides {
+            if c == 0 {
+                out.counters.remove(&w);
+            } else {
+                out.counters.insert(w, c);
+            }
+        }
+        out
+    }
 }
 
 impl fmt::Display for VersionVector {
@@ -254,6 +291,26 @@ mod tests {
         assert_eq!(VersionVector::new().to_string(), "()");
     }
 
+    #[test]
+    fn diff_from_lists_only_changed_writers_with_explicit_zeros() {
+        let reference = vv(&[(0, 3), (2, 1)]);
+        let base = vv(&[(0, 3), (1, 2)]);
+        // w0 unchanged, w1 invalidated down to zero, w2 newly sanctioned.
+        assert_eq!(reference.diff_from(&base), vec![(WriterId(1), 0), (WriterId(2), 1)]);
+        assert_eq!(reference.diff_from(&reference), vec![]);
+    }
+
+    #[test]
+    fn with_overrides_round_trips_and_stays_zero_elided() {
+        let reference = vv(&[(0, 3), (2, 1)]);
+        let base = vv(&[(0, 3), (1, 2)]);
+        let rebuilt = base.with_overrides(&reference.diff_from(&base));
+        assert_eq!(rebuilt, reference);
+        // The zero override removed w1 entirely: same writer set, not a
+        // zero-valued entry.
+        assert_eq!(rebuilt.writers(), 2);
+    }
+
     fn arb_vv() -> impl Strategy<Value = VersionVector> {
         prop::collection::btree_map(0u32..6, 0u64..8, 0..6)
             .prop_map(|m| VersionVector::from_pairs(m.into_iter().map(|(w, c)| (WriterId(w), c))))
@@ -310,6 +367,15 @@ mod tests {
             let m = a.merged(&b);
             // a misses from the merge exactly what it misses from b.
             prop_assert_eq!(a.missing_from(&m), a.missing_from(&b));
+        }
+
+        /// Overrides reconstruct exactly: `base.with_overrides(a.diff_from(base)) == a`
+        /// for arbitrary vectors, and an empty diff means equality.
+        #[test]
+        fn diff_override_round_trips(a in arb_vv(), base in arb_vv()) {
+            let diff = a.diff_from(&base);
+            prop_assert_eq!(base.with_overrides(&diff), a.clone());
+            prop_assert_eq!(a.diff_from(&base).is_empty(), a == base);
         }
     }
 }
