@@ -26,19 +26,21 @@
 //!
 //! Usage: `cargo run -p idea-bench --release --bin perf_hotpath`
 //! (optionally `--seed N`; `--small` runs the N ∈ {10, 80} scale points
-//! and a reduced drain for CI smoke; `--gossip-scale`, `--fan-in` and
-//! `--burst` are the self-contained CI smokes of their blocks — `--burst`
-//! covers the `resolution_compaction` wire A/B).
+//! and a reduced drain for CI smoke; `--gossip-scale`, `--fan-in`,
+//! `--burst` and `--durability` are the self-contained CI smokes of their
+//! blocks — `--burst` covers the `resolution_compaction` wire A/B,
+//! `--durability` the WAL write-drain/recovery/rejoin costs).
 
 use idea_bench::LatencyHistogram;
 use idea_core::client::{Command, CommandExecutor};
-use idea_core::{IdeaConfig, IdeaNode, LockedEngine};
+use idea_core::{DurabilityConfig, IdeaConfig, IdeaNode, LockedEngine};
 use idea_net::{MsgClass, ShardedEngine, SimConfig, SimEngine, ThreadedConfig, Topology};
 use idea_overlay::GossipMode;
 use idea_transport::frame::{frame_bytes, parse_frame, read_frame, Frame, FramePayload};
 use idea_transport::{IdeaServer, RemoteEngine, ServerConfig, ServerMode};
 use idea_types::{NodeId, ObjectId, ShardId, SimDuration, SimTime, UpdatePayload, WriterId};
 use idea_vv::ExtendedVersionVector;
+use idea_wal::ShardWal;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::{Read as _, Write as IoWrite};
@@ -666,6 +668,232 @@ fn resolution_compaction_json(seed: u64) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// durability: WAL cost on the write path, recovery time, rejoin delta
+// ---------------------------------------------------------------------------
+
+/// Deployment size of the durability block — the acceptance point shared
+/// with the trajectory scenarios.
+const DUR_N: usize = 40;
+/// Virtual window of the durability workload. Shorter than the trajectory
+/// window: WAL cost scales with appends, not with how long the tail of the
+/// run idles.
+const DUR_WINDOW_SECS: u64 = 60;
+/// Writes the crashed node misses before rejoining (virtual seconds).
+const DUR_DOWNTIME_SECS: u64 = 30;
+const DUR_OBJ: ObjectId = ObjectId(1);
+/// The crashed-and-rejoining writer of the rejoin legs.
+const DUR_CRASHED: NodeId = NodeId(3);
+
+/// Drives the listed `writers` at the paper pace (one write every
+/// `WRITE_PERIOD_SECS`, start times staggered 1 s apart) from `from` for
+/// `secs` of virtual time — the trajectory workload, factored so the
+/// rejoin legs can keep writing after a crash.
+fn drive_paced_writers(eng: &mut SimEngine<IdeaNode>, from: SimTime, secs: u64, writers: &[u32]) {
+    let end = from + SimDuration::from_secs(secs);
+    let mut next_write: Vec<(u32, SimTime)> = writers
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (w, from + SimDuration::from_secs(i as u64)))
+        .collect();
+    loop {
+        let t = next_write.iter().map(|&(_, t)| t).min().expect("at least one writer");
+        if t > end {
+            break;
+        }
+        eng.run_until(t);
+        for (w, next) in &mut next_write {
+            if *next == t {
+                let writer = *w;
+                eng.with_node(NodeId(writer), |p, ctx| {
+                    p.local_write(DUR_OBJ, 1, UpdatePayload::none(), ctx);
+                });
+                *next = t + SimDuration::from_secs(WRITE_PERIOD_SECS);
+            }
+        }
+    }
+    eng.run_until(end);
+}
+
+/// The durability legs' config: the trajectory whiteboard config with the
+/// given WAL policy. Everything except the durability plane is identical
+/// across legs, so wall-clock deltas are pure WAL cost.
+fn dur_cfg(durability: DurabilityConfig) -> IdeaConfig {
+    let mut cfg = IdeaConfig::whiteboard(0.95);
+    cfg.durability = durability;
+    cfg
+}
+
+/// One write-drain leg: the paced `DUR_N`-node workload under `cfg`.
+/// Returns the settled engine and the run's wall-clock in milliseconds.
+fn durability_workload(cfg: &IdeaConfig, seed: u64) -> (SimEngine<IdeaNode>, f64) {
+    let nodes: Vec<IdeaNode> =
+        (0..DUR_N).map(|i| IdeaNode::new(NodeId(i as u32), cfg.clone(), &[DUR_OBJ])).collect();
+    let mut eng = SimEngine::new(
+        Topology::planetlab(DUR_N, seed),
+        SimConfig { seed, ..Default::default() },
+        nodes,
+    );
+    let start = Instant::now();
+    let writers: Vec<u32> = (0..WRITERS.min(DUR_N) as u32).collect();
+    drive_paced_writers(&mut eng, SimTime::ZERO, DUR_WINDOW_SECS, &writers);
+    eng.run_until(SimTime::ZERO + SimDuration::from_secs(DUR_WINDOW_SECS + 5));
+    (eng, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Transfer-class bytes a crashed writer's re-entry costs. `fresh = false`
+/// recovers the node from its WAL (rejoin fetches only the missed
+/// suffix); `fresh = true` restarts it with an empty store (the
+/// full-state-transfer baseline).
+fn durability_rejoin_bytes(seed: u64, cfg: &IdeaConfig, fresh: bool) -> u64 {
+    let (mut eng, _) = durability_workload(cfg, seed);
+
+    // Crash: drop the in-memory node, restart from disk (or empty).
+    let restarted = if fresh {
+        IdeaNode::new(DUR_CRASHED, cfg.clone(), &[DUR_OBJ])
+    } else {
+        IdeaNode::recover(DUR_CRASHED, cfg.clone(), &[DUR_OBJ]).expect("valid config")
+    };
+    *eng.node_mut(DUR_CRASHED) = restarted;
+
+    // Downtime: the node is cut off both ways (messages to a dead node
+    // vanish) while the surviving writers keep the workload going.
+    for i in 0..DUR_N as u32 {
+        let other = NodeId(i);
+        if other != DUR_CRASHED {
+            eng.partition(other, DUR_CRASHED);
+            eng.partition(DUR_CRASHED, other);
+        }
+    }
+    let downtime_from = SimTime::ZERO + SimDuration::from_secs(DUR_WINDOW_SECS + 5);
+    let survivors: Vec<u32> =
+        (0..WRITERS.min(DUR_N) as u32).filter(|&w| NodeId(w) != DUR_CRASHED).collect();
+    drive_paced_writers(&mut eng, downtime_from, DUR_DOWNTIME_SECS, &survivors);
+
+    // Restart + rejoin: heal, delta-fetch from node 0, settle.
+    for i in 0..DUR_N as u32 {
+        let other = NodeId(i);
+        if other != DUR_CRASHED {
+            eng.heal(other, DUR_CRASHED);
+            eng.heal(DUR_CRASHED, other);
+        }
+    }
+    let before = eng.stats().payload_bytes(MsgClass::Transfer);
+    eng.with_node(DUR_CRASHED, |p, ctx| p.rejoin_from(NodeId(0), ctx));
+    eng.run_for(SimDuration::from_secs(10));
+    eng.stats().payload_bytes(MsgClass::Transfer) - before
+}
+
+/// Total size of the files under `dir` — the on-disk WAL footprint.
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    let mut total = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            total += dir_bytes(&path);
+        } else if let Ok(meta) = entry.metadata() {
+            total += meta.len();
+        }
+    }
+    total
+}
+
+/// The PR-9 `durability` block: write-drain wall clock under Off / Async /
+/// Sync (identical workload, min-of-three), WAL recovery time for the
+/// busiest writer, and the rejoin cost of a recovered node vs a fresh one
+/// in transfer-class bytes. Returned without a trailing comma.
+fn durability_json(seed: u64) -> String {
+    let base = std::env::temp_dir().join(format!("idea-bench-dur-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let cfg_off = dur_cfg(DurabilityConfig::off());
+    let cfg_async = dur_cfg(DurabilityConfig::buffered(base.join("async")));
+    let cfg_sync = dur_cfg(DurabilityConfig::sync(base.join("sync")));
+
+    // Write-drain overhead: the identical deterministic run under each
+    // mode; every repetition recreates the WAL from genesis, so min-of-3
+    // wall clocks compare like with like.
+    let run3 = |cfg: &IdeaConfig| {
+        let (mut eng, mut best) = durability_workload(cfg, seed);
+        for _ in 0..2 {
+            let (again, wall) = durability_workload(cfg, seed);
+            eng = again;
+            best = best.min(wall);
+        }
+        let msgs = eng.stats().total_messages();
+        (best, msgs, eng)
+    };
+    let (off_ms, off_msgs, _) = run3(&cfg_off);
+    let (async_ms, async_msgs, _) = run3(&cfg_async);
+    let (sync_ms, sync_msgs, sync_eng) = run3(&cfg_sync);
+
+    // Recovery: replay the busiest writer's WAL and compare content.
+    let mut tail_records = 0usize;
+    for s in 0..cfg_sync.store_shards as u32 {
+        let r = ShardWal::load(&cfg_sync.durability, NodeId(0), s).expect("readable WAL");
+        tail_records += r.tail.len();
+    }
+    let wal_bytes = dir_bytes(&base.join("sync").join("node-0"));
+    let t0 = Instant::now();
+    let rec = IdeaNode::recover(NodeId(0), cfg_sync.clone(), &[DUR_OBJ]).expect("valid config");
+    let recover_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let bit_identical = rec.state_hash() == sync_eng.node(NodeId(0)).state_hash();
+    drop(sync_eng);
+
+    // Rejoin: the recovered node's delta fetch vs a fresh node's full
+    // transfer, each on its own freshly-written WAL directory.
+    let delta = durability_rejoin_bytes(
+        seed,
+        &dur_cfg(DurabilityConfig::sync(base.join("rejoin-delta"))),
+        false,
+    );
+    let full = durability_rejoin_bytes(
+        seed,
+        &dur_cfg(DurabilityConfig::sync(base.join("rejoin-full"))),
+        true,
+    );
+    let _ = std::fs::remove_dir_all(&base);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "  \"durability\": {{");
+    let _ = writeln!(out, "    \"n\": {DUR_N},");
+    let _ = writeln!(out, "    \"window_secs\": {DUR_WINDOW_SECS},");
+    let _ = writeln!(out, "    \"write_drain\": {{");
+    for (label, wall, msgs) in
+        [("off", off_ms, off_msgs), ("async", async_ms, async_msgs), ("sync", sync_ms, sync_msgs)]
+    {
+        let _ =
+            writeln!(out, "      \"{label}\": {{\"wall_ms\": {wall:.1}, \"total_msgs\": {msgs}}},");
+    }
+    let _ =
+        writeln!(out, "      \"async_over_off_wall_factor\": {:.2},", async_ms / off_ms.max(1e-9));
+    let _ =
+        writeln!(out, "      \"sync_over_off_wall_factor\": {:.2},", sync_ms / off_ms.max(1e-9));
+    // Identical message totals across modes pin the WAL as a pure side
+    // effect — durability never perturbs the protocol trace.
+    let _ = writeln!(
+        out,
+        "      \"trace_invariant\": {}",
+        off_msgs == async_msgs && off_msgs == sync_msgs
+    );
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"recovery\": {{");
+    let _ = writeln!(out, "      \"node\": 0,");
+    let _ = writeln!(out, "      \"wal_tail_records\": {tail_records},");
+    let _ = writeln!(out, "      \"wal_dir_bytes\": {wal_bytes},");
+    let _ = writeln!(out, "      \"recover_ms\": {recover_ms:.2},");
+    let _ = writeln!(out, "      \"bit_identical\": {bit_identical}");
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"rejoin\": {{");
+    let _ = writeln!(out, "      \"downtime_secs\": {DUR_DOWNTIME_SECS},");
+    let _ = writeln!(out, "      \"delta_transfer_bytes\": {delta},");
+    let _ = writeln!(out, "      \"full_transfer_bytes\": {full},");
+    let _ = writeln!(out, "      \"delta_over_full\": {:.3}", delta as f64 / full.max(1) as f64);
+    let _ = writeln!(out, "    }}");
+    out.push_str("  }");
+    out
+}
+
+// ---------------------------------------------------------------------------
 // fan_in: many-session latency sweep, threaded baseline vs evented server
 // ---------------------------------------------------------------------------
 
@@ -994,6 +1222,21 @@ fn main() {
     let gossip_scale_only = args.iter().any(|a| a == "--gossip-scale");
     let fan_in_only = args.iter().any(|a| a == "--fan-in");
     let burst_only = args.iter().any(|a| a == "--burst");
+    let durability_only = args.iter().any(|a| a == "--durability");
+
+    // CI `crash-recovery-smoke`: just the durability block (write-drain
+    // overhead, recovery time, rejoin delta vs full), written as a
+    // self-contained BENCH_hotpath.json (the full harness overwrites it on
+    // the next unrestricted run).
+    if durability_only {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"seed\": {seed},");
+        json.push_str(&durability_json(seed));
+        json.push_str("\n}\n");
+        std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+        print!("{json}");
+        return;
+    }
 
     // CI `perf-smoke`: just the burst N=40 resolution-compaction A/B,
     // written as a self-contained BENCH_hotpath.json (the full harness
@@ -1137,6 +1380,12 @@ fn main() {
     // there, and `--burst` is the dedicated CI smoke of this block).
     if !small {
         json.push_str(&resolution_compaction_json(seed));
+        json.push_str(",\n");
+    }
+    // WAL durability costs (skipped in the smoke: `--durability` is the
+    // dedicated CI smoke of this block).
+    if !small {
+        json.push_str(&durability_json(seed));
         json.push_str(",\n");
     }
     // Threaded drain: same backlogged workload on 1 vs 4 shard workers per

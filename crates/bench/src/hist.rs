@@ -4,7 +4,7 @@
 //! child process's measurements to its parent as text).
 //!
 //! Bucketing is HDR-style log-linear: one *major* per power of two of the
-//! value, split into [`MINORS_PER_MAJOR`] linear *minors* — so bucket
+//! value, split into `MINORS_PER_MAJOR` linear *minors* — so bucket
 //! width tracks magnitude and relative error is bounded by
 //! `1 / MINORS_PER_MAJOR` (≈3 % here) at every scale, from nanoseconds to
 //! seconds, without configuring a range up front.

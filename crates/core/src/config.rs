@@ -4,6 +4,7 @@ use crate::quantify::{MaxBounds, Weights};
 use crate::resolution::ResolutionPolicy;
 use idea_overlay::{GossipConfig, TopLayerConfig};
 use idea_types::{IdeaError, Result, SimDuration};
+use idea_wal::DurabilityConfig;
 use serde::{Deserialize, Serialize};
 
 /// When does a *read* trigger the IDEA protocol (§4.2)?
@@ -140,6 +141,14 @@ pub struct IdeaConfig {
     /// the shard-equivalence invariant. Byte accounting for the batched
     /// form is exercised by the `gossip_scale` benchmark.
     pub batch_digests: bool,
+    /// Durability plane: per-shard write-ahead logging, periodic durable
+    /// snapshots with log truncation, and the fsync policy
+    /// ([`idea_wal::DurabilityMode`]). The default is
+    /// [`DurabilityMode::Off`](idea_wal::DurabilityMode::Off) — nothing is
+    /// written and every pinned fixed-seed trace runs exactly as before.
+    /// Restarting an existing identity goes through
+    /// [`crate::protocol::IdeaNode::recover`].
+    pub durability: DurabilityConfig,
 }
 
 impl Default for IdeaConfig {
@@ -172,6 +181,7 @@ impl Default for IdeaConfig {
             compact_resolution: true,
             max_fetch_updates: None,
             batch_digests: false,
+            durability: DurabilityConfig::off(),
         }
     }
 }
@@ -233,6 +243,20 @@ impl IdeaConfig {
                 reason: "back-off window is inverted (backoff_min > backoff_max)",
             });
         }
+        if self.durability.enabled() {
+            if self.durability.dir.as_os_str().is_empty() {
+                return Err(IdeaError::InvalidConfig {
+                    field: "durability.dir",
+                    reason: "an enabled durability plane needs a root directory",
+                });
+            }
+            if self.durability.snapshot_every == 0 {
+                return Err(IdeaError::InvalidConfig {
+                    field: "durability.snapshot_every",
+                    reason: "must be positive when durability is on",
+                });
+            }
+        }
         if self.gossip.mode == idea_overlay::GossipMode::Lazy {
             if self.gossip_pull_timeout.is_zero() {
                 return Err(IdeaError::InvalidConfig {
@@ -290,6 +314,7 @@ mod tests {
         assert!(c.compact_resolution, "compact wire forms are byte-equivalent in behaviour");
         assert!(c.max_fetch_updates.is_none(), "fetch chunking is opt-in");
         assert!(!c.batch_digests, "cross-object batching is opt-in (shard-equivalence)");
+        assert!(!c.durability.enabled(), "durability is opt-in (pinned traces unchanged)");
     }
 
     fn rejected_field(cfg: &IdeaConfig) -> &'static str {
@@ -375,6 +400,35 @@ mod tests {
         };
         assert_eq!(rejected_field(&cfg), "gossip_digest_flush");
         IdeaConfig { gossip: lazy_gossip, ..Default::default() }.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_misconfigured_durability() {
+        use idea_wal::DurabilityMode;
+        // Enabled without a directory.
+        let cfg = IdeaConfig {
+            durability: DurabilityConfig { mode: DurabilityMode::Sync, ..Default::default() },
+            ..Default::default()
+        };
+        assert_eq!(rejected_field(&cfg), "durability.dir");
+        // Enabled with a zero snapshot threshold.
+        let cfg = IdeaConfig {
+            durability: DurabilityConfig {
+                snapshot_every: 0,
+                ..DurabilityConfig::sync("/tmp/idea-wal")
+            },
+            ..Default::default()
+        };
+        assert_eq!(rejected_field(&cfg), "durability.snapshot_every");
+        // Off tolerates both (nothing is written).
+        let cfg = IdeaConfig {
+            durability: DurabilityConfig { snapshot_every: 0, ..DurabilityConfig::off() },
+            ..Default::default()
+        };
+        cfg.validate().unwrap();
+        IdeaConfig { durability: DurabilityConfig::sync("/tmp/idea-wal"), ..Default::default() }
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub use client::{
     Response, Session,
 };
 pub use config::{IdeaConfig, ReadPolicy};
+pub use idea_wal::{DurabilityConfig, DurabilityMode};
 pub use messages::IdeaMsg;
 pub use protocol::{IdeaNode, NodeReport};
 pub use quantify::{MaxBounds, Quantifier, Weights};

@@ -20,7 +20,10 @@ use crate::quantify::{MaxBounds, Quantifier, Weights};
 use crate::resolution::{ResolutionPolicy, ResolutionRecord};
 use idea_net::{Context, Proto, ShardedProto, TimerId};
 use idea_store::{Replica, Snapshot, SnapshotView, StoreShard};
-use idea_types::{ConsistencyLevel, NodeId, ObjectId, Result, ShardId, Update, UpdatePayload};
+use idea_types::{
+    ConsistencyLevel, NodeId, ObjectId, Result, ShardId, Update, UpdatePayload, WriterId,
+};
+use idea_wal::ShardWal;
 use serde::{Deserialize, Serialize};
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
@@ -373,6 +376,44 @@ impl ProtocolShard {
     pub fn quantifier(&self) -> &Quantifier {
         &self.core.quant
     }
+
+    // ------------------------------------------------- durability & rejoin
+
+    /// The rolling content digest of this shard's replicas (see
+    /// [`StoreShard::state_hash`]).
+    pub fn state_hash(&self) -> u64 {
+        self.core.store.state_hash()
+    }
+
+    /// Installs a final durable snapshot so the WAL tail is empty — the
+    /// clean-shutdown invariant. No-op without durability.
+    pub fn flush_durability(&mut self) {
+        self.core.store.snapshot_now();
+    }
+
+    /// Announces this (restarted) shard back to the deployment: for every
+    /// hosted object, asks `peer` for the suffix beyond our recovered
+    /// counters (the chunked fetch path — a *delta* resync, not a full
+    /// state transfer) and starts a detection round so peers relearn our
+    /// version vector.
+    pub fn rejoin_from(&mut self, peer: NodeId, ctx: &mut dyn Context<IdeaMsg>) {
+        let objects: Vec<ObjectId> = self.core.store.objects().collect();
+        for object in objects {
+            self.core.ensure_obj(object);
+            if peer != self.core.me {
+                let have = self
+                    .core
+                    .store
+                    .replica(object)
+                    .expect("just listed")
+                    .version()
+                    .counters()
+                    .clone();
+                ctx.send(peer, IdeaMsg::FetchRequest { object, have });
+            }
+            self.detection.request_round(&mut self.core, object, ctx);
+        }
+    }
 }
 
 /// The IDEA middleware node: per-object shards plus node-wide shared state.
@@ -397,11 +438,34 @@ impl IdeaNode {
     }
 
     /// Fallible twin of [`IdeaNode::new`]: validates the configuration
-    /// first and returns the typed violation instead of panicking.
+    /// first and returns the typed violation instead of panicking. With
+    /// durability enabled this is a **fresh genesis** — any previous WAL
+    /// and snapshot files of this identity are discarded; restarting an
+    /// existing identity goes through [`IdeaNode::recover`].
     ///
     /// # Errors
     /// Propagates [`IdeaConfig::validate`]'s [`idea_types::IdeaError`].
+    ///
+    /// # Panics
+    /// Panics when durability is enabled but the WAL files cannot be
+    /// created under `cfg.durability.dir` (fail-stop: a node that cannot
+    /// persist must not acknowledge writes).
     pub fn try_new(me: NodeId, cfg: IdeaConfig, objects: &[ObjectId]) -> Result<Self> {
+        let mut node = Self::build(me, cfg, objects)?;
+        let dcfg = node.config().durability.clone();
+        if dcfg.enabled() {
+            for (i, s) in node.shards.iter_mut().enumerate() {
+                let wal = ShardWal::create(&dcfg, me, i as u32).unwrap_or_else(|e| {
+                    panic!("cannot create WAL files under {:?}: {e}", dcfg.dir)
+                });
+                s.core.store.attach_wal(wal);
+            }
+        }
+        Ok(node)
+    }
+
+    /// Builds the in-memory node (no WAL attached yet).
+    fn build(me: NodeId, cfg: IdeaConfig, objects: &[ObjectId]) -> Result<Self> {
         cfg.validate()?;
         let nshards = cfg.store_shards;
         debug_assert!((1..=MAX_SHARDS).contains(&nshards), "validate() bounds store_shards");
@@ -421,6 +485,49 @@ impl IdeaNode {
             })
             .collect();
         Ok(IdeaNode { shards, shared })
+    }
+
+    /// Restarts an existing node identity from its durable state: each
+    /// shard loads its last snapshot, replays the log tail (torn final
+    /// frame tolerated and truncated), and reattaches the WAL handle for
+    /// appending. Objects in `objects` that were never persisted open
+    /// fresh, so a restart also picks up newly configured objects.
+    ///
+    /// The recovered node carries only what *it* had persisted; updates it
+    /// missed while down are pulled from live peers with
+    /// [`IdeaNode::rejoin_from`] (delta resync over the chunked fetch
+    /// path).
+    ///
+    /// # Errors
+    /// Propagates [`IdeaConfig::validate`]'s [`idea_types::IdeaError`].
+    ///
+    /// # Panics
+    /// Panics when `cfg.durability` is disabled, or when the durable files
+    /// are unreadable or corrupt beyond torn-tail tolerance — fail-stop: a
+    /// restart from a bad log must not silently come back empty.
+    pub fn recover(me: NodeId, cfg: IdeaConfig, objects: &[ObjectId]) -> Result<Self> {
+        assert!(cfg.durability.enabled(), "IdeaNode::recover needs durability enabled");
+        let dcfg = cfg.durability.clone();
+        let mut node = Self::build(me, cfg, objects)?;
+        for (i, shard) in node.shards.iter_mut().enumerate() {
+            let (wal, recovered) = ShardWal::open(&dcfg, me, i as u32).unwrap_or_else(|e| {
+                panic!("cannot recover WAL shard {i} under {:?}: {e}", dcfg.dir)
+            });
+            if !recovered.is_empty() {
+                let mut store = StoreShard::recover(me, WriterId(me.0), &recovered);
+                // Keep newly configured objects that never hit the log.
+                for o in shard.core.store.objects().collect::<Vec<_>>() {
+                    store.open(o);
+                }
+                shard.core.store = store;
+            }
+            // Recovered objects need their protocol-plane state too.
+            for o in shard.core.store.objects().collect::<Vec<_>>() {
+                shard.core.ensure_obj(o);
+            }
+            shard.core.store.attach_wal(wal);
+        }
+        Ok(node)
     }
 
     #[inline]
@@ -621,6 +728,37 @@ impl IdeaNode {
             self.set_weights(w);
         }
         self.shard_for(object).user_dissatisfied(object, None, ctx);
+    }
+
+    // ------------------------------------------------- durability & rejoin
+
+    /// The rolling content digest of every replica this node hosts, XOR'd
+    /// across shards — independent of shard count and delivery
+    /// interleaving, so two converged nodes hosting the same objects
+    /// report equal digests. The one-integer pin the recovery and rejoin
+    /// tests (and the crash-recovery CI gate) compare.
+    pub fn state_hash(&self) -> u64 {
+        self.shards.iter().fold(0, |acc, s| acc ^ s.state_hash())
+    }
+
+    /// Flushes the durability plane for a clean shutdown: every shard
+    /// installs a final snapshot, leaving an empty WAL tail — the next
+    /// [`IdeaNode::recover`] replays nothing. No-op without durability.
+    pub fn flush_durability(&mut self) {
+        for s in &mut self.shards {
+            s.flush_durability();
+        }
+    }
+
+    /// Announces this (restarted) node back to the deployment: every shard
+    /// requests the updates it missed from `peer` as a *delta* against its
+    /// recovered version vectors (the chunked fetch path) and starts
+    /// detection rounds so peers relearn our counters. See
+    /// [`ProtocolShard::rejoin_from`].
+    pub fn rejoin_from(&mut self, peer: NodeId, ctx: &mut dyn Context<IdeaMsg>) {
+        for s in &mut self.shards {
+            s.rejoin_from(peer, ctx);
+        }
     }
 }
 

@@ -42,9 +42,12 @@ pub(super) fn apply_reference(
     ctx: &mut dyn Context<IdeaMsg>,
 ) {
     let my_writer = core.store.writer();
-    let replica = core.store.open(object);
-    let _invalidated = replica.drop_extras(&reference.counts);
-    let have = replica.version().counters().clone();
+    core.store.open(object);
+    // Through the store wrapper so the transition is WAL-logged when
+    // durability is on (a recovering node must not resurrect updates the
+    // reference dropped).
+    let _invalidated = core.store.drop_extras(object, &reference.counts).expect("opened above");
+    let have = core.store.replica(object).expect("opened above").version().counters().clone();
     // Local sequencing resumes from the sanctioned count (see module docs
     // on sequence reuse).
     let resume = reference.counts.get(my_writer).max(have.get(my_writer));

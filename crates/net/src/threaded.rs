@@ -298,13 +298,21 @@ impl<P: Proto + 'static> ThreadedEngine<P> {
     }
 
     /// Stops all threads and returns the final node states in id order.
+    ///
+    /// The router is stopped and joined **first**: its shutdown path
+    /// flushes every message still in the delay heap into the node
+    /// mailboxes, and only after that flush has happened do the nodes get
+    /// their `Stop` envelope — channel FIFO order then guarantees each
+    /// node drains the flushed messages before it exits. (Stopping nodes
+    /// first delivered the flush into mailboxes nobody reads, silently
+    /// dropping in-flight protocol traffic on shutdown.)
     pub fn stop(mut self) -> Vec<P> {
-        for tx in &self.node_txs {
-            let _ = tx.send(Envelope::Stop);
-        }
         let _ = self.router_tx.send(RouterCmd::Stop);
         if let Some(h) = self.router_handle.take() {
             let _ = h.join();
+        }
+        for tx in &self.node_txs {
+            let _ = tx.send(Envelope::Stop);
         }
         self.node_handles.drain(..).map(|h| h.join().expect("node thread panicked")).collect()
     }
@@ -713,15 +721,21 @@ impl<P: ShardedProto + 'static> ShardedEngine<P> {
 
     /// Stops all workers and routers, reassembles each node from its shards
     /// and returns the final node states in id order.
+    ///
+    /// Routers are stopped and joined **before** the workers are told to
+    /// stop, for the same reason as [`ThreadedEngine::stop`]: the router
+    /// shutdown flushes its delay heap into the worker mailboxes, and the
+    /// flush must precede each worker's `Stop` envelope (FIFO) to be
+    /// processed rather than silently dropped.
     pub fn stop(mut self) -> Vec<P> {
-        for tx in &self.worker_txs {
-            let _ = tx.send(ShardEnvelope::Stop);
-        }
         for tx in &self.router_txs {
             let _ = tx.send(RouterCmd::Stop);
         }
         for h in self.router_handles.drain(..) {
             let _ = h.join();
+        }
+        for tx in &self.worker_txs {
+            let _ = tx.send(ShardEnvelope::Stop);
         }
         let mut shards: Vec<P::Shard> = self
             .worker_handles
@@ -991,6 +1005,85 @@ mod tests {
         let now = eng.now();
         assert!(now >= SimTime::from_secs(4), "virtual now {now}");
         eng.stop();
+    }
+
+    #[test]
+    fn stop_delivers_messages_still_in_the_delay_heap() {
+        use crate::latency::{Jitter, LatencyModel};
+        // 200 ms constant delay: the token is guaranteed to still sit in
+        // the router's delay heap when stop() runs right after the send.
+        // The router's shutdown flush must land in a mailbox the node will
+        // still drain (regression: nodes used to be stopped first, so the
+        // flushed message arrived behind Stop and was never processed).
+        let topo = Topology::custom(
+            2,
+            LatencyModel::Constant(SimDuration::from_millis(200)),
+            Jitter::None,
+        );
+        let nodes: Vec<Ring> = (0..2).map(|_| Ring { received: 0, laps: 0 }).collect();
+        let eng =
+            ThreadedEngine::start(topo, ThreadedConfig { seed: 5, ..Default::default() }, nodes);
+        // query (not invoke) so the send has reached the router before
+        // stop() enqueues RouterCmd::Stop behind it.
+        eng.query(NodeId(0), |_, ctx| ctx.send(NodeId(1), Token { hops: 99 }));
+        let states = eng.stop();
+        assert_eq!(states[1].received, 1, "in-flight message dropped on stop");
+    }
+
+    /// Single-shard sharded wrapper over [`Ring`], for the sharded-engine
+    /// twin of the shutdown-flush regression test.
+    struct ShardedRing {
+        shards: Vec<Ring>,
+    }
+
+    impl Proto for ShardedRing {
+        type Msg = Token;
+        fn on_message(&mut self, from: NodeId, msg: Token, ctx: &mut dyn Context<Token>) {
+            self.shards[0].on_message(from, msg, ctx);
+        }
+    }
+
+    impl ShardedProto for ShardedRing {
+        type Shard = Ring;
+        fn shard_count(&self) -> usize {
+            self.shards.len()
+        }
+        fn shard_of(_msg: &Token, _shards: usize) -> usize {
+            0
+        }
+        fn into_shards(self) -> Vec<Ring> {
+            self.shards
+        }
+        fn from_shards(shards: Vec<Ring>) -> Self {
+            ShardedRing { shards }
+        }
+        fn shard_on_start(_shard: &mut Ring, _ctx: &mut dyn Context<Token>) {}
+        fn shard_on_message(
+            shard: &mut Ring,
+            from: NodeId,
+            msg: Token,
+            ctx: &mut dyn Context<Token>,
+        ) {
+            shard.on_message(from, msg, ctx);
+        }
+        fn shard_on_timer(_s: &mut Ring, _t: TimerId, _k: u64, _c: &mut dyn Context<Token>) {}
+    }
+
+    #[test]
+    fn sharded_stop_delivers_messages_still_in_the_delay_heap() {
+        use crate::latency::{Jitter, LatencyModel};
+        let topo = Topology::custom(
+            2,
+            LatencyModel::Constant(SimDuration::from_millis(200)),
+            Jitter::None,
+        );
+        let nodes: Vec<ShardedRing> =
+            (0..2).map(|_| ShardedRing { shards: vec![Ring { received: 0, laps: 0 }] }).collect();
+        let eng =
+            ShardedEngine::start(topo, ThreadedConfig { seed: 6, ..Default::default() }, nodes);
+        eng.query(NodeId(0), 0, |_, ctx| ctx.send(NodeId(1), Token { hops: 99 }));
+        let states = eng.stop();
+        assert_eq!(states[1].shards[0].received, 1, "in-flight message dropped on stop");
     }
 
     #[test]

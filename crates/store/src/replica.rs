@@ -26,6 +26,14 @@ pub struct Checkpoint {
     pub at: SimTime,
 }
 
+impl Checkpoint {
+    /// The retained log length (the WAL logs rollbacks as a truncation to
+    /// this many entries).
+    pub(crate) fn log_len(&self) -> usize {
+        self.log_len
+    }
+}
+
 /// A replica: the applied update log plus its extended version vector.
 #[derive(Debug, Clone)]
 pub struct Replica {
@@ -35,6 +43,12 @@ pub struct Replica {
     /// Out-of-order arrivals waiting for their per-writer predecessor,
     /// keyed by (writer, seq).
     pending: BTreeMap<(WriterId, u64), Update>,
+    /// Rolling content digest: XOR of [`idea_wal::hash::update_hash`] over
+    /// the applied log. Order-independent (two replicas holding the same
+    /// update *set* hash identically regardless of delivery interleaving),
+    /// maintained incrementally on apply and recomputed in the same O(n)
+    /// passes reconcile/drop/rollback already make.
+    hash: u64,
 }
 
 impl Replica {
@@ -45,6 +59,7 @@ impl Replica {
             log: Vec::new(),
             evv: ExtendedVersionVector::new(),
             pending: BTreeMap::new(),
+            hash: 0,
         }
     }
 
@@ -83,6 +98,20 @@ impl Replica {
         self.pending.len()
     }
 
+    /// The buffered out-of-order arrivals, in (writer, seq) order — the
+    /// durability plane snapshots them alongside the applied log so a
+    /// recovered replica buffers exactly what the crashed one did.
+    pub fn pending_updates(&self) -> impl Iterator<Item = &Update> + '_ {
+        self.pending.values()
+    }
+
+    /// The rolling content digest of the applied log (see the field docs):
+    /// equal hashes ⇔ equal applied update sets, w.h.p. One `u64` pins
+    /// recovery and rejoin equivalence.
+    pub fn state_hash(&self) -> u64 {
+        self.hash
+    }
+
     /// True when the update has been applied (not merely buffered).
     pub fn has(&self, id: UpdateId) -> bool {
         self.evv.count(id.writer) >= id.seq
@@ -112,6 +141,7 @@ impl Replica {
 
     fn apply_in_order(&mut self, update: Update) {
         self.evv.record(update.writer(), update.seq(), update.at, update.meta_delta);
+        self.hash ^= idea_wal::hash::update_hash(&update);
         self.log.push(update);
     }
 
@@ -147,12 +177,15 @@ impl Replica {
     /// surface them to the application (e.g. re-issue or discard).
     pub fn reconcile_to(&mut self, reference_log: &[Update]) -> Vec<Update> {
         let mut evv = ExtendedVersionVector::new();
+        let mut hash = 0u64;
         for u in reference_log {
             evv.record(u.writer(), u.seq(), u.at, u.meta_delta);
+            hash ^= idea_wal::hash::update_hash(u);
         }
         let extras = self.log.iter().filter(|u| evv.count(u.writer()) < u.seq()).cloned().collect();
         self.log = reference_log.to_vec();
         self.evv = evv;
+        self.hash = hash;
         self.pending.clear();
         extras
     }
@@ -172,11 +205,14 @@ impl Replica {
         let (keep, dropped): (Vec<Update>, Vec<Update>) =
             self.log.drain(..).partition(|u| u.seq() <= counts.get(u.writer()));
         let mut evv = ExtendedVersionVector::new();
+        let mut hash = 0u64;
         for u in &keep {
             evv.record(u.writer(), u.seq(), u.at, u.meta_delta);
+            hash ^= idea_wal::hash::update_hash(u);
         }
         self.log = keep;
         self.evv = evv;
+        self.hash = hash;
         self.pending.clear();
         dropped
     }
@@ -198,10 +234,13 @@ impl Replica {
         }
         let dropped: Vec<Update> = self.log.split_off(cp.log_len);
         let mut evv = ExtendedVersionVector::new();
+        let mut hash = 0u64;
         for u in &self.log {
             evv.record(u.writer(), u.seq(), u.at, u.meta_delta);
+            hash ^= idea_wal::hash::update_hash(u);
         }
         self.evv = evv;
+        self.hash = hash;
         self.pending.clear();
         Ok(dropped)
     }
@@ -399,6 +438,9 @@ mod tests {
                 .version()
                 .triple_against(in_order.version())
                 .is_zero());
+            // The rolling digest is delivery-order independent: same update
+            // set, same hash.
+            prop_assert_eq!(reordered.state_hash(), in_order.state_hash());
         }
 
         #[test]
@@ -439,9 +481,19 @@ mod tests {
             for u in &updates[cut..] {
                 r.apply(u.clone()).unwrap();
             }
+            let hash_at_cp = {
+                let mut fresh = Replica::new(OBJ);
+                for u in &snapshot_log {
+                    fresh.apply(u.clone()).unwrap();
+                }
+                fresh.state_hash()
+            };
             r.rollback(&cp).unwrap();
             prop_assert_eq!(r.log(), &snapshot_log[..]);
             prop_assert_eq!(r.meta(), snapshot_meta);
+            // Rollback's hash recomputation lands exactly on the prefix's
+            // incrementally-maintained digest.
+            prop_assert_eq!(r.state_hash(), hash_at_cp);
         }
     }
 }

@@ -8,11 +8,12 @@
 //! [`idea_types::ShardId`] so every layer agrees on it;
 //! [`crate::ShardedStore`] is the whole-node composition.
 
-use crate::replica::{ApplyOutcome, Replica};
+use crate::replica::{ApplyOutcome, Checkpoint, Replica};
 use idea_types::{
     IdeaError, NodeId, ObjectId, Result, SimTime, Update, UpdateId, UpdatePayload, WriterId,
 };
-use idea_vv::ExtendedVersionVector;
+use idea_vv::{ExtendedVersionVector, VersionVector};
+use idea_wal::{ObjectSnapshot, Recovered, ShardSnapshot, ShardWal, WalRecord};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// What a read returns: the replica's current value view (owned).
@@ -70,7 +71,7 @@ impl SnapshotView<'_> {
 
 /// The replicas of one shard, behind the same read/write API as the whole
 /// store.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct StoreShard {
     node: NodeId,
     writer: WriterId,
@@ -84,6 +85,27 @@ pub struct StoreShard {
     /// round per dirty object. Remote ingests do *not* dirty — only local
     /// triggers start probes (§4.2).
     dirty: BTreeSet<ObjectId>,
+    /// The attached write-ahead log, when durability is on. Every sanctioned
+    /// mutation appends a [`WalRecord`] before it is applied; the handle
+    /// also owns snapshot installation ([`StoreShard::snapshot_now`]).
+    wal: Option<ShardWal>,
+}
+
+impl Clone for StoreShard {
+    /// Clones the in-memory state only: the clone has **no** attached WAL
+    /// (a file handle cannot be meaningfully duplicated, and a cloned shard
+    /// appending to the original's log would corrupt replay order). Clones
+    /// are in-memory working copies — baselines, tests, harness snapshots.
+    fn clone(&self) -> Self {
+        StoreShard {
+            node: self.node,
+            writer: self.writer,
+            replicas: self.replicas.clone(),
+            next_seq: self.next_seq.clone(),
+            dirty: self.dirty.clone(),
+            wal: None,
+        }
+    }
 }
 
 impl StoreShard {
@@ -95,6 +117,7 @@ impl StoreShard {
             replicas: BTreeMap::new(),
             next_seq: BTreeMap::new(),
             dirty: BTreeSet::new(),
+            wal: None,
         }
     }
 
@@ -108,9 +131,14 @@ impl StoreShard {
         self.writer
     }
 
-    /// Creates (or returns) the replica of `object`.
+    /// Creates (or returns) the replica of `object`. First creation is a
+    /// sanctioned transition and is WAL-logged when durability is on.
     pub fn open(&mut self, object: ObjectId) -> &mut Replica {
-        self.replicas.entry(object).or_insert_with(|| Replica::new(object))
+        if !self.replicas.contains_key(&object) {
+            self.log_wal(WalRecord::Open { object });
+            self.replicas.insert(object, Replica::new(object));
+        }
+        self.replicas.get_mut(&object).expect("just inserted")
     }
 
     /// Immutable access to a replica.
@@ -157,7 +185,11 @@ impl StoreShard {
             payload,
         };
         *seq += 1;
-        let replica = self.open(object);
+        self.open(object);
+        if self.wal.is_some() {
+            self.log_wal(WalRecord::Write { update: update.clone() });
+        }
+        let replica = self.replicas.get_mut(&object).expect("opened above");
         let outcome = replica.apply(update.clone()).expect("own write applies");
         debug_assert_eq!(outcome, ApplyOutcome::Applied, "local writes are in order");
         self.dirty.insert(object);
@@ -171,8 +203,18 @@ impl StoreShard {
     /// Fails when no replica of the object exists (`open` it first).
     pub fn ingest(&mut self, update: Update) -> Result<ApplyOutcome> {
         let object = update.object;
-        let replica = self.replicas.get_mut(&object).ok_or(IdeaError::UnknownObject(object))?;
-        replica.apply(update)
+        let seen = self
+            .replicas
+            .get(&object)
+            .ok_or(IdeaError::UnknownObject(object))?
+            .version()
+            .count(update.writer());
+        // Already-applied duplicates are not re-logged; new updates are —
+        // including out-of-order ones the replica will buffer as pending.
+        if seen < update.seq() && self.wal.is_some() {
+            self.log_wal(WalRecord::Ingest { update: update.clone() });
+        }
+        self.replicas.get_mut(&object).expect("checked above").apply(update)
     }
 
     /// Reads the current snapshot of `object` (owned; clones the version).
@@ -201,6 +243,7 @@ impl StoreShard {
     /// Resets the local write sequence to continue after `seq` (used after a
     /// reconciliation re-sequenced this writer's extra updates).
     pub fn resume_writes_after(&mut self, object: ObjectId, seq: u64) {
+        self.log_wal(WalRecord::ResumeSeq { object, seq });
         self.next_seq.insert(object, seq + 1);
     }
 
@@ -217,6 +260,201 @@ impl StoreShard {
     /// Objects currently marked dirty.
     pub fn dirty_len(&self) -> usize {
         self.dirty.len()
+    }
+
+    // ------------------------------------------------------- durability
+
+    /// Attaches a WAL handle: every sanctioned mutation from here on is
+    /// appended before it is applied. A fresh identity attaches
+    /// [`ShardWal::create`]'s genesis log; a restart replays first
+    /// ([`StoreShard::recover`]) and then reattaches [`ShardWal::open`]'s
+    /// handle.
+    pub fn attach_wal(&mut self, wal: ShardWal) {
+        self.wal = Some(wal);
+    }
+
+    /// The attached WAL, if durability is on (introspection/tests).
+    pub fn wal(&self) -> Option<&ShardWal> {
+        self.wal.as_ref()
+    }
+
+    /// Forces buffered WAL appends to disk (the Async mode's clean-shutdown
+    /// flush; no-op without a WAL).
+    pub fn sync_wal(&mut self) {
+        if let Some(w) = self.wal.as_mut() {
+            w.sync().expect("WAL sync failed: cannot guarantee durability");
+        }
+    }
+
+    /// Appends `rec` when a WAL is attached, then installs a snapshot once
+    /// the tail passes the configured threshold. Append-path I/O failure is
+    /// fail-stop: a replica that cannot persist must not acknowledge
+    /// writes.
+    fn log_wal(&mut self, rec: WalRecord) {
+        if self.wal.is_none() {
+            return;
+        }
+        // Snapshot *before* appending: records are logged ahead of their
+        // in-memory application, so right now every record already in the
+        // tail is applied — snapshotting here is consistent, and `rec`
+        // lands in the fresh tail instead of being truncated unapplied.
+        if self.wal.as_ref().expect("checked above").should_snapshot() {
+            self.snapshot_now();
+        }
+        self.wal
+            .as_mut()
+            .expect("checked above")
+            .append(&rec)
+            .expect("WAL append failed: cannot guarantee durability");
+    }
+
+    /// Captures the shard's full in-memory state: next sequence numbers,
+    /// applied logs, and buffered out-of-order (pending) updates.
+    pub fn to_snapshot(&self, shard: u32) -> ShardSnapshot {
+        ShardSnapshot {
+            node: self.node,
+            writer: self.writer,
+            shard,
+            objects: self
+                .replicas
+                .iter()
+                .map(|(object, r)| ObjectSnapshot {
+                    object: *object,
+                    next_seq: self.next_seq.get(object).copied().unwrap_or(0),
+                    log: r.log().to_vec(),
+                    pending: r.pending_updates().cloned().collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Installs a durable snapshot now and truncates the log behind it
+    /// (no-op without a WAL). Clean shutdown ends with this so a restart
+    /// sees an empty tail.
+    pub fn snapshot_now(&mut self) {
+        let Some(shard) = self.wal.as_ref().map(ShardWal::shard) else { return };
+        let snap = self.to_snapshot(shard);
+        self.wal
+            .as_mut()
+            .expect("checked above")
+            .install_snapshot(&snap)
+            .expect("WAL snapshot failed: cannot guarantee durability");
+    }
+
+    /// Rebuilds a shard from recovered durable state: the snapshot first,
+    /// then the log tail replayed in append order. The result has no WAL
+    /// attached — the caller reattaches the truncated handle afterwards.
+    pub fn recover(node: NodeId, writer: WriterId, recovered: &Recovered) -> StoreShard {
+        let mut s = StoreShard::new(node, writer);
+        if let Some(snap) = &recovered.snapshot {
+            for os in &snap.objects {
+                let r = s.open(os.object);
+                for u in &os.log {
+                    let _ = r.apply(u.clone());
+                }
+                for u in &os.pending {
+                    let _ = r.apply(u.clone());
+                }
+                if os.next_seq > 0 {
+                    s.next_seq.insert(os.object, os.next_seq);
+                }
+            }
+        }
+        for rec in &recovered.tail {
+            s.replay(rec);
+        }
+        s.dirty.clear();
+        s
+    }
+
+    /// Re-applies one logged record to in-memory state. Replay is exactly
+    /// the mutation the record describes — no WAL appends (none is
+    /// attached yet), no dirty marks.
+    fn replay(&mut self, rec: &WalRecord) {
+        match rec {
+            WalRecord::Open { object } => {
+                self.open(*object);
+            }
+            WalRecord::Write { update } => {
+                let next = self.next_seq.entry(update.object).or_insert(1);
+                *next = (*next).max(update.seq() + 1);
+                let _ = self.open(update.object).apply(update.clone());
+            }
+            WalRecord::Ingest { update } => {
+                let _ = self.open(update.object).apply(update.clone());
+            }
+            WalRecord::Reconcile { object, log } => {
+                self.open(*object).reconcile_to(log);
+            }
+            WalRecord::DropExtras { object, counts } => {
+                self.open(*object).drop_extras(counts);
+            }
+            WalRecord::ResumeSeq { object, seq } => {
+                self.next_seq.insert(*object, *seq + 1);
+            }
+            WalRecord::Truncate { object, keep } => {
+                let r = self.open(*object);
+                let keep = (*keep as usize).min(r.len());
+                let prefix = r.log()[..keep].to_vec();
+                r.reconcile_to(&prefix);
+            }
+        }
+    }
+
+    /// Reconciles `object`'s replica to the sanctioned reference log,
+    /// WAL-logging the transition first. See [`Replica::reconcile_to`].
+    ///
+    /// # Errors
+    /// Fails when no replica of the object exists.
+    pub fn reconcile_to(
+        &mut self,
+        object: ObjectId,
+        reference_log: &[Update],
+    ) -> Result<Vec<Update>> {
+        self.replica(object)?;
+        if self.wal.is_some() {
+            self.log_wal(WalRecord::Reconcile { object, log: reference_log.to_vec() });
+        }
+        Ok(self.replicas.get_mut(&object).expect("checked above").reconcile_to(reference_log))
+    }
+
+    /// Drops updates beyond the sanctioned `counts`, WAL-logging the
+    /// transition first. See [`Replica::drop_extras`].
+    ///
+    /// # Errors
+    /// Fails when no replica of the object exists.
+    pub fn drop_extras(&mut self, object: ObjectId, counts: &VersionVector) -> Result<Vec<Update>> {
+        self.replica(object)?;
+        if self.wal.is_some() {
+            self.log_wal(WalRecord::DropExtras { object, counts: counts.clone() });
+        }
+        Ok(self.replicas.get_mut(&object).expect("checked above").drop_extras(counts))
+    }
+
+    /// Rolls `object` back to `cp`, WAL-logging the truncation once it
+    /// succeeds: the record is deterministic, so log-after-apply is safe
+    /// here and avoids logging a rollback the replica then rejects.
+    ///
+    /// # Errors
+    /// Fails when no replica of the object exists or the checkpoint is
+    /// beyond the current log.
+    pub fn rollback(&mut self, object: ObjectId, cp: &Checkpoint) -> Result<Vec<Update>> {
+        let keep = cp.log_len() as u64;
+        let dropped = self.replica_mut(object)?.rollback(cp)?;
+        if self.wal.is_some() {
+            self.log_wal(WalRecord::Truncate { object, keep });
+        }
+        Ok(dropped)
+    }
+
+    /// The rolling content digest of every replica in this shard: each
+    /// object's [`Replica::state_hash`] folded through
+    /// [`idea_wal::hash::object_hash`] and XOR-combined, so the node-level
+    /// digest is independent of shard count and delivery interleaving.
+    pub fn state_hash(&self) -> u64 {
+        self.replicas
+            .iter()
+            .fold(0, |acc, (o, r)| acc ^ idea_wal::hash::object_hash(*o, r.state_hash()))
     }
 }
 
@@ -277,5 +515,157 @@ mod tests {
         s.open(ObjectId(2));
         assert_eq!(s.len(), 2);
         assert!(!s.is_empty());
+    }
+
+    // --------------------------------------------------- durability tests
+
+    use idea_wal::DurabilityConfig;
+
+    fn tmp_cfg(tag: &str) -> DurabilityConfig {
+        let dir =
+            std::env::temp_dir().join(format!("idea-store-shard-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        DurabilityConfig::sync(dir)
+    }
+
+    fn remote(object: u64, writer: u32, seq: u64, delta: i64) -> Update {
+        Update {
+            object: ObjectId(object),
+            id: UpdateId { writer: WriterId(writer), seq },
+            at: SimTime::from_secs(seq),
+            meta_delta: delta,
+            payload: payload(),
+        }
+    }
+
+    fn reopen(cfg: &DurabilityConfig) -> StoreShard {
+        let (wal, recovered) = ShardWal::open(cfg, NodeId(0), 0).unwrap();
+        let mut s = StoreShard::recover(NodeId(0), WriterId(0), &recovered);
+        s.attach_wal(wal);
+        s
+    }
+
+    #[test]
+    fn wal_replay_rebuilds_writes_ingests_and_pending() {
+        let cfg = tmp_cfg("replay");
+        let mut s = shard(0);
+        s.attach_wal(ShardWal::create(&cfg, NodeId(0), 0).unwrap());
+        s.open(ObjectId(1));
+        s.write(ObjectId(1), SimTime::from_secs(1), 3, payload());
+        s.write(ObjectId(1), SimTime::from_secs(2), -1, payload());
+        // A remote writer arriving out of order: seq 2 buffers as pending,
+        // seq 1 releases both.
+        s.ingest(remote(1, 9, 2, 10)).unwrap();
+        s.ingest(remote(1, 9, 1, 4)).unwrap();
+        // A duplicate must not be re-logged (replay would still dedup, but
+        // the log should stay minimal).
+        s.ingest(remote(1, 9, 1, 4)).unwrap();
+        let expect_hash = s.state_hash();
+        let expect_meta = s.read(ObjectId(1)).unwrap().meta;
+        drop(s);
+
+        let mut r = reopen(&cfg);
+        assert_eq!(r.state_hash(), expect_hash, "recovered digest pins equality");
+        assert_eq!(r.read(ObjectId(1)).unwrap().meta, expect_meta);
+        // Local sequencing also recovered: the next write continues at 3.
+        let u = r.write(ObjectId(1), SimTime::from_secs(3), 1, payload());
+        assert_eq!(u.seq(), 3);
+        std::fs::remove_dir_all(&cfg.dir).unwrap();
+    }
+
+    #[test]
+    fn pending_survives_via_snapshot() {
+        let cfg = tmp_cfg("pending-snap");
+        let mut s = shard(0);
+        s.attach_wal(ShardWal::create(&cfg, NodeId(0), 0).unwrap());
+        s.open(ObjectId(1));
+        // seq 2 with no seq 1: stays pending (not part of the applied log).
+        s.ingest(remote(1, 9, 2, 10)).unwrap();
+        let hash_with_pending = s.state_hash();
+        s.snapshot_now();
+        assert_eq!(s.wal().unwrap().tail_records(), 0);
+        drop(s);
+
+        let mut r = reopen(&cfg);
+        assert_eq!(r.state_hash(), hash_with_pending);
+        // The buffered update is still live: seq 1 releases both.
+        r.ingest(remote(1, 9, 1, 4)).unwrap();
+        assert_eq!(r.read(ObjectId(1)).unwrap().updates, 2);
+        std::fs::remove_dir_all(&cfg.dir).unwrap();
+    }
+
+    #[test]
+    fn reference_transitions_replay_exactly() {
+        let cfg = tmp_cfg("reference");
+        let mut s = shard(0);
+        s.attach_wal(ShardWal::create(&cfg, NodeId(0), 0).unwrap());
+        s.open(ObjectId(1));
+        for i in 1..=4 {
+            s.write(ObjectId(1), SimTime::from_secs(i), 1, payload());
+        }
+        // A sanctioned reference keeps only this writer's first two updates.
+        let reference: Vec<Update> = s.replica(ObjectId(1)).unwrap().log()[..2].to_vec();
+        let invalidated = s.reconcile_to(ObjectId(1), &reference).unwrap();
+        assert_eq!(invalidated.len(), 2);
+        s.resume_writes_after(ObjectId(1), 2);
+        let expect_hash = s.state_hash();
+        drop(s);
+
+        let mut r = reopen(&cfg);
+        assert_eq!(r.state_hash(), expect_hash);
+        let u = r.write(ObjectId(1), SimTime::from_secs(9), 1, payload());
+        assert_eq!(u.seq(), 3, "ResumeSeq replays");
+        std::fs::remove_dir_all(&cfg.dir).unwrap();
+    }
+
+    #[test]
+    fn drop_extras_and_rollback_replay() {
+        let cfg = tmp_cfg("dropex");
+        let mut s = shard(0);
+        s.attach_wal(ShardWal::create(&cfg, NodeId(0), 0).unwrap());
+        s.open(ObjectId(1));
+        s.write(ObjectId(1), SimTime::from_secs(1), 1, payload());
+        s.write(ObjectId(1), SimTime::from_secs(2), 1, payload());
+        s.ingest(remote(1, 9, 1, 7)).unwrap();
+        let counts = idea_vv::VersionVector::from_pairs([(WriterId(0), 1), (WriterId(9), 1)]);
+        let dropped = s.drop_extras(ObjectId(1), &counts).unwrap();
+        assert_eq!(dropped.len(), 1);
+        let expect_hash = s.state_hash();
+        drop(s);
+
+        let r = reopen(&cfg);
+        assert_eq!(r.state_hash(), expect_hash);
+        std::fs::remove_dir_all(&cfg.dir).unwrap();
+    }
+
+    #[test]
+    fn threshold_snapshot_truncates_and_recovers() {
+        let cfg = DurabilityConfig { snapshot_every: 4, ..tmp_cfg("threshold") };
+        let mut s = shard(0);
+        s.attach_wal(ShardWal::create(&cfg, NodeId(0), 0).unwrap());
+        s.open(ObjectId(1));
+        for i in 1..=20 {
+            s.write(ObjectId(1), SimTime::from_secs(i), 1, payload());
+        }
+        assert!(s.wal().unwrap().tail_records() < 20, "threshold snapshots keep the tail bounded");
+        let expect_hash = s.state_hash();
+        drop(s);
+
+        let r = reopen(&cfg);
+        assert_eq!(r.state_hash(), expect_hash);
+        assert_eq!(r.read(ObjectId(1)).unwrap().updates, 20);
+        std::fs::remove_dir_all(&cfg.dir).unwrap();
+    }
+
+    #[test]
+    fn clone_detaches_the_wal() {
+        let cfg = tmp_cfg("clone");
+        let mut s = shard(0);
+        s.attach_wal(ShardWal::create(&cfg, NodeId(0), 0).unwrap());
+        s.write(ObjectId(1), SimTime::from_secs(1), 1, payload());
+        let c = s.clone();
+        assert!(c.wal().is_none(), "clones are in-memory working copies");
+        assert_eq!(c.state_hash(), s.state_hash());
+        std::fs::remove_dir_all(&cfg.dir).unwrap();
     }
 }

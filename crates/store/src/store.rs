@@ -168,6 +168,39 @@ impl ShardedStore {
     pub fn resume_writes_after(&mut self, object: ObjectId, seq: u64) {
         self.owning_mut(object).resume_writes_after(object, seq);
     }
+
+    /// Reconciles `object`'s replica to the sanctioned reference log
+    /// (WAL-logged when durability is on). See [`StoreShard::reconcile_to`].
+    ///
+    /// # Errors
+    /// Fails when no replica of the object exists.
+    pub fn reconcile_to(
+        &mut self,
+        object: ObjectId,
+        reference_log: &[Update],
+    ) -> Result<Vec<Update>> {
+        self.owning_mut(object).reconcile_to(object, reference_log)
+    }
+
+    /// Drops updates beyond the sanctioned `counts` (WAL-logged when
+    /// durability is on). See [`StoreShard::drop_extras`].
+    ///
+    /// # Errors
+    /// Fails when no replica of the object exists.
+    pub fn drop_extras(
+        &mut self,
+        object: ObjectId,
+        counts: &idea_vv::VersionVector,
+    ) -> Result<Vec<Update>> {
+        self.owning_mut(object).drop_extras(object, counts)
+    }
+
+    /// The rolling content digest of every hosted replica, XOR-folded so
+    /// the value is independent of shard count and delivery interleaving.
+    /// Two converged nodes hosting the same objects report the same digest.
+    pub fn state_hash(&self) -> u64 {
+        self.shards.iter().fold(0, |acc, s| acc ^ s.state_hash())
+    }
 }
 
 #[cfg(test)]
@@ -323,6 +356,21 @@ mod tests {
             out
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn state_hash_is_shard_count_independent() {
+        let run = |shards: usize| {
+            let mut s = ShardedStore::with_shards(NodeId(0), WriterId(0), shards);
+            for obj in 0..16u64 {
+                s.open(ObjectId(obj));
+                s.write(ObjectId(obj), SimTime::from_secs(obj), obj as i64, payload());
+            }
+            s.state_hash()
+        };
+        assert_eq!(run(1), run(4), "the digest must not depend on partitioning");
+        assert_ne!(run(1), 0);
+        assert_ne!(run(1), ShardedStore::new(NodeId(0), WriterId(0)).state_hash());
     }
 
     #[test]

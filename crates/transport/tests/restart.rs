@@ -1,0 +1,173 @@
+//! Served-engine restart pins: a durability-enabled `ShardedEngine` behind
+//! `IdeaServer`/`RemoteEngine` over real loopback TCP survives both a
+//! clean shutdown and an unflushed kill, and restarts into a node whose
+//! replica content (`state_hash`) is bit-identical — then serves again.
+//!
+//! This is the test the CI `crash-recovery-smoke` job drives in release
+//! mode.
+
+use idea_core::{Command, DurabilityConfig, IdeaConfig, IdeaNode, Response, Session};
+use idea_net::{ShardedEngine, ThreadedConfig, Topology};
+use idea_transport::{IdeaServer, RemoteEngine};
+use idea_types::{NodeId, ObjectId, UpdatePayload};
+use idea_wal::ShardWal;
+use std::sync::Arc;
+
+const OBJECTS: [ObjectId; 4] = [ObjectId(1), ObjectId(2), ObjectId(3), ObjectId(7)];
+const N: usize = 2;
+const SHARDS: usize = 2;
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("idea-transport-restart-{}-{tag}", std::process::id()))
+}
+
+fn cfg_with(dir: std::path::PathBuf) -> IdeaConfig {
+    IdeaConfig {
+        store_shards: SHARDS,
+        durability: DurabilityConfig::sync(dir),
+        ..IdeaConfig::default()
+    }
+}
+
+fn build(nodes: Vec<IdeaNode>) -> ShardedEngine<IdeaNode> {
+    ShardedEngine::start(
+        Topology::lan(N),
+        ThreadedConfig { seed: 5, time_scale: 0.01, shards: SHARDS },
+        nodes,
+    )
+}
+
+fn fresh_nodes(cfg: &IdeaConfig) -> Vec<IdeaNode> {
+    (0..N).map(|i| IdeaNode::new(NodeId(i as u32), cfg.clone(), &OBJECTS)).collect()
+}
+
+/// Drives an acknowledged write workload through the remote session layer:
+/// every write below was applied (and, under Sync, persisted) before this
+/// function returns.
+fn workload(remote: &mut RemoteEngine, rounds: i64) {
+    for round in 0..rounds {
+        for node in 0..N as u32 {
+            for &obj in &OBJECTS {
+                let mut session = Session::open(remote, NodeId(node));
+                session
+                    .object(obj)
+                    .write(round + 1 + i64::from(node), UpdatePayload::none())
+                    .expect("acknowledged write");
+            }
+        }
+    }
+}
+
+fn meta_of(remote: &mut RemoteEngine, node: u32, obj: ObjectId) -> i64 {
+    match Session::open(remote, NodeId(node)).execute(Command::Peek { object: obj }) {
+        Response::Value { read } => read.meta,
+        other => panic!("peek failed: {other:?}"),
+    }
+}
+
+/// Serve → workload → clean shutdown (flush) → empty WAL tails → recover →
+/// bit-identical content → serve the recovered deployment again.
+#[test]
+fn clean_shutdown_flushes_and_recovers_bit_identical() {
+    let dir = tmp_dir("clean");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = cfg_with(dir.clone());
+
+    // Phase 1: serve a fresh deployment and drive acknowledged writes.
+    let engine = Arc::new(build(fresh_nodes(&cfg)));
+    let server = IdeaServer::bind("127.0.0.1:0", engine.clone()).expect("bind loopback");
+    let mut remote = RemoteEngine::connect_pool(server.local_addr(), 2).expect("connect pool");
+    workload(&mut remote, 3);
+    let metas: Vec<i64> = OBJECTS.iter().map(|&o| meta_of(&mut remote, 0, o)).collect();
+
+    // Clean shutdown: release the server, take the nodes back, flush.
+    server.stop();
+    drop(remote);
+    let engine = Arc::try_unwrap(engine).ok().expect("server released the engine");
+    let mut nodes = engine.stop();
+    let hashes: Vec<u64> = nodes.iter().map(IdeaNode::state_hash).collect();
+    for node in &mut nodes {
+        node.flush_durability();
+    }
+    drop(nodes);
+
+    // The clean-shutdown invariant: every shard's WAL tail is empty.
+    for n in 0..N as u32 {
+        for s in 0..SHARDS as u32 {
+            let r = ShardWal::load(&cfg.durability, NodeId(n), s).expect("readable WAL");
+            assert!(r.tail.is_empty(), "node {n} shard {s}: non-empty tail after flush");
+            assert_eq!(r.torn_bytes, 0, "node {n} shard {s}: torn bytes after clean stop");
+        }
+    }
+
+    // Restart: recover every node and pin content bit-identical.
+    let recovered: Vec<IdeaNode> = (0..N as u32)
+        .map(|i| IdeaNode::recover(NodeId(i), cfg.clone(), &OBJECTS).expect("valid config"))
+        .collect();
+    for (i, (node, &h)) in recovered.iter().zip(&hashes).enumerate() {
+        assert_eq!(node.state_hash(), h, "node {i}: recovered state diverged");
+    }
+
+    // The recovered deployment serves again, with the pre-restart values.
+    let engine = Arc::new(build(recovered));
+    let server = IdeaServer::bind("127.0.0.1:0", engine.clone()).expect("bind loopback");
+    let mut remote = RemoteEngine::connect(server.local_addr()).expect("connect");
+    for (&obj, &meta) in OBJECTS.iter().zip(&metas) {
+        assert_eq!(meta_of(&mut remote, 0, obj), meta, "{obj:?}: meta lost across restart");
+    }
+    server.stop();
+    drop(remote);
+    let engine = Arc::try_unwrap(engine).ok().expect("server released the engine");
+    let _ = engine.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Kill without a flush: under Sync every acknowledged write hit the log
+/// before its response, so recovery replays the whole tail and lands on
+/// exactly the killed node's state — and keeps serving new writes.
+#[test]
+fn unflushed_kill_recovers_every_acknowledged_write() {
+    let dir = tmp_dir("kill");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = cfg_with(dir.clone());
+
+    let engine = Arc::new(build(fresh_nodes(&cfg)));
+    let server = IdeaServer::bind("127.0.0.1:0", engine.clone()).expect("bind loopback");
+    let mut remote = RemoteEngine::connect(server.local_addr()).expect("connect");
+    workload(&mut remote, 2);
+
+    // Kill: tear the service down with NO durability flush — the WAL tail
+    // alone must carry the state.
+    server.stop();
+    drop(remote);
+    let engine = Arc::try_unwrap(engine).ok().expect("server released the engine");
+    let nodes = engine.stop();
+    let hashes: Vec<u64> = nodes.iter().map(IdeaNode::state_hash).collect();
+    drop(nodes);
+
+    let recovered: Vec<IdeaNode> = (0..N as u32)
+        .map(|i| IdeaNode::recover(NodeId(i), cfg.clone(), &OBJECTS).expect("valid config"))
+        .collect();
+    for (i, (node, &h)) in recovered.iter().zip(&hashes).enumerate() {
+        assert_eq!(node.state_hash(), h, "node {i}: unflushed recovery diverged");
+        assert!(h != 0, "node {i}: workload must leave non-empty content");
+    }
+
+    // The recovered deployment accepts new writes where the old left off.
+    let engine = Arc::new(build(recovered));
+    let server = IdeaServer::bind("127.0.0.1:0", engine.clone()).expect("bind loopback");
+    let mut remote = RemoteEngine::connect(server.local_addr()).expect("connect");
+    let before = meta_of(&mut remote, 0, OBJECTS[0]);
+    let update = Session::open(&mut remote, NodeId(0))
+        .object(OBJECTS[0])
+        .write(7, UpdatePayload::none())
+        .expect("write after restart");
+    assert!(update.seq() > 2, "writer sequence must resume, not restart: {}", update.seq());
+    assert_eq!(meta_of(&mut remote, 0, OBJECTS[0]), before + 7);
+
+    server.stop();
+    drop(remote);
+    let engine = Arc::try_unwrap(engine).ok().expect("server released the engine");
+    let _ = engine.stop();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

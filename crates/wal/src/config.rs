@@ -1,0 +1,85 @@
+//! The durability policy knobs a node is built with.
+
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// When (if ever) WAL appends reach the disk platter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DurabilityMode {
+    /// No durability: no files are created, no records are written. The
+    /// default — every pinned fixed-seed trace runs exactly as before.
+    #[default]
+    Off,
+    /// Records are appended through the OS page cache without fsync; the
+    /// log survives a process crash but not a host crash. Snapshots are
+    /// still written durably (tmp + fsync + rename).
+    Async,
+    /// Every append is followed by `fdatasync` before the write is
+    /// acknowledged — survives host crashes at per-write fsync cost.
+    Sync,
+}
+
+/// Durability configuration of one node (carried in `IdeaConfig`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DurabilityConfig {
+    /// Fsync policy; [`DurabilityMode::Off`] disables the plane entirely.
+    pub mode: DurabilityMode,
+    /// After this many log records a shard writes a durable snapshot and
+    /// truncates its log. Must be positive when the plane is on.
+    pub snapshot_every: u64,
+    /// Root directory for WAL and snapshot files (one subdirectory per
+    /// node). Must be non-empty when the plane is on.
+    pub dir: PathBuf,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig { mode: DurabilityMode::Off, snapshot_every: 1024, dir: PathBuf::new() }
+    }
+}
+
+impl DurabilityConfig {
+    /// Durability disabled (the default).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Per-append fsync durability rooted at `dir`.
+    pub fn sync(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig { mode: DurabilityMode::Sync, dir: dir.into(), ..Self::default() }
+    }
+
+    /// Page-cache (no fsync) durability rooted at `dir`.
+    pub fn buffered(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig { mode: DurabilityMode::Async, dir: dir.into(), ..Self::default() }
+    }
+
+    /// True when the plane writes anything at all.
+    pub fn enabled(&self) -> bool {
+        self.mode != DurabilityMode::Off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_off() {
+        let c = DurabilityConfig::default();
+        assert_eq!(c.mode, DurabilityMode::Off);
+        assert!(!c.enabled());
+        assert!(c.snapshot_every > 0);
+    }
+
+    #[test]
+    fn constructors_set_mode_and_dir() {
+        let s = DurabilityConfig::sync("/tmp/x");
+        assert_eq!(s.mode, DurabilityMode::Sync);
+        assert!(s.enabled());
+        assert_eq!(s.dir, PathBuf::from("/tmp/x"));
+        let a = DurabilityConfig::buffered("/tmp/y");
+        assert_eq!(a.mode, DurabilityMode::Async);
+        assert!(a.enabled());
+    }
+}

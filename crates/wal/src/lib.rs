@@ -1,0 +1,42 @@
+//! The durability plane under the sharded store: a per-shard append-only
+//! write-ahead log plus periodic snapshots, so a node survives a crash and
+//! re-enters the deployment by **recovery + rejoin-by-delta** instead of a
+//! full state transfer.
+//!
+//! Layering: this crate sits between `idea-vv` and `idea-store` — it knows
+//! the serializable substrate types ([`idea_types::Update`],
+//! [`idea_vv::VersionVector`]) but nothing about replicas or the protocol.
+//! `idea-store` attaches a [`ShardWal`] to each `StoreShard` and feeds it
+//! [`WalRecord`]s; `idea-core` owns the policy ([`DurabilityConfig`]) and
+//! the recovery/rejoin choreography.
+//!
+//! On-disk layout under `DurabilityConfig::dir`:
+//!
+//! ```text
+//! <dir>/node-<n>/wal-<s>.log    # magic "IDEAWAL1" + framed records
+//! <dir>/node-<n>/snap-<s>.bin   # magic "IDEASNP1" + one framed snapshot
+//! ```
+//!
+//! Every frame is `[len: u32 LE][crc32: u32 LE][payload]` — the same
+//! length-prefixed, checksummed idiom as the transport codec
+//! (`idea-transport` depends on `idea-core`, so the trait itself cannot be
+//! reused here; [`codec::WalCodec`] mirrors it). Replay is torn-tail
+//! tolerant: a truncated or checksum-corrupt final frame marks the crash
+//! point and everything before it is recovered; a checksum-*valid* frame
+//! that fails to decode is real corruption and surfaces as an error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod config;
+pub mod hash;
+pub mod log;
+pub mod record;
+pub mod snapshot;
+
+pub use codec::{CodecError, WalCodec, WalReader};
+pub use config::{DurabilityConfig, DurabilityMode};
+pub use log::{crc32, Recovered, ShardWal, WalError, WalResult};
+pub use record::WalRecord;
+pub use snapshot::{ObjectSnapshot, ShardSnapshot};

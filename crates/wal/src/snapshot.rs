@@ -1,0 +1,69 @@
+//! Durable shard snapshots: the full replica map in its existing
+//! serializable form (the applied log per object — the EVV, hashes and
+//! meta are deterministic folds over it and are rebuilt on load), plus the
+//! local write sequencing and any buffered out-of-order arrivals.
+
+use crate::codec::{CodecError, WalCodec, WalReader};
+use idea_types::{NodeId, ObjectId, Update, WriterId};
+
+/// One replica's durable form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectSnapshot {
+    /// The object.
+    pub object: ObjectId,
+    /// The local writer's next sequence number (0 when this node never
+    /// wrote the object — the entry is absent, not 0, in memory).
+    pub next_seq: u64,
+    /// The applied update log, in application order. Replaying it rebuilds
+    /// the extended version vector and the rolling state hash.
+    pub log: Vec<Update>,
+    /// Out-of-order arrivals still waiting for a predecessor.
+    pub pending: Vec<Update>,
+}
+
+/// Everything one `StoreShard` needs to be reconstructed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    /// The owning node.
+    pub node: NodeId,
+    /// The local writer identity.
+    pub writer: WriterId,
+    /// The shard index within the node.
+    pub shard: u32,
+    /// Per-object state, in object-id order.
+    pub objects: Vec<ObjectSnapshot>,
+}
+
+impl WalCodec for ObjectSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.object.encode(out);
+        self.next_seq.encode(out);
+        self.log.encode(out);
+        self.pending.encode(out);
+    }
+    fn decode(r: &mut WalReader<'_>) -> Result<Self, CodecError> {
+        Ok(ObjectSnapshot {
+            object: ObjectId::decode(r)?,
+            next_seq: u64::decode(r)?,
+            log: Vec::<Update>::decode(r)?,
+            pending: Vec::<Update>::decode(r)?,
+        })
+    }
+}
+
+impl WalCodec for ShardSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.node.encode(out);
+        self.writer.encode(out);
+        self.shard.encode(out);
+        self.objects.encode(out);
+    }
+    fn decode(r: &mut WalReader<'_>) -> Result<Self, CodecError> {
+        Ok(ShardSnapshot {
+            node: NodeId::decode(r)?,
+            writer: WriterId::decode(r)?,
+            shard: u32::decode(r)?,
+            objects: Vec::<ObjectSnapshot>::decode(r)?,
+        })
+    }
+}
