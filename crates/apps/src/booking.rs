@@ -13,7 +13,7 @@
 use idea_core::client::{apply_to_node, Command, IdeaHost, Response};
 use idea_core::{AutoController, IdeaConfig, IdeaMsg, IdeaNode, NodeReport};
 use idea_net::{Context, Proto, TimerId};
-use idea_types::{NodeId, ObjectId, SimDuration, Update, UpdatePayload};
+use idea_types::{NodeId, ObjectId, SimDuration, Update, UpdatePayload, WriterId};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of a booking request at one server.
@@ -38,6 +38,11 @@ pub struct BookingServer {
     flight: u32,
     capacity: u32,
     auto: AutoController,
+    /// IPA-style escrow quota: when set, this server never accepts more
+    /// than `quota` seats of its own sales, however stale its global view.
+    /// Quotas summing to at most `capacity` across the fleet make
+    /// overbooking impossible under *any* fault schedule.
+    escrow_quota: Option<u32>,
     accepted_seats: u32,
     rejected_sold_out: u64,
     rejected_locked: u64,
@@ -53,9 +58,33 @@ impl BookingServer {
         capacity: u32,
         period: SimDuration,
     ) -> Self {
-        let cfg = IdeaConfig::booking(period);
-        BookingServer {
-            node: IdeaNode::new(me, cfg, &[object]),
+        Self::new_with(me, object, flight, capacity, IdeaConfig::booking(period))
+    }
+
+    /// Builds a server over an explicit [`IdeaConfig`] — the entry point
+    /// for deployments that need a non-default plane (durability, gossip
+    /// mode) under the booking semantics. The controller starts at the
+    /// config's background period (or its 60 s default when unset).
+    pub fn new_with(
+        me: NodeId,
+        object: ObjectId,
+        flight: u32,
+        capacity: u32,
+        cfg: IdeaConfig,
+    ) -> Self {
+        Self::from_node(IdeaNode::new(me, cfg, &[object]), object, flight, capacity)
+    }
+
+    /// Wraps an existing node — the crash-recovery path: `node` comes from
+    /// [`IdeaNode::recover`], so wrapping must *not* re-run genesis (which
+    /// would wipe the WAL). The monotonic sale counter is re-seeded from
+    /// the recovered replica's own live sales; under `Sync` durability
+    /// that is every acknowledged sale that resolution has not since
+    /// invalidated, so the escrow gate stays sound across the crash.
+    pub fn from_node(node: IdeaNode, object: ObjectId, flight: u32, capacity: u32) -> Self {
+        let period = node.config().background_period.unwrap_or(SimDuration::from_secs(60));
+        let mut srv = BookingServer {
+            node,
             flight_object: object,
             flight,
             capacity,
@@ -64,10 +93,13 @@ impl BookingServer {
                 SimDuration::from_secs(2),
                 SimDuration::from_secs(120),
             ),
+            escrow_quota: None,
             accepted_seats: 0,
             rejected_sold_out: 0,
             rejected_locked: 0,
-        }
+        };
+        srv.accepted_seats = srv.own_sold();
+        srv
     }
 
     /// The wrapped IDEA node.
@@ -85,9 +117,39 @@ impl BookingServer {
         &self.auto
     }
 
+    /// The flight's total seat capacity.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// The replicated booking-record object this server sells against.
+    pub fn object(&self) -> ObjectId {
+        self.flight_object
+    }
+
+    /// Kicks off an on-demand active resolution round for the booking
+    /// record — the hook fault harnesses use to force reconciliation at a
+    /// chosen point in a schedule instead of waiting for the background
+    /// period.
+    pub fn demand_resolution(&mut self, ctx: &mut dyn Context<IdeaMsg>) {
+        self.node.demand_active_resolution(self.flight_object, ctx);
+    }
+
     /// Seats this server has sold (its own accepted bookings).
     pub fn accepted_seats(&self) -> u32 {
         self.accepted_seats
+    }
+
+    /// Enables the IPA-style escrow gate: this server stops accepting once
+    /// its own sales reach `quota` seats, regardless of what its (possibly
+    /// stale) global view claims remains. `None` disables the gate.
+    pub fn set_escrow_quota(&mut self, quota: Option<u32>) {
+        self.escrow_quota = quota;
+    }
+
+    /// The configured escrow quota, if any.
+    pub fn escrow_quota(&self) -> Option<u32> {
+        self.escrow_quota
     }
 
     /// Requests bounced because the local view showed no seats.
@@ -103,10 +165,25 @@ impl BookingServer {
     /// Seats sold according to this server's *local replica view* (its own
     /// sales plus every sale it has learned about).
     pub fn known_sold(&self) -> u32 {
+        self.sold_where(|_| true)
+    }
+
+    /// This server's own *live* sales: bookings it wrote that are still in
+    /// its replica log (accepted and not invalidated by resolution). The
+    /// crash-consistent quantity — recovered straight from the WAL — that
+    /// fleet invariants sum, since every live sale lives in exactly one
+    /// writer's `own_sold`.
+    pub fn own_sold(&self) -> u32 {
+        let me = WriterId(self.node.id().0);
+        self.sold_where(|w| w == me)
+    }
+
+    fn sold_where(&self, keep: impl Fn(WriterId) -> bool) -> u32 {
         match self.node.replica(self.flight_object) {
             Ok(replica) => replica
                 .log()
                 .iter()
+                .filter(|u| keep(u.id.writer))
                 .filter_map(|u| match &u.payload {
                     UpdatePayload::Booking { seats, .. } => Some(*seats),
                     _ => None,
@@ -126,6 +203,18 @@ impl BookingServer {
         if self.node.is_resolving(self.flight_object) {
             self.rejected_locked += 1;
             return (BookOutcome::Locked, None);
+        }
+        // Escrow gate first: the monotonic own-sale counter never resets,
+        // so no schedule of partitions or staleness lets this server spend
+        // more than its reservation. The max() guards the one path where
+        // the counter could lag the log — a recovery shell built before a
+        // rejoin pulled this writer's older sales back in.
+        if let Some(quota) = self.escrow_quota {
+            let spent = self.accepted_seats.max(self.own_sold());
+            if spent + seats > quota {
+                self.rejected_sold_out += 1;
+                return (BookOutcome::SoldOut, None);
+            }
         }
         let sold = self.known_sold();
         if sold + seats > self.capacity {
@@ -289,6 +378,44 @@ mod tests {
             let (outcome, _) = eng.with_node(NodeId(0), |s, ctx| s.try_book(1, 5_000, ctx));
             assert_eq!(outcome, BookOutcome::SoldOut);
         }
+    }
+
+    #[test]
+    fn from_node_reseeds_the_sale_counter_from_the_log() {
+        let mut eng = fleet(4, 10, 1_000, 8);
+        for _ in 0..3 {
+            eng.with_node(NodeId(0), |s, ctx| {
+                let _ = s.try_book(1, 10_000, ctx);
+            });
+        }
+        // Rebuild the server shell around the same node, as crash recovery
+        // does: the monotonic counter comes back from the replica log.
+        let node = std::mem::replace(
+            eng.node_mut(NodeId(0)).idea_mut(),
+            IdeaNode::new(NodeId(0), IdeaConfig::booking(SimDuration::from_secs(1_000)), &[OBJ]),
+        );
+        let rebuilt = BookingServer::from_node(node, OBJ, 77, 10);
+        assert_eq!(rebuilt.accepted_seats(), 3);
+        assert_eq!(rebuilt.own_sold(), 3);
+        assert_eq!(rebuilt.capacity(), 10);
+    }
+
+    #[test]
+    fn escrow_gate_caps_own_sales_before_the_global_view_does() {
+        let mut eng = fleet(2, 10, 1_000, 9);
+        eng.with_node(NodeId(0), |s, _| s.set_escrow_quota(Some(2)));
+        for k in 0..3 {
+            let (outcome, _) = eng.with_node(NodeId(0), |s, ctx| s.try_book(1, 10_000, ctx));
+            if k < 2 {
+                assert!(matches!(outcome, BookOutcome::Accepted { .. }), "sale {k}");
+            } else {
+                assert_eq!(outcome, BookOutcome::SoldOut, "quota spent");
+            }
+        }
+        let s = eng.node(NodeId(0));
+        assert_eq!(s.accepted_seats(), 2);
+        assert_eq!(s.escrow_quota(), Some(2));
+        assert!(s.known_sold() < s.capacity(), "global view still had seats");
     }
 
     #[test]

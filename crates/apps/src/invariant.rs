@@ -1,0 +1,154 @@
+//! Fleet-level application invariants — the IPA-style oracle layer.
+//!
+//! Balegas et al. ("IPA") check replicated applications by running them
+//! under adversarial network conditions and asserting an *application*
+//! predicate over the whole fleet at every step. This module defines that
+//! predicate shape for IDEA's emulated applications; the fault harness
+//! (`idea-faults`) evaluates the checkers after every scheduled event of
+//! every schedule it explores.
+
+use crate::booking::BookingServer;
+
+/// An application invariant over a whole fleet of servers.
+///
+/// Checkers must be cheap (they run after every fault-schedule event) and
+/// side-effect free. A violation returns a description of what broke —
+/// enough for a shrunk schedule to be actionable on its own.
+pub trait FleetInvariant<S> {
+    /// Short stable name for reports and JSON gates.
+    fn name(&self) -> &'static str;
+
+    /// Checks the fleet.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the violation.
+    fn check(&self, fleet: &[&S]) -> Result<(), String>;
+}
+
+/// The booking system's capacity invariant: the fleet's *live* sales never
+/// exceed the flight's capacity.
+///
+/// Live sales are counted as each server's [`BookingServer::own_sold`] —
+/// every live booking sits in exactly one writer's log slice, so the sum
+/// double-counts nothing however far the replicas have diverged. Servers
+/// selling under escrow quotas that sum to at most the capacity satisfy
+/// this under every fault schedule; servers trusting their (possibly
+/// stale) global view can violate it in a split-brain write race — which
+/// is exactly what the oracle is for.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoOverbooking;
+
+impl FleetInvariant<BookingServer> for NoOverbooking {
+    fn name(&self) -> &'static str {
+        "no_overbooking"
+    }
+
+    fn check(&self, fleet: &[&BookingServer]) -> Result<(), String> {
+        let Some(first) = fleet.first() else {
+            return Ok(());
+        };
+        let capacity = first.capacity();
+        let sold: u32 = fleet.iter().map(|s| s.own_sold()).sum();
+        if sold > capacity {
+            let per_server: Vec<u32> = fleet.iter().map(|s| s.own_sold()).collect();
+            return Err(format!(
+                "no_overbooking violated: {sold} live seats sold for capacity \
+                 {capacity} (per-server {per_server:?})"
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idea_net::{SimConfig, SimEngine, Topology};
+    use idea_types::{NodeId, ObjectId, SimDuration};
+
+    const OBJ: ObjectId = ObjectId(3);
+
+    fn fleet(n: usize, capacity: u32, escrow: bool) -> SimEngine<BookingServer> {
+        let nodes = (0..n)
+            .map(|i| {
+                let mut s = BookingServer::new(
+                    NodeId(i as u32),
+                    OBJ,
+                    77,
+                    capacity,
+                    SimDuration::from_secs(10_000),
+                );
+                if escrow {
+                    s.set_escrow_quota(Some(capacity / n as u32));
+                }
+                s
+            })
+            .collect();
+        SimEngine::new(
+            Topology::planetlab(n, 9),
+            SimConfig { seed: 9, ..Default::default() },
+            nodes,
+        )
+    }
+
+    fn check(eng: &SimEngine<BookingServer>) -> Result<(), String> {
+        let fleet: Vec<&BookingServer> =
+            (0..eng.len()).map(|i| eng.node(NodeId(i as u32))).collect();
+        NoOverbooking.check(&fleet)
+    }
+
+    #[test]
+    fn split_brain_oversell_is_detected_without_escrow() {
+        // Fully partitioned fleet, stale views: every server sells 2 of
+        // the 4 seats — 8 live sales, and the oracle catches it.
+        let mut eng = fleet(4, 4, false);
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a != b {
+                    eng.partition(NodeId(a), NodeId(b));
+                }
+            }
+        }
+        assert!(check(&eng).is_ok(), "clean fleet starts inside the bound");
+        for srv in 0..4u32 {
+            for _ in 0..2 {
+                eng.with_node(NodeId(srv), |s, ctx| {
+                    let _ = s.try_book(1, 10_000, ctx);
+                });
+            }
+        }
+        let err = check(&eng).unwrap_err();
+        assert!(err.contains("8 live seats"), "got: {err}");
+    }
+
+    #[test]
+    fn escrow_quotas_hold_the_bound_under_the_same_split_brain() {
+        let mut eng = fleet(4, 4, true);
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a != b {
+                    eng.partition(NodeId(a), NodeId(b));
+                }
+            }
+        }
+        // Each server's quota is 1: the second sale bounces locally even
+        // though the stale global view would have allowed it.
+        for srv in 0..4u32 {
+            for _ in 0..2 {
+                eng.with_node(NodeId(srv), |s, ctx| {
+                    let _ = s.try_book(1, 10_000, ctx);
+                });
+            }
+        }
+        check(&eng).expect("escrow keeps the fleet inside capacity");
+        let total: u32 = (0..4u32).map(|s| eng.node(NodeId(s)).accepted_seats()).sum();
+        assert_eq!(total, 4, "every server spent exactly its quota");
+        assert!(eng.node(NodeId(0)).rejected_sold_out() > 0);
+    }
+
+    #[test]
+    fn empty_fleet_is_trivially_consistent() {
+        assert!(NoOverbooking.check(&[]).is_ok());
+        assert_eq!(NoOverbooking.name(), "no_overbooking");
+    }
+}

@@ -16,7 +16,9 @@
 #![warn(missing_docs)]
 
 pub mod booking;
+pub mod invariant;
 pub mod whiteboard;
 
 pub use booking::{BookOutcome, BookingServer};
+pub use invariant::{FleetInvariant, NoOverbooking};
 pub use whiteboard::{ascii_sum, Stroke, WhiteboardClient};

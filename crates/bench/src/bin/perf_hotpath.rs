@@ -680,6 +680,9 @@ const DUR_N: usize = 40;
 const DUR_WINDOW_SECS: u64 = 60;
 /// Writes the crashed node misses before rejoining (virtual seconds).
 const DUR_DOWNTIME_SECS: u64 = 30;
+/// Group-commit window of the coalesced-sync leg: one `fdatasync` per this
+/// many appends instead of one per append.
+const DUR_GROUP_COMMIT: u64 = 32;
 const DUR_OBJ: ObjectId = ObjectId(1);
 /// The crashed-and-rejoining writer of the rejoin legs.
 const DUR_CRASHED: NodeId = NodeId(3);
@@ -808,6 +811,7 @@ fn durability_json(seed: u64) -> String {
     let cfg_off = dur_cfg(DurabilityConfig::off());
     let cfg_async = dur_cfg(DurabilityConfig::buffered(base.join("async")));
     let cfg_sync = dur_cfg(DurabilityConfig::sync(base.join("sync")));
+    let cfg_gc = dur_cfg(DurabilityConfig::sync_grouped(base.join("sync-gc"), DUR_GROUP_COMMIT));
 
     // Write-drain overhead: the identical deterministic run under each
     // mode; every repetition recreates the WAL from genesis, so min-of-3
@@ -824,6 +828,7 @@ fn durability_json(seed: u64) -> String {
     };
     let (off_ms, off_msgs, _) = run3(&cfg_off);
     let (async_ms, async_msgs, _) = run3(&cfg_async);
+    let (gc_ms, gc_msgs, _) = run3(&cfg_gc);
     let (sync_ms, sync_msgs, sync_eng) = run3(&cfg_sync);
 
     // Recovery: replay the busiest writer's WAL and compare content.
@@ -858,22 +863,36 @@ fn durability_json(seed: u64) -> String {
     let _ = writeln!(out, "    \"n\": {DUR_N},");
     let _ = writeln!(out, "    \"window_secs\": {DUR_WINDOW_SECS},");
     let _ = writeln!(out, "    \"write_drain\": {{");
-    for (label, wall, msgs) in
-        [("off", off_ms, off_msgs), ("async", async_ms, async_msgs), ("sync", sync_ms, sync_msgs)]
-    {
+    for (label, wall, msgs) in [
+        ("off", off_ms, off_msgs),
+        ("async", async_ms, async_msgs),
+        ("sync", sync_ms, sync_msgs),
+        ("sync_group_commit", gc_ms, gc_msgs),
+    ] {
         let _ =
             writeln!(out, "      \"{label}\": {{\"wall_ms\": {wall:.1}, \"total_msgs\": {msgs}}},");
     }
+    let _ = writeln!(out, "      \"group_commit_window\": {DUR_GROUP_COMMIT},");
     let _ =
         writeln!(out, "      \"async_over_off_wall_factor\": {:.2},", async_ms / off_ms.max(1e-9));
     let _ =
         writeln!(out, "      \"sync_over_off_wall_factor\": {:.2},", sync_ms / off_ms.max(1e-9));
+    let _ = writeln!(
+        out,
+        "      \"sync_group_commit_over_off_wall_factor\": {:.2},",
+        gc_ms / off_ms.max(1e-9)
+    );
+    let _ = writeln!(
+        out,
+        "      \"sync_over_sync_group_commit_wall_factor\": {:.2},",
+        sync_ms / gc_ms.max(1e-9)
+    );
     // Identical message totals across modes pin the WAL as a pure side
     // effect — durability never perturbs the protocol trace.
     let _ = writeln!(
         out,
         "      \"trace_invariant\": {}",
-        off_msgs == async_msgs && off_msgs == sync_msgs
+        off_msgs == async_msgs && off_msgs == sync_msgs && off_msgs == gc_msgs
     );
     let _ = writeln!(out, "    }},");
     let _ = writeln!(out, "    \"recovery\": {{");

@@ -256,6 +256,12 @@ impl IdeaConfig {
                     reason: "must be positive when durability is on",
                 });
             }
+            if self.durability.group_commit == 0 {
+                return Err(IdeaError::InvalidConfig {
+                    field: "durability.group_commit",
+                    reason: "the group-commit window must be positive when durability is on",
+                });
+            }
         }
         if self.gossip.mode == idea_overlay::GossipMode::Lazy {
             if self.gossip_pull_timeout.is_zero() {
@@ -420,9 +426,22 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(rejected_field(&cfg), "durability.snapshot_every");
-        // Off tolerates both (nothing is written).
+        // Enabled with a zero group-commit window.
         let cfg = IdeaConfig {
-            durability: DurabilityConfig { snapshot_every: 0, ..DurabilityConfig::off() },
+            durability: DurabilityConfig {
+                group_commit: 0,
+                ..DurabilityConfig::sync("/tmp/idea-wal")
+            },
+            ..Default::default()
+        };
+        assert_eq!(rejected_field(&cfg), "durability.group_commit");
+        // Off tolerates all of it (nothing is written).
+        let cfg = IdeaConfig {
+            durability: DurabilityConfig {
+                snapshot_every: 0,
+                group_commit: 0,
+                ..DurabilityConfig::off()
+            },
             ..Default::default()
         };
         cfg.validate().unwrap();

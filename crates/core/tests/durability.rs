@@ -54,7 +54,8 @@ fn write(eng: &mut SimEngine<IdeaNode>, node: u32, delta: i64) {
 fn resolve_and_settle(eng: &mut SimEngine<IdeaNode>) {
     eng.with_node(NodeId(0), |p, ctx| p.demand_active_resolution(OBJ, ctx));
     eng.run_for(SimDuration::from_secs(5));
-    eng.run_until_quiescent(SimTime::from_secs(3_600));
+    let q = eng.run_until_quiescent(SimTime::from_secs(3_600));
+    assert!(q.reached(), "settle exhausted its event budget: {q:?}");
 }
 
 /// Phase 1: every node writes, then a demanded resolution converges the
@@ -223,6 +224,58 @@ fn recovery_is_bit_identical_at_every_kill_point() {
             rec.state_hash(),
             h_at_kill,
             "kill point {kill_after}: recovered state diverged"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Kill the node at **every** engine step of an in-flight two-phase
+/// resolution round and pin recovery to the in-memory state at exactly
+/// that step. The round's mid-flight mutations — collect snapshots,
+/// reference reconciliation, extra-dropping — all hit the WAL before they
+/// hit memory under `Sync`, so there must be no step, however deep inside
+/// the round, where a crash loses or invents state.
+#[test]
+fn recovery_is_bit_identical_at_every_resolution_kill_point() {
+    // Reference run: count the engine steps the demanded round keeps the
+    // initiator resolving (the kill window this sweep walks).
+    let dir = tmp_dir("res-kill-ref");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = cfg_with(DurabilityConfig::sync(dir.clone()));
+    let total = {
+        let mut eng = mk_engine(&cfg);
+        phase1(&mut eng);
+        eng.with_node(NodeId(1), |p, ctx| p.demand_active_resolution(OBJ, ctx));
+        let mut steps = 0u32;
+        while eng.node(NodeId(1)).is_resolving(OBJ) && eng.step() {
+            steps += 1;
+        }
+        steps
+    };
+    std::fs::remove_dir_all(&dir).unwrap();
+    assert!(total >= 8, "the round ended suspiciously fast ({total} steps)");
+
+    // Walk every step of the window (strided only if the round is huge,
+    // keeping ~50 kill points); the fixed seed makes each run's prefix
+    // identical to the reference, so step k is the same event every time.
+    let stride = (total / 50).max(1) as usize;
+    for k in (0..=total).step_by(stride) {
+        let dir = tmp_dir(&format!("res-kill-{k}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = cfg_with(DurabilityConfig::sync(dir.clone()));
+        let mut eng = mk_engine(&cfg);
+        phase1(&mut eng);
+        eng.with_node(NodeId(1), |p, ctx| p.demand_active_resolution(OBJ, ctx));
+        for _ in 0..k {
+            assert!(eng.step(), "kill point {k} beyond the round's events");
+        }
+        let h_at_kill = eng.node(CRASHED).state_hash();
+        drop(eng); // the crash: all in-memory state gone
+        let rec = IdeaNode::recover(CRASHED, cfg.clone(), &[OBJ]).expect("valid config");
+        assert_eq!(
+            rec.state_hash(),
+            h_at_kill,
+            "kill at step {k}/{total} of the in-flight round: recovered state diverged"
         );
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -1,0 +1,146 @@
+//! The fault-matrix driver: runs the curated named suite plus a sweep of
+//! random schedules, each **twice** on identically specced fleets to pin
+//! replay identity, and writes `FAULT_matrix.json` with per-scenario rows
+//! and the summary gates CI checks (zero invariant violations, full
+//! convergence, bit-identical replays).
+//!
+//! Usage: `fault_matrix [--random N] [--seed S] [--out PATH]`
+//!
+//! `--random` sets the number of random schedules (default 25), `--seed`
+//! offsets their seeds (default 0), `--out` the JSON path (default
+//! `FAULT_matrix.json`). Exits non-zero when any gate fails, after still
+//! writing the JSON — the artifact is most useful exactly then.
+
+use idea_faults::{named_suite, BookingFleetSpec, RunReport, Scenario};
+
+/// One scenario's double-run result.
+struct Row {
+    report: RunReport,
+    events: usize,
+    replay_identical: bool,
+    kind: &'static str,
+}
+
+fn run_twice(spec: &BookingFleetSpec, scenario: &Scenario, kind: &'static str) -> Row {
+    let first = spec.build().run(scenario);
+    let second = spec.build().run(scenario);
+    let replay_identical = first.replay_key() == second.replay_key();
+    Row { report: first, events: scenario.events.len(), replay_identical, kind }
+}
+
+fn json_row(r: &Row) -> String {
+    let rep = &r.report;
+    format!(
+        "    {{ \"name\": \"{}\", \"kind\": \"{}\", \"seed\": {}, \"events\": {}, \
+         \"violations\": {}, \"quiescent\": {}, \"converged\": {}, \
+         \"replay_identical\": {}, \"messages\": {}, \"dropped\": {}, \
+         \"final_hash\": \"{:016x}\" }}",
+        rep.name,
+        r.kind,
+        rep.seed,
+        r.events,
+        rep.violations.len(),
+        rep.quiescent,
+        rep.converged,
+        r.replay_identical,
+        rep.messages,
+        rep.dropped,
+        rep.final_hashes.first().copied().unwrap_or(0),
+    )
+}
+
+fn arg_val(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let random_n: u64 = arg_val(&args, "--random").map_or(25, |v| v.parse().expect("--random N"));
+    let seed_base: u64 = arg_val(&args, "--seed").map_or(0, |v| v.parse().expect("--seed S"));
+    let out = arg_val(&args, "--out").unwrap_or_else(|| "FAULT_matrix.json".to_string());
+
+    let mut rows = Vec::new();
+
+    // Named suite: Sync WAL, the paper-faithful durability plane.
+    for sc in named_suite() {
+        let spec = BookingFleetSpec::standard(42, &sc.name);
+        let row = run_twice(&spec, &sc, "named");
+        println!(
+            "named  {:<24} events={:<3} violations={} quiescent={} converged={} replay={}",
+            row.report.name,
+            row.events,
+            row.report.violations.len(),
+            row.report.quiescent,
+            row.report.converged,
+            row.replay_identical,
+        );
+        rows.push(row);
+    }
+
+    // Random sweep: buffered WAL (recovery still replays the log, without
+    // paying an fsync per sale across hundreds of schedules).
+    for k in 0..random_n {
+        let seed = seed_base + k;
+        let sc = Scenario::random(seed, 4, 60);
+        let mut spec = BookingFleetSpec::standard(1_000 + seed, &sc.name);
+        spec.wal_sync = false;
+        let row = run_twice(&spec, &sc, "random");
+        println!(
+            "random {:<24} events={:<3} violations={} quiescent={} converged={} replay={}",
+            row.report.name,
+            row.events,
+            row.report.violations.len(),
+            row.report.quiescent,
+            row.report.converged,
+            row.replay_identical,
+        );
+        rows.push(row);
+    }
+
+    let violations_total: usize = rows.iter().map(|r| r.report.violations.len()).sum();
+    let all_converged = rows.iter().all(|r| r.report.converged);
+    let all_quiescent = rows.iter().all(|r| r.report.quiescent);
+    let all_replay_identical = rows.iter().all(|r| r.replay_identical);
+    let pass = violations_total == 0 && all_converged && all_quiescent && all_replay_identical;
+
+    let body: Vec<String> = rows.iter().map(json_row).collect();
+    let json = format!(
+        r#"{{
+  "summary": {{
+    "scenarios": {},
+    "named": {},
+    "random": {},
+    "events_total": {},
+    "violations_total": {},
+    "all_converged": {},
+    "all_quiescent": {},
+    "all_replay_identical": {},
+    "pass": {}
+  }},
+  "scenarios": [
+{}
+  ]
+}}
+"#,
+        rows.len(),
+        rows.iter().filter(|r| r.kind == "named").count(),
+        rows.iter().filter(|r| r.kind == "random").count(),
+        rows.iter().map(|r| r.events).sum::<usize>(),
+        violations_total,
+        all_converged,
+        all_quiescent,
+        all_replay_identical,
+        pass,
+        body.join(",\n"),
+    );
+    std::fs::write(&out, &json).expect("write fault matrix JSON");
+    println!(
+        "wrote {out}: {} scenarios, {} violations, converged={all_converged}, \
+         quiescent={all_quiescent}, replay={all_replay_identical}",
+        rows.len(),
+        violations_total,
+    );
+    if !pass {
+        std::process::exit(1);
+    }
+}

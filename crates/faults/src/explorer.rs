@@ -1,0 +1,98 @@
+//! Schedule exploration: shrinking a failing schedule to a minimal
+//! reproducer.
+//!
+//! The shrinker is greedy delta debugging over the event list: try to
+//! drop ever-smaller chunks, keeping any candidate that still fails.
+//! Because every subsequence of a schedule is itself a valid schedule
+//! (the runner tolerates orphaned events), no repair pass is needed. The
+//! result is 1-minimal — removing any single remaining event makes the
+//! failure disappear.
+
+use crate::schedule::Scenario;
+
+/// Shrinks `scenario` against `still_fails`, which must return `true`
+/// when a candidate schedule still exhibits the failure (typically: build
+/// a fresh fleet from the same spec, run the candidate, inspect the
+/// report). `still_fails` is assumed deterministic — the whole harness
+/// exists to make it so.
+///
+/// Returns the shrunk scenario and the number of `still_fails` probes
+/// spent. The input is returned unchanged if it does not fail at all.
+pub fn minimize(
+    scenario: &Scenario,
+    mut still_fails: impl FnMut(&Scenario) -> bool,
+) -> (Scenario, usize) {
+    let mut probes = 1;
+    if !still_fails(scenario) {
+        return (scenario.clone(), probes);
+    }
+    let mut cur = scenario.clone();
+    let mut chunk = (cur.events.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < cur.events.len() {
+            let end = (i + chunk).min(cur.events.len());
+            let mut cand = cur.clone();
+            cand.events.drain(i..end);
+            probes += 1;
+            if still_fails(&cand) {
+                cur = cand;
+                progressed = true;
+                // Do not advance `i`: the next chunk slid into place.
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 {
+            if !progressed {
+                break;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    cur.name = format!("{}-min", scenario.name);
+    (cur, probes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{FaultEvent, Scenario};
+
+    /// A synthetic failure predicate: the schedule "fails" when it still
+    /// contains a crash of node 2 AND any partition event — the minimal
+    /// reproducer is exactly those two events.
+    fn fails(sc: &Scenario) -> bool {
+        let crash = sc.events.iter().any(|e| matches!(e.event, FaultEvent::Crash { node: 2 }));
+        let part = sc.events.iter().any(|e| matches!(e.event, FaultEvent::Partition { .. }));
+        crash && part
+    }
+
+    #[test]
+    fn shrinks_to_the_minimal_reproducer() {
+        // Hunt through random schedules for one that fails; the generator
+        // is deterministic, so this loop is too.
+        let sc = (0..200)
+            .map(|seed| Scenario::random(seed, 5, 60))
+            .find(fails)
+            .expect("some random schedule crashes node 2 under a partition");
+        let before = sc.events.len();
+        let (min, probes) = minimize(&sc, fails);
+        assert!(fails(&min), "shrinking must preserve the failure");
+        assert_eq!(min.events.len(), 2, "1-minimal reproducer: crash + partition");
+        assert!(min.events.len() < before);
+        assert!(probes > 1);
+        assert!(min.is_monotonic());
+        assert!(min.name.ends_with("-min"));
+    }
+
+    #[test]
+    fn passing_schedules_come_back_unchanged() {
+        let sc = Scenario::random(1, 4, 10);
+        let (out, probes) = minimize(&sc, |_| false);
+        assert_eq!(out.events, sc.events);
+        assert_eq!(probes, 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! The curated named suite, run end to end: every scenario must satisfy
+//! all three oracles (zero invariant violations, typed quiescence, fleet
+//! convergence), and fixed-seed replays must be bit-identical — same
+//! schedule value, same per-event state-hash trajectory, same message
+//! totals.
+
+use idea_faults::{named_suite, scenarios, BookingFleetSpec, Scenario};
+use idea_net::Quiescence;
+use idea_types::{NodeId, SimTime};
+
+fn run(tag: &str, sc: &Scenario) -> idea_faults::RunReport {
+    BookingFleetSpec::standard(42, tag).build().run(sc)
+}
+
+#[test]
+fn every_named_scenario_passes_all_oracles() {
+    for sc in named_suite() {
+        let rep = run(&format!("suite-{}", sc.name), &sc);
+        assert!(
+            rep.violations.is_empty(),
+            "{}: invariant violations {:?}",
+            sc.name,
+            rep.violations
+        );
+        assert!(rep.quiescent, "{}: queue never drained", sc.name);
+        assert!(rep.converged, "{}: fleet diverged: {:?}", sc.name, rep.final_hashes);
+    }
+}
+
+#[test]
+fn fixed_seed_replays_are_bit_identical() {
+    // Same schedule value from the same seed…
+    let a = Scenario::random(11, 4, 60);
+    let b = Scenario::random(11, 4, 60);
+    assert_eq!(a, b, "the schedule itself is a replayable value");
+
+    // …and the same (spec, schedule) pair replays the whole run: per-event
+    // state-hash trajectory, final hashes, message and drop totals.
+    let spec = BookingFleetSpec::standard(7, "replay-pin");
+    let first = spec.build().run(&a);
+    let second = spec.build().run(&b);
+    assert_eq!(first.replay_key(), second.replay_key());
+    assert_eq!(first.trace, second.trace, "per-event state-hash trajectories differ");
+    assert!(!first.trace.is_empty());
+}
+
+#[test]
+fn split_brain_write_race_stays_inside_capacity_while_partitioned() {
+    // The scenario's whole point: both halves sell past their stale
+    // global views mid-partition, and the escrow quotas alone keep the
+    // fleet inside capacity (zero no_overbooking violations) until
+    // resolution reconverges the record.
+    let sc = scenarios::split_brain_write_race();
+    let mut runner = BookingFleetSpec::standard(42, "split-brain-deep").build();
+    let rep = runner.run(&sc);
+    assert!(rep.clean(), "violations={:?}", rep.violations);
+    let eng = runner.engine();
+    let sold: u32 = (0..eng.len()).map(|i| eng.node(NodeId(i as u32)).own_sold()).sum();
+    let cap = eng.node(NodeId(0)).capacity();
+    assert!(sold <= cap, "{sold} live seats for capacity {cap}");
+    assert!(sold > 0, "the race actually sold seats");
+}
+
+#[test]
+fn quiescence_outcome_is_typed_and_reached_on_a_settled_fleet() {
+    // Satellite pin for the typed `Quiescence` API: after a full scenario
+    // run the engine drains within one more settle window, and the typed
+    // outcome says so — `Reached { at }` with a timestamp inside the
+    // limit, not a bare bool.
+    let sc = scenarios::crash_during_resolution();
+    let mut runner = BookingFleetSpec::standard(42, "quiescence-typed").build();
+    let rep = runner.run(&sc);
+    assert!(rep.quiescent);
+    let eng = runner.engine_mut();
+    let limit = eng.now() + sc.settle;
+    let q = eng.run_until_quiescent(limit);
+    match q {
+        Quiescence::Reached { at } => assert!(at <= limit, "drained at {at:?} beyond {limit:?}"),
+        Quiescence::LimitHit { at, events } => {
+            panic!("settled fleet still busy at {at:?} after {events} events")
+        }
+    }
+    assert!(q.reached());
+    assert!(q.at() > SimTime::ZERO);
+}
+
+#[test]
+fn amnesiac_recovery_also_reconverges() {
+    // `via_wal: false` brings the node back empty; the rejoin delta must
+    // restore everything the fleet knows, and convergence must not depend
+    // on the WAL being there.
+    let mut sc = scenarios::crash_during_resolution();
+    for ev in &mut sc.events {
+        if let idea_faults::FaultEvent::Recover { via_wal, .. } = &mut ev.event {
+            *via_wal = false;
+        }
+    }
+    sc.name = "crash-amnesiac".to_string();
+    let rep = run("crash-amnesiac", &sc);
+    assert!(rep.clean(), "violations={:?} converged={}", rep.violations, rep.converged);
+}

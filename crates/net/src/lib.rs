@@ -34,7 +34,7 @@ pub mod wheel;
 
 pub use latency::{Jitter, LatencyModel};
 pub use proto::{Context, Proto, ShardedProto, TimerId, Wire};
-pub use sim::{SimConfig, SimEngine};
+pub use sim::{Quiescence, SimConfig, SimEngine};
 pub use stats::{MsgClass, NetStats, StatsSnapshot};
 pub use threaded::{shards_from_env, ShardedEngine, ThreadedConfig, ThreadedEngine};
 pub use topology::{Region, Topology};

@@ -16,7 +16,7 @@ use crate::wheel::TimerWheel;
 use idea_types::{NodeId, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -92,6 +92,46 @@ enum Buffered<M> {
     Timer { id: TimerId, kind: u64 },
 }
 
+/// How a [`SimEngine::run_until_quiescent`] call ended.
+///
+/// A fault schedule can keep the network permanently busy (a re-arming
+/// background timer, a flapping link replaying messages); silently stopping
+/// at an internal event cap would let a "converged" assertion pass on a run
+/// that never actually settled. The typed outcome makes the distinction
+/// explicit so scenario tests can assert on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quiescence {
+    /// Every event at or before the time limit was processed — the network
+    /// genuinely drained within the window.
+    Reached {
+        /// Virtual time of the last processed event (or the starting time
+        /// when the queue was already empty).
+        at: SimTime,
+    },
+    /// The event budget ran out while work at or before the time limit
+    /// still remained — the network never settled.
+    LimitHit {
+        /// Virtual time when the budget was exhausted.
+        at: SimTime,
+        /// Events processed (the full budget).
+        events: u64,
+    },
+}
+
+impl Quiescence {
+    /// Virtual time when the run stopped, however it stopped.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            Quiescence::Reached { at } | Quiescence::LimitHit { at, .. } => at,
+        }
+    }
+
+    /// True when the queue genuinely drained within the window.
+    pub fn reached(&self) -> bool {
+        matches!(self, Quiescence::Reached { .. })
+    }
+}
+
 /// The deterministic discrete-event engine.
 pub struct SimEngine<P: Proto> {
     cfg: SimConfig,
@@ -116,6 +156,16 @@ pub struct SimEngine<P: Proto> {
     paused: Vec<bool>,
     parked: Vec<Vec<Buffered<P::Msg>>>,
     blocked: HashSet<(NodeId, NodeId)>,
+    /// Per-link loss rates overriding the global `cfg.loss_rate`.
+    link_loss: HashMap<(NodeId, NodeId), f64>,
+    /// Extra seeded delivery jitter on remote sends (0 = off). A window
+    /// wider than the inter-send gap reorders messages on a link.
+    reorder_window: SimDuration,
+    /// Probability a remote message is delivered twice (0 = off).
+    duplicate_rate: f64,
+    /// Per-node clock skew in parts-per-million of elapsed virtual time.
+    /// Only the node's *view* of `now` drifts; engine event times do not.
+    skew_ppm: Vec<i64>,
 }
 
 impl<P: Proto> SimEngine<P> {
@@ -142,6 +192,10 @@ impl<P: Proto> SimEngine<P> {
             paused: vec![false; n],
             parked: (0..n).map(|_| Vec::new()).collect(),
             blocked: HashSet::new(),
+            link_loss: HashMap::new(),
+            reorder_window: SimDuration::ZERO,
+            duplicate_rate: 0.0,
+            skew_ppm: vec![0; n],
         };
         for i in 0..n {
             eng.with_node(NodeId(i as u32), |p, ctx| p.on_start(ctx));
@@ -190,6 +244,49 @@ impl<P: Proto> SimEngine<P> {
         self.cfg.loss_rate = p.clamp(0.0, 1.0);
     }
 
+    /// Sets a per-link loss rate on `from → to`, overriding the global
+    /// rate for that link. `p <= 0` removes the override.
+    pub fn set_link_loss(&mut self, from: NodeId, to: NodeId, p: f64) {
+        if p <= 0.0 {
+            self.link_loss.remove(&(from, to));
+        } else {
+            self.link_loss.insert((from, to), p.clamp(0.0, 1.0));
+        }
+    }
+
+    /// Removes every per-link loss override.
+    pub fn clear_link_loss(&mut self) {
+        self.link_loss.clear();
+    }
+
+    /// Adds seeded uniform jitter in `[0, window]` to every remote
+    /// delivery delay. A window wider than the inter-send gap reorders
+    /// messages on a link; `SimDuration::ZERO` turns the layer off (and
+    /// restores bit-identical unperturbed traces — no RNG draws happen).
+    pub fn set_reorder_window(&mut self, window: SimDuration) {
+        self.reorder_window = window;
+    }
+
+    /// Delivers each remote message a second time with probability `p`
+    /// (the duplicate samples its own delay, so copies can arrive in
+    /// either order). `0` turns the layer off without consuming RNG draws.
+    pub fn set_duplicate_rate(&mut self, p: f64) {
+        self.duplicate_rate = p.clamp(0.0, 1.0);
+    }
+
+    /// Skews `node`'s *view* of the clock by `ppm` parts-per-million of
+    /// elapsed virtual time (positive = fast, negative = slow). Event
+    /// scheduling is untouched; only `Context::now` as seen by the node
+    /// drifts, which is what perturbs update timestamps.
+    pub fn set_clock_skew(&mut self, node: NodeId, ppm: i64) {
+        self.skew_ppm[node.index()] = ppm;
+    }
+
+    /// The clock-skew setting for `node` in parts-per-million.
+    pub fn clock_skew(&self, node: NodeId) -> i64 {
+        self.skew_ppm[node.index()]
+    }
+
     /// Blocks the directed link `from → to` (partition injection).
     pub fn partition(&mut self, from: NodeId, to: NodeId) {
         self.blocked.insert((from, to));
@@ -200,9 +297,27 @@ impl<P: Proto> SimEngine<P> {
         self.blocked.remove(&(from, to));
     }
 
+    /// Restores every blocked link at once.
+    pub fn heal_all(&mut self) {
+        self.blocked.clear();
+    }
+
     /// Pauses a node: deliveries and timers park until `resume`.
     pub fn pause(&mut self, node: NodeId) {
         self.paused[node.index()] = true;
+    }
+
+    /// True while `node` is paused.
+    pub fn is_paused(&self, node: NodeId) -> bool {
+        self.paused[node.index()]
+    }
+
+    /// Discards every event parked while `node` was paused, returning how
+    /// many were dropped. A `pause` + `drop_parked` + state swap models a
+    /// crash: in-flight deliveries and the old incarnation's timer chains
+    /// die with the process instead of replaying into the replacement.
+    pub fn drop_parked(&mut self, node: NodeId) -> usize {
+        std::mem::take(&mut self.parked[node.index()]).len()
     }
 
     /// Resumes a paused node, replaying parked events in arrival order.
@@ -235,7 +350,7 @@ impl<P: Proto> SimEngine<P> {
         let i = id.index();
         let mut node = self.nodes[i].take().expect("node present (not re-entrant)");
         let mut ctx = SimCtx {
-            now: self.now,
+            now: self.skewed_now(id),
             me: id,
             n: self.nodes.len(),
             actions: Vec::new(),
@@ -249,6 +364,28 @@ impl<P: Proto> SimEngine<P> {
         out
     }
 
+    /// `node`'s view of the current time under its configured clock skew.
+    fn skewed_now(&self, node: NodeId) -> SimTime {
+        let ppm = self.skew_ppm[node.index()];
+        if ppm == 0 {
+            return self.now;
+        }
+        let t = self.now.as_micros() as i128;
+        let drift = t * ppm as i128 / 1_000_000;
+        SimTime::from_micros((t + drift).max(0) as u64)
+    }
+
+    /// Delay for one remote delivery: the topology sample plus, when the
+    /// reorder layer is on, seeded uniform jitter within the window.
+    fn remote_delay(&mut self, me: NodeId, to: NodeId) -> SimDuration {
+        let base = self.topo.sample_delay(me, to, &mut self.rng);
+        let window = self.reorder_window.as_micros();
+        if window == 0 {
+            return base;
+        }
+        base + SimDuration::from_micros(self.rng.gen_range(0..=window))
+    }
+
     fn apply(&mut self, me: NodeId, actions: Vec<Action<P::Msg>>) {
         for a in actions {
             match a {
@@ -259,18 +396,26 @@ impl<P: Proto> SimEngine<P> {
                             self.stats.record_drop();
                             continue;
                         }
-                        if self.cfg.loss_rate > 0.0 && self.rng.gen_bool(self.cfg.loss_rate) {
+                        let loss =
+                            self.link_loss.get(&(me, to)).copied().unwrap_or(self.cfg.loss_rate);
+                        if loss > 0.0 && self.rng.gen_bool(loss) {
                             self.stats.record_drop();
                             continue;
                         }
                     }
-                    let delay = if to == me {
-                        self.cfg.local_delay
-                    } else {
-                        self.topo.sample_delay(me, to, &mut self.rng)
-                    };
+                    let delay =
+                        if to == me { self.cfg.local_delay } else { self.remote_delay(me, to) };
                     let at = self.now + delay;
-                    self.push(at, EvKind::Deliver { from: me, to, msg });
+                    if to != me
+                        && self.duplicate_rate > 0.0
+                        && self.rng.gen_bool(self.duplicate_rate)
+                    {
+                        let dup_at = self.now + self.remote_delay(me, to);
+                        self.push(at, EvKind::Deliver { from: me, to, msg: msg.clone() });
+                        self.push(dup_at, EvKind::Deliver { from: me, to, msg });
+                    } else {
+                        self.push(at, EvKind::Deliver { from: me, to, msg });
+                    }
                 }
                 Action::SetTimer { id, delay, kind } => {
                     let at = self.now + delay;
@@ -343,13 +488,30 @@ impl<P: Proto> SimEngine<P> {
         self.run_until(t);
     }
 
-    /// Runs until the queue drains or virtual time would pass `limit`.
-    /// Returns the time reached.
-    pub fn run_until_quiescent(&mut self, limit: SimTime) -> SimTime {
+    /// Default event budget for [`SimEngine::run_until_quiescent`] — far
+    /// above any settling run in this workspace, so hitting it means the
+    /// network genuinely never drains.
+    pub const DEFAULT_EVENT_BUDGET: u64 = 50_000_000;
+
+    /// Runs until the queue drains of events at or before `limit`, under
+    /// the default event budget. The typed outcome distinguishes a genuine
+    /// drain from a run the budget cut off — assert
+    /// [`Quiescence::reached`] when convergence is the claim.
+    pub fn run_until_quiescent(&mut self, limit: SimTime) -> Quiescence {
+        self.run_until_quiescent_bounded(limit, Self::DEFAULT_EVENT_BUDGET)
+    }
+
+    /// [`SimEngine::run_until_quiescent`] with an explicit event budget.
+    pub fn run_until_quiescent_bounded(&mut self, limit: SimTime, budget: u64) -> Quiescence {
+        let mut events = 0u64;
         while self.queue.next_at().is_some_and(|at| at <= limit.as_micros()) {
+            if events >= budget {
+                return Quiescence::LimitHit { at: self.now, events };
+            }
             self.step();
+            events += 1;
         }
-        self.now
+        Quiescence::Reached { at: self.now }
     }
 
     /// Number of events still queued (parked events on paused nodes are not
@@ -421,7 +583,9 @@ mod tests {
     #[test]
     fn token_circulates_and_time_advances() {
         let mut eng = ring_engine(4, 1);
-        let end = eng.run_until_quiescent(SimTime::from_secs(10));
+        let q = eng.run_until_quiescent(SimTime::from_secs(10));
+        assert!(q.reached(), "a clean ring must drain");
+        let end = q.at();
         assert!(end > SimTime::ZERO);
         let total: usize = (0..4).map(|i| eng.node(NodeId(i)).received.len()).sum();
         assert_eq!(total, 12); // 3 laps of 4 nodes
@@ -588,5 +752,160 @@ mod tests {
     #[should_panic(expected = "one protocol instance per topology node")]
     fn node_count_mismatch_panics() {
         let _ = SimEngine::new(Topology::lan(3), SimConfig::default(), vec![Ring::new(false)]);
+    }
+
+    /// One-shot sprayer: node 0 sends `burst` tokens to node 1 at start;
+    /// node 1 only records (no resends), so duplication and reordering are
+    /// observable without feedback loops.
+    struct Spray {
+        burst: u32,
+        received: Vec<u32>,
+    }
+
+    impl Proto for Spray {
+        type Msg = Token;
+        fn on_start(&mut self, ctx: &mut dyn Context<Token>) {
+            for hops in 0..self.burst {
+                ctx.send(NodeId(1), Token { hops });
+            }
+        }
+        fn on_message(&mut self, _f: NodeId, msg: Token, _c: &mut dyn Context<Token>) {
+            self.received.push(msg.hops);
+        }
+    }
+
+    fn spray_engine(burst: u32, seed: u64) -> SimEngine<Spray> {
+        let nodes = vec![Spray { burst, received: vec![] }, Spray { burst: 0, received: vec![] }];
+        SimEngine::new(Topology::lan(2), SimConfig { seed, ..Default::default() }, nodes)
+    }
+
+    #[test]
+    fn link_loss_is_per_link() {
+        let mut eng = ring_engine(4, 1);
+        // Only 1→2 is lossy; the token dies there exactly like a partition
+        // would kill it, and no other link is perturbed.
+        eng.set_link_loss(NodeId(1), NodeId(2), 1.0);
+        eng.run_until_quiescent(SimTime::from_secs(10));
+        assert_eq!(eng.node(NodeId(1)).received.len(), 1);
+        assert_eq!(eng.node(NodeId(2)).received.len(), 0);
+        assert_eq!(eng.stats().dropped(), 1);
+        // Clearing the override restores the link for a fresh token.
+        eng.set_link_loss(NodeId(1), NodeId(2), 0.0);
+        eng.with_node(NodeId(0), |_, ctx| ctx.send(NodeId(1), Token { hops: 1 }));
+        eng.run_until_quiescent(SimTime::from_secs(20));
+        assert!(!eng.node(NodeId(2)).received.is_empty());
+    }
+
+    #[test]
+    fn reorder_window_perturbs_arrival_order_deterministically() {
+        // Without the window a LAN burst arrives FIFO by send order.
+        let mut clean = spray_engine(8, 7);
+        clean.run_until_quiescent(SimTime::from_secs(1));
+        assert_eq!(clean.node(NodeId(1)).received, (0..8).collect::<Vec<_>>());
+
+        // A window much wider than the (zero) inter-send gap shuffles the
+        // burst; the same seed reproduces the same shuffle bit-identically.
+        let shuffled = |seed| {
+            let mut eng = spray_engine(8, seed);
+            eng.set_reorder_window(SimDuration::from_millis(50));
+            // on_start already ran inside SimEngine::new, so re-spray.
+            eng.with_node(NodeId(0), |p, ctx| p.on_start(ctx));
+            eng.run_until_quiescent(SimTime::from_secs(1));
+            eng.node(NodeId(1)).received.clone()
+        };
+        let a = shuffled(7);
+        let b = shuffled(7);
+        assert_eq!(a, b, "same seed, same permutation");
+        assert_eq!(a.len(), 16, "first FIFO burst plus the re-sprayed one");
+        let mut sorted = a[8..].to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>(), "nothing lost or duplicated");
+        assert_ne!(a[8..].to_vec(), sorted, "the wide window must actually reorder");
+    }
+
+    #[test]
+    fn duplicate_rate_one_delivers_every_remote_message_twice() {
+        let mut eng = spray_engine(3, 1);
+        eng.set_duplicate_rate(1.0);
+        eng.with_node(NodeId(0), |p, ctx| p.on_start(ctx));
+        eng.run_until_quiescent(SimTime::from_secs(1));
+        // First burst (pre-fault) delivered once each, second burst twice.
+        assert_eq!(eng.node(NodeId(1)).received.len(), 3 + 6);
+    }
+
+    #[test]
+    fn clock_skew_moves_only_the_nodes_view_of_now() {
+        let mut eng = ring_engine(2, 1);
+        eng.run_until(SimTime::from_secs(100));
+        eng.set_clock_skew(NodeId(1), 500_000); // +50% fast
+        eng.set_clock_skew(NodeId(0), -500_000); // 50% slow
+        let fast = eng.with_node(NodeId(1), |_, ctx| ctx.now());
+        let slow = eng.with_node(NodeId(0), |_, ctx| ctx.now());
+        assert_eq!(fast, SimTime::from_secs(150));
+        assert_eq!(slow, SimTime::from_secs(50));
+        assert_eq!(eng.now(), SimTime::from_secs(100), "engine time is unskewed");
+        assert_eq!(eng.clock_skew(NodeId(1)), 500_000);
+    }
+
+    #[test]
+    fn drop_parked_discards_a_crashed_nodes_backlog() {
+        let mut eng = ring_engine(4, 1);
+        eng.pause(NodeId(2));
+        eng.run_until_quiescent(SimTime::from_secs(10));
+        // The token parked at node 2; a crash discards it instead of
+        // replaying it into the restarted incarnation.
+        assert_eq!(eng.drop_parked(NodeId(2)), 1);
+        assert!(eng.is_paused(NodeId(2)));
+        eng.resume(NodeId(2));
+        eng.run_until_quiescent(SimTime::from_secs(20));
+        assert_eq!(eng.node(NodeId(2)).received.len(), 0, "backlog was dropped");
+        assert_eq!(eng.node(NodeId(3)).received.len(), 0, "ring stays dead");
+    }
+
+    /// Self-perpetuating storm: every delivery immediately re-sends, so the
+    /// queue never drains and only the event budget can stop the run.
+    struct Storm;
+
+    impl Proto for Storm {
+        type Msg = Token;
+        fn on_start(&mut self, ctx: &mut dyn Context<Token>) {
+            ctx.send(NodeId(1), Token { hops: 0 });
+        }
+        fn on_message(&mut self, from: NodeId, msg: Token, ctx: &mut dyn Context<Token>) {
+            ctx.send(from, msg);
+        }
+    }
+
+    #[test]
+    fn permanently_busy_network_reports_limit_hit() {
+        let mut eng = SimEngine::new(Topology::lan(2), SimConfig::default(), vec![Storm, Storm]);
+        let q = eng.run_until_quiescent_bounded(SimTime::from_secs(3600), 1_000);
+        assert!(!q.reached());
+        match q {
+            Quiescence::LimitHit { at, events } => {
+                assert_eq!(events, 1_000);
+                assert!(at > SimTime::ZERO);
+                assert!(eng.pending_events() > 0, "work genuinely remained");
+            }
+            Quiescence::Reached { .. } => unreachable!("storm cannot drain"),
+        }
+    }
+
+    #[test]
+    fn disabled_fault_layers_leave_traces_bit_identical() {
+        // Setting every fault knob to its off value must not consume RNG
+        // draws: the run stays bit-identical to a never-touched engine.
+        let mut base = ring_engine(5, 99);
+        base.run_until_quiescent(SimTime::from_secs(10));
+        let mut off = ring_engine(5, 99);
+        off.set_reorder_window(SimDuration::ZERO);
+        off.set_duplicate_rate(0.0);
+        off.set_link_loss(NodeId(0), NodeId(1), 0.0);
+        off.set_clock_skew(NodeId(0), 0);
+        off.run_until_quiescent(SimTime::from_secs(10));
+        assert_eq!(base.now(), off.now());
+        for i in 0..5 {
+            assert_eq!(base.node(NodeId(i)).received, off.node(NodeId(i)).received);
+        }
     }
 }

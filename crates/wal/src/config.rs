@@ -14,8 +14,12 @@ pub enum DurabilityMode {
     /// log survives a process crash but not a host crash. Snapshots are
     /// still written durably (tmp + fsync + rename).
     Async,
-    /// Every append is followed by `fdatasync` before the write is
-    /// acknowledged — survives host crashes at per-write fsync cost.
+    /// Appends reach the platter via `fdatasync` before being
+    /// acknowledged — survives host crashes. With
+    /// [`DurabilityConfig::group_commit`] `== 1` (the default) every
+    /// append syncs individually; a wider window coalesces syncs to one
+    /// per `group_commit` appends, bounding host-crash loss to the last
+    /// `group_commit - 1` records in exchange for write throughput.
     Sync,
 }
 
@@ -30,11 +34,23 @@ pub struct DurabilityConfig {
     /// Root directory for WAL and snapshot files (one subdirectory per
     /// node). Must be non-empty when the plane is on.
     pub dir: PathBuf,
+    /// Group-commit window under [`DurabilityMode::Sync`]: one `fdatasync`
+    /// per this many appends. `1` (the default) is classic per-append
+    /// fsync; wider windows coalesce the sync cost across a drain while
+    /// explicit flushes (clean shutdown, snapshot installation) still
+    /// sync whatever the window is holding. Ignored by other modes. Must
+    /// be positive when the plane is on.
+    pub group_commit: u64,
 }
 
 impl Default for DurabilityConfig {
     fn default() -> Self {
-        DurabilityConfig { mode: DurabilityMode::Off, snapshot_every: 1024, dir: PathBuf::new() }
+        DurabilityConfig {
+            mode: DurabilityMode::Off,
+            snapshot_every: 1024,
+            dir: PathBuf::new(),
+            group_commit: 1,
+        }
     }
 }
 
@@ -52,6 +68,18 @@ impl DurabilityConfig {
     /// Page-cache (no fsync) durability rooted at `dir`.
     pub fn buffered(dir: impl Into<PathBuf>) -> Self {
         DurabilityConfig { mode: DurabilityMode::Async, dir: dir.into(), ..Self::default() }
+    }
+
+    /// Group-committed fsync durability rooted at `dir`: one `fdatasync`
+    /// per `window` appends instead of one per append. `window` is clamped
+    /// to at least 1 (which is exactly [`DurabilityConfig::sync`]).
+    pub fn sync_grouped(dir: impl Into<PathBuf>, window: u64) -> Self {
+        DurabilityConfig {
+            mode: DurabilityMode::Sync,
+            dir: dir.into(),
+            group_commit: window.max(1),
+            ..Self::default()
+        }
     }
 
     /// True when the plane writes anything at all.
@@ -78,8 +106,17 @@ mod tests {
         assert_eq!(s.mode, DurabilityMode::Sync);
         assert!(s.enabled());
         assert_eq!(s.dir, PathBuf::from("/tmp/x"));
+        assert_eq!(s.group_commit, 1, "plain sync is per-append fsync");
         let a = DurabilityConfig::buffered("/tmp/y");
         assert_eq!(a.mode, DurabilityMode::Async);
         assert!(a.enabled());
+    }
+
+    #[test]
+    fn sync_grouped_sets_and_clamps_the_window() {
+        let g = DurabilityConfig::sync_grouped("/tmp/z", 32);
+        assert_eq!(g.mode, DurabilityMode::Sync);
+        assert_eq!(g.group_commit, 32);
+        assert_eq!(DurabilityConfig::sync_grouped("/tmp/z", 0).group_commit, 1);
     }
 }
